@@ -1,0 +1,97 @@
+// Ablation benchmark for the design choices DESIGN.md calls out:
+//   A1a  per-position vs per-tensor Winograd-domain input scales (accuracy),
+//   A1b  per-channel vs shared filter scales (accuracy),
+//   A1c  non-temporal stores on/off (performance),
+//   A1d  software prefetch on/off (performance),
+//   A1e  auto-tuned vs default blocking (performance, Section 4.3.4).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "direct/direct_f32.h"
+#include "lowino/lowino.h"
+#include "nn/model_zoo.h"
+#include "quant/quantize.h"
+#include "tuning/tuner.h"
+
+namespace lowino {
+namespace {
+
+struct Variant {
+  const char* name;
+  LoWinoConfig cfg;
+};
+
+int bench_main() {
+  ThreadPool& pool = ThreadPool::global();
+  const auto all = paper_layers_table2(bench::batch_override());
+  const char* wanted[] = {"VGG16_a", "ResNet-50_b"};
+
+  for (const char* name : wanted) {
+    const PaperLayer* layer = nullptr;
+    for (const auto& l : all) {
+      if (l.name == name) layer = &l;
+    }
+    const ConvDesc& d = layer->desc;
+    const bench::LayerData data = bench::make_layer_data(d, 5);
+    std::vector<float> ref(d.batch * d.out_channels * d.out_height() * d.out_width());
+    direct_conv_f32_reference(d, data.input, data.weights, data.bias, ref, false, &pool);
+    std::vector<float> out(ref.size());
+
+    std::printf("=== %s (%s), LoWino F(4x4,3x3) ===\n", name, d.to_string().c_str());
+    std::printf("%-34s %10s %10s\n", "variant", "time (ms)", "SNR (dB)");
+    bench::print_rule(60);
+
+    LoWinoConfig base;
+    base.m = 4;
+    Variant variants[] = {
+        {"baseline (per-pos, per-chan, nt, pf)", base},
+        {"per-tensor input scales", base},
+        {"shared filter scale (per-pos only)", base},
+        {"no non-temporal stores", base},
+        {"no software prefetch", base},
+        {"generic codelets (no hand AVX-512)", base},
+    };
+    variants[1].cfg.input_scales = ScaleGranularity::kPerTensor;
+    variants[2].cfg.per_channel_filter_scales = false;
+    variants[3].cfg.blocking.nt_store = false;
+    variants[4].cfg.blocking.prefetch = false;
+    variants[5].cfg.use_hand_codelets = false;
+
+    for (const Variant& v : variants) {
+      LoWinoConvolution conv(d, v.cfg);
+      conv.calibrate(data.input, /*tile_stride=*/8);
+      conv.finalize_calibration();
+      conv.set_filters(data.weights, data.bias);
+      const double t = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+      const double snr = quantization_error(ref, out).signal_to_noise_db;
+      std::printf("%-34s %10.2f %10.1f\n", v.name, t * 1e3, snr);
+      std::fflush(stdout);
+    }
+
+    // A1e: auto-tuned blocking.
+    TuneOptions topts;
+    topts.seconds_per_candidate = 0.03;
+    topts.max_candidates = 24;
+    const TuneResult tuned = tune_layer(d, 4, &pool, topts);
+    LoWinoConfig tuned_cfg = base;
+    tuned_cfg.blocking = tuned.best;
+    LoWinoConvolution conv(d, tuned_cfg);
+    conv.calibrate(data.input, /*tile_stride=*/8);
+    conv.finalize_calibration();
+    conv.set_filters(data.weights, data.bias);
+    const double t = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+    std::printf("%-34s %10.2f %10.1f   [%s; gemm %.2f -> %.2f ms over %zu candidates]\n",
+                "auto-tuned blocking", t * 1e3,
+                quantization_error(ref, out).signal_to_noise_db,
+                tuned.best.to_string().c_str(), tuned.default_seconds * 1e3,
+                tuned.best_seconds * 1e3, tuned.evaluated);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lowino
+
+int main() { return lowino::bench_main(); }

@@ -1,0 +1,125 @@
+// Figure 8 + Table 2 reproduction: normalized execution time of the 20
+// benchmarked convolutional layers across the INT8 engines, the speedup of
+// LoWino F(4x4,3x3) over the vendor-style Winograd, and the Section 5.1
+// FP32 comparison (1.9x / 2.6x average speedups).
+//
+// Output columns (per layer, times normalized to INT8 direct = 1.00):
+//   int8-direct | vendor-wino-f2 | lowino-f2 | lowino-f4 | speedup(F4/vendor)
+// plus FP32 direct / FP32 Winograd reference times and summary rows.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/fp32_wino.h"
+#include "baselines/vendor_wino.h"
+#include "bench_util.h"
+#include "direct/direct_f32.h"
+#include "direct/direct_int8.h"
+#include "lowino/lowino.h"
+#include "nn/model_zoo.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+namespace {
+
+struct Row {
+  std::string name;
+  double int8_direct = 0, vendor_f2 = 0, lowino_f2 = 0, lowino_f4 = 0;
+  double fp32_direct = 0, fp32_wino = 0;
+};
+
+double run_lowino(const ConvDesc& desc, std::size_t m, const bench::LayerData& data,
+                  std::vector<float>& out, ThreadPool* pool) {
+  LoWinoConfig cfg;
+  cfg.m = m;
+  LoWinoConvolution conv(desc, cfg);
+  conv.calibrate(data.input, /*tile_stride=*/8);
+  conv.finalize_calibration();
+  conv.set_filters(data.weights, data.bias);
+  return bench::measure([&] { conv.execute_nchw(data.input, out, pool); });
+}
+
+}  // namespace
+
+int bench_main() {
+  ThreadPool& pool = ThreadPool::global();
+  const auto layers = paper_layers_table2(bench::batch_override());
+  std::printf("LoWino Figure 8 / Table 2 benchmark (threads=%zu, batch override=%zu)\n",
+              pool.num_threads(), bench::batch_override());
+  std::printf("%-13s | %-42s | %-17s | %s\n", "", "normalized INT8 exec time (direct = 1.00)",
+              "FP32 time (ms)", "speedups");
+  std::printf("%-13s | %9s %9s %9s %9s | %8s %8s | %9s %9s\n", "layer", "direct",
+              "vendorF2", "LoWinoF2", "LoWinoF4", "direct", "winoF2", "F4/vendor",
+              "F4/fp32");
+  bench::print_rule();
+
+  std::vector<Row> rows;
+  for (const auto& layer : layers) {
+    const ConvDesc& d = layer.desc;
+    const bench::LayerData data = bench::make_layer_data(d, 7);
+    std::vector<float> out(d.batch * d.out_channels * d.out_height() * d.out_width());
+    Row row;
+    row.name = layer.name;
+
+    {
+      Int8DirectConv conv(d);
+      conv.set_input_threshold(abs_max(data.input));
+      conv.set_filters(data.weights, data.bias);
+      row.int8_direct = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+    }
+    {
+      VendorWinoF23 conv(d);
+      conv.set_input_threshold(abs_max(data.input));
+      conv.set_filters(data.weights, data.bias);
+      row.vendor_f2 = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+    }
+    row.lowino_f2 = run_lowino(d, 2, data, out, &pool);
+    row.lowino_f4 = run_lowino(d, 4, data, out, &pool);
+    {
+      Im2colConvF32 conv(d);
+      conv.set_filters(data.weights, data.bias);
+      row.fp32_direct = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+    }
+    {
+      Fp32WinoConv conv(d, 4);
+      conv.set_filters(data.weights, data.bias);
+      row.fp32_wino = bench::measure([&] { conv.execute_nchw(data.input, out, &pool); });
+    }
+    rows.push_back(row);
+
+    const double base = row.int8_direct;
+    const double fp32_best = std::min(row.fp32_direct, row.fp32_wino);
+    std::printf("%-13s | %9.2f %9.2f %9.2f %9.2f | %8.2f %8.2f | %8.2fx %8.2fx\n",
+                row.name.c_str(), 1.0, row.vendor_f2 / base, row.lowino_f2 / base,
+                row.lowino_f4 / base, row.fp32_direct * 1e3, row.fp32_wino * 1e3,
+                row.vendor_f2 / row.lowino_f4, fp32_best / row.lowino_f4);
+    std::fflush(stdout);
+  }
+
+  bench::print_rule();
+  auto geomean = [&](auto&& f) {
+    double s = 0.0;
+    for (const Row& r : rows) s += std::log(f(r));
+    return std::exp(s / static_cast<double>(rows.size()));
+  };
+  double max_speedup = 0.0;
+  for (const Row& r : rows) max_speedup = std::max(max_speedup, r.vendor_f2 / r.lowino_f4);
+  std::printf("LoWino F(4x4) vs vendor Winograd : avg %.2fx, max %.2fx  (paper: 1.26x avg, "
+              "2.04x max)\n",
+              geomean([](const Row& r) { return r.vendor_f2 / r.lowino_f4; }), max_speedup);
+  std::printf("LoWino F(2x2) vs best FP32       : avg %.2fx              (paper: 1.9x)\n",
+              geomean([](const Row& r) {
+                return std::min(r.fp32_direct, r.fp32_wino) / r.lowino_f2;
+              }));
+  std::printf("LoWino F(4x4) vs best FP32       : avg %.2fx              (paper: 2.6x)\n",
+              geomean([](const Row& r) {
+                return std::min(r.fp32_direct, r.fp32_wino) / r.lowino_f4;
+              }));
+  std::printf("LoWino F(4x4) vs INT8 direct     : avg %.2fx\n",
+              geomean([](const Row& r) { return r.int8_direct / r.lowino_f4; }));
+  return 0;
+}
+
+}  // namespace lowino
+
+int main() { return lowino::bench_main(); }

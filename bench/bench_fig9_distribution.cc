@@ -1,0 +1,148 @@
+// Figure 9 reproduction: distribution of the transformed inputs under the
+// down-scaling approach vs LoWino for F(4x4, 3x3) on a VGG16_a-shaped layer.
+//
+// Prints log-scale histograms of the INT8 codes each scheme actually
+// produces. The paper's observation: down-scaling squeezes the values into a
+// narrow band of the [-128, 127] range (rounding destroys the information),
+// while Winograd-domain quantization uses the full range.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/saturate.h"
+#include "lowino/input_transform.h"
+#include "quant/quantize.h"
+#include "tensor/pack.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+void print_histogram(const char* title, const std::vector<std::uint64_t>& counts) {
+  std::printf("%s\n", title);
+  // 32 buckets of 8 codes each over [-128, 127], log-scale bars.
+  double max_log = 0.0;
+  std::vector<double> logs(32, 0.0);
+  for (int b = 0; b < 32; ++b) {
+    std::uint64_t c = 0;
+    for (int i = 0; i < 8; ++i) c += counts[b * 8 + i];
+    logs[b] = c > 0 ? std::log10(static_cast<double>(c) + 1.0) : 0.0;
+    max_log = std::max(max_log, logs[b]);
+  }
+  for (int b = 0; b < 32; ++b) {
+    const int code_lo = b * 8 - 128;
+    const int bar = max_log > 0 ? static_cast<int>(48.0 * logs[b] / max_log) : 0;
+    std::printf("  [%4d..%4d] %s\n", code_lo, code_lo + 7,
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  std::uint64_t total = 0, used = 0;
+  for (std::uint64_t c : counts) {
+    total += c;
+    used += c > 0 ? 1 : 0;
+  }
+  std::printf("  distinct INT8 codes in use: %llu / 256 (%llu samples)\n\n",
+              static_cast<unsigned long long>(used), static_cast<unsigned long long>(total));
+}
+
+int bench_main() {
+  // VGG16_a shape, batch 1 (the distribution does not depend on batch).
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 256;
+  d.out_channels = 256;
+  d.height = d.width = 58;
+  d.kernel = 3;
+  d.pad = 1;
+  const std::size_t m = 4;
+  const WinogradGeometry geo(d, m);
+  const TransformMatrices& tm = canonical_f43();
+  const CodeletPlan bt = CodeletPlan::build(tm.BT.data(), geo.alpha, geo.alpha);
+
+  // Post-ReLU-like activations (the realistic case for conv inputs).
+  bench::LayerData data = bench::make_layer_data(d, 99);
+  for (auto& v : data.input) v = std::max(0.0f, v);
+
+  const BlockedActLayout in_layout(d.batch, d.in_channels, d.height, d.width);
+  AlignedBuffer<float> blocked(in_layout.size());
+  const InputTransformContext ctx{&d, &geo, &bt, in_layout, TransformedInputLayout{}, false};
+
+  std::printf("Figure 9 reproduction: transformed-input distributions, F(4x4,3x3), "
+              "VGG16_a shape\n\n");
+
+  // --- (a) down-scaling: spatial INT8 -> integer transform -> round(1/100 V)
+  const float alpha_d = QuantParams::from_threshold(abs_max(data.input)).scale;
+  std::vector<float> grid(data.input.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = static_cast<float>(saturate_cast_i8(data.input[i] * alpha_d)) / alpha_d;
+  }
+  pack_nchw_to_blocked(grid, d.batch, d.in_channels, d.height, d.width, blocked.span());
+
+  std::vector<std::uint64_t> hist_ds(256, 0);
+  AlignedBuffer<float> tile(geo.t_elems * kChanBlock);
+  const std::size_t cb_count = d.padded_in_channels() / kChanBlock;
+  float v_max = 0.0f;
+  for (std::size_t n = 0; n < geo.total_tiles; n += 3) {  // subsample tiles
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+      transform_tile_fp32(ctx, blocked.span(), n, cb, tile.data());
+      for (std::size_t i = 0; i < tile.size(); ++i) {
+        const float v_int = tile[i] * alpha_d;  // exact integer transform value
+        v_max = std::max(v_max, std::abs(v_int));
+        const std::int8_t q = saturate_cast_i8(v_int * 0.01f);  // the paper's 1/100
+        ++hist_ds[static_cast<std::size_t>(static_cast<int>(q) + 128)];
+      }
+    }
+  }
+  std::printf("(a) Down-scaling approach: |BT d' B| reaches %.0f (of +-12700 worst case); "
+              "after x1/100 + rounding:\n",
+              v_max);
+  print_histogram("", hist_ds);
+
+  // --- (b) LoWino: FP32 transform -> per-position Winograd-domain quantization
+  pack_nchw_to_blocked(data.input, d.batch, d.in_channels, d.height, d.width,
+                       blocked.span());
+  // Per-position abs-max scales (calibration would clip slightly harder).
+  std::vector<float> amax(geo.t_elems, 0.0f);
+  for (std::size_t n = 0; n < geo.total_tiles; n += 3) {
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+      transform_tile_fp32(ctx, blocked.span(), n, cb, tile.data());
+      for (std::size_t t = 0; t < geo.t_elems; ++t) {
+        for (std::size_t l = 0; l < kChanBlock; ++l) {
+          amax[t] = std::max(amax[t], std::abs(tile[t * kChanBlock + l]));
+        }
+      }
+    }
+  }
+  std::vector<std::uint64_t> hist_lw(256, 0);
+  for (std::size_t n = 0; n < geo.total_tiles; n += 3) {
+    for (std::size_t cb = 0; cb < cb_count; ++cb) {
+      transform_tile_fp32(ctx, blocked.span(), n, cb, tile.data());
+      for (std::size_t t = 0; t < geo.t_elems; ++t) {
+        const float scale = QuantParams::from_threshold(amax[t]).scale;
+        for (std::size_t l = 0; l < kChanBlock; ++l) {
+          const std::int8_t q = saturate_cast_i8(tile[t * kChanBlock + l] * scale);
+          ++hist_lw[static_cast<std::size_t>(static_cast<int>(q) + 128)];
+        }
+      }
+    }
+  }
+  std::printf("(b) LoWino: FP32 Winograd-domain values quantized per position:\n");
+  print_histogram("", hist_lw);
+
+  std::uint64_t used_ds = 0, used_lw = 0;
+  for (int i = 0; i < 256; ++i) {
+    used_ds += hist_ds[i] > 0 ? 1 : 0;
+    used_lw += hist_lw[i] > 0 ? 1 : 0;
+  }
+  std::printf("Paper shape to verify: LoWino uses the full [-128,127] range (%llu codes) "
+              "while down-scaling collapses to a narrow band (%llu codes).\n",
+              static_cast<unsigned long long>(used_lw),
+              static_cast<unsigned long long>(used_ds));
+  return 0;
+}
+
+}  // namespace
+}  // namespace lowino
+
+int main() { return lowino::bench_main(); }

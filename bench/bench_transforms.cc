@@ -1,0 +1,140 @@
+// Transform-stage microbenchmarks (google-benchmark): fused input transform +
+// quantize throughput across tile sizes and NT-store settings, output
+// transform, and the codelet-plan executor (Section 4.2).
+#include <benchmark/benchmark.h>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "lowino/input_transform.h"
+#include "lowino/output_transform.h"
+#include "lowino/scales.h"
+#include "lowino/transform_kernels.h"
+#include "tensor/pack.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc bench_desc() {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 256;
+  d.out_channels = 256;
+  d.height = d.width = 56;
+  d.kernel = 3;
+  d.pad = 1;
+  return d;
+}
+
+void BM_InputTransform(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const bool nt = state.range(1) != 0;
+  const ConvDesc d = bench_desc();
+  const WinogradGeometry geo(d, m);
+  const TransformMatrices& tm = winograd_transform(m, 3);
+  const CodeletPlan bt = CodeletPlan::build(tm.BT.data(), geo.alpha, geo.alpha);
+  const BlockedActLayout in_layout(d.batch, d.in_channels, d.height, d.width);
+  const TransformedInputLayout vl(geo.total_tiles, d.padded_in_channels(), geo.t_elems, 48,
+                                  d.padded_in_channels());
+
+  Rng rng(1);
+  AlignedBuffer<float> in(in_layout.size());
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.uniform(-1, 1);
+  AlignedBuffer<std::uint8_t> v(vl.size());
+  v.fill_zero();
+  WinogradScales scales(geo.t_elems, true, 64, false);
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    scales.set_input_scale(t, QuantParams::from_threshold(4.0f));
+  }
+  const InputTransformContext ctx{&d, &geo, &bt, in_layout, vl, nt};
+  for (auto _ : state) {
+    run_input_transform(ctx, in.span(), scales, v.data());
+    benchmark::DoNotOptimize(v.data());
+  }
+  // Bytes moved: FP32 tile reads + INT8 writes.
+  const double bytes =
+      static_cast<double>(geo.total_tiles) * geo.t_elems * d.padded_in_channels() * 5.0;
+  state.counters["GB/s"] = benchmark::Counter(
+      bytes * static_cast<double>(state.iterations()) / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InputTransform)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({6, 1});
+
+void BM_OutputTransform(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const ConvDesc d = bench_desc();
+  const WinogradGeometry geo(d, m);
+  const TransformMatrices& tm = winograd_transform(m, 3);
+  const CodeletPlan at = CodeletPlan::build(tm.AT.data(), geo.m, geo.alpha);
+  const TransformedOutputLayout zl(d.padded_out_channels(), round_up(geo.total_tiles, 48),
+                                   geo.t_elems);
+  const BlockedActLayout out_layout(d.batch, d.out_channels, d.out_height(), d.out_width());
+
+  Rng rng(2);
+  AlignedBuffer<std::int32_t> z(zl.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<std::int32_t>(rng.next_below(60000)) - 30000;
+  }
+  AlignedBuffer<float> out(out_layout.size());
+  WinogradScales scales(geo.t_elems, true, d.padded_out_channels(), false);
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    scales.set_input_scale(t, QuantParams::from_threshold(4.0f));
+    scales.set_filter_scale(t, 0, QuantParams::from_threshold(1.0f));
+  }
+  scales.build_dequant_table();
+  const OutputTransformContext ctx{&d, &geo, &at, zl, out_layout, nullptr, false};
+  for (auto _ : state) {
+    run_output_transform(ctx, z.data(), scales, out.span());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OutputTransform)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_CodeletPlanVsNaive(benchmark::State& state) {
+  // Executor throughput for the F(4,3) B^T plan (CSE enabled by build()).
+  const TransformMatrices& tm = canonical_f43();
+  const CodeletPlan plan = CodeletPlan::build(tm.BT.data(), 6, 6);
+  AlignedBuffer<float> in(6 * 16), out(6 * 16);
+  Rng rng(3);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    apply_plan_16(plan, in.data(), 16, out.data(), 16);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CodeletPlanVsNaive);
+
+void BM_Quantize16(benchmark::State& state) {
+  AlignedBuffer<float> src(16);
+  AlignedBuffer<std::uint8_t> dst(16);
+  Rng rng(4);
+  for (int i = 0; i < 16; ++i) src[i] = rng.uniform(-100, 100);
+  for (auto _ : state) {
+    quantize16_u8(src.data(), 0.5f, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_Quantize16);
+
+void BM_PackNchwToBlocked(benchmark::State& state) {
+  const ConvDesc d = bench_desc();
+  const BlockedActLayout layout(d.batch, d.in_channels, d.height, d.width);
+  AlignedBuffer<float> src(d.batch * d.in_channels * d.height * d.width);
+  AlignedBuffer<float> dst(layout.size());
+  Rng rng(5);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    pack_nchw_to_blocked(src.span(), d.batch, d.in_channels, d.height, d.width, dst.span());
+    benchmark::DoNotOptimize(dst.data());
+  }
+}
+BENCHMARK(BM_PackNchwToBlocked);
+
+}  // namespace
+}  // namespace lowino
+
+BENCHMARK_MAIN();

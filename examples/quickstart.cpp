@@ -1,0 +1,72 @@
+// Quickstart: run one INT8 Winograd convolution with LoWino and compare it
+// against the FP32 reference.
+//
+//   build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "direct/direct_f32.h"
+#include "lowino/lowino.h"
+#include "quant/quantize.h"
+
+int main() {
+  using namespace lowino;
+
+  // 1. Describe the layer: a ResNet-style 3x3 convolution.
+  ConvDesc desc;
+  desc.batch = 1;
+  desc.in_channels = 128;
+  desc.out_channels = 128;
+  desc.height = desc.width = 28;
+  desc.kernel = 3;
+  desc.pad = 1;
+
+  // 2. Configure the engine: F(4x4, 3x3) with Winograd-domain quantization.
+  LoWinoConfig config;
+  config.m = 4;
+  LoWinoConvolution conv(desc, config);
+
+  // 3. Make some data (pretend these are real activations and weights).
+  Rng rng(42);
+  std::vector<float> input(desc.batch * desc.in_channels * desc.height * desc.width);
+  std::vector<float> weights(desc.out_channels * desc.in_channels * 9);
+  std::vector<float> bias(desc.out_channels);
+  for (auto& v : input) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : weights) v = rng.normal() * 0.1f;
+  for (auto& v : bias) v = rng.uniform(-0.1f, 0.1f);
+
+  // 4. Post-training quantization: calibrate the Winograd-domain scales on
+  //    sample inputs (Eq. 7 of the paper), then transform + pack the filters.
+  conv.calibrate(input);
+  conv.finalize_calibration();
+  conv.set_filters(weights, bias);
+
+  // 5. Run.
+  std::vector<float> output(desc.batch * desc.out_channels * desc.out_height() *
+                            desc.out_width());
+  ThreadPool& pool = ThreadPool::global();
+  conv.execute_nchw(input, output, &pool);  // warm-up
+  Timer t;
+  conv.execute_nchw(input, output, &pool);
+  const double ms = t.milliseconds();
+
+  // 6. Compare with the FP32 reference.
+  std::vector<float> reference(output.size());
+  direct_conv_f32_reference(desc, input, weights, bias, reference);
+  const QuantError err = quantization_error(reference, output);
+
+  std::printf("LoWino F(%zux%zu, 3x3) on %s\n", config.m, config.m,
+              desc.to_string().c_str());
+  std::printf("  time        : %.2f ms (%.1f GFLOPS of direct-conv work)\n", ms,
+              2.0 * desc.direct_macs() / (ms / 1e3) / 1e9);
+  std::printf("  accuracy    : %.1f dB SNR vs FP32 (max |err| %.4f)\n",
+              err.signal_to_noise_db, err.max_abs);
+  std::printf("  workspace   : %.1f MiB of INT8/INT32 intermediates\n",
+              static_cast<double>(conv.workspace_bytes()) / (1024.0 * 1024.0));
+  std::printf("  tile count  : %zu tiles of %zux%zu, T = %zu GEMMs per run\n",
+              conv.geometry().total_tiles, conv.geometry().alpha, conv.geometry().alpha,
+              conv.geometry().t_elems);
+  return 0;
+}

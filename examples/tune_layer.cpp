@@ -1,0 +1,51 @@
+// Auto-tuning scenario (Section 4.3.4): search the blocking space for one
+// convolutional layer, persist the winner to a wisdom file, and show the
+// speedup over the default configuration.
+//
+//   build/examples/tune_layer [C] [K] [HW] [batch]
+#include <cstdio>
+#include <cstdlib>
+
+#include "parallel/thread_pool.h"
+#include "tuning/tuner.h"
+#include "tuning/wisdom.h"
+
+int main(int argc, char** argv) {
+  using namespace lowino;
+  ConvDesc desc;
+  desc.in_channels = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  desc.out_channels = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 256;
+  desc.height = desc.width = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 28;
+  desc.batch = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 8;
+  desc.kernel = 3;
+  desc.pad = 1;
+
+  std::printf("Tuning the F(4x4,3x3) batched GEMM for %s ...\n", desc.to_string().c_str());
+  TuneOptions options;
+  options.seconds_per_candidate = 0.05;
+  const TuneResult result = tune_layer(desc, 4, &ThreadPool::global(), options);
+
+  std::printf("  candidates evaluated : %zu\n", result.evaluated);
+  std::printf("  default blocking     : %.3f ms\n", result.default_seconds * 1e3);
+  std::printf("  best blocking        : %.3f ms  (%s)\n", result.best_seconds * 1e3,
+              result.best.to_string().c_str());
+  std::printf("  speedup              : %.2fx\n",
+              result.default_seconds / result.best_seconds);
+
+  // Persist to the wisdom file like a deployment would.
+  const char* path = "lowino_wisdom.txt";
+  WisdomStore store;
+  if (auto existing = WisdomStore::load(path)) store = *existing;
+  store.put(wisdom_key(desc, 4), result.best);
+  store.save(path);
+  std::printf("  saved to %s (%zu entries); inference loads this ahead of time\n", path,
+              store.size());
+
+  // Demonstrate the load path.
+  const auto loaded = WisdomStore::load(path);
+  if (loaded && loaded->get(wisdom_key(desc, 4))) {
+    std::printf("  reload check: OK (%s)\n",
+                loaded->get(wisdom_key(desc, 4))->to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "baselines/downscale_wino.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/saturate.h"
+#include "gemm/int8_gemm.h"
+#include "lowino/input_transform.h"
+#include "lowino/output_transform.h"
+#include "quant/calibration.h"
+#include "tensor/pack.h"
+
+namespace lowino {
+namespace {
+
+/// Worst-case 2D amplification of the filter transform G (max abs row sum
+/// squared), the analogue of TransformMatrices::input_amplification_2d.
+double filter_amplification_2d(const TransformMatrices& tm) {
+  double max_row = 0.0;
+  for (std::size_t i = 0; i < tm.alpha; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < tm.r; ++j) s += std::abs(tm.g(i, j));
+    max_row = std::max(max_row, s);
+  }
+  return max_row * max_row;
+}
+
+}  // namespace
+
+DownscaleWinoConv::DownscaleWinoConv(const ConvDesc& desc, std::size_t m,
+                                     const Int8GemmBlocking& blocking)
+    : desc_(desc) {
+  if (desc.stride != 1) throw std::invalid_argument("unit stride only");
+  geo_ = WinogradGeometry(desc_, m);
+  if (m == 2 && desc.kernel == 3) {
+    tm_ = &canonical_f23();
+  } else if (m == 4 && desc.kernel == 3) {
+    tm_ = &canonical_f43();
+  } else {
+    tm_ = &winograd_transform(m, desc.kernel);
+  }
+  bt_plan_ = CodeletPlan::build(tm_->BT.data(), geo_.alpha, geo_.alpha);
+  at_plan_ = CodeletPlan::build(tm_->AT.data(), geo_.m, geo_.alpha);
+
+  const std::size_t c64 = desc_.padded_in_channels();
+  const std::size_t k64 = desc_.padded_out_channels();
+  blocking_ = adapt_blocking(blocking, c64, k64, geo_.total_tiles);
+  v_layout_ = TransformedInputLayout(geo_.total_tiles, c64, geo_.t_elems, blocking_.n_blk,
+                                     blocking_.c_blk);
+  z_layout_ = TransformedOutputLayout(k64, v_layout_.n_blocks * blocking_.n_blk,
+                                      geo_.t_elems);
+  in_layout_ = BlockedActLayout(desc_.batch, desc_.in_channels, desc_.height, desc_.width);
+  out_layout_ = BlockedActLayout(desc_.batch, desc_.out_channels, desc_.out_height(),
+                                 desc_.out_width());
+
+  // Fixed down-scaling factors from the transform-matrix gains (Section 2.3:
+  // "alpha = 1/4 and 1/100 for m = 2 and m = 4").
+  alpha_v_ = static_cast<float>(1.0 / tm_->input_amplification_2d());
+  const double g_gain = filter_amplification_2d(*tm_);
+  alpha_u_ = g_gain > 1.0 ? static_cast<float>(1.0 / g_gain) : 1.0f;
+
+  const PackedFilterLayout fl(c64, k64, geo_.t_elems, blocking_.c_blk, blocking_.k_blk);
+  scales_ = WinogradScales(geo_.t_elems, /*per_position=*/true, fl.k_blocks * fl.k_blk,
+                           /*per_channel_filters=*/true);
+}
+
+void DownscaleWinoConv::calibrate(std::span<const float> input_nchw) {
+  input_hist_.collect(input_nchw);
+}
+
+void DownscaleWinoConv::finalize_calibration() {
+  input_scale_ = calibrate_params(input_hist_).scale;
+  input_scales_set_ = true;
+  maybe_finish_setup();
+}
+
+void DownscaleWinoConv::set_input_threshold(float tau) {
+  input_scale_ = QuantParams::from_threshold(tau).scale;
+  input_scales_set_ = true;
+  maybe_finish_setup();
+}
+
+void DownscaleWinoConv::set_filters(std::span<const float> weights,
+                                    std::span<const float> bias) {
+  const std::size_t n = desc_.out_channels * desc_.in_channels * desc_.kernel * desc_.kernel;
+  assert(weights.size() >= n);
+  weights_fp32_.reset(n);
+  std::copy(weights.begin(), weights.begin() + static_cast<std::ptrdiff_t>(n),
+            weights_fp32_.data());
+  bias_fp32_.reset(desc_.out_channels);
+  bias_fp32_.fill_zero();
+  if (!bias.empty()) {
+    std::copy(bias.begin(), bias.begin() + static_cast<std::ptrdiff_t>(desc_.out_channels),
+              bias_fp32_.data());
+  }
+  filters_set_ = true;
+  maybe_finish_setup();
+}
+
+void DownscaleWinoConv::maybe_finish_setup() {
+  if (!filters_set_ || !input_scales_set_) return;  // re-packs when either updates
+
+  // Spatially quantize the filters per output channel (Figure 2(b): g' = Q(g))
+  // and keep the grid values g~ = q / alpha_g.
+  const std::size_t K = desc_.out_channels, C = desc_.in_channels, r = desc_.kernel;
+  std::vector<float> w_grid(K * C * r * r);
+  std::vector<float> w_scale(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    float amax = 0.0f;
+    for (std::size_t i = 0; i < C * r * r; ++i) {
+      amax = std::max(amax, std::abs(weights_fp32_[k * C * r * r + i]));
+    }
+    w_scale[k] = QuantParams::from_threshold(amax).scale;
+    for (std::size_t i = 0; i < C * r * r; ++i) {
+      const std::int8_t q = saturate_cast_i8(weights_fp32_[k * C * r * r + i] * w_scale[k]);
+      w_grid[k * C * r * r + i] = static_cast<float>(q) / w_scale[k];
+    }
+  }
+
+  // Scales: the transform of grid values is exact, the loss comes from the
+  // post-transform rounding with the *fixed* factors alpha_v / alpha_u.
+  for (std::size_t t = 0; t < geo_.t_elems; ++t) {
+    scales_.set_input_scale(t, QuantParams::from_scale(alpha_v_ * input_scale_));
+    for (std::size_t k = 0; k < scales_.k_padded(); ++k) {
+      const float ws = k < K ? w_scale[k] : 1.0f;
+      scales_.set_filter_scale(t, k, QuantParams::from_scale(alpha_u_ * ws));
+    }
+  }
+
+  std::vector<float> u_all;
+  transform_all_filters(desc_, *tm_, w_grid, u_all);
+  quantize_and_pack_transformed(desc_, geo_.t_elems, u_all, scales_, blocking_,
+                                std::span<const float>(bias_fp32_.data(), K), filters_);
+  scales_.build_dequant_table();
+  packed_ = true;
+}
+
+void DownscaleWinoConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                     ThreadPool* pool) {
+  if (!packed_) throw std::logic_error("DownscaleWinoConv: setup incomplete");
+  const std::size_t n = desc_.batch * desc_.in_channels * desc_.height * desc_.width;
+  assert(input.size() >= n);
+
+  // Figure 2(b): d' = Q(d) in the spatial domain. We keep the grid values
+  // q / alpha_d so the downstream integer transform is exact.
+  quantized_input_.ensure(n);
+  const float inv = 1.0f / input_scale_;
+  for (std::size_t i = 0; i < n; ++i) {
+    quantized_input_[i] = static_cast<float>(saturate_cast_i8(input[i] * input_scale_)) * inv;
+  }
+
+  in_blocked_.ensure(in_layout_.size());
+  out_blocked_.ensure(out_layout_.size());
+  pack_nchw_to_blocked(quantized_input_.span(), desc_.batch, desc_.in_channels, desc_.height,
+                       desc_.width, in_blocked_.span(), pool);
+
+  if (v_buf_.size() != v_layout_.size()) {
+    v_buf_.reset(v_layout_.size());
+    v_buf_.fill_zero();
+  }
+  z_buf_.ensure(z_layout_.size());
+
+  const bool canonical = tm_ == &canonical_f23() || tm_ == &canonical_f43();
+  InputTransformContext in_ctx{&desc_,    &geo_,     &bt_plan_,          in_layout_,
+                               v_layout_, blocking_.nt_store, canonical};
+  run_input_transform(in_ctx, in_blocked_.span(), scales_, v_buf_.data(), pool);
+  batched_int8_gemm(v_layout_, v_buf_.data(), filters_.layout, filters_.data.data(),
+                    filters_.comp.data(), z_layout_, z_buf_.data(), blocking_, pool);
+  OutputTransformContext out_ctx{&desc_,    &geo_,       &at_plan_,
+                                 z_layout_, out_layout_, filters_.bias.data(),
+                                 false,     canonical};
+  run_output_transform(out_ctx, z_buf_.data(), scales_, out_blocked_.span(), pool);
+
+  unpack_blocked_to_nchw(out_blocked_.span(), desc_.batch, desc_.out_channels,
+                         desc_.out_height(), desc_.out_width(), output, pool);
+}
+
+}  // namespace lowino

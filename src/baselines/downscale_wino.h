@@ -1,0 +1,82 @@
+// The down-scaling low-precision Winograd baseline (Figure 2(b); oneDNN's
+// approach, Section 2.3).
+//
+// Quantization happens in the *spatial* domain: input and filters are INT8
+// before the Winograd transforms. The integer-valued transformed tiles are
+// then multiplied by a fixed scaling factor (1/4 for F(2x2,3x3), 1/100 for
+// F(4x4,3x3) — the reciprocal of the transform's worst-case 2D amplification)
+// and *rounded back* to INT8, which is where the method loses precision: the
+// larger the tile, the coarser the post-scaling grid.
+//
+// Implementation note: this engine shares LoWino's blocked layouts, transform
+// codelets and VNNI GEMM — only the quantization scheme differs — so accuracy
+// comparisons (Table 3) isolate exactly the algorithmic design choice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "lowino/convolution.h"
+#include "quant/histogram.h"
+
+namespace lowino {
+
+class DownscaleWinoConv {
+ public:
+  /// `m` in {2, 4} mirrors the paper's evaluation (any generated size works).
+  DownscaleWinoConv(const ConvDesc& desc, std::size_t m,
+                    const Int8GemmBlocking& blocking = {});
+
+  /// Spatial-domain input calibration (same procedure as INT8 direct conv).
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  void set_input_threshold(float tau);
+
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr);
+
+  const ConvDesc& desc() const { return desc_; }
+  const WinogradGeometry& geometry() const { return geo_; }
+  /// The fixed down-scaling factor alpha_V (1/amplification).
+  float down_scale_factor() const { return alpha_v_; }
+
+ private:
+  void maybe_finish_setup();
+
+  ConvDesc desc_;
+  WinogradGeometry geo_;
+  const TransformMatrices* tm_ = nullptr;
+  CodeletPlan bt_plan_;
+  CodeletPlan at_plan_;
+  Int8GemmBlocking blocking_;
+
+  TransformedInputLayout v_layout_;
+  TransformedOutputLayout z_layout_;
+  BlockedActLayout in_layout_;
+  BlockedActLayout out_layout_;
+
+  Histogram input_hist_;
+  float input_scale_ = 0.0f;  ///< spatial alpha_d
+  float alpha_v_ = 1.0f;      ///< Winograd-domain down-scale for inputs
+  float alpha_u_ = 1.0f;      ///< Winograd-domain down-scale for filters
+  bool input_scales_set_ = false;
+
+  AlignedBuffer<float> weights_fp32_;
+  AlignedBuffer<float> bias_fp32_;
+  bool filters_set_ = false;
+
+  WinogradScales scales_;
+  PackedFilters filters_;
+  bool packed_ = false;
+
+  AlignedBuffer<float> quantized_input_;  ///< spatially quantized, NCHW grid values
+  AlignedBuffer<float> in_blocked_;
+  AlignedBuffer<float> out_blocked_;
+  AlignedBuffer<std::uint8_t> v_buf_;
+  AlignedBuffer<std::int32_t> z_buf_;
+};
+
+}  // namespace lowino

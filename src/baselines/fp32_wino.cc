@@ -1,0 +1,96 @@
+#include "baselines/fp32_wino.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "gemm/fp32_gemm.h"
+#include "lowino/filter_pack.h"
+#include "parallel/thread_pool.h"
+#include "tensor/pack.h"
+
+namespace lowino {
+
+Fp32WinoConv::Fp32WinoConv(const ConvDesc& desc, std::size_t m) : desc_(desc) {
+  if (desc.stride != 1) throw std::invalid_argument("unit stride only");
+  geo_ = WinogradGeometry(desc_, m);
+  tm_ = (m == 2 && desc.kernel == 3)   ? &canonical_f23()
+        : (m == 4 && desc.kernel == 3) ? &canonical_f43()
+                                       : &winograd_transform(m, desc.kernel);
+  bt_plan_ = CodeletPlan::build(tm_->BT.data(), geo_.alpha, geo_.alpha);
+  at_plan_ = CodeletPlan::build(tm_->AT.data(), geo_.m, geo_.alpha);
+  in_layout_ = BlockedActLayout(desc_.batch, desc_.in_channels, desc_.height, desc_.width);
+  out_layout_ = BlockedActLayout(desc_.batch, desc_.out_channels, desc_.out_height(),
+                                 desc_.out_width());
+}
+
+void Fp32WinoConv::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  transform_all_filters(desc_, *tm_, weights, u_all_);
+  bias_.reset(desc_.padded_out_channels());
+  bias_.fill_zero();
+  if (!bias.empty()) {
+    std::memcpy(bias_.data(), bias.data(), desc_.out_channels * sizeof(float));
+  }
+  filters_set_ = true;
+}
+
+void Fp32WinoConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                ThreadPool* pool) {
+  if (!filters_set_) throw std::logic_error("Fp32WinoConv: set_filters first");
+  const std::size_t c64 = desc_.padded_in_channels();
+  const std::size_t k64 = desc_.padded_out_channels();
+  const std::size_t n_tiles = geo_.total_tiles;
+  const std::size_t t_elems = geo_.t_elems;
+
+  in_blocked_.ensure(in_layout_.size());
+  out_blocked_.ensure(out_layout_.size());
+  pack_nchw_to_blocked(input, desc_.batch, desc_.in_channels, desc_.height, desc_.width,
+                       in_blocked_.span(), pool);
+  v_.ensure(t_elems * n_tiles * c64);
+  z_.ensure(t_elems * n_tiles * k64);
+
+  // Input transform into the per-t row-major layout [T][N][C64].
+  const bool canonical = tm_ == &canonical_f23() || tm_ == &canonical_f43();
+  InputTransformContext ctx{&desc_, &geo_, &bt_plan_, in_layout_, TransformedInputLayout{},
+                            false, canonical};
+  const std::size_t cb_count = c64 / kChanBlock;
+  auto transform_worker = [&](std::size_t begin, std::size_t end) {
+    AlignedBuffer<float> tile_vals(t_elems * kChanBlock);
+    for (std::size_t job = begin; job < end; ++job) {
+      const std::size_t tile = job / cb_count;
+      const std::size_t cb = job % cb_count;
+      transform_tile_fp32(ctx, in_blocked_.span(), tile, cb, tile_vals.data());
+      for (std::size_t t = 0; t < t_elems; ++t) {
+        std::memcpy(v_.data() + (t * n_tiles + tile) * c64 + cb * kChanBlock,
+                    tile_vals.data() + t * kChanBlock, kChanBlock * sizeof(float));
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_tiles * cb_count, transform_worker);
+  } else {
+    transform_worker(0, n_tiles * cb_count);
+  }
+
+  // Batched GEMM: T independent (N x C64) x (C64 x K64) products.
+  for (std::size_t t = 0; t < t_elems; ++t) {
+    fp32_gemm(v_.data() + t * n_tiles * c64, c64, u_all_.data() + t * c64 * k64, k64,
+              z_.data() + t * n_tiles * k64, k64, n_tiles, c64, k64, pool);
+  }
+
+  // Gather-side output transform.
+  auto out_worker = [&](std::size_t begin, std::size_t end) {
+    gather_output_transform_f32(desc_, geo_, at_plan_, z_.data(), n_tiles, k64, bias_.data(),
+                                out_blocked_.span(), begin, end, 0);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_tiles, out_worker);
+  } else {
+    out_worker(0, n_tiles);
+  }
+
+  unpack_blocked_to_nchw(out_blocked_.span(), desc_.batch, desc_.out_channels,
+                         desc_.out_height(), desc_.out_width(), output, pool);
+}
+
+}  // namespace lowino

@@ -1,0 +1,49 @@
+// FP32 Winograd convolution baseline.
+//
+// Full-precision counterpart used for the "1.9x / 2.6x speedup over the best
+// FP32 implementation" comparison of Section 5.1 and as a numerical
+// mid-point in tests (it isolates transform error from quantization error).
+// Uses the conventional per-t row-major intermediates + AVX-512 FP32 GEMM.
+#pragma once
+
+#include <span>
+
+#include "baselines/wino_common.h"
+#include "common/aligned_buffer.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+
+class Fp32WinoConv {
+ public:
+  Fp32WinoConv(const ConvDesc& desc, std::size_t m);
+
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr);
+
+  const ConvDesc& desc() const { return desc_; }
+  const WinogradGeometry& geometry() const { return geo_; }
+
+ private:
+  ConvDesc desc_;
+  WinogradGeometry geo_;
+  const TransformMatrices* tm_ = nullptr;
+  CodeletPlan bt_plan_;
+  CodeletPlan at_plan_;
+  BlockedActLayout in_layout_;
+  BlockedActLayout out_layout_;
+
+  std::vector<float> u_all_;  ///< [T][C64][K64] transformed filters
+  AlignedBuffer<float> bias_;
+  bool filters_set_ = false;
+
+  AlignedBuffer<float> in_blocked_;
+  AlignedBuffer<float> out_blocked_;
+  AlignedBuffer<float> v_;  ///< [T][N][C64]
+  AlignedBuffer<float> z_;  ///< [T][N][K64]
+};
+
+}  // namespace lowino

@@ -1,0 +1,204 @@
+#include "baselines/upcast_wino.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/saturate.h"
+#include "gemm/int16_gemm.h"
+#include "lowino/input_transform.h"
+#include "parallel/thread_pool.h"
+#include "quant/calibration.h"
+#include "tensor/pack.h"
+
+namespace lowino {
+namespace {
+
+/// ncnn-style integer filter transform for F(2,3): 2G is integer
+/// ([2,0,0; 1,1,1; 1,-1,1; 0,0,2]), so U16 = (2G) q_g (2G)^T is exact in
+/// INT16 and the factor 4 folds into de-quantization.
+void transform_filter_int16(const TransformMatrices& tm, const std::int8_t* g,
+                            std::int32_t* u) {
+  const std::size_t a = tm.alpha, r = tm.r;
+  std::vector<std::int32_t> g2(a * r);  // (2G) q_g
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      std::int32_t s = 0;
+      for (std::size_t k = 0; k < r; ++k) {
+        s += static_cast<std::int32_t>(std::lround(2.0 * tm.g(i, k))) *
+             static_cast<std::int32_t>(g[k * r + j]);
+      }
+      g2[i * r + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      std::int32_t s = 0;
+      for (std::size_t k = 0; k < r; ++k) {
+        s += g2[i * r + k] * static_cast<std::int32_t>(std::lround(2.0 * tm.g(j, k)));
+      }
+      u[i * a + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+UpcastWinoConv::UpcastWinoConv(const ConvDesc& desc) : desc_(desc) {
+  if (desc.stride != 1) throw std::invalid_argument("unit stride only");
+  if (desc.kernel != 3) throw std::invalid_argument("UpcastWinoConv: r = 3 only");
+  geo_ = WinogradGeometry(desc_, 2);  // F(2x2, 3x3), like ncnn
+  tm_ = &canonical_f23();
+  bt_plan_ = CodeletPlan::build(tm_->BT.data(), geo_.alpha, geo_.alpha);
+  at_plan_ = CodeletPlan::build(tm_->AT.data(), geo_.m, geo_.alpha);
+  in_layout_ = BlockedActLayout(desc_.batch, desc_.in_channels, desc_.height, desc_.width);
+  out_layout_ = BlockedActLayout(desc_.batch, desc_.out_channels, desc_.out_height(),
+                                 desc_.out_width());
+}
+
+void UpcastWinoConv::calibrate(std::span<const float> input_nchw) {
+  input_hist_.collect(input_nchw);
+}
+
+void UpcastWinoConv::finalize_calibration() {
+  input_scale_ = calibrate_params(input_hist_).scale;
+  input_scales_set_ = true;
+  maybe_pack();
+}
+
+void UpcastWinoConv::set_input_threshold(float tau) {
+  input_scale_ = QuantParams::from_threshold(tau).scale;
+  input_scales_set_ = true;
+  maybe_pack();
+}
+
+void UpcastWinoConv::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  const std::size_t n = desc_.out_channels * desc_.in_channels * 9;
+  assert(weights.size() >= n);
+  weights_fp32_.reset(n);
+  std::copy(weights.begin(), weights.begin() + static_cast<std::ptrdiff_t>(n),
+            weights_fp32_.data());
+  bias_.reset(desc_.padded_out_channels());
+  bias_.fill_zero();
+  if (!bias.empty()) {
+    std::memcpy(bias_.data(), bias.data(), desc_.out_channels * sizeof(float));
+  }
+  filters_set_ = true;
+  maybe_pack();
+}
+
+void UpcastWinoConv::maybe_pack() {
+  if (!filters_set_ || !input_scales_set_) return;
+  const std::size_t C = desc_.in_channels, K = desc_.out_channels;
+  const std::size_t c64 = desc_.padded_in_channels();
+  const std::size_t k64 = desc_.padded_out_channels();
+  const std::size_t t_elems = geo_.t_elems;
+
+  // Spatial per-channel filter quantization.
+  std::vector<float> w_scale(K);
+  std::vector<std::int8_t> w_q(K * C * 9);
+  for (std::size_t k = 0; k < K; ++k) {
+    float amax = 0.0f;
+    for (std::size_t i = 0; i < C * 9; ++i) {
+      amax = std::max(amax, std::abs(weights_fp32_[k * C * 9 + i]));
+    }
+    w_scale[k] = QuantParams::from_threshold(amax).scale;
+    for (std::size_t i = 0; i < C * 9; ++i) {
+      w_q[k * C * 9 + i] = saturate_cast_i8(weights_fp32_[k * C * 9 + i] * w_scale[k]);
+    }
+  }
+
+  // Integer transform to INT16, per-t row-major, then vpmaddwd packing.
+  std::vector<std::int16_t> u16(c64 * k64);
+  const std::size_t panel = (c64 / 2) * k64 * 2;
+  u16_packed_.reset(t_elems * panel);
+  std::vector<std::int32_t> u(t_elems);
+  for (std::size_t t = 0; t < t_elems; ++t) {
+    std::fill(u16.begin(), u16.end(), static_cast<std::int16_t>(0));
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t c = 0; c < C; ++c) {
+        transform_filter_int16(*tm_, w_q.data() + (k * C + c) * 9, u.data());
+        u16[c * k64 + k] = saturate_i32_to_i16(u[t]);  // |U| <= 9*127, exact
+      }
+    }
+    pack_b_vpmaddwd(u16.data(), c64, k64, u16_packed_.data() + t * panel);
+  }
+
+  // De-quantization: input transform gain is exact (integer B^T), filter
+  // transform carries the folded (2G)(2G)^T = 4x factor.
+  dequant_.reset(k64);
+  for (std::size_t k = 0; k < k64; ++k) {
+    const float ws = k < K ? w_scale[k] : 1.0f;
+    dequant_[k] = 1.0f / (input_scale_ * ws * 4.0f);
+  }
+  packed_ = true;
+}
+
+void UpcastWinoConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                  ThreadPool* pool) {
+  if (!packed_) throw std::logic_error("UpcastWinoConv: setup incomplete");
+  const std::size_t c64 = desc_.padded_in_channels();
+  const std::size_t k64 = desc_.padded_out_channels();
+  const std::size_t n_tiles = geo_.total_tiles;
+  const std::size_t t_elems = geo_.t_elems;
+  const std::size_t n_in = desc_.batch * desc_.in_channels * desc_.height * desc_.width;
+
+  grid_input_.ensure(n_in);
+  quantize_to_grid(input.subspan(0, n_in), input_scale_, grid_input_.span());
+  in_blocked_.ensure(in_layout_.size());
+  out_blocked_.ensure(out_layout_.size());
+  pack_nchw_to_blocked(grid_input_.span(), desc_.batch, desc_.in_channels, desc_.height,
+                       desc_.width, in_blocked_.span(), pool);
+  v16_.ensure(t_elems * n_tiles * c64);
+  z_.ensure(t_elems * n_tiles * k64);
+
+  // Input transform: exact integer values scaled back to INT16 codes.
+  InputTransformContext ctx{&desc_, &geo_, &bt_plan_, in_layout_, TransformedInputLayout{},
+                            false, /*hand_codelets=*/true};  // canonical F(2,3)
+  const std::size_t cb_count = c64 / kChanBlock;
+  auto transform_worker = [&](std::size_t begin, std::size_t end) {
+    AlignedBuffer<float> tile_vals(t_elems * kChanBlock);
+    for (std::size_t job = begin; job < end; ++job) {
+      const std::size_t tile = job / cb_count;
+      const std::size_t cb = job % cb_count;
+      transform_tile_fp32(ctx, in_blocked_.span(), tile, cb, tile_vals.data());
+      for (std::size_t t = 0; t < t_elems; ++t) {
+        std::int16_t* dst = v16_.data() + (t * n_tiles + tile) * c64 + cb * kChanBlock;
+        const float* src = tile_vals.data() + t * kChanBlock;
+        for (std::size_t l = 0; l < kChanBlock; ++l) {
+          // Codes: value * alpha_d, integer by construction, |.| <= 4*127.
+          dst[l] = static_cast<std::int16_t>(std::lround(src[l] * input_scale_));
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_tiles * cb_count, transform_worker);
+  } else {
+    transform_worker(0, n_tiles * cb_count);
+  }
+
+  const std::size_t panel = (c64 / 2) * k64 * 2;
+  for (std::size_t t = 0; t < t_elems; ++t) {
+    int16_gemm_packed(v16_.data() + t * n_tiles * c64, c64, u16_packed_.data() + t * panel,
+                      z_.data() + t * n_tiles * k64, k64, n_tiles, c64, k64, pool);
+  }
+
+  auto out_worker = [&](std::size_t begin, std::size_t end) {
+    gather_output_transform_i32(desc_, geo_, at_plan_, z_.data(), n_tiles, k64,
+                                dequant_.data(), bias_.data(), out_blocked_.span(), begin,
+                                end, 0);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_tiles, out_worker);
+  } else {
+    out_worker(0, n_tiles);
+  }
+
+  unpack_blocked_to_nchw(out_blocked_.span(), desc_.batch, desc_.out_channels,
+                         desc_.out_height(), desc_.out_width(), output, pool);
+}
+
+}  // namespace lowino

@@ -1,0 +1,69 @@
+// The up-casting low-precision Winograd baseline (Figure 2(a); ncnn's
+// approach, Section 2.3).
+//
+// Input and filters are quantized to INT8 in the spatial domain; the Winograd
+// transforms are computed with *integer* matrices into INT16 (no overflow,
+// no post-transform rounding), and the element-wise multiplication runs in
+// INT16 via vpmaddwd — which has half the multiply throughput of vpdpbusd.
+// Accurate but slow: exactly the trade-off the paper describes. Like ncnn,
+// only the small tile F(2x2, 3x3) is supported (the INT16 range cannot hold
+// larger tiles' amplification, which is the motivation for LoWino).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "baselines/wino_common.h"
+#include "common/aligned_buffer.h"
+#include "quant/histogram.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+
+class UpcastWinoConv {
+ public:
+  explicit UpcastWinoConv(const ConvDesc& desc);  // F(2x2, 3x3) only
+
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  void set_input_threshold(float tau);
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr);
+
+  const ConvDesc& desc() const { return desc_; }
+
+ private:
+  void maybe_pack();
+
+  ConvDesc desc_;
+  WinogradGeometry geo_;
+  const TransformMatrices* tm_ = nullptr;
+  CodeletPlan bt_plan_;
+  CodeletPlan at_plan_;
+  BlockedActLayout in_layout_;
+  BlockedActLayout out_layout_;
+
+  Histogram input_hist_;
+  float input_scale_ = 0.0f;
+  bool input_scales_set_ = false;
+
+  AlignedBuffer<float> weights_fp32_;
+  AlignedBuffer<float> bias_;
+  bool filters_set_ = false;
+  bool packed_ = false;
+
+  AlignedBuffer<std::int16_t> u16_packed_;  ///< [T] x vpmaddwd-packed (C64 x K64)
+  AlignedBuffer<float> dequant_;            ///< [K64] 1/(alpha_d*alpha_gk*4)
+
+  AlignedBuffer<float> grid_input_;
+  AlignedBuffer<float> in_blocked_;
+  AlignedBuffer<float> out_blocked_;
+  AlignedBuffer<std::int16_t> v16_;  ///< [T][N][C64]
+  AlignedBuffer<std::int32_t> z_;    ///< [T][N][K64]
+};
+
+}  // namespace lowino

@@ -1,0 +1,105 @@
+#include "baselines/wino_common.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "common/saturate.h"
+#include "lowino/transform_kernels.h"
+#include "tensor/layout.h"
+
+namespace lowino {
+namespace {
+
+/// Shared tile loop: `load16(t, k_base, dst)` fills 16 de-quantized lanes of
+/// position t starting at output channel k_base.
+template <typename Load16>
+void gather_output_transform_impl(const ConvDesc& desc, const WinogradGeometry& geo,
+                                  const CodeletPlan& at_plan, const float* bias,
+                                  std::span<float> out_blocked, std::size_t tile_begin,
+                                  std::size_t tile_end, Load16&& load16) {
+  const std::size_t alpha = geo.alpha, m = geo.m, t_elems = geo.t_elems;
+  const std::size_t out_h = desc.out_height(), out_w = desc.out_width();
+  const BlockedActLayout out_layout(desc.batch, desc.out_channels, out_h, out_w);
+  const std::size_t k64 = desc.padded_out_channels();
+
+  AlignedBuffer<float> zf(t_elems * 16), wbuf(m * alpha * 16), ybuf(m * m * 16);
+  for (std::size_t tile = tile_begin; tile < tile_end; ++tile) {
+    const std::size_t b = tile / geo.tiles_per_image;
+    const std::size_t rem = tile % geo.tiles_per_image;
+    const std::size_t th = rem / geo.tiles_w;
+    const std::size_t tw = rem % geo.tiles_w;
+    const std::size_t oh0 = th * m, ow0 = tw * m;
+    const std::size_t valid_h = std::min(m, out_h - oh0);
+    const std::size_t valid_w = std::min(m, out_w - ow0);
+
+    for (std::size_t k_base = 0; k_base < k64; k_base += 16) {
+      for (std::size_t t = 0; t < t_elems; ++t) {
+        load16(tile, t, k_base, zf.data() + t * 16);
+      }
+      for (std::size_t j = 0; j < alpha; ++j) {
+        apply_plan_16(at_plan, zf.data() + j * 16, alpha * 16, wbuf.data() + j * 16,
+                      alpha * 16);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        apply_plan_16(at_plan, wbuf.data() + i * alpha * 16, 16, ybuf.data() + i * m * 16,
+                      16);
+      }
+      const float* bias16 = bias != nullptr ? bias + k_base : nullptr;
+      const std::size_t kb = k_base / kChanBlock;
+      const std::size_t g16 = (k_base % kChanBlock);
+      for (std::size_t i = 0; i < valid_h; ++i) {
+        for (std::size_t j = 0; j < valid_w; ++j) {
+          const float* y = ybuf.data() + (i * m + j) * 16;
+          float* dst =
+              out_blocked.data() + out_layout.offset(b, kb, oh0 + i, ow0 + j) + g16;
+          if (bias16 != nullptr) {
+            for (int l = 0; l < 16; ++l) dst[l] = y[l] + bias16[l];
+          } else {
+            std::memcpy(dst, y, 16 * sizeof(float));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gather_output_transform_i32(const ConvDesc& desc, const WinogradGeometry& geo,
+                                 const CodeletPlan& at_plan, const std::int32_t* z,
+                                 std::size_t n_rows, std::size_t k_cols,
+                                 const float* dequant, const float* bias,
+                                 std::span<float> out_blocked, std::size_t tile_begin,
+                                 std::size_t tile_end, std::size_t tile_row_offset) {
+  gather_output_transform_impl(
+      desc, geo, at_plan, bias, out_blocked, tile_begin, tile_end,
+      [&](std::size_t tile, std::size_t t, std::size_t k_base, float* dst) {
+        const std::size_t row = tile - tile_row_offset;
+        const std::int32_t* src = z + (t * n_rows + row) * k_cols + k_base;
+        const float* dq = dequant + k_base;
+        for (int l = 0; l < 16; ++l) dst[l] = static_cast<float>(src[l]) * dq[l];
+      });
+}
+
+void gather_output_transform_f32(const ConvDesc& desc, const WinogradGeometry& geo,
+                                 const CodeletPlan& at_plan, const float* z,
+                                 std::size_t n_rows, std::size_t k_cols, const float* bias,
+                                 std::span<float> out_blocked, std::size_t tile_begin,
+                                 std::size_t tile_end, std::size_t tile_row_offset) {
+  gather_output_transform_impl(
+      desc, geo, at_plan, bias, out_blocked, tile_begin, tile_end,
+      [&](std::size_t tile, std::size_t t, std::size_t k_base, float* dst) {
+        const std::size_t row = tile - tile_row_offset;
+        std::memcpy(dst, z + (t * n_rows + row) * k_cols + k_base, 16 * sizeof(float));
+      });
+}
+
+void quantize_to_grid(std::span<const float> src, float scale, std::span<float> dst) {
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(saturate_cast_i8(src[i] * scale)) * inv;
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,43 @@
+// Shared machinery for the baseline Winograd engines (FP32, up-casting,
+// fused vendor-style): simple per-t row-major intermediate layouts
+// ([T][tiles][channels]) and the gather-side output transform that reads them.
+//
+// These layouts deliberately differ from LoWino's scatter-friendly blocked
+// layouts — they represent the conventional design whose trade-offs the paper
+// analyzes (gathering reads, smaller GEMMs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lowino/engine_config.h"
+#include "lowino/input_transform.h"
+#include "tensor/conv_desc.h"
+#include "winograd/codelet_plan.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+/// Output transform from a per-t row-major Z ([T][n_rows][k_cols], element
+/// type int32) into a blocked activation output. `dequant[k]` converts lane k
+/// to FP32 (pass nullptr for float input via the f32 overload below).
+/// Only tiles [tile_begin, tile_end) are processed (strip support).
+void gather_output_transform_i32(const ConvDesc& desc, const WinogradGeometry& geo,
+                                 const CodeletPlan& at_plan, const std::int32_t* z,
+                                 std::size_t n_rows, std::size_t k_cols,
+                                 const float* dequant, const float* bias,
+                                 std::span<float> out_blocked, std::size_t tile_begin,
+                                 std::size_t tile_end, std::size_t tile_row_offset);
+
+/// Same for FP32 Z (the FP32 Winograd baseline).
+void gather_output_transform_f32(const ConvDesc& desc, const WinogradGeometry& geo,
+                                 const CodeletPlan& at_plan, const float* z,
+                                 std::size_t n_rows, std::size_t k_cols, const float* bias,
+                                 std::span<float> out_blocked, std::size_t tile_begin,
+                                 std::size_t tile_end, std::size_t tile_row_offset);
+
+/// Spatial INT8 quantization to grid values: returns round/clamp(x*scale)/scale.
+void quantize_to_grid(std::span<const float> src, float scale, std::span<float> dst);
+
+}  // namespace lowino

@@ -1,0 +1,108 @@
+// 64-byte-aligned owning buffer.
+//
+// Every hot array in the engine (packed inputs, transformed tiles, GEMM panels)
+// must start on a cache-line boundary so the AVX-512 kernels can use aligned
+// loads/stores and non-temporal stores (which require 64B alignment).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace lowino {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Rounds `n` up to the next multiple of `align` (which must be a power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Integer ceiling division.
+constexpr std::size_t ceil_div(std::size_t n, std::size_t d) { return (n + d - 1) / d; }
+
+/// Rounds `n` up to the next multiple of `m` (any m > 0, not just powers of two).
+constexpr std::size_t round_up_multiple(std::size_t n, std::size_t m) {
+  return ceil_div(n, m) * m;
+}
+
+/// Owning, cache-line-aligned, typed buffer. Move-only.
+///
+/// The allocation is always padded up to a whole number of cache lines so
+/// vector kernels may safely load/store full 64B lines at the tail.
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Re-allocates for `count` elements; contents are uninitialized.
+  void reset(std::size_t count) {
+    release();
+    size_ = count;
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), kCacheLineBytes);
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  /// Re-allocates only if the current capacity is insufficient.
+  void ensure(std::size_t count) {
+    if (count > size_) reset(count);
+  }
+
+  void fill_zero() {
+    if (size_ != 0) std::memset(data_, 0, round_up(size_ * sizeof(T), kCacheLineBytes));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  std::span<T> span() { return {data_, size_}; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lowino

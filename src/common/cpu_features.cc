@@ -1,0 +1,40 @@
+#include "common/cpu_features.h"
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define LOWINO_X86 1
+#endif
+
+namespace lowino {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#ifdef LOWINO_X86
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // Leaf 7 subleaf 0 carries the AVX-512 family bits.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    f.avx512f = (ebx >> 16) & 1;
+    f.avx512dq = (ebx >> 17) & 1;
+    f.avx512bw = (ebx >> 30) & 1;
+    f.avx512vl = (ebx >> 31) & 1;
+    f.avx512vnni = (ecx >> 11) & 1;
+  }
+#endif
+  return f;
+}
+
+const CpuFeatures* g_override = nullptr;
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures detected = detect();
+  return g_override != nullptr ? *g_override : detected;
+}
+
+void override_cpu_features_for_test(const CpuFeatures* features) { g_override = features; }
+
+}  // namespace lowino

@@ -1,0 +1,28 @@
+// Runtime CPU feature detection (CPUID).
+//
+// All AVX-512 kernels in this library are dispatched through these flags so the
+// binaries remain runnable (via scalar fallbacks) on machines without VNNI.
+#pragma once
+
+namespace lowino {
+
+struct CpuFeatures {
+  bool avx512f = false;    ///< AVX-512 Foundation
+  bool avx512bw = false;   ///< AVX-512 Byte & Word
+  bool avx512vl = false;   ///< AVX-512 Vector Length extensions
+  bool avx512dq = false;   ///< AVX-512 Doubleword & Quadword
+  bool avx512vnni = false; ///< AVX-512 Vector Neural Network Instructions (vpdpbusd)
+
+  /// True when the full instruction set used by the optimized kernels is present.
+  bool has_vnni_kernels() const { return avx512f && avx512bw && avx512vl && avx512vnni; }
+  /// True when the FP32 AVX-512 kernels can run.
+  bool has_avx512_kernels() const { return avx512f && avx512bw && avx512vl; }
+};
+
+/// Detected features of the executing CPU (computed once, cached).
+const CpuFeatures& cpu_features();
+
+/// Overrides detection for testing ("force scalar paths"). Pass nullptr to restore.
+void override_cpu_features_for_test(const CpuFeatures* features);
+
+}  // namespace lowino

@@ -1,0 +1,17 @@
+// Environment-variable helpers for benchmark/example configuration.
+#pragma once
+
+#include <string>
+
+namespace lowino {
+
+/// Returns the integer value of environment variable `name`, or `fallback`.
+long env_long(const char* name, long fallback);
+
+/// Returns the string value of environment variable `name`, or `fallback`.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns true when `name` is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const char* name, bool fallback = false);
+
+}  // namespace lowino

@@ -1,0 +1,61 @@
+// Small deterministic RNG (xoshiro256**) for tests, benchmarks and the
+// procedural dataset. Deterministic across platforms, unlike std::mt19937's
+// distribution implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace lowino {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding, the recommended initializer for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and adequate).
+  float normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4];
+};
+
+}  // namespace lowino

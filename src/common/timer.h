@@ -1,0 +1,71 @@
+// Wall-clock timing and simple summary statistics for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace lowino {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void restart() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction / last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+struct TimingStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  std::size_t samples = 0;
+};
+
+inline TimingStats summarize(std::vector<double> samples) {
+  TimingStats s;
+  s.samples = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1 ? std::sqrt(var / static_cast<double>(samples.size() - 1)) : 0.0;
+  return s;
+}
+
+/// Runs `fn` repeatedly: `warmup` unmeasured runs, then measured runs until
+/// either `max_iters` runs completed or `budget_seconds` elapsed (at least
+/// `min_iters` measured runs always happen). Returns per-run seconds.
+template <typename Fn>
+TimingStats time_it(Fn&& fn, int warmup = 1, int min_iters = 3, int max_iters = 50,
+                    double budget_seconds = 1.0) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  Timer budget;
+  for (int i = 0; i < max_iters; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.seconds());
+    if (i + 1 >= min_iters && budget.seconds() > budget_seconds) break;
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace lowino

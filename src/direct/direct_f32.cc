@@ -1,0 +1,126 @@
+#include "direct/direct_f32.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "gemm/fp32_gemm.h"
+#include "parallel/thread_pool.h"
+
+namespace lowino {
+
+void direct_conv_f32_reference(const ConvDesc& desc, std::span<const float> input,
+                               std::span<const float> weights, std::span<const float> bias,
+                               std::span<float> output, bool relu, ThreadPool* pool) {
+  const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel, pad = desc.pad;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  assert(input.size() >= B * C * H * W);
+  assert(weights.size() >= K * C * r * r);
+  assert(output.size() >= B * K * OH * OW);
+
+  auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t job = begin; job < end; ++job) {
+      const std::size_t b = job / K;
+      const std::size_t k = job % K;
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow) {
+          float acc = bias.empty() ? 0.0f : bias[k];
+          for (std::size_t c = 0; c < C; ++c) {
+            for (std::size_t i = 0; i < r; ++i) {
+              const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+              for (std::size_t j = 0; j < r; ++j) {
+                const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                                          static_cast<std::ptrdiff_t>(pad);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
+                acc += input[((b * C + c) * H + ih) * W + iw] *
+                       weights[((k * C + c) * r + i) * r + j];
+              }
+            }
+          }
+          output[((b * K + k) * OH + oh) * OW + ow] = relu ? std::max(0.0f, acc) : acc;
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(B * K, body);
+  } else {
+    body(0, B * K);
+  }
+}
+
+void im2col_f32(const ConvDesc& desc, std::span<const float> input, std::size_t b,
+                float* col) {
+  const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
+  const std::size_t r = desc.kernel, pad = desc.pad;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  const std::size_t patch = C * r * r;
+  for (std::size_t oh = 0; oh < OH; ++oh) {
+    for (std::size_t ow = 0; ow < OW; ++ow) {
+      float* row = col + (oh * OW + ow) * patch;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < C; ++c) {
+        for (std::size_t i = 0; i < r; ++i) {
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t j = 0; j < r; ++j) {
+            const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            const bool oob = ih < 0 || ih >= static_cast<std::ptrdiff_t>(H) || iw < 0 ||
+                             iw >= static_cast<std::ptrdiff_t>(W);
+            row[idx++] = oob ? 0.0f : input[((b * C + c) * H + ih) * W + iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+Im2colConvF32::Im2colConvF32(const ConvDesc& desc) : desc_(desc) {
+  patch_ = desc_.in_channels * desc_.kernel * desc_.kernel;
+  k_pad_ = round_up(desc_.out_channels, 16);
+}
+
+void Im2colConvF32::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  assert(weights.size() >= desc_.out_channels * patch_);
+  // B operand of the GEMM: patch x K (transposed weights), K padded to 16.
+  wT_.reset(patch_ * k_pad_);
+  wT_.fill_zero();
+  for (std::size_t k = 0; k < desc_.out_channels; ++k) {
+    for (std::size_t p = 0; p < patch_; ++p) {
+      wT_[p * k_pad_ + k] = weights[k * patch_ + p];
+    }
+  }
+  bias_.reset(desc_.out_channels);
+  bias_.fill_zero();
+  if (!bias.empty()) std::memcpy(bias_.data(), bias.data(), desc_.out_channels * sizeof(float));
+}
+
+void Im2colConvF32::execute_nchw(std::span<const float> input, std::span<float> output,
+                                 ThreadPool* pool, bool relu) {
+  const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
+  const std::size_t rows = OH * OW;
+  const std::size_t K = desc_.out_channels;
+  col_.ensure(rows * patch_);
+  out_scratch_.ensure(rows * k_pad_);
+  for (std::size_t b = 0; b < desc_.batch; ++b) {
+    im2col_f32(desc_, input, b, col_.data());
+    fp32_gemm(col_.data(), patch_, wT_.data(), k_pad_, out_scratch_.data(), k_pad_, rows,
+              patch_, k_pad_, pool);
+    // Transpose rows x K back to K x OH x OW with bias/ReLU.
+    for (std::size_t k = 0; k < K; ++k) {
+      float* dst = output.data() + ((b * K + k) * rows);
+      const float bk = bias_[k];
+      for (std::size_t p = 0; p < rows; ++p) {
+        const float v = out_scratch_[p * k_pad_ + k] + bk;
+        dst[p] = relu ? std::max(0.0f, v) : v;
+      }
+    }
+  }
+}
+
+}  // namespace lowino

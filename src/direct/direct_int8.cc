@@ -1,0 +1,139 @@
+#include "direct/direct_int8.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/saturate.h"
+#include "quant/calibration.h"
+#include "parallel/thread_pool.h"
+
+namespace lowino {
+namespace {
+
+/// im2col with fused spatial quantization and the +128 shift: every patch
+/// value is saturate(round(x * scale)) + 128 as uint8; zero padding becomes
+/// exactly 128 (= quantized zero), which the compensation row accounts for.
+void im2col_quantized(const ConvDesc& desc, std::span<const float> input, std::size_t b,
+                      float scale, std::size_t patch_pad, std::uint8_t* col) {
+  const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
+  const std::size_t r = desc.kernel, pad = desc.pad;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  for (std::size_t oh = 0; oh < OH; ++oh) {
+    for (std::size_t ow = 0; ow < OW; ++ow) {
+      std::uint8_t* row = col + (oh * OW + ow) * patch_pad;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < C; ++c) {
+        for (std::size_t i = 0; i < r; ++i) {
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          for (std::size_t j = 0; j < r; ++j) {
+            const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            const bool oob = ih < 0 || ih >= static_cast<std::ptrdiff_t>(H) || iw < 0 ||
+                             iw >= static_cast<std::ptrdiff_t>(W);
+            if (oob) {
+              row[idx++] = 128;
+            } else {
+              const float v = input[((b * C + c) * H + ih) * W + iw];
+              const std::int32_t q = round_nearest_even(v * scale) + 128;
+              row[idx++] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+            }
+          }
+        }
+      }
+      // Padding channels: quantized zero, annihilated by the zero filter rows.
+      for (; idx < patch_pad; ++idx) row[idx] = 128;
+    }
+  }
+}
+
+}  // namespace
+
+Int8DirectConv::Int8DirectConv(const ConvDesc& desc) : desc_(desc) {
+  patch_ = desc_.in_channels * desc_.kernel * desc_.kernel;
+  patch_pad_ = round_up(patch_, 4);
+  k_pad_ = round_up(desc_.out_channels, 16);
+}
+
+void Int8DirectConv::calibrate(std::span<const float> input_nchw) {
+  input_hist_.collect(input_nchw);
+}
+
+void Int8DirectConv::finalize_calibration() {
+  input_params_ = calibrate_params(input_hist_);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8DirectConv::set_input_threshold(float tau) {
+  input_params_ = QuantParams::from_threshold(tau);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8DirectConv::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  assert(weights.size() >= desc_.out_channels * patch_);
+  weights_fp32_.reset(desc_.out_channels * patch_);
+  std::memcpy(weights_fp32_.data(), weights.data(),
+              desc_.out_channels * patch_ * sizeof(float));
+  bias_.reset(desc_.out_channels);
+  bias_.fill_zero();
+  if (!bias.empty()) std::memcpy(bias_.data(), bias.data(), desc_.out_channels * sizeof(float));
+  filters_set_ = true;
+  if (input_scales_set_) pack_weights();
+}
+
+void Int8DirectConv::pack_weights() {
+  const std::size_t K = desc_.out_channels;
+  // Per-channel exact weight scales.
+  std::vector<float> w_scale(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    float amax = 0.0f;
+    for (std::size_t p = 0; p < patch_; ++p) {
+      amax = std::max(amax, std::abs(weights_fp32_[k * patch_ + p]));
+    }
+    w_scale[k] = QuantParams::from_threshold(amax).scale;
+  }
+  // Quantize to the row-major (patch_pad x k_pad) B matrix, then pack.
+  std::vector<std::int8_t> w_q(patch_pad_ * k_pad_, 0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t p = 0; p < patch_; ++p) {
+      w_q[p * k_pad_ + k] = saturate_cast_i8(weights_fp32_[k * patch_ + p] * w_scale[k]);
+    }
+  }
+  w_packed_.reset((patch_pad_ / 4) * k_pad_ * 4);
+  pack_b_vpdpbusd(w_q.data(), patch_pad_, k_pad_, w_packed_.data());
+  comp_.reset(k_pad_);
+  compute_compensation(w_q.data(), patch_pad_, k_pad_, comp_.data());
+  w_dequant_.reset(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    w_dequant_[k] = 1.0f / (input_params_.scale * w_scale[k]);
+  }
+}
+
+void Int8DirectConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                  ThreadPool* pool, bool relu) {
+  assert(filters_set_ && input_scales_set_);
+  const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
+  const std::size_t rows = OH * OW;
+  const std::size_t K = desc_.out_channels;
+  col_.ensure(rows * patch_pad_);
+  acc_.ensure(rows * k_pad_);
+  for (std::size_t b = 0; b < desc_.batch; ++b) {
+    im2col_quantized(desc_, input, b, input_params_.scale, patch_pad_, col_.data());
+    int8_gemm_packed(col_.data(), patch_pad_, w_packed_.data(), comp_.data(), acc_.data(),
+                     k_pad_, rows, patch_pad_, k_pad_, blocking_, pool);
+    for (std::size_t k = 0; k < K; ++k) {
+      float* dst = output.data() + (b * K + k) * rows;
+      const float dq = w_dequant_[k];
+      const float bk = bias_[k];
+      for (std::size_t p = 0; p < rows; ++p) {
+        const float v = static_cast<float>(acc_[p * k_pad_ + k]) * dq + bk;
+        dst[p] = relu ? std::max(0.0f, v) : v;
+      }
+    }
+  }
+}
+
+}  // namespace lowino

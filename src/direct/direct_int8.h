@@ -1,0 +1,66 @@
+// INT8 direct convolution (implicit GEMM) — the stand-in for oneDNN's
+// low-precision direct convolution baseline (Section 5.1).
+//
+// Spatial-domain post-training quantization: one KL-calibrated scale for the
+// input activations, exact per-output-channel scales for the weights. The
+// quantized im2col patches (shifted by +128 into uint8) feed the same VNNI
+// GEMM substrate as LoWino, so performance comparisons isolate the algorithm,
+// not the kernel quality.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "gemm/int8_gemm.h"
+#include "quant/histogram.h"
+#include "quant/quantize.h"
+#include "tensor/conv_desc.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+class Int8DirectConv {
+ public:
+  explicit Int8DirectConv(const ConvDesc& desc);
+
+  /// Accumulates input-activation statistics (NCHW batch of the layer shape).
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  /// Bypass: set the spatial-domain threshold directly.
+  void set_input_threshold(float tau);
+
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr, bool relu = false);
+
+  const ConvDesc& desc() const { return desc_; }
+  float input_scale() const { return input_params_.scale; }
+
+ private:
+  ConvDesc desc_;
+  std::size_t patch_ = 0;       ///< C * r * r
+  std::size_t patch_pad_ = 0;   ///< rounded to 4
+  std::size_t k_pad_ = 0;       ///< rounded to 16
+
+  Histogram input_hist_;
+  QuantParams input_params_;
+  bool input_scales_set_ = false;
+
+  AlignedBuffer<std::int8_t> w_packed_;   ///< vpdpbusd layout (patch_pad/4) x (k_pad*4)
+  AlignedBuffer<std::int32_t> comp_;      ///< [k_pad]
+  AlignedBuffer<float> w_dequant_;        ///< per-channel 1/(scale_in*scale_w)
+  AlignedBuffer<float> bias_;
+  bool filters_set_ = false;
+  AlignedBuffer<float> weights_fp32_;     ///< kept until scales are known
+
+  AlignedBuffer<std::uint8_t> col_;       ///< quantized im2col buffer
+  AlignedBuffer<std::int32_t> acc_;       ///< GEMM result
+  Int8GemmBlocking blocking_;
+
+  void pack_weights();
+};
+
+}  // namespace lowino

@@ -1,0 +1,109 @@
+#include "gemm/fp32_gemm.h"
+
+#include <cstring>
+
+#include "common/cpu_features.h"
+#include "parallel/thread_pool.h"
+
+#ifdef LOWINO_COMPILE_AVX512
+#include <immintrin.h>
+#endif
+
+namespace lowino {
+namespace {
+
+#ifdef LOWINO_COMPILE_AVX512
+
+/// Register-blocked FMA microkernel: RowBlk x (ColBlk*16) tile of C.
+template <int RowBlk, int ColBlk>
+void f32_kernel(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+                std::size_t ldc, std::size_t cdim) {
+  __m512 acc[RowBlk][ColBlk];
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int cc = 0; cc < ColBlk; ++cc) acc[r][cc] = _mm512_setzero_ps();
+  }
+  for (std::size_t l = 0; l < cdim; ++l) {
+    __m512 bv[ColBlk];
+    const float* b_row = b + l * ldb;
+    for (int cc = 0; cc < ColBlk; ++cc) bv[cc] = _mm512_loadu_ps(b_row + cc * 16);
+    for (int r = 0; r < RowBlk; ++r) {
+      const __m512 av = _mm512_set1_ps(a[r * lda + l]);
+      for (int cc = 0; cc < ColBlk; ++cc) {
+        acc[r][cc] = _mm512_fmadd_ps(av, bv[cc], acc[r][cc]);
+      }
+    }
+  }
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int cc = 0; cc < ColBlk; ++cc) {
+      _mm512_storeu_ps(c + r * ldc + cc * 16, acc[r][cc]);
+    }
+  }
+}
+
+void f32_rows_avx512(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                     float* c, std::size_t ldc, std::size_t rows, std::size_t cdim,
+                     std::size_t k) {
+  std::size_t r0 = 0;
+  for (; r0 + 6 <= rows; r0 += 6) {
+    std::size_t c0 = 0;
+    for (; c0 + 64 <= k; c0 += 64) {
+      f32_kernel<6, 4>(a + r0 * lda, lda, b + c0, ldb, c + r0 * ldc + c0, ldc, cdim);
+    }
+    for (; c0 + 16 <= k; c0 += 16) {
+      f32_kernel<6, 1>(a + r0 * lda, lda, b + c0, ldb, c + r0 * ldc + c0, ldc, cdim);
+    }
+  }
+  for (; r0 < rows; ++r0) {
+    std::size_t c0 = 0;
+    for (; c0 + 64 <= k; c0 += 64) {
+      f32_kernel<1, 4>(a + r0 * lda, lda, b + c0, ldb, c + r0 * ldc + c0, ldc, cdim);
+    }
+    for (; c0 + 16 <= k; c0 += 16) {
+      f32_kernel<1, 1>(a + r0 * lda, lda, b + c0, ldb, c + r0 * ldc + c0, ldc, cdim);
+    }
+  }
+}
+#endif  // LOWINO_COMPILE_AVX512
+
+void f32_rows_scalar(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+                     float* c, std::size_t ldc, std::size_t rows, std::size_t cdim,
+                     std::size_t k, std::size_t k_from) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = k_from; j < k; ++j) c[i * ldc + j] = 0.0f;
+    for (std::size_t l = 0; l < cdim; ++l) {
+      const float av = a[i * lda + l];
+      const float* b_row = b + l * ldb;
+      float* c_row = c + i * ldc;
+      for (std::size_t j = k_from; j < k; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void f32_rows(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+              std::size_t ldc, std::size_t rows, std::size_t cdim, std::size_t k) {
+#ifdef LOWINO_COMPILE_AVX512
+  if (cpu_features().has_avx512_kernels()) {
+    const std::size_t k_vec = k & ~std::size_t{15};
+    if (k_vec > 0) f32_rows_avx512(a, lda, b, ldb, c, ldc, rows, cdim, k_vec);
+    if (k_vec < k) f32_rows_scalar(a, lda, b, ldb, c, ldc, rows, cdim, k, k_vec);
+    return;
+  }
+#endif
+  f32_rows_scalar(a, lda, b, ldb, c, ldc, rows, cdim, k, 0);
+}
+
+}  // namespace
+
+void fp32_gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+               std::size_t ldc, std::size_t n, std::size_t cdim, std::size_t k,
+               ThreadPool* pool) {
+  if (pool != nullptr && n >= 12) {
+    pool->parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      f32_rows(a + begin * lda, lda, b, ldb, c + begin * ldc, ldc, end - begin, cdim, k);
+    });
+  } else {
+    f32_rows(a, lda, b, ldb, c, ldc, n, cdim, k);
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,17 @@
+// AVX-512 FP32 GEMM used by the full-precision baselines (direct im2col
+// convolution and FP32 Winograd). Row-major A (n x c, stride lda), row-major
+// B (c x k, stride ldb, k % 16 == 0 recommended), C = A * B (row-major,
+// stride ldc). Not a general BLAS — exactly what the baselines need.
+#pragma once
+
+#include <cstddef>
+
+namespace lowino {
+
+class ThreadPool;
+
+void fp32_gemm(const float* a, std::size_t lda, const float* b, std::size_t ldb, float* c,
+               std::size_t ldc, std::size_t n, std::size_t cdim, std::size_t k,
+               ThreadPool* pool = nullptr);
+
+}  // namespace lowino

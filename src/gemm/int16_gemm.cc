@@ -1,0 +1,126 @@
+#include "gemm/int16_gemm.h"
+
+#include <cstring>
+
+#include "common/aligned_buffer.h"
+#include "common/cpu_features.h"
+#include "parallel/thread_pool.h"
+
+#ifdef LOWINO_COMPILE_AVX512
+#include <immintrin.h>
+#endif
+
+namespace lowino {
+namespace {
+
+#ifdef LOWINO_COMPILE_AVX512
+/// 4 x 64 register tile; one vpmaddwd + vpaddd per (row, col, channel pair).
+template <int RowBlk, int ColBlk>
+void s16_kernel(const std::int16_t* a, std::size_t lda, const std::int16_t* b,
+                std::size_t b_stride, std::int32_t* c, std::size_t ldc,
+                std::size_t c2_count) {
+  __m512i acc[RowBlk][ColBlk];
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int cc = 0; cc < ColBlk; ++cc) acc[r][cc] = _mm512_setzero_si512();
+  }
+  for (std::size_t c2 = 0; c2 < c2_count; ++c2) {
+    __m512i bv[ColBlk];
+    const std::int16_t* b_row = b + c2 * b_stride;
+    for (int cc = 0; cc < ColBlk; ++cc) {
+      bv[cc] = _mm512_loadu_si512(b_row + cc * 32);
+    }
+    for (int r = 0; r < RowBlk; ++r) {
+      std::int32_t word;
+      std::memcpy(&word, a + r * lda + c2 * 2, sizeof(word));
+      const __m512i av = _mm512_set1_epi32(word);
+      for (int cc = 0; cc < ColBlk; ++cc) {
+        acc[r][cc] = _mm512_add_epi32(acc[r][cc], _mm512_madd_epi16(av, bv[cc]));
+      }
+    }
+  }
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int cc = 0; cc < ColBlk; ++cc) {
+      _mm512_storeu_si512(c + r * ldc + cc * 16, acc[r][cc]);
+    }
+  }
+}
+#endif
+
+void s16_rows_scalar(const std::int16_t* a, std::size_t lda, const std::int16_t* b_packed,
+                     std::int32_t* c, std::size_t ldc, std::size_t rows, std::size_t cdim,
+                     std::size_t k) {
+  const std::size_t c2_count = cdim / 2;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::memset(c + i * ldc, 0, k * sizeof(std::int32_t));
+    for (std::size_t c2 = 0; c2 < c2_count; ++c2) {
+      const std::int16_t a0 = a[i * lda + c2 * 2];
+      const std::int16_t a1 = a[i * lda + c2 * 2 + 1];
+      const std::int16_t* b_row = b_packed + c2 * k * 2;
+      for (std::size_t j = 0; j < k; ++j) {
+        c[i * ldc + j] += static_cast<std::int32_t>(a0) * b_row[j * 2] +
+                          static_cast<std::int32_t>(a1) * b_row[j * 2 + 1];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pack_b_vpmaddwd(const std::int16_t* b, std::size_t cdim, std::size_t k,
+                     std::int16_t* out) {
+  const std::size_t c_pad = round_up(cdim, 2);
+  const std::size_t k_pad = round_up(k, 16);
+  std::memset(out, 0, (c_pad / 2) * k_pad * 2 * sizeof(std::int16_t));
+  for (std::size_t ci = 0; ci < cdim; ++ci) {
+    for (std::size_t j = 0; j < k; ++j) {
+      out[(ci / 2) * k_pad * 2 + j * 2 + (ci % 2)] = b[ci * k + j];
+    }
+  }
+}
+
+void int16_gemm_packed(const std::int16_t* a, std::size_t lda, const std::int16_t* b_packed,
+                       std::int32_t* c, std::size_t ldc, std::size_t n, std::size_t cdim,
+                       std::size_t k, ThreadPool* pool) {
+  auto body = [&](std::size_t begin, std::size_t end) {
+#ifdef LOWINO_COMPILE_AVX512
+    if (cpu_features().has_avx512_kernels() && k % 16 == 0 && cdim % 2 == 0) {
+      const std::size_t c2_count = cdim / 2;
+      const std::size_t b_stride = k * 2;
+      std::size_t r0 = begin;
+      for (; r0 + 4 <= end; r0 += 4) {
+        std::size_t c0 = 0;
+        for (; c0 + 64 <= k; c0 += 64) {
+          s16_kernel<4, 4>(a + r0 * lda, lda, b_packed + c0 * 2, b_stride,
+                           c + r0 * ldc + c0, ldc, c2_count);
+        }
+        for (; c0 < k; c0 += 16) {
+          s16_kernel<4, 1>(a + r0 * lda, lda, b_packed + c0 * 2, b_stride,
+                           c + r0 * ldc + c0, ldc, c2_count);
+        }
+      }
+      for (; r0 < end; ++r0) {
+        std::size_t c0 = 0;
+        for (; c0 + 64 <= k; c0 += 64) {
+          s16_kernel<1, 4>(a + r0 * lda, lda, b_packed + c0 * 2, b_stride,
+                           c + r0 * ldc + c0, ldc, c2_count);
+        }
+        for (; c0 < k; c0 += 16) {
+          s16_kernel<1, 1>(a + r0 * lda, lda, b_packed + c0 * 2, b_stride,
+                           c + r0 * ldc + c0, ldc, c2_count);
+        }
+      }
+      return;
+    }
+#endif
+    s16_rows_scalar(a + begin * lda, lda, b_packed, c + begin * ldc, ldc, end - begin, cdim,
+                    k);
+  };
+
+  if (pool != nullptr && n >= 8) {
+    pool->parallel_for(n, body);
+  } else {
+    body(0, n);
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,25 @@
+// INT16 GEMM via vpmaddwd — the arithmetic of the up-casting baseline
+// (ncnn-style, Section 2.3). Half the multiply throughput of vpdpbusd:
+// each 512-bit instruction performs 32 INT16 MACs vs 64 INT8 MACs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lowino {
+
+class ThreadPool;
+
+/// Packs row-major int16 B (c x k) for vpmaddwd: pairs of channels
+/// interleaved per output column. `out` holds round_up(c,2)/2 * round_up(k,16)*2
+/// int16 values; padding is zero-filled.
+void pack_b_vpmaddwd(const std::int16_t* b, std::size_t cdim, std::size_t k,
+                     std::int16_t* out);
+
+/// C[i][j] = sum_l A[i][l] * B[l][j]; A row-major int16 (n x c, stride lda),
+/// B packed by pack_b_vpmaddwd, C row-major int32. c % 2 == 0, k % 16 == 0.
+void int16_gemm_packed(const std::int16_t* a, std::size_t lda, const std::int16_t* b_packed,
+                       std::int32_t* c, std::size_t ldc, std::size_t n, std::size_t cdim,
+                       std::size_t k, ThreadPool* pool = nullptr);
+
+}  // namespace lowino

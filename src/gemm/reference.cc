@@ -1,0 +1,51 @@
+#include "gemm/reference.h"
+
+#include <cassert>
+
+namespace lowino {
+
+void ref_gemm_u8s8(std::span<const std::uint8_t> a, std::span<const std::int8_t> b,
+                   std::span<std::int32_t> c, std::size_t n, std::size_t cdim, std::size_t k) {
+  assert(a.size() >= n * cdim && b.size() >= cdim * k && c.size() >= n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t l = 0; l < cdim; ++l) {
+        acc += static_cast<std::int32_t>(a[i * cdim + l]) *
+               static_cast<std::int32_t>(b[l * k + j]);
+      }
+      c[i * k + j] = acc;
+    }
+  }
+}
+
+void ref_gemm_s16s16(std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+                     std::span<std::int32_t> c, std::size_t n, std::size_t cdim, std::size_t k) {
+  assert(a.size() >= n * cdim && b.size() >= cdim * k && c.size() >= n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t l = 0; l < cdim; ++l) {
+        acc += static_cast<std::int32_t>(a[i * cdim + l]) *
+               static_cast<std::int32_t>(b[l * k + j]);
+      }
+      c[i * k + j] = acc;
+    }
+  }
+}
+
+void ref_gemm_f32(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                  std::size_t n, std::size_t cdim, std::size_t k) {
+  assert(a.size() >= n * cdim && b.size() >= cdim * k && c.size() >= n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < cdim; ++l) {
+        acc += a[i * cdim + l] * b[l * k + j];
+      }
+      c[i * k + j] = acc;
+    }
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,23 @@
+// Scalar reference GEMMs for unit testing the optimized kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lowino {
+
+/// C[n][k] = sum_c A[n][c] * B[c][k], A uint8 (row-major N x C), B int8
+/// (row-major C x K), C int32 (row-major N x K). Mirrors vpdpbusd semantics
+/// (unsigned x signed -> signed 32-bit accumulation).
+void ref_gemm_u8s8(std::span<const std::uint8_t> a, std::span<const std::int8_t> b,
+                   std::span<std::int32_t> c, std::size_t n, std::size_t cdim, std::size_t k);
+
+/// Same with int16 operands (the up-casting baseline's arithmetic).
+void ref_gemm_s16s16(std::span<const std::int16_t> a, std::span<const std::int16_t> b,
+                     std::span<std::int32_t> c, std::size_t n, std::size_t cdim, std::size_t k);
+
+/// FP32 reference.
+void ref_gemm_f32(std::span<const float> a, std::span<const float> b, std::span<float> c,
+                  std::size_t n, std::size_t cdim, std::size_t k);
+
+}  // namespace lowino

@@ -1,0 +1,121 @@
+#include "gemm/vnni_kernels.h"
+
+#include <cstring>
+
+#include "common/cpu_features.h"
+
+#ifdef LOWINO_COMPILE_AVX512
+#include <immintrin.h>
+#endif
+
+namespace lowino {
+
+#ifdef LOWINO_COMPILE_AVX512
+namespace {
+
+template <int RowBlk, int ColBlk>
+void vnni_kernel(const MicroKernelArgs& a) {
+  __m512i acc[RowBlk][ColBlk];
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int c = 0; c < ColBlk; ++c) {
+      acc[r][c] = _mm512_loadu_si512(a.acc + r * a.acc_stride + c * 16);
+    }
+  }
+  if (a.v_prefetch != nullptr) {
+    // Warm the next input panel while this one computes (Section 4.3.1).
+    for (int r = 0; r < RowBlk; ++r) {
+      _mm_prefetch(reinterpret_cast<const char*>(a.v_prefetch + r * a.v_stride), _MM_HINT_T1);
+    }
+  }
+  for (std::size_t c4 = 0; c4 < a.c4_count; ++c4) {
+    __m512i u[ColBlk];
+    const std::int8_t* u_row = a.u + c4 * a.u_stride;
+    for (int c = 0; c < ColBlk; ++c) {
+      u[c] = _mm512_load_si512(u_row + c * 64);
+    }
+    for (int r = 0; r < RowBlk; ++r) {
+      std::int32_t word;
+      std::memcpy(&word, a.v + r * a.v_stride + c4 * 4, sizeof(word));
+      const __m512i vb = _mm512_set1_epi32(word);
+      for (int c = 0; c < ColBlk; ++c) {
+        acc[r][c] = _mm512_dpbusd_epi32(acc[r][c], vb, u[c]);
+      }
+    }
+  }
+  for (int r = 0; r < RowBlk; ++r) {
+    for (int c = 0; c < ColBlk; ++c) {
+      _mm512_storeu_si512(a.acc + r * a.acc_stride + c * 16, acc[r][c]);
+    }
+  }
+}
+
+}  // namespace
+#endif  // LOWINO_COMPILE_AVX512
+
+namespace {
+
+struct KernelEntry {
+  int row_blk;
+  int col_blk;
+  MicroKernelFn fn;
+};
+
+#ifdef LOWINO_COMPILE_AVX512
+#define LOWINO_KERNEL(R, C) {R, C, &vnni_kernel<R, C>}
+#else
+#define LOWINO_KERNEL(R, C) {R, C, nullptr}
+#endif
+
+// Register budget: R*C accumulators + C filter regs + 1 broadcast <= 32.
+constexpr KernelEntry kKernels[] = {
+    LOWINO_KERNEL(1, 1),  LOWINO_KERNEL(2, 1),  LOWINO_KERNEL(4, 1),  LOWINO_KERNEL(6, 1),
+    LOWINO_KERNEL(8, 1),  LOWINO_KERNEL(12, 1), LOWINO_KERNEL(16, 1),
+    LOWINO_KERNEL(1, 2),  LOWINO_KERNEL(2, 2),  LOWINO_KERNEL(4, 2),  LOWINO_KERNEL(6, 2),
+    LOWINO_KERNEL(8, 2),  LOWINO_KERNEL(12, 2), LOWINO_KERNEL(14, 2),
+    LOWINO_KERNEL(1, 3),  LOWINO_KERNEL(2, 3),  LOWINO_KERNEL(4, 3),  LOWINO_KERNEL(6, 3),
+    LOWINO_KERNEL(8, 3),
+    LOWINO_KERNEL(1, 4),  LOWINO_KERNEL(2, 4),  LOWINO_KERNEL(3, 4),  LOWINO_KERNEL(4, 4),
+    LOWINO_KERNEL(6, 4),
+    LOWINO_KERNEL(1, 6),  LOWINO_KERNEL(2, 6),  LOWINO_KERNEL(4, 6),
+    LOWINO_KERNEL(1, 8),  LOWINO_KERNEL(2, 8),
+};
+
+#undef LOWINO_KERNEL
+
+}  // namespace
+
+MicroKernelFn get_vnni_microkernel(int row_blk, int col_blk) {
+  if (!cpu_features().has_vnni_kernels()) return nullptr;
+  for (const KernelEntry& e : kKernels) {
+    if (e.row_blk == row_blk && e.col_blk == col_blk) return e.fn;
+  }
+  return nullptr;
+}
+
+bool microkernel_combo_supported(int row_blk, int col_blk) {
+  for (const KernelEntry& e : kKernels) {
+    if (e.row_blk == row_blk && e.col_blk == col_blk) return true;
+  }
+  return false;
+}
+
+void scalar_microkernel(const MicroKernelArgs& a, int row_blk, int col_blk) {
+  const int kcols = col_blk * 16;
+  for (std::size_t c4 = 0; c4 < a.c4_count; ++c4) {
+    const std::int8_t* u_row = a.u + c4 * a.u_stride;
+    for (int r = 0; r < row_blk; ++r) {
+      const std::uint8_t* v = a.v + r * a.v_stride + c4 * 4;
+      std::int32_t* acc = a.acc + r * a.acc_stride;
+      for (int k = 0; k < kcols; ++k) {
+        // Packed layout: 4 int8 per output channel k within this c4 group.
+        const std::int8_t* u4 = u_row + k * 4;
+        acc[k] += static_cast<std::int32_t>(v[0]) * u4[0] +
+                  static_cast<std::int32_t>(v[1]) * u4[1] +
+                  static_cast<std::int32_t>(v[2]) * u4[2] +
+                  static_cast<std::int32_t>(v[3]) * u4[3];
+      }
+    }
+  }
+}
+
+}  // namespace lowino

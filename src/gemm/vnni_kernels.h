@@ -1,0 +1,50 @@
+// AVX-512 VNNI register-blocked microkernels (Section 4.3.2 / Figures 6-7).
+//
+// A microkernel computes a RowBlk x (ColBlk*16) int32 accumulator tile:
+//
+//   acc[r][k] += sum over c4 groups of 4 channels:
+//                dot4( v[r][c4*4 .. c4*4+3] (uint8), u_packed[c4][k] (int8) )
+//
+// exactly the vpdpbusd pattern of Figure 1: one 32-bit broadcast from the
+// input panel `v` per row, ColBlk aligned 64-byte loads from the packed filter
+// panel `u`, RowBlk x ColBlk vpdpbusd per channel group. The register budget
+// follows the paper: RowBlk*ColBlk accumulators + ColBlk filter registers + 1
+// broadcast register <= 32 zmm ("row_blk x col_blk + col_blk < 31" plus the
+// auxiliary broadcast register, Section 4.3.4).
+//
+// Kernels are template instantiations over (RowBlk, ColBlk) selected through a
+// runtime dispatch table — the template family takes the role of the paper's
+// JIT: fully unrolled straight-line code per configuration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lowino {
+
+struct MicroKernelArgs {
+  const std::uint8_t* v = nullptr;  ///< RowBlk rows of the input panel
+  std::size_t v_stride = 0;         ///< bytes between consecutive v rows
+  const std::int8_t* u = nullptr;   ///< packed filter panel (c4-major)
+  std::size_t u_stride = 0;         ///< bytes between consecutive c4 rows of u
+  std::int32_t* acc = nullptr;      ///< RowBlk x (ColBlk*16) accumulator tile
+  std::size_t acc_stride = 0;       ///< int32 elements between acc rows
+  std::size_t c4_count = 0;         ///< number of 4-channel groups to process
+  const std::uint8_t* v_prefetch = nullptr;  ///< next v panel (optional)
+};
+
+using MicroKernelFn = void (*)(const MicroKernelArgs&);
+
+/// Returns the VNNI microkernel for (row_blk, col_blk), or nullptr when the
+/// combination is not instantiated (register budget violated / not in table)
+/// or the CPU lacks VNNI.
+MicroKernelFn get_vnni_microkernel(int row_blk, int col_blk);
+
+/// True when (row_blk, col_blk) is in the instantiated table (ignoring CPU).
+bool microkernel_combo_supported(int row_blk, int col_blk);
+
+/// Portable fallback with identical semantics (used on non-VNNI hosts and as
+/// the test oracle for the intrinsic kernels).
+void scalar_microkernel(const MicroKernelArgs& args, int row_blk, int col_blk);
+
+}  // namespace lowino

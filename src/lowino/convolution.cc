@@ -1,0 +1,189 @@
+#include "lowino/convolution.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/timer.h"
+#include "gemm/int8_gemm.h"
+#include "gemm/vnni_kernels.h"
+#include "parallel/thread_pool.h"
+#include "tensor/pack.h"
+
+namespace lowino {
+
+Int8GemmBlocking adapt_blocking(Int8GemmBlocking b, std::size_t padded_c,
+                                std::size_t padded_k, std::size_t total_tiles) {
+  b.c_blk = std::min(b.c_blk, padded_c);
+  b.k_blk = std::min(b.k_blk, padded_k);
+  if (total_tiles != 0 && b.n_blk > total_tiles) {
+    // Small layers: padding N up to a large Nblk would waste whole multiples
+    // of the real work (e.g. 8 tiles padded to 96).
+    b.n_blk = round_up_multiple(total_tiles, static_cast<std::size_t>(b.row_blk));
+  }
+  // Repair divisibility: k_blk must be a multiple of col_blk * 16.
+  while (b.col_blk > 1 && b.k_blk % (static_cast<std::size_t>(b.col_blk) * 16) != 0) {
+    --b.col_blk;
+  }
+  if (!microkernel_combo_supported(b.row_blk, b.col_blk)) {
+    // Fall back to a known-good register tile.
+    b.row_blk = 6;
+    b.col_blk = 4;
+    while (b.col_blk > 1 && b.k_blk % (static_cast<std::size_t>(b.col_blk) * 16) != 0) {
+      --b.col_blk;
+    }
+  }
+  if (b.n_blk % static_cast<std::size_t>(b.row_blk) != 0) {
+    b.n_blk = round_up_multiple(b.n_blk, static_cast<std::size_t>(b.row_blk));
+  }
+  // Cache bound (Section 4.3.4): shrink c_blk if the clamp pushed k_blk up.
+  while (b.c_blk * b.k_blk > 512u * 512u && b.c_blk > kChanBlock) {
+    b.c_blk -= kChanBlock;
+  }
+  if (!b.valid()) throw std::invalid_argument("adapt_blocking: unrepairable blocking");
+  return b;
+}
+
+LoWinoConvolution::LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& config)
+    : desc_(desc), config_(config) {
+  if (desc.stride != 1) {
+    throw std::invalid_argument("LoWino supports unit stride only");
+  }
+  if (desc.kernel < 2) {
+    throw std::invalid_argument("LoWino needs r >= 2 (use direct conv for 1x1)");
+  }
+  geo_ = WinogradGeometry(desc_, config_.m);
+
+  // Canonical Lavin matrices for the paper's headline sizes; generated
+  // (exact-rational, verified) matrices for everything else.
+  if (config_.m == 2 && desc.kernel == 3) {
+    tm_ = &canonical_f23();
+  } else if (config_.m == 4 && desc.kernel == 3) {
+    tm_ = &canonical_f43();
+  } else {
+    tm_ = &winograd_transform(config_.m, desc.kernel);
+  }
+  canonical_tm_ = (tm_ == &canonical_f23() || tm_ == &canonical_f43()) &&
+                  config_.use_hand_codelets;
+  bt_plan_ = CodeletPlan::build(tm_->BT.data(), geo_.alpha, geo_.alpha);
+  at_plan_ = CodeletPlan::build(tm_->AT.data(), geo_.m, geo_.alpha);
+
+  const std::size_t c64 = desc_.padded_in_channels();
+  const std::size_t k64 = desc_.padded_out_channels();
+  config_.blocking = adapt_blocking(config_.blocking, c64, k64, geo_.total_tiles);
+
+  v_layout_ = TransformedInputLayout(geo_.total_tiles, c64, geo_.t_elems,
+                                     config_.blocking.n_blk, config_.blocking.c_blk);
+  const std::size_t n_padded = v_layout_.n_blocks * config_.blocking.n_blk;
+  z_layout_ = TransformedOutputLayout(k64, n_padded, geo_.t_elems);
+  in_layout_ = BlockedActLayout(desc_.batch, desc_.in_channels, desc_.height, desc_.width);
+  out_layout_ =
+      BlockedActLayout(desc_.batch, desc_.out_channels, desc_.out_height(), desc_.out_width());
+
+  const PackedFilterLayout fl(c64, k64, geo_.t_elems, config_.blocking.c_blk,
+                              config_.blocking.k_blk);
+  const std::size_t k_padded = fl.k_blocks * fl.k_blk;
+  scales_ = WinogradScales(geo_.t_elems,
+                           config_.input_scales == ScaleGranularity::kPerPosition, k_padded,
+                           config_.per_channel_filter_scales);
+  calibrator_ = WinogradCalibrator(geo_.t_elems,
+                                   config_.input_scales == ScaleGranularity::kPerPosition);
+}
+
+void LoWinoConvolution::calibrate(std::span<const float> input_nchw,
+                                  std::size_t tile_stride) {
+  in_blocked_scratch_.ensure(in_layout_.size());
+  pack_nchw_to_blocked(input_nchw, desc_.batch, desc_.in_channels, desc_.height, desc_.width,
+                       in_blocked_scratch_.span());
+  InputTransformContext ctx{&desc_, &geo_, &bt_plan_, in_layout_, v_layout_, false,
+                            canonical_tm_};
+  collect_calibration(ctx, in_blocked_scratch_.span(), calibrator_, tile_stride);
+}
+
+void LoWinoConvolution::finalize_calibration() {
+  if (calibrator_.empty()) {
+    throw std::logic_error("finalize_calibration called before calibrate()");
+  }
+  calibrator_.finalize_into(scales_);
+  input_scales_set_ = true;
+  maybe_build_dequant();
+}
+
+void LoWinoConvolution::set_input_thresholds(std::span<const float> taus) {
+  assert(taus.size() >= geo_.t_elems);
+  for (std::size_t t = 0; t < geo_.t_elems; ++t) {
+    scales_.set_input_scale(t, QuantParams::from_threshold(taus[t]));
+  }
+  input_scales_set_ = true;
+  maybe_build_dequant();
+}
+
+void LoWinoConvolution::set_uniform_input_threshold(float tau) {
+  for (std::size_t t = 0; t < geo_.t_elems; ++t) {
+    scales_.set_input_scale(t, QuantParams::from_threshold(tau));
+  }
+  input_scales_set_ = true;
+  maybe_build_dequant();
+}
+
+void LoWinoConvolution::set_filters(std::span<const float> weights,
+                                    std::span<const float> bias) {
+  transform_and_pack_filters(desc_, geo_, *tm_, config_, weights, bias, scales_, filters_);
+  filters_set_ = true;
+  maybe_build_dequant();
+}
+
+void LoWinoConvolution::maybe_build_dequant() {
+  if (filters_set_ && input_scales_set_) scales_.build_dequant_table();
+}
+
+std::size_t LoWinoConvolution::workspace_bytes() const {
+  return v_layout_.size() * sizeof(std::uint8_t) + z_layout_.size() * sizeof(std::int32_t);
+}
+
+void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<float> output,
+                                        ThreadPool* pool) {
+  if (!ready()) {
+    throw std::logic_error("LoWinoConvolution: set_filters + calibration required");
+  }
+  assert(input.size() >= in_layout_.size());
+  assert(output.size() >= out_layout_.size());
+
+  if (v_buf_.size() != v_layout_.size()) {
+    v_buf_.reset(v_layout_.size());
+    // Padded tiles/channels are never written by the transform; zero them
+    // once so the GEMM reads well-defined values (they multiply zero filters).
+    v_buf_.fill_zero();
+  }
+  z_buf_.ensure(z_layout_.size());
+
+  Timer timer;
+  InputTransformContext in_ctx{&desc_,     &geo_,     &bt_plan_,     in_layout_,
+                               v_layout_, config_.blocking.nt_store, canonical_tm_};
+  run_input_transform(in_ctx, input, scales_, v_buf_.data(), pool);
+  if (config_.collect_stage_times) stage_times_.input_transform = timer.seconds();
+
+  timer.restart();
+  batched_int8_gemm(v_layout_, v_buf_.data(), filters_.layout, filters_.data.data(),
+                    filters_.comp.data(), z_layout_, z_buf_.data(), config_.blocking, pool);
+  if (config_.collect_stage_times) stage_times_.gemm = timer.seconds();
+
+  timer.restart();
+  OutputTransformContext out_ctx{&desc_,      &geo_,       &at_plan_,
+                                 z_layout_,   out_layout_, filters_.bias.data(),
+                                 config_.fuse_relu, canonical_tm_};
+  run_output_transform(out_ctx, z_buf_.data(), scales_, output, pool);
+  if (config_.collect_stage_times) stage_times_.output_transform = timer.seconds();
+}
+
+void LoWinoConvolution::execute_nchw(std::span<const float> input, std::span<float> output,
+                                     ThreadPool* pool) {
+  in_blocked_scratch_.ensure(in_layout_.size());
+  out_blocked_scratch_.ensure(out_layout_.size());
+  pack_nchw_to_blocked(input, desc_.batch, desc_.in_channels, desc_.height, desc_.width,
+                       in_blocked_scratch_.span(), pool);
+  execute_blocked(in_blocked_scratch_.span(), out_blocked_scratch_.span(), pool);
+  unpack_blocked_to_nchw(out_blocked_scratch_.span(), desc_.batch, desc_.out_channels,
+                         desc_.out_height(), desc_.out_width(), output, pool);
+}
+
+}  // namespace lowino

@@ -1,0 +1,118 @@
+// LoWinoConvolution — the library's primary public API.
+//
+// Lifecycle (mirrors the paper's deployment flow):
+//
+//   LoWinoConvolution conv(desc, config);       // choose F(m x m, r x r) etc.
+//   conv.calibrate(samples, n);                 // feed ~500 sample inputs
+//   conv.finalize_calibration();                // KL thresholds (Eq. 7)
+//   conv.set_filters(weights, bias);            // offline transform + pack
+//   conv.execute_nchw(input, output, &pool);    // low-precision inference
+//
+// The input transform, batched INT8 GEMM and output transform run entirely in
+// the blocked layouts of Table 1; execute_nchw packs/unpacks at the edges and
+// execute_blocked skips even that (for chained layers in the NN runtime).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "lowino/engine_config.h"
+#include "lowino/filter_pack.h"
+#include "lowino/input_transform.h"
+#include "lowino/output_transform.h"
+#include "lowino/scales.h"
+#include "tensor/conv_desc.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+class LoWinoConvolution {
+ public:
+  /// Throws std::invalid_argument for non-unit stride or unsupported m/r.
+  explicit LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& config = {});
+
+  const ConvDesc& desc() const { return desc_; }
+  const LoWinoConfig& config() const { return config_; }
+  const WinogradGeometry& geometry() const { return geo_; }
+  const TransformMatrices& transform() const { return *tm_; }
+  const WinogradScales& scales() const { return scales_; }
+
+  /// Accumulates calibration statistics from a batch of NCHW FP32 inputs
+  /// with the layer's B x C x H x W shape. Call repeatedly, then finalize.
+  /// `tile_stride` subsamples tiles (1 = use every tile).
+  void calibrate(std::span<const float> input_nchw, std::size_t tile_stride = 1);
+
+  /// Computes the Winograd-domain input scales from collected statistics.
+  void finalize_calibration();
+
+  /// Bypasses calibration: one uniform Winograd-domain threshold for every
+  /// tile position (used by tests and the ablation bench).
+  void set_uniform_input_threshold(float tau);
+
+  /// Bypasses calibration with explicit per-position thresholds (length T).
+  void set_input_thresholds(std::span<const float> taus);
+
+  /// Offline filter transform + quantization + packing. `weights` is
+  /// row-major K x C x r x r; `bias` (length K) is optional.
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  bool ready() const { return filters_set_ && input_scales_set_; }
+
+  /// Runs the convolution on an NCHW input, writing an NCHW output.
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr);
+
+  /// Runs on pre-blocked activations (B x [C/64] x H x W x 64).
+  void execute_blocked(std::span<const float> input, std::span<float> output,
+                       ThreadPool* pool = nullptr);
+
+  BlockedActLayout input_layout() const { return in_layout_; }
+  BlockedActLayout output_layout() const { return out_layout_; }
+
+  /// Per-stage times of the last execute (only populated when
+  /// config.collect_stage_times is set).
+  const StageTimes& stage_times() const { return stage_times_; }
+
+  /// Bytes of intermediate state (V + Z), for the memory-overhead analysis.
+  std::size_t workspace_bytes() const;
+
+ private:
+  void maybe_build_dequant();
+
+  ConvDesc desc_;
+  LoWinoConfig config_;
+  WinogradGeometry geo_;
+  const TransformMatrices* tm_ = nullptr;
+  CodeletPlan bt_plan_;
+  CodeletPlan at_plan_;
+  bool canonical_tm_ = false;
+
+  TransformedInputLayout v_layout_;
+  TransformedOutputLayout z_layout_;
+  BlockedActLayout in_layout_;
+  BlockedActLayout out_layout_;
+
+  WinogradScales scales_;
+  WinogradCalibrator calibrator_;
+  PackedFilters filters_;
+  bool filters_set_ = false;
+  bool input_scales_set_ = false;
+
+  AlignedBuffer<std::uint8_t> v_buf_;
+  AlignedBuffer<std::int32_t> z_buf_;
+  AlignedBuffer<float> in_blocked_scratch_;
+  AlignedBuffer<float> out_blocked_scratch_;
+  StageTimes stage_times_;
+};
+
+/// Clamps and repairs a blocking configuration for a concrete layer shape
+/// (Cblk <= padded C, Kblk <= padded K, Nblk <= padded tile count,
+/// divisibility constraints). `total_tiles == 0` skips the Nblk clamp.
+/// Exposed for the tuner.
+Int8GemmBlocking adapt_blocking(Int8GemmBlocking blocking, std::size_t padded_c,
+                                std::size_t padded_k, std::size_t total_tiles = 0);
+
+}  // namespace lowino

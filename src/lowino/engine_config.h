@@ -1,0 +1,54 @@
+// Configuration of the LoWino convolution engine.
+#pragma once
+
+#include <cstddef>
+
+#include "gemm/int8_gemm.h"
+
+namespace lowino {
+
+/// Granularity of the Winograd-domain input quantization scales.
+enum class ScaleGranularity {
+  kPerTensor,    ///< one scale for the whole transformed-input tensor
+  kPerPosition,  ///< one scale per tile position t in [0, T) — the default.
+};
+
+/// LoWino engine configuration. The paper's headline configurations are
+/// m = 2 (F(2x2,3x3)) and m = 4 (F(4x4,3x3)); the generic transform path
+/// supports any m with m + r - 1 <= 10.
+struct LoWinoConfig {
+  std::size_t m = 4;  ///< output tile size of F(m x m, r x r)
+
+  /// Winograd-domain input scale granularity. Per-position is exact w.r.t.
+  /// Eq. 3 (de-quantization precedes the output transform) and markedly more
+  /// accurate because each tile position has a different value distribution.
+  ScaleGranularity input_scales = ScaleGranularity::kPerPosition;
+
+  /// Per-output-channel filter scales (computed exactly offline). Composes
+  /// with per-position scales into the (t, k) de-quantization table.
+  bool per_channel_filter_scales = true;
+
+  /// GEMM blocking; tune via src/tuning or keep defaults.
+  Int8GemmBlocking blocking;
+
+  /// Hand-scheduled AVX-512 transform codelets for the canonical
+  /// F(2x2,3x3)/F(4x4,3x3) matrices (Section 4.2.4). Disable to force the
+  /// generic codelet-plan interpreter (ablation A1f).
+  bool use_hand_codelets = true;
+
+  /// Fused post-op for the NN runtime: max(0, y + bias).
+  bool fuse_relu = false;
+
+  /// Collect per-stage wall-clock times during execute() (Figure 10).
+  bool collect_stage_times = false;
+};
+
+/// Per-stage execution time of the last run, seconds (Figure 10).
+struct StageTimes {
+  double input_transform = 0.0;
+  double gemm = 0.0;
+  double output_transform = 0.0;
+  double total() const { return input_transform + gemm + output_transform; }
+};
+
+}  // namespace lowino

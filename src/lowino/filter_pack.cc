@@ -1,0 +1,148 @@
+#include "lowino/filter_pack.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/saturate.h"
+
+namespace lowino {
+namespace {
+
+/// U = G g G^T for one r x r filter slice, double precision.
+void transform_filter_2d(const TransformMatrices& tm, const float* g, double* u) {
+  const std::size_t a = tm.alpha, r = tm.r;
+  std::vector<double> tmp(a * r);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < r; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < r; ++k) s += tm.g(i, k) * static_cast<double>(g[k * r + j]);
+      tmp[i * r + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < r; ++k) s += tmp[i * r + k] * tm.g(j, k);
+      u[i * a + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+double reference_transformed_filter(const TransformMatrices& tm,
+                                    std::span<const float> weights, std::size_t channels,
+                                    std::size_t k, std::size_t c, std::size_t t) {
+  const std::size_t r = tm.r;
+  std::vector<double> u(tm.alpha * tm.alpha);
+  transform_filter_2d(tm, weights.data() + (k * channels + c) * r * r, u.data());
+  return u[t];
+}
+
+void transform_all_filters(const ConvDesc& desc, const TransformMatrices& tm,
+                           std::span<const float> weights, std::vector<float>& u_all) {
+  const std::size_t c_real = desc.in_channels;
+  const std::size_t k_real = desc.out_channels;
+  const std::size_t r = desc.kernel;
+  const std::size_t t_elems = tm.alpha * tm.alpha;
+  const std::size_t c64 = desc.padded_in_channels();
+  const std::size_t k64 = desc.padded_out_channels();
+  assert(weights.size() >= k_real * c_real * r * r);
+  u_all.assign(t_elems * c64 * k64, 0.0f);
+  std::vector<double> u(t_elems);
+  for (std::size_t k = 0; k < k_real; ++k) {
+    for (std::size_t c = 0; c < c_real; ++c) {
+      transform_filter_2d(tm, weights.data() + (k * c_real + c) * r * r, u.data());
+      for (std::size_t t = 0; t < t_elems; ++t) {
+        u_all[(t * c64 + c) * k64 + k] = static_cast<float>(u[t]);
+      }
+    }
+  }
+}
+
+void quantize_and_pack_transformed(const ConvDesc& desc, std::size_t t_elems,
+                                   const std::vector<float>& u_all,
+                                   const WinogradScales& scales,
+                                   const Int8GemmBlocking& blocking,
+                                   std::span<const float> bias, PackedFilters& out) {
+  const std::size_t c_real = desc.in_channels;
+  const std::size_t k_real = desc.out_channels;
+  const std::size_t c64 = desc.padded_in_channels();
+  const std::size_t k64 = desc.padded_out_channels();
+  const std::size_t k_padded = scales.k_padded();
+
+  out.layout = PackedFilterLayout(c64, k64, t_elems, blocking.c_blk, blocking.k_blk);
+  out.k_padded = k_padded;
+  assert(out.layout.k_blocks * out.layout.k_blk == k_padded);
+  out.data.reset(out.layout.size());
+  out.data.fill_zero();
+  out.comp.reset(t_elems * k_padded);
+  out.comp.fill_zero();
+  for (std::size_t t = 0; t < t_elems; ++t) {
+    for (std::size_t c = 0; c < c_real; ++c) {
+      for (std::size_t k = 0; k < k_real; ++k) {
+        const float scale = scales.filter_scale(t, k);
+        const std::int8_t q = saturate_cast_i8(u_all[(t * c64 + c) * k64 + k] * scale);
+        out.data[out.layout.offset(t, c, k)] = q;
+        out.comp[t * k_padded + k] -= 128 * static_cast<std::int32_t>(q);
+      }
+    }
+  }
+
+  out.bias.reset(k64);
+  out.bias.fill_zero();
+  if (!bias.empty()) {
+    assert(bias.size() >= k_real);
+    std::memcpy(out.bias.data(), bias.data(), k_real * sizeof(float));
+  }
+}
+
+void transform_and_pack_filters(const ConvDesc& desc, const WinogradGeometry& geo,
+                                const TransformMatrices& tm, const LoWinoConfig& config,
+                                std::span<const float> weights, std::span<const float> bias,
+                                WinogradScales& scales, PackedFilters& out) {
+  const std::size_t c_real = desc.in_channels;
+  const std::size_t t_elems = geo.t_elems;
+  assert(tm.r == desc.kernel && tm.alpha * tm.alpha == t_elems);
+
+  // 1. Transform everything to the FP32 Winograd domain.
+  const std::size_t c64 = desc.padded_in_channels();
+  const std::size_t k64 = desc.padded_out_channels();
+  std::vector<float> u_all;
+  transform_all_filters(desc, tm, weights, u_all);
+
+  // 2. Exact scales from the transformed values (filters are known offline;
+  // no calibration needed — Section 4.2.2).
+  const std::size_t k_padded = scales.k_padded();
+  assert(k_padded >= k64);
+  if (config.per_channel_filter_scales) {
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      for (std::size_t k = 0; k < k_padded; ++k) {
+        float amax = 0.0f;
+        if (k < k64) {
+          for (std::size_t c = 0; c < c_real; ++c) {
+            amax = std::max(amax, std::abs(u_all[(t * c64 + c) * k64 + k]));
+          }
+        }
+        scales.set_filter_scale(t, k, QuantParams::from_threshold(amax));
+      }
+    }
+  } else {
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      float amax = 0.0f;
+      for (std::size_t c = 0; c < c_real; ++c) {
+        for (std::size_t k = 0; k < desc.out_channels; ++k) {
+          amax = std::max(amax, std::abs(u_all[(t * c64 + c) * k64 + k]));
+        }
+      }
+      scales.set_filter_scale(t, 0, QuantParams::from_threshold(amax));
+    }
+  }
+
+  // 3-4. Quantize, pack, compensation, bias.
+  quantize_and_pack_transformed(desc, t_elems, u_all, scales, config.blocking, bias, out);
+}
+
+}  // namespace lowino

@@ -1,0 +1,64 @@
+// Offline filter transform, quantization and packing (Section 4.2.2).
+//
+// Filters are known ahead of inference, so this stage runs once:
+//   1. U = G g G^T per (output channel k, input channel c), in double
+//      precision (exactness of the offline path costs nothing at runtime);
+//   2. exact per-(t, k) (or per-t) scales from the transformed values'
+//      absolute maxima — filters need no calibration;
+//   3. quantization to INT8 and packing into the vpdpbusd layout
+//      [C/Cblk][K/Kblk][T][Cblk/4][Kblk*4];
+//   4. the compensation rows comp[t][k] = -128 * sum_c U_q[t][c][k] (Eq. 9,
+//      the "auxiliary matrix filled by -128" of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "lowino/engine_config.h"
+#include "lowino/scales.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+
+struct PackedFilters {
+  PackedFilterLayout layout;
+  AlignedBuffer<std::int8_t> data;
+  AlignedBuffer<std::int32_t> comp;  ///< [T][k_padded] compensation rows
+  AlignedBuffer<float> bias;         ///< [K64] (zero-padded)
+  std::size_t k_padded = 0;
+};
+
+/// Transforms, quantizes and packs `weights` (row-major K x C x r x r FP32).
+/// Writes the exact filter scales into `scales` and fills `out`.
+/// `bias` may be empty (treated as zeros).
+void transform_and_pack_filters(const ConvDesc& desc, const WinogradGeometry& geo,
+                                const TransformMatrices& tm, const LoWinoConfig& config,
+                                std::span<const float> weights, std::span<const float> bias,
+                                WinogradScales& scales, PackedFilters& out);
+
+/// Reference helper (tests): transformed FP32 filter value U[t][c][k] for the
+/// given weights, computed independently of the packing code.
+double reference_transformed_filter(const TransformMatrices& tm,
+                                    std::span<const float> weights, std::size_t channels,
+                                    std::size_t k, std::size_t c, std::size_t t);
+
+/// Transforms all filters to the Winograd domain: u_all[t * c64 * k64 +
+/// c * k64 + k] = (G g_{k,c} G^T)[t]; padded channels are zero.
+void transform_all_filters(const ConvDesc& desc, const TransformMatrices& tm,
+                           std::span<const float> weights, std::vector<float>& u_all);
+
+/// Quantizes pre-transformed filters with the scales already present in
+/// `scales` and packs them (+ compensation rows) into `out`. Shared by the
+/// LoWino pack (exact absmax scales) and the down-scaling baselines (fixed
+/// matrix-gain scales).
+void quantize_and_pack_transformed(const ConvDesc& desc, std::size_t t_elems,
+                                   const std::vector<float>& u_all,
+                                   const WinogradScales& scales,
+                                   const Int8GemmBlocking& blocking,
+                                   std::span<const float> bias, PackedFilters& out);
+
+}  // namespace lowino

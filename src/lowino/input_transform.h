@@ -1,0 +1,55 @@
+// Fused input transform + Winograd-domain quantization (Sections 4.2.1, 3).
+//
+// For every tile and 64-channel block:
+//   1. gather the alpha x alpha x 64 FP32 tile from the blocked input
+//      (zero-filling the padding border),
+//   2. apply B^T . d . B with the CSE codelet plan, 16 lanes at a time,
+//   3. quantize each of the T = alpha^2 positions with its Winograd-domain
+//      scale and add the +128 compensation shift,
+//   4. scatter complete 64-byte lines into the transformed-input layout with
+//      non-temporal stores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lowino/scales.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "winograd/codelet_plan.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+struct InputTransformContext {
+  const ConvDesc* desc = nullptr;
+  const WinogradGeometry* geo = nullptr;
+  const CodeletPlan* bt_plan = nullptr;  ///< plan for B^T (alpha x alpha)
+  BlockedActLayout in_layout;
+  TransformedInputLayout v_layout;
+  bool nt_store = true;
+  /// Enable the hand-scheduled AVX-512 codelets. Only valid when bt_plan was
+  /// built from the *canonical* F(2,3)/F(4,3) matrices — the codelets
+  /// hard-code those coefficients (generated matrices differ in row signs).
+  bool hand_codelets = false;
+};
+
+/// Transforms + quantizes the whole blocked input into `v`.
+void run_input_transform(const InputTransformContext& ctx, std::span<const float> in_blocked,
+                         const WinogradScales& scales, std::uint8_t* v,
+                         ThreadPool* pool = nullptr);
+
+/// Transforms one (tile, 64-channel-block) pair to FP32 Winograd-domain
+/// values without quantization: out[t*64 + g*16 + lane]. Used by calibration
+/// and by tests as the reference for the quantized path.
+void transform_tile_fp32(const InputTransformContext& ctx, std::span<const float> in_blocked,
+                         std::size_t tile, std::size_t chan_block, float* out);
+
+/// Calibration sweep: transforms every tile of `in_blocked` and feeds the
+/// FP32 Winograd-domain values into the calibrator (Eq. 7's sample pass).
+/// `tile_stride` subsamples tiles to bound calibration cost.
+void collect_calibration(const InputTransformContext& ctx, std::span<const float> in_blocked,
+                         WinogradCalibrator& calibrator, std::size_t tile_stride = 1);
+
+}  // namespace lowino

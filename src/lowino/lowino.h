@@ -1,0 +1,22 @@
+// Umbrella header: the LoWino public API.
+//
+// LoWino is a low-precision (INT8) Winograd convolution engine for AVX-512
+// VNNI CPUs, reproducing Li, Jia, Feng & Wang, "LoWino: Towards Efficient
+// Low-Precision Winograd Convolutions on Modern CPUs" (ICPP 2021).
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   lowino::ConvDesc desc{.batch = 1, .in_channels = 64, .out_channels = 64,
+//                         .height = 56, .width = 56, .kernel = 3, .pad = 1};
+//   lowino::LoWinoConfig cfg;           // F(4x4, 3x3) by default
+//   lowino::LoWinoConvolution conv(desc, cfg);
+//   conv.calibrate(sample_input);       // Winograd-domain KL calibration
+//   conv.finalize_calibration();
+//   conv.set_filters(weights, bias);    // offline transform + pack
+//   conv.execute_nchw(input, output, &lowino::ThreadPool::global());
+#pragma once
+
+#include "lowino/convolution.h"
+#include "lowino/engine_config.h"
+#include "parallel/thread_pool.h"
+#include "tensor/conv_desc.h"

@@ -1,0 +1,40 @@
+// Fused de-quantization + output transform (Section 4.2.3).
+//
+// The GEMM already scattered each tile's T x 64 INT32 block consecutively, so
+// this stage reads purely sequential memory:
+//   1. de-quantize the T x 16 lanes with the per-(t, k) table (Eq. 6),
+//   2. apply Y = A^T . Z . A with the codelet plan,
+//   3. add bias (and optionally ReLU) and store the valid m x m region into
+//      the blocked output image.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lowino/engine_config.h"
+#include "lowino/scales.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "winograd/codelet_plan.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+struct OutputTransformContext {
+  const ConvDesc* desc = nullptr;
+  const WinogradGeometry* geo = nullptr;
+  const CodeletPlan* at_plan = nullptr;  ///< plan for A^T (m x alpha)
+  TransformedOutputLayout z_layout;
+  BlockedActLayout out_layout;
+  const float* bias = nullptr;  ///< [K64], may be null
+  bool relu = false;
+  /// See InputTransformContext::hand_codelets.
+  bool hand_codelets = false;
+};
+
+void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
+                          const WinogradScales& scales, std::span<float> out_blocked,
+                          ThreadPool* pool = nullptr);
+
+}  // namespace lowino

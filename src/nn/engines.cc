@@ -1,0 +1,211 @@
+#include "nn/engines.h"
+
+#include <stdexcept>
+
+#include "baselines/downscale_wino.h"
+#include "baselines/fp32_wino.h"
+#include "baselines/upcast_wino.h"
+#include "baselines/vendor_wino.h"
+#include "direct/direct_f32.h"
+#include "direct/direct_int8.h"
+#include "lowino/lowino.h"
+
+namespace lowino {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFp32Direct: return "FP32 direct (im2col GEMM)";
+    case EngineKind::kFp32WinoF2: return "FP32 Winograd F(2x2,3x3)";
+    case EngineKind::kFp32WinoF4: return "FP32 Winograd F(4x4,3x3)";
+    case EngineKind::kInt8Direct: return "INT8 direct";
+    case EngineKind::kLoWinoF2: return "LoWino F(2x2,3x3)";
+    case EngineKind::kLoWinoF4: return "LoWino F(4x4,3x3)";
+    case EngineKind::kLoWinoF6: return "LoWino F(6x6,3x3)";
+    case EngineKind::kDownscaleF2: return "Down-scaling F(2x2,3x3)";
+    case EngineKind::kDownscaleF4: return "Down-scaling F(4x4,3x3)";
+    case EngineKind::kUpcastF2: return "Up-casting INT16 F(2x2,3x3)";
+    case EngineKind::kVendorF2: return "Vendor-style fused INT8 F(2x2,3x3)";
+  }
+  return "?";
+}
+
+bool engine_is_quantized(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFp32Direct:
+    case EngineKind::kFp32WinoF2:
+    case EngineKind::kFp32WinoF4:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+/// CRTP-free small wrappers; each translates the common interface onto the
+/// underlying engine's own API.
+class Fp32DirectEngine final : public ConvEngine {
+ public:
+  explicit Fp32DirectEngine(const ConvDesc& desc) : conv_(desc) {}
+  void calibrate(std::span<const float>) override {}
+  void finalize_calibration() override {}
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return EngineKind::kFp32Direct; }
+
+ private:
+  Im2colConvF32 conv_;
+};
+
+class Fp32WinoEngine final : public ConvEngine {
+ public:
+  Fp32WinoEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
+      : conv_(desc, m), kind_(kind) {}
+  void calibrate(std::span<const float>) override {}
+  void finalize_calibration() override {}
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return kind_; }
+
+ private:
+  Fp32WinoConv conv_;
+  EngineKind kind_;
+};
+
+class Int8DirectEngine final : public ConvEngine {
+ public:
+  explicit Int8DirectEngine(const ConvDesc& desc) : conv_(desc) {}
+  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void finalize_calibration() override { conv_.finalize_calibration(); }
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return EngineKind::kInt8Direct; }
+
+ private:
+  Int8DirectConv conv_;
+};
+
+class LoWinoEngine final : public ConvEngine {
+ public:
+  LoWinoEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
+      : conv_(desc, make_config(m)), kind_(kind) {}
+  void calibrate(std::span<const float> in) override {
+    // Subsample tiles: calibration statistics converge quickly and the
+    // histograms are per position anyway.
+    conv_.calibrate(in, /*tile_stride=*/2);
+  }
+  void finalize_calibration() override { conv_.finalize_calibration(); }
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return kind_; }
+
+ private:
+  static LoWinoConfig make_config(std::size_t m) {
+    LoWinoConfig cfg;
+    cfg.m = m;
+    return cfg;
+  }
+  LoWinoConvolution conv_;
+  EngineKind kind_;
+};
+
+class DownscaleEngine final : public ConvEngine {
+ public:
+  DownscaleEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
+      : conv_(desc, m), kind_(kind) {}
+  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void finalize_calibration() override { conv_.finalize_calibration(); }
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return kind_; }
+
+ private:
+  DownscaleWinoConv conv_;
+  EngineKind kind_;
+};
+
+class UpcastEngine final : public ConvEngine {
+ public:
+  explicit UpcastEngine(const ConvDesc& desc) : conv_(desc) {}
+  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void finalize_calibration() override { conv_.finalize_calibration(); }
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return EngineKind::kUpcastF2; }
+
+ private:
+  UpcastWinoConv conv_;
+};
+
+class VendorEngine final : public ConvEngine {
+ public:
+  explicit VendorEngine(const ConvDesc& desc) : conv_(desc) {}
+  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void finalize_calibration() override { conv_.finalize_calibration(); }
+  void set_filters(std::span<const float> w, std::span<const float> b) override {
+    conv_.set_filters(w, b);
+  }
+  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+    conv_.execute_nchw(in, out, pool);
+  }
+  EngineKind kind() const override { return EngineKind::kVendorF2; }
+
+ private:
+  VendorWinoF23 conv_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConvEngine> make_conv_engine(EngineKind kind, const ConvDesc& desc) {
+  switch (kind) {
+    case EngineKind::kFp32Direct:
+      return std::make_unique<Fp32DirectEngine>(desc);
+    case EngineKind::kFp32WinoF2:
+      return std::make_unique<Fp32WinoEngine>(desc, 2, kind);
+    case EngineKind::kFp32WinoF4:
+      return std::make_unique<Fp32WinoEngine>(desc, 4, kind);
+    case EngineKind::kInt8Direct:
+      return std::make_unique<Int8DirectEngine>(desc);
+    case EngineKind::kLoWinoF2:
+      return std::make_unique<LoWinoEngine>(desc, 2, kind);
+    case EngineKind::kLoWinoF4:
+      return std::make_unique<LoWinoEngine>(desc, 4, kind);
+    case EngineKind::kLoWinoF6:
+      return std::make_unique<LoWinoEngine>(desc, 6, kind);
+    case EngineKind::kDownscaleF2:
+      return std::make_unique<DownscaleEngine>(desc, 2, kind);
+    case EngineKind::kDownscaleF4:
+      return std::make_unique<DownscaleEngine>(desc, 4, kind);
+    case EngineKind::kUpcastF2:
+      return std::make_unique<UpcastEngine>(desc);
+    case EngineKind::kVendorF2:
+      return std::make_unique<VendorEngine>(desc);
+  }
+  throw std::invalid_argument("unknown engine kind");
+}
+
+}  // namespace lowino

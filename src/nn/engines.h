@@ -1,0 +1,51 @@
+// Uniform adapter over every convolution engine in the repository, used by
+// the NN runtime to swap implementations per experiment configuration
+// (Table 3 columns and the Figure 8 engine set).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/conv_desc.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+enum class EngineKind {
+  kFp32Direct,    ///< im2col + AVX-512 FP32 GEMM (baseline "FP32 best direct")
+  kFp32WinoF2,    ///< FP32 Winograd F(2x2,3x3)
+  kFp32WinoF4,    ///< FP32 Winograd F(4x4,3x3)
+  kInt8Direct,    ///< INT8 direct (non-Winograd post-training quantization)
+  kLoWinoF2,      ///< LoWino F(2x2,3x3)
+  kLoWinoF4,      ///< LoWino F(4x4,3x3)
+  kLoWinoF6,      ///< LoWino F(6x6,3x3) (extension beyond the paper's eval)
+  kDownscaleF2,   ///< oneDNN-style down-scaling F(2x2,3x3)
+  kDownscaleF4,   ///< oneDNN-style down-scaling F(4x4,3x3)
+  kUpcastF2,      ///< ncnn-style up-casting (INT16) F(2x2,3x3)
+  kVendorF2,      ///< fused vendor-style INT8 F(2x2,3x3)
+};
+
+const char* engine_name(EngineKind kind);
+bool engine_is_quantized(EngineKind kind);
+
+/// One convolution engine bound to a fixed ConvDesc. Lifecycle:
+/// calibrate()* -> finalize_calibration() -> set_filters() -> run()*.
+/// (Non-quantized engines ignore the calibration calls.)
+class ConvEngine {
+ public:
+  virtual ~ConvEngine() = default;
+  virtual void calibrate(std::span<const float> input_nchw) = 0;
+  virtual void finalize_calibration() = 0;
+  virtual void set_filters(std::span<const float> weights, std::span<const float> bias) = 0;
+  virtual void run(std::span<const float> input, std::span<float> output,
+                   ThreadPool* pool) = 0;
+  virtual EngineKind kind() const = 0;
+};
+
+/// Factory. Throws std::invalid_argument for incompatible (kind, desc) pairs
+/// (e.g. up-casting with r != 3).
+std::unique_ptr<ConvEngine> make_conv_engine(EngineKind kind, const ConvDesc& desc);
+
+}  // namespace lowino

@@ -1,0 +1,50 @@
+// Sequential model container: FP32 training forward/backward, quantized
+// inference with a selectable engine, and the calibration pass that feeds
+// each convolution its own FP32 input distribution (the "~500 sample images"
+// procedure of Eq. 7).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/engines.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace lowino {
+
+class SequentialModel {
+ public:
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// FP32 forward pass; returns the logits tensor.
+  const Tensor<float>& forward(const Tensor<float>& input, bool train = false);
+
+  /// Backward from d(loss)/d(logits); fills every layer's gradients.
+  void backward(const Tensor<float>& grad_logits);
+
+  void update(float lr, float momentum);
+
+  /// Calibration pass for a quantized engine: runs FP32 forward, feeding each
+  /// layer's *input* to its calibration hook. Call once per calibration batch.
+  void calibrate(const Tensor<float>& input, EngineKind kind);
+  /// Finishes calibration of all layers for `kind`.
+  void finalize_calibration(EngineKind kind);
+
+  /// Inference forward with the chosen engine for every convolution.
+  const Tensor<float>& forward_engine(const Tensor<float>& input, EngineKind kind,
+                                      ThreadPool* pool = nullptr);
+
+  std::size_t parameter_count() const;
+  std::string summary() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor<float>> activations_;  ///< ping-pong buffers
+  std::vector<Tensor<float>> grads_;
+};
+
+}  // namespace lowino

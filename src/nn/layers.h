@@ -1,0 +1,161 @@
+// NN layers with forward + backward (training) and pluggable quantized
+// inference engines (the Table 3 evaluation substrate).
+//
+// Tensors are NCHW FP32 (`Tensor<float>`), batch in dim 0. Training uses the
+// FP32 im2col-GEMM path; quantized inference swaps each 3x3 convolution's
+// engine via nn/engines.h. Shapes (except batch) are fixed at construction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/engines.h"
+#include "tensor/conv_desc.h"
+#include "tensor/tensor.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual std::string name() const = 0;
+
+  /// FP32 forward. `train` enables caches needed by backward.
+  virtual void forward(const Tensor<float>& in, Tensor<float>& out, bool train) = 0;
+  /// Backward: consumes d(loss)/d(out), produces d(loss)/d(in), accumulates
+  /// parameter gradients. Must follow a forward(train = true).
+  virtual void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) = 0;
+  /// SGD + momentum update; zeroes the gradients afterwards.
+  virtual void update(float lr, float momentum) {}
+
+  /// Quantized-inference hooks (default: FP32 forward).
+  virtual void calibrate_with(const Tensor<float>& in, EngineKind kind) {}
+  virtual void finalize_calibration(EngineKind kind) {}
+  virtual void forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
+                              ThreadPool* pool) {
+    forward(in, out, /*train=*/false);
+  }
+
+  virtual std::size_t parameter_count() const { return 0; }
+};
+
+/// 3x3 (or r x r) convolution, stride 1, symmetric padding.
+class ConvLayer : public Layer {
+ public:
+  ConvLayer(std::size_t in_channels, std::size_t out_channels, std::size_t hw,
+            std::size_t kernel, std::size_t pad, Rng& rng);
+
+  std::string name() const override;
+  void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
+  void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+  void update(float lr, float momentum) override;
+
+  void calibrate_with(const Tensor<float>& in, EngineKind kind) override;
+  void finalize_calibration(EngineKind kind) override;
+  void forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
+                      ThreadPool* pool) override;
+
+  std::size_t parameter_count() const override { return weights_.size() + bias_.size(); }
+  std::span<const float> weights() const { return {weights_.data(), weights_.size()}; }
+  std::span<float> mutable_weights() { return {weights_.data(), weights_.size()}; }
+  std::size_t out_channels() const { return k_; }
+
+  /// When false, quantized inference keeps this layer in FP32 (standard
+  /// practice for network stems; mirrors the paper's setup where the first
+  /// convolution is never a 3x3 Winograd candidate).
+  void set_quantizable(bool q) { quantizable_ = q; }
+  bool quantizable() const { return quantizable_; }
+
+ private:
+  ConvDesc desc_for_batch(std::size_t batch) const;
+  ConvEngine& engine_for(EngineKind kind, std::size_t batch);
+
+  std::size_t c_, k_, hw_, r_, pad_;
+  std::vector<float> weights_, bias_;
+  std::vector<float> grad_w_, grad_b_;
+  std::vector<float> mom_w_, mom_b_;
+
+  Tensor<float> cached_in_;  ///< input cache for backward
+  AlignedBuffer<float> col_;  ///< im2col scratch
+
+  /// Engines keyed by (kind, batch); filters are (re)loaded lazily whenever
+  /// the FP32 weights changed since the engine last saw them.
+  struct EngineSlot {
+    std::unique_ptr<ConvEngine> engine;
+    std::uint64_t weights_version = 0;
+    bool calibrated = false;
+  };
+  std::map<std::pair<EngineKind, std::size_t>, EngineSlot> engines_;
+  std::uint64_t weights_version_ = 1;
+  bool quantizable_ = true;
+};
+
+class ReluLayer : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
+  void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+
+ private:
+  std::vector<char> mask_;
+};
+
+/// 2x2 max pooling, stride 2.
+class MaxPoolLayer : public Layer {
+ public:
+  explicit MaxPoolLayer(std::size_t channels, std::size_t hw);
+  std::string name() const override { return "maxpool2x2"; }
+  void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
+  void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+
+ private:
+  std::size_t c_, hw_;
+  std::vector<std::uint32_t> argmax_;
+};
+
+/// Fully connected layer on flattened input.
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(std::size_t in_features, std::size_t out_features, Rng& rng);
+  std::string name() const override;
+  void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
+  void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+  void update(float lr, float momentum) override;
+  std::size_t parameter_count() const override { return w_.size() + b_.size(); }
+
+ private:
+  std::size_t in_f_, out_f_;
+  std::vector<float> w_, b_, grad_w_, grad_b_, mom_w_, mom_b_;
+  Tensor<float> cached_in_;
+};
+
+/// Residual block: out = relu(x + conv2(relu(conv1(x)))) with same shapes.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::size_t channels, std::size_t hw, Rng& rng);
+  std::string name() const override { return "residual"; }
+  void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
+  void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+  void update(float lr, float momentum) override;
+  void calibrate_with(const Tensor<float>& in, EngineKind kind) override;
+  void finalize_calibration(EngineKind kind) override;
+  void forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
+                      ThreadPool* pool) override;
+  std::size_t parameter_count() const override {
+    return conv1_.parameter_count() + conv2_.parameter_count();
+  }
+
+ private:
+  ConvLayer conv1_, conv2_;
+  ReluLayer relu_mid_;
+  std::vector<char> out_mask_;
+  Tensor<float> mid_, mid_act_, f_out_;       // forward caches
+  Tensor<float> g_f_, g_mid_act_, g_mid_;     // backward scratch
+};
+
+}  // namespace lowino

@@ -1,0 +1,75 @@
+#include "nn/model_zoo.h"
+
+#include "common/rng.h"
+
+namespace lowino {
+
+SequentialModel make_minivgg(std::size_t hw, std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  SequentialModel m;
+  // Stem conv stays FP32 under quantized inference: with a single input
+  // channel there is no cross-channel noise averaging, and the paper's
+  // networks never quantize their (7x7 / non-Winograd) stems either.
+  auto stem = std::make_unique<ConvLayer>(1, 64, hw, 3, 1, rng);
+  stem->set_quantizable(false);
+  m.add(std::move(stem));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<ConvLayer>(64, 64, hw, 3, 1, rng));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<MaxPoolLayer>(64, hw));
+  m.add(std::make_unique<ConvLayer>(64, 128, hw / 2, 3, 1, rng));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<MaxPoolLayer>(128, hw / 2));
+  m.add(std::make_unique<DenseLayer>(128 * (hw / 4) * (hw / 4), classes, rng));
+  return m;
+}
+
+SequentialModel make_miniresnet(std::size_t hw, std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  SequentialModel m;
+  auto stem = std::make_unique<ConvLayer>(1, 64, hw, 3, 1, rng);  // FP32 stem (see above)
+  stem->set_quantizable(false);
+  m.add(std::move(stem));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<ResidualBlock>(64, hw, rng));
+  m.add(std::make_unique<MaxPoolLayer>(64, hw));
+  m.add(std::make_unique<ResidualBlock>(64, hw / 2, rng));
+  m.add(std::make_unique<MaxPoolLayer>(64, hw / 2));
+  m.add(std::make_unique<DenseLayer>(64 * (hw / 4) * (hw / 4), classes, rng));
+  return m;
+}
+
+std::vector<PaperLayer> paper_layers_table2(std::size_t batch_override) {
+  struct Row {
+    const char* name;
+    std::size_t b, c, k, hw;
+  };
+  // Table 2 of the paper, verbatim (r = 3 everywhere, stride 1, pad 1).
+  static constexpr Row kRows[] = {
+      {"AlexNet_a", 64, 384, 384, 13},   {"AlexNet_b", 64, 384, 256, 13},
+      {"VGG16_a", 64, 256, 256, 58},     {"VGG16_b", 64, 512, 512, 30},
+      {"VGG16_c", 64, 512, 512, 16},     {"ResNet-50_a", 64, 128, 128, 28},
+      {"ResNet-50_b", 64, 256, 256, 14}, {"ResNet-50_c", 64, 512, 512, 7},
+      {"GoogLeNet_a", 64, 128, 192, 28}, {"GoogLeNet_b", 64, 128, 256, 14},
+      {"GoogLeNet_c", 64, 192, 384, 7},  {"YOLOv3_a", 1, 64, 128, 64},
+      {"YOLOv3_b", 1, 128, 256, 32},     {"YOLOv3_c", 1, 256, 512, 16},
+      {"FusionNet_a", 1, 128, 128, 320}, {"FusionNet_b", 1, 256, 256, 160},
+      {"FusionNet_c", 1, 512, 512, 80},  {"U-Net_a", 1, 128, 128, 282},
+      {"U-Net_b", 1, 256, 256, 138},     {"U-Net_c", 1, 512, 512, 66},
+  };
+  std::vector<PaperLayer> out;
+  for (const Row& row : kRows) {
+    PaperLayer layer;
+    layer.name = row.name;
+    layer.desc.batch = (row.b > 1 && batch_override != 0) ? batch_override : row.b;
+    layer.desc.in_channels = row.c;
+    layer.desc.out_channels = row.k;
+    layer.desc.height = layer.desc.width = row.hw;
+    layer.desc.kernel = 3;
+    layer.desc.pad = 1;
+    out.push_back(std::move(layer));
+  }
+  return out;
+}
+
+}  // namespace lowino

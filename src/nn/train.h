@@ -1,0 +1,57 @@
+// Training (SGD + momentum, softmax cross-entropy) and evaluation — FP32 and
+// per-engine quantized (the Table 3 measurement loop).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/dataset.h"
+#include "nn/engines.h"
+#include "nn/graph.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float lr_decay = 0.5f;        ///< multiply lr by this ...
+  std::size_t decay_every = 4;  ///< ... every this many epochs
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+};
+
+struct EvalResult {
+  double accuracy = 0.0;
+  double avg_loss = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Softmax + cross-entropy: returns the mean loss and writes
+/// d(loss)/d(logits) (already averaged over the batch).
+float softmax_xent(const Tensor<float>& logits, std::span<const int> labels,
+                   Tensor<float>& grad);
+
+/// Argmax predictions of a logits tensor.
+void predict(const Tensor<float>& logits, std::vector<int>& out);
+
+/// Trains in place; returns final-epoch training accuracy.
+double train_model(SequentialModel& model, const Dataset& data, const TrainConfig& config);
+
+/// FP32 evaluation (any dataset size).
+EvalResult evaluate_fp32(SequentialModel& model, const Dataset& data, std::size_t batch = 32);
+
+/// Quantized-engine evaluation. Samples beyond the last full batch are
+/// dropped (engines are specialized per batch size). Calibrate first!
+EvalResult evaluate_engine(SequentialModel& model, const Dataset& data, EngineKind kind,
+                           std::size_t batch = 32, ThreadPool* pool = nullptr);
+
+/// Runs the calibration pass over ~`n_samples` images in `batch`-sized chunks
+/// and finalizes — the paper's "~500 unlabeled sample images" (Eq. 7).
+void calibrate_model(SequentialModel& model, const Dataset& data, EngineKind kind,
+                     std::size_t n_samples = 512, std::size_t batch = 32);
+
+}  // namespace lowino

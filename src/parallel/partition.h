@@ -1,0 +1,43 @@
+// Static partitioning of an index range over workers (Section 4.4 of the paper).
+//
+// The paper assigns each thread the same amount of contiguous work at
+// compile-time ("static scheduling"); here `static_partition` computes the
+// contiguous [begin, end) slice of worker `tid` out of `num_workers` for a job
+// of `n` items. Remainder items are spread over the first `n % num_workers`
+// workers so the imbalance is at most one item.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace lowino {
+
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+inline Range static_partition(std::size_t n, std::size_t num_workers, std::size_t tid) {
+  const std::size_t base = n / num_workers;
+  const std::size_t rem = n % num_workers;
+  const std::size_t begin = tid * base + (tid < rem ? tid : rem);
+  const std::size_t len = base + (tid < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Partitions `n` items into chunks that are multiples of `granule` (except
+/// possibly the last chunk). Used when items must stay grouped, e.g. tiles
+/// that share a cache line in the blocked layouts.
+inline Range static_partition_granular(std::size_t n, std::size_t num_workers, std::size_t tid,
+                                       std::size_t granule) {
+  const std::size_t groups = (n + granule - 1) / granule;
+  Range g = static_partition(groups, num_workers, tid);
+  Range r{g.begin * granule, g.end * granule};
+  if (r.begin > n) r.begin = n;
+  if (r.end > n) r.end = n;
+  return r;
+}
+
+}  // namespace lowino

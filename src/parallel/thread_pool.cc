@@ -1,0 +1,73 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdint>
+
+#include "common/env.h"
+
+namespace lowino {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw != 0 ? hw : 1;
+  }
+  num_threads_ = num_threads;
+  workers_.reserve(num_threads_ > 0 ? num_threads_ - 1 : 0);
+  // Worker 0 is the calling thread; spawn the remaining num_threads-1.
+  for (std::size_t tid = 1; tid < num_threads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0, num_threads_);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(tid, num_threads_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(static_cast<std::size_t>(env_long("LOWINO_NUM_THREADS", 0)));
+  return pool;
+}
+
+}  // namespace lowino

@@ -1,0 +1,67 @@
+// Fork-join thread pool with static work assignment.
+//
+// The paper (Section 4.4) executes each convolution stage as a single
+// fork-join region where every thread receives a pre-computed contiguous slice
+// of the work. This pool implements exactly that model: `run(fn)` invokes
+// `fn(tid, num_workers)` on every worker (the calling thread doubles as worker
+// 0) and returns when all have finished. There is no work stealing — static
+// scheduling is a deliberate design decision of the paper (equal work, equal
+// memory access pattern per thread, no runtime scheduling overhead).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/partition.h"
+
+namespace lowino {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that executes jobs on `num_threads` workers total
+  /// (including the caller). `num_threads == 0` means hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs `fn(tid, num_threads)` on every worker; blocks until all complete.
+  void run(const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Statically partitions [0, n) and runs `fn(begin, end)` per worker.
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    run([&](std::size_t tid, std::size_t nw) {
+      const Range r = static_partition(n, nw, tid);
+      if (!r.empty()) fn(r.begin, r.end);
+    });
+  }
+
+  /// A process-wide default pool (size from LOWINO_NUM_THREADS or hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t tid);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace lowino

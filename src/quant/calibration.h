@@ -1,0 +1,37 @@
+// KL-divergence threshold calibration (Eq. 7 of the paper; Migacz's TensorRT
+// procedure): choose the saturation threshold tau minimizing
+//   D_KL( P(X) || P(Q_tau(X)) )
+// over candidate thresholds, where P is the activation distribution.
+#pragma once
+
+#include "quant/histogram.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+
+struct CalibrationResult {
+  float tau = 0.0f;       ///< chosen saturation threshold
+  double kl = 0.0;        ///< KL divergence at the chosen threshold
+  std::size_t bin = 0;    ///< histogram bin index of the threshold
+};
+
+/// Runs the KL sweep over a collected histogram. `quant_levels` is the number
+/// of positive quantization levels (127 for symmetric INT8). Returns the
+/// max-abs threshold if the histogram is empty or degenerate.
+///
+/// `min_coverage` floors the threshold at the quantile keeping that fraction
+/// of the observed mass. Raw KL minimization over-clips when the calibration
+/// set is small (sparse histograms make the divergence estimate noisy); the
+/// coverage floor keeps the sweep's outlier-clipping behaviour while bounding
+/// the damage. Set to 0 for the unmodified TensorRT-style sweep.
+CalibrationResult calibrate_kl(const Histogram& hist, std::size_t quant_levels = 128,
+                               double min_coverage = 0.999);
+
+/// Convenience: KL-calibrated QuantParams for a histogram.
+QuantParams calibrate_params(const Histogram& hist);
+
+/// Discrete KL divergence between two (unnormalized) distributions; zero
+/// q-mass where p has mass is smoothed. Exposed for tests.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+}  // namespace lowino

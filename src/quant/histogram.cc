@@ -1,0 +1,37 @@
+#include "quant/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowino {
+
+void Histogram::collect(std::span<const float> values) {
+  float batch_max = 0.0f;
+  for (float v : values) batch_max = std::max(batch_max, std::abs(v));
+  if (bin_width_ == 0.0f) {
+    if (batch_max == 0.0f) return;  // defer range selection until real data arrives
+    bin_width_ = 1.25f * batch_max / static_cast<float>(counts_.size());
+  }
+  // Grow the range by doubling the bin width (merging bins pairwise) until
+  // the batch maximum fits. Keeps the histogram batching-order independent.
+  const std::size_t n = counts_.size();
+  while (batch_max >= bin_width_ * static_cast<float>(n)) {
+    for (std::size_t j = 0; j < n / 2; ++j) {
+      counts_[j] = counts_[2 * j] + counts_[2 * j + 1];
+    }
+    std::fill(counts_.begin() + static_cast<std::ptrdiff_t>(n / 2), counts_.end(),
+              std::uint64_t{0});
+    bin_width_ *= 2.0f;
+  }
+  const float inv_w = 1.0f / bin_width_;
+  const std::size_t last = n - 1;
+  for (float v : values) {
+    const float a = std::abs(v);
+    max_abs_seen_ = std::max(max_abs_seen_, a);
+    const std::size_t bin = std::min(last, static_cast<std::size_t>(a * inv_w));
+    ++counts_[bin];
+    ++total_;
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,71 @@
+#include "quant/quantize.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/saturate.h"
+
+namespace lowino {
+
+QuantParams QuantParams::from_threshold(float tau, int bits) {
+  // Degenerate all-zero tensors calibrate to tau == 0; scale 1 keeps them
+  // exactly representable (everything quantizes to 0).
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const float scale = tau > 0.0f ? qmax / tau : 1.0f;
+  return from_scale(scale);
+}
+
+QuantParams QuantParams::from_scale(float scale) {
+  QuantParams p;
+  p.scale = scale;
+  p.inv_scale = 1.0f / scale;
+  return p;
+}
+
+float abs_max(std::span<const float> values) {
+  float m = 0.0f;
+  for (float v : values) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void quantize_i8(std::span<const float> src, float scale, std::span<std::int8_t> dst) {
+  assert(dst.size() >= src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = saturate_cast_i8(src[i] * scale);
+}
+
+void quantize_u8_shift128(std::span<const float> src, float scale,
+                          std::span<std::uint8_t> dst) {
+  assert(dst.size() >= src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    // Round first, shift in the integer domain: adding 128.0f before rounding
+    // could perturb the FP32 tie cases and diverge from the vector kernels.
+    const std::int32_t q = round_nearest_even(src[i] * scale) + 128;
+    dst[i] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+  }
+}
+
+void dequantize_i32(std::span<const std::int32_t> src, float inv_scale, std::span<float> dst) {
+  assert(dst.size() >= src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * inv_scale;
+  }
+}
+
+QuantError quantization_error(std::span<const float> reference, std::span<const float> actual) {
+  assert(reference.size() == actual.size());
+  QuantError e;
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = static_cast<double>(reference[i]) - static_cast<double>(actual[i]);
+    noise += d * d;
+    signal += static_cast<double>(reference[i]) * static_cast<double>(reference[i]);
+    e.max_abs = std::max(e.max_abs, std::abs(d));
+  }
+  const double n = reference.empty() ? 1.0 : static_cast<double>(reference.size());
+  e.mse = noise / n;
+  e.signal_to_noise_db =
+      noise > 0.0 ? 10.0 * std::log10(signal / noise) : 300.0;  // 300 dB ~ exact
+  return e;
+}
+
+}  // namespace lowino

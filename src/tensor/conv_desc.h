@@ -1,0 +1,82 @@
+// Convolution problem descriptor and Winograd tiling geometry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/aligned_buffer.h"
+
+namespace lowino {
+
+/// Vector geometry of the low-precision instruction set (Section 4.1):
+/// sigma = FP32 lanes per 512-bit vector, phi = 8-bit values per 32-bit word.
+inline constexpr std::size_t kSigma = 16;
+inline constexpr std::size_t kPhi = 4;
+/// Channel block of every blocked activation layout (phi * sigma = 64).
+inline constexpr std::size_t kChanBlock = kPhi * kSigma;
+
+/// Describes one 2D convolution layer: B x C x H x W input, K filters of
+/// r x r, unit stride, symmetric zero padding.
+struct ConvDesc {
+  std::size_t batch = 1;        ///< B
+  std::size_t in_channels = 1;  ///< C
+  std::size_t out_channels = 1; ///< K
+  std::size_t height = 1;       ///< H
+  std::size_t width = 1;        ///< W
+  std::size_t kernel = 3;       ///< r
+  std::size_t pad = 1;          ///< symmetric zero padding
+  std::size_t stride = 1;       ///< only 1 is Winograd-compatible
+
+  std::size_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
+
+  /// Channels rounded up to the 64-channel block of the blocked layouts.
+  std::size_t padded_in_channels() const { return round_up(in_channels, kChanBlock); }
+  std::size_t padded_out_channels() const { return round_up(out_channels, kChanBlock); }
+
+  /// MAC count of the direct algorithm (for GOPS reporting).
+  double direct_macs() const {
+    return static_cast<double>(batch) * static_cast<double>(out_channels) *
+           static_cast<double>(in_channels) * static_cast<double>(out_height()) *
+           static_cast<double>(out_width()) * static_cast<double>(kernel * kernel);
+  }
+
+  std::string to_string() const {
+    return "B" + std::to_string(batch) + " C" + std::to_string(in_channels) + " K" +
+           std::to_string(out_channels) + " H" + std::to_string(height) + " W" +
+           std::to_string(width) + " r" + std::to_string(kernel);
+  }
+};
+
+/// Winograd tiling of a ConvDesc for F(m x m, r x r).
+struct WinogradGeometry {
+  std::size_t m = 0;       ///< output tile size
+  std::size_t r = 0;       ///< filter size
+  std::size_t alpha = 0;   ///< input tile size m + r - 1
+  std::size_t tiles_h = 0; ///< tiles along output height
+  std::size_t tiles_w = 0; ///< tiles along output width
+  std::size_t tiles_per_image = 0;
+  std::size_t total_tiles = 0; ///< N in the paper: batch * tiles_per_image
+  std::size_t t_elems = 0;     ///< T = alpha^2, matrices in the batched GEMM
+
+  WinogradGeometry() = default;
+  WinogradGeometry(const ConvDesc& desc, std::size_t m_) {
+    m = m_;
+    r = desc.kernel;
+    alpha = m + r - 1;
+    tiles_h = ceil_div(desc.out_height(), m);
+    tiles_w = ceil_div(desc.out_width(), m);
+    tiles_per_image = tiles_h * tiles_w;
+    total_tiles = desc.batch * tiles_per_image;
+    t_elems = alpha * alpha;
+  }
+
+  /// MAC count of the Winograd algorithm's batched GEMM.
+  double winograd_macs(const ConvDesc& desc) const {
+    return static_cast<double>(t_elems) * static_cast<double>(total_tiles) *
+           static_cast<double>(desc.padded_in_channels()) *
+           static_cast<double>(desc.padded_out_channels());
+  }
+};
+
+}  // namespace lowino

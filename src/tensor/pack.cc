@@ -1,0 +1,67 @@
+#include "tensor/pack.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "parallel/thread_pool.h"
+
+namespace lowino {
+namespace {
+
+template <typename Fn>
+void for_batch(std::size_t n, ThreadPool* pool, Fn&& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::size_t channels,
+                          std::size_t height, std::size_t width, std::span<float> dst,
+                          ThreadPool* pool) {
+  const BlockedActLayout layout(batch, channels, height, width);
+  assert(src.size() >= batch * channels * height * width);
+  assert(dst.size() >= layout.size());
+  const std::size_t hw = height * width;
+  for_batch(batch * layout.chan_blocks, pool, [&](std::size_t job) {
+    const std::size_t b = job / layout.chan_blocks;
+    const std::size_t cb = job % layout.chan_blocks;
+    float* out_base = dst.data() + layout.offset(b, cb, 0, 0);
+    for (std::size_t p = 0; p < hw; ++p) {
+      float* out = out_base + p * kChanBlock;
+      for (std::size_t ci = 0; ci < kChanBlock; ++ci) {
+        const std::size_t c = cb * kChanBlock + ci;
+        out[ci] = c < channels ? src[(b * channels + c) * hw + p] : 0.0f;
+      }
+    }
+  });
+}
+
+void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::size_t channels,
+                            std::size_t height, std::size_t width, std::span<float> dst,
+                            ThreadPool* pool) {
+  const BlockedActLayout layout(batch, channels, height, width);
+  assert(src.size() >= layout.size());
+  assert(dst.size() >= batch * channels * height * width);
+  const std::size_t hw = height * width;
+  for_batch(batch * layout.chan_blocks, pool, [&](std::size_t job) {
+    const std::size_t b = job / layout.chan_blocks;
+    const std::size_t cb = job % layout.chan_blocks;
+    const float* in_base = src.data() + layout.offset(b, cb, 0, 0);
+    const std::size_t c_limit =
+        channels > cb * kChanBlock ? std::min(kChanBlock, channels - cb * kChanBlock) : 0;
+    for (std::size_t p = 0; p < hw; ++p) {
+      const float* in = in_base + p * kChanBlock;
+      for (std::size_t ci = 0; ci < c_limit; ++ci) {
+        dst[(b * channels + cb * kChanBlock + ci) * hw + p] = in[ci];
+      }
+    }
+  });
+}
+
+}  // namespace lowino

@@ -1,0 +1,25 @@
+// Packing between the interface NCHW layout and the blocked layouts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+/// NCHW (B x C x H x W) -> blocked B x [C/64] x H x W x 64.
+/// Channels beyond C (up to the padded 64-multiple) are zero-filled.
+void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::size_t channels,
+                          std::size_t height, std::size_t width, std::span<float> dst,
+                          ThreadPool* pool = nullptr);
+
+/// Blocked B x [C/64] x H x W x 64 -> NCHW (padding channels dropped).
+void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::size_t channels,
+                            std::size_t height, std::size_t width, std::span<float> dst,
+                            ThreadPool* pool = nullptr);
+
+}  // namespace lowino

@@ -1,0 +1,99 @@
+// Dense row-major N-dimensional tensor.
+//
+// This is the *interface-level* container (model weights, activations in the
+// NN runtime, test fixtures). The convolution engines operate on raw
+// cache-line-aligned buffers in the blocked layouts of Table 1 (see
+// tensor/layout.h); packing between the two lives in tensor/pack.h.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace lowino {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::size_t> shape) { reshape(std::move(shape)); }
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor& other) { *this = other; }
+  Tensor& operator=(const Tensor& other) {
+    if (this != &other) {
+      reshape(other.shape_);
+      std::copy(other.data(), other.data() + other.size(), data());
+    }
+    return *this;
+  }
+
+  void reshape(std::vector<std::size_t> shape) {
+    shape_ = std::move(shape);
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t i = shape_.size(); i-- > 1;) {
+      strides_[i - 1] = strides_[i] * shape_[i];
+    }
+    const std::size_t n = size();
+    buffer_.ensure(n);
+  }
+
+  std::size_t size() const {
+    std::size_t n = 1;
+    for (std::size_t d : shape_) n *= d;
+    return shape_.empty() ? 0 : n;
+  }
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t rank() const { return shape_.size(); }
+
+  T* data() { return buffer_.data(); }
+  const T* data() const { return buffer_.data(); }
+  std::span<T> span() { return {data(), size()}; }
+  std::span<const T> span() const { return {data(), size()}; }
+
+  void fill(T v) {
+    T* p = data();
+    for (std::size_t i = 0, n = size(); i < n; ++i) p[i] = v;
+  }
+  void zero() { fill(T{}); }
+
+  template <typename... Idx>
+  T& operator()(Idx... idx) {
+    return data()[offset(idx...)];
+  }
+  template <typename... Idx>
+  const T& operator()(Idx... idx) const {
+    return data()[offset(idx...)];
+  }
+
+  template <typename... Idx>
+  std::size_t offset(Idx... idx) const {
+    const std::array<std::size_t, sizeof...(Idx)> ids{static_cast<std::size_t>(idx)...};
+    assert(ids.size() == shape_.size());
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      assert(ids[i] < shape_[i]);
+      off += ids[i] * strides_[i];
+    }
+    return off;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<std::size_t> strides_;
+  AlignedBuffer<T> buffer_;
+};
+
+}  // namespace lowino

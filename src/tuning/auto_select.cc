@@ -1,0 +1,100 @@
+#include "tuning/auto_select.h"
+
+#include <limits>
+
+#include "common/timer.h"
+
+namespace lowino {
+namespace {
+
+LoWinoConfig lowino_config(std::size_t m) {
+  LoWinoConfig cfg;
+  cfg.m = m;
+  return cfg;
+}
+
+}  // namespace
+
+const char* algorithm_name(ConvAlgorithm a) {
+  switch (a) {
+    case ConvAlgorithm::kInt8Direct: return "int8-direct";
+    case ConvAlgorithm::kLoWinoF2: return "lowino-f2";
+    case ConvAlgorithm::kLoWinoF4: return "lowino-f4";
+  }
+  return "?";
+}
+
+AutoConv::AutoConv(const ConvDesc& desc, const AutoConvOptions& options)
+    : desc_(desc),
+      options_(options),
+      direct_(desc),
+      f2_(desc, lowino_config(2)),
+      f4_(desc, lowino_config(4)) {
+  if (options_.forced.has_value()) {
+    algorithm_ = *options_.forced;
+    selected_ = true;
+  }
+}
+
+void AutoConv::calibrate(std::span<const float> input_nchw) {
+  direct_.calibrate(input_nchw);
+  f2_.calibrate(input_nchw, /*tile_stride=*/4);
+  f4_.calibrate(input_nchw, /*tile_stride=*/4);
+}
+
+void AutoConv::finalize_calibration() {
+  direct_.finalize_calibration();
+  f2_.finalize_calibration();
+  f4_.finalize_calibration();
+}
+
+void AutoConv::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  direct_.set_filters(weights, bias);
+  f2_.set_filters(weights, bias);
+  f4_.set_filters(weights, bias);
+}
+
+void AutoConv::ensure_selected(std::span<const float> input, std::span<float> output,
+                               ThreadPool* pool) {
+  if (selected_) return;
+  const auto time_candidate = [&](auto&& run) {
+    return time_it(run, /*warmup=*/1, /*min_iters=*/2, /*max_iters=*/10,
+                   options_.seconds_per_candidate)
+        .median;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  const struct {
+    ConvAlgorithm algo;
+    double seconds;
+  } results[] = {
+      {ConvAlgorithm::kInt8Direct,
+       time_candidate([&] { direct_.execute_nchw(input, output, pool); })},
+      {ConvAlgorithm::kLoWinoF2,
+       time_candidate([&] { f2_.execute_nchw(input, output, pool); })},
+      {ConvAlgorithm::kLoWinoF4,
+       time_candidate([&] { f4_.execute_nchw(input, output, pool); })},
+  };
+  for (const auto& r : results) {
+    if (r.seconds < best) {
+      best = r.seconds;
+      algorithm_ = r.algo;
+    }
+  }
+  selected_ = true;
+}
+
+void AutoConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                            ThreadPool* pool) {
+  ensure_selected(input, output, pool);
+  switch (algorithm_) {
+    case ConvAlgorithm::kInt8Direct: direct_.execute_nchw(input, output, pool); break;
+    case ConvAlgorithm::kLoWinoF2: f2_.execute_nchw(input, output, pool); break;
+    case ConvAlgorithm::kLoWinoF4: f4_.execute_nchw(input, output, pool); break;
+  }
+}
+
+std::string AutoConv::wisdom_algo_key(const ConvDesc& desc) {
+  return desc.to_string() + " algo";
+}
+
+}  // namespace lowino

@@ -1,0 +1,66 @@
+// Automatic algorithm selection (the paper's future work #1, Section 7:
+// "explore an automatic mechanism to select the optimal algorithm for a
+// convolutional layer among direct, Winograd, and others").
+//
+// AutoConv measures the INT8 candidates — direct, LoWino F(2x2,3x3) and
+// LoWino F(4x4,3x3) — on the actual layer shape during a one-time selection
+// phase (filters and calibration are shared), picks the fastest, and runs it
+// thereafter. Selection results can be persisted in the wisdom store next to
+// the blocking parameters.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "direct/direct_int8.h"
+#include "lowino/convolution.h"
+#include "tuning/wisdom.h"
+
+namespace lowino {
+
+enum class ConvAlgorithm { kInt8Direct, kLoWinoF2, kLoWinoF4 };
+
+const char* algorithm_name(ConvAlgorithm a);
+
+struct AutoConvOptions {
+  double seconds_per_candidate = 0.05;
+  /// Pre-selected algorithm (skips measurement); parsed from wisdom.
+  std::optional<ConvAlgorithm> forced;
+};
+
+class AutoConv {
+ public:
+  explicit AutoConv(const ConvDesc& desc, const AutoConvOptions& options = {});
+
+  /// Same lifecycle as the other engines.
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  /// First call runs the selection measurement (unless forced); later calls
+  /// use the chosen algorithm.
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr);
+
+  bool selected() const { return selected_; }
+  ConvAlgorithm algorithm() const { return algorithm_; }
+
+  /// Wisdom integration: "algo <name>" entries keyed like the blocking tuner.
+  static std::string wisdom_algo_key(const ConvDesc& desc);
+
+ private:
+  void ensure_selected(std::span<const float> input, std::span<float> output,
+                       ThreadPool* pool);
+
+  ConvDesc desc_;
+  AutoConvOptions options_;
+  Int8DirectConv direct_;
+  LoWinoConvolution f2_;
+  LoWinoConvolution f4_;
+  bool selected_ = false;
+  ConvAlgorithm algorithm_ = ConvAlgorithm::kLoWinoF4;
+};
+
+}  // namespace lowino

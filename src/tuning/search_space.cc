@@ -1,0 +1,45 @@
+#include "tuning/search_space.h"
+
+#include <algorithm>
+
+#include "lowino/convolution.h"
+
+namespace lowino {
+
+std::vector<Int8GemmBlocking> enumerate_blockings(std::size_t padded_c,
+                                                  std::size_t padded_k) {
+  static constexpr std::pair<int, int> kRegTiles[] = {
+      {6, 4}, {4, 6}, {8, 3}, {12, 2}, {14, 2}, {4, 4}, {2, 8}, {16, 1}};
+  static constexpr std::size_t kNblk[] = {48, 96, 168, 336};
+  static constexpr std::size_t kCblk[] = {64, 128, 256, 512};
+  static constexpr std::size_t kKblk[] = {32, 64, 128, 256};
+
+  std::vector<Int8GemmBlocking> out;
+  for (const auto& [row, col] : kRegTiles) {
+    for (std::size_t nb : kNblk) {
+      for (std::size_t cb : kCblk) {
+        if (cb > padded_c) continue;
+        for (std::size_t kb : kKblk) {
+          if (kb > padded_k) continue;
+          Int8GemmBlocking b;
+          b.row_blk = row;
+          b.col_blk = col;
+          b.n_blk = round_up_multiple(nb, static_cast<std::size_t>(row));
+          b.c_blk = cb;
+          b.k_blk = kb;
+          if (b.k_blk % (static_cast<std::size_t>(col) * 16) != 0) continue;
+          if (!b.valid()) continue;
+          if (std::find_if(out.begin(), out.end(), [&](const Int8GemmBlocking& o) {
+                return o.n_blk == b.n_blk && o.c_blk == b.c_blk && o.k_blk == b.k_blk &&
+                       o.row_blk == b.row_blk && o.col_blk == b.col_blk;
+              }) == out.end()) {
+            out.push_back(b);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lowino

@@ -1,0 +1,20 @@
+// Search space for the GEMM blocking auto-tuner (Section 4.3.4).
+//
+// Candidates obey the paper's constraints: register budget
+// row_blk * col_blk + col_blk < 31 (one auxiliary broadcast register),
+// cache bound Cblk * Kblk <= 512^2, divisibility of Nblk/Kblk by the register
+// tile, and clamping to the layer's padded channel counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gemm/int8_gemm.h"
+
+namespace lowino {
+
+/// Enumerates valid, de-duplicated blocking candidates for a layer with
+/// `padded_c` input and `padded_k` output channels.
+std::vector<Int8GemmBlocking> enumerate_blockings(std::size_t padded_c, std::size_t padded_k);
+
+}  // namespace lowino

@@ -1,0 +1,66 @@
+#include "tuning/wisdom.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lowino {
+
+void WisdomStore::put(const std::string& key, const Int8GemmBlocking& blocking) {
+  entries_[key] = blocking;
+}
+
+std::optional<Int8GemmBlocking> WisdomStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string WisdomStore::serialize() const {
+  std::ostringstream os;
+  os << "# lowino wisdom v1: key = n_blk c_blk k_blk row_blk col_blk nt prefetch\n";
+  for (const auto& [key, b] : entries_) {
+    os << key << " = " << b.n_blk << ' ' << b.c_blk << ' ' << b.k_blk << ' ' << b.row_blk
+       << ' ' << b.col_blk << ' ' << (b.nt_store ? 1 : 0) << ' ' << (b.prefetch ? 1 : 0)
+       << '\n';
+  }
+  return os.str();
+}
+
+WisdomStore WisdomStore::deserialize(const std::string& text) {
+  WisdomStore store;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    std::istringstream vals(line.substr(eq + 3));
+    Int8GemmBlocking b;
+    int nt = 1, pf = 1;
+    if (!(vals >> b.n_blk >> b.c_blk >> b.k_blk >> b.row_blk >> b.col_blk >> nt >> pf)) {
+      continue;
+    }
+    b.nt_store = nt != 0;
+    b.prefetch = pf != 0;
+    if (b.valid()) store.entries_[key] = b;
+  }
+  return store;
+}
+
+bool WisdomStore::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<WisdomStore> WisdomStore::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+}  // namespace lowino

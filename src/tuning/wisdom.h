@@ -1,0 +1,32 @@
+// Wisdom store: persisted auto-tuning results (Section 4.3.4: "the optimal
+// parameters are saved into a wisdom file and used in inference").
+// Plain-text key/value format, no external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "gemm/int8_gemm.h"
+
+namespace lowino {
+
+class WisdomStore {
+ public:
+  void put(const std::string& key, const Int8GemmBlocking& blocking);
+  std::optional<Int8GemmBlocking> get(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serializes to "key = n_blk c_blk k_blk row col nt pf" lines.
+  std::string serialize() const;
+  /// Parses serialized text; malformed lines are skipped.
+  static WisdomStore deserialize(const std::string& text);
+
+  bool save(const std::string& path) const;
+  static std::optional<WisdomStore> load(const std::string& path);
+
+ private:
+  std::map<std::string, Int8GemmBlocking> entries_;
+};
+
+}  // namespace lowino

@@ -1,0 +1,129 @@
+#include "winograd/codelet_plan.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/aligned_buffer.h"
+
+namespace lowino {
+namespace {
+
+bool nearly_equal(double a, double b) { return std::abs(a - b) < 1e-12; }
+
+void count_ops(const std::vector<LinTerm>& terms, std::size_t& muls, std::size_t& adds) {
+  for (const LinTerm& t : terms) {
+    if (!nearly_equal(std::abs(t.coeff), 1.0)) ++muls;
+  }
+  if (!terms.empty()) adds += terms.size() - 1;
+}
+
+}  // namespace
+
+CodeletPlan CodeletPlan::build(const double* M, std::size_t n_out, std::size_t n_in) {
+  CodeletPlan plan;
+  plan.n_in_ = n_in;
+  plan.n_out_ = n_out;
+
+  // Naive op counts (zero-skipped dense evaluation) for comparison.
+  for (std::size_t i = 0; i < n_out; ++i) {
+    std::size_t nz = 0;
+    for (std::size_t j = 0; j < n_in; ++j) {
+      const double c = M[i * n_in + j];
+      if (c == 0.0) continue;
+      ++nz;
+      if (!nearly_equal(std::abs(c), 1.0)) ++plan.naive_mul_count_;
+    }
+    if (nz > 0) plan.naive_add_count_ += nz - 1;
+  }
+
+  std::vector<bool> done(n_out, false);
+
+  // CSE: pair rows p, q whose non-zero patterns split into a shared part
+  // (equal coefficients) and an anti-symmetric part (negated coefficients),
+  // with both parts non-empty. Winograd matrices are built from +/- point
+  // pairs, so most rows pair up this way (e.g. B^T(4,3) rows 1&2, 3&4).
+  for (std::size_t p = 0; p < n_out; ++p) {
+    if (done[p]) continue;
+    for (std::size_t q = p + 1; q < n_out; ++q) {
+      if (done[q]) continue;
+      std::vector<LinTerm> common, anti;
+      bool compatible = true;
+      for (std::size_t j = 0; j < n_in && compatible; ++j) {
+        const double a = M[p * n_in + j];
+        const double b = M[q * n_in + j];
+        if (a == 0.0 && b == 0.0) continue;
+        if (nearly_equal(a, b)) {
+          common.push_back({j, static_cast<float>(a)});
+        } else if (nearly_equal(a, -b)) {
+          anti.push_back({j, static_cast<float>(a)});
+        } else {
+          compatible = false;
+        }
+      }
+      // Pairing pays off when at least one shared part has 2+ terms.
+      if (!compatible || common.empty() || anti.empty() ||
+          (common.size() < 2 && anti.size() < 2)) {
+        continue;
+      }
+      const std::size_t t_common = n_in + plan.n_temps_++;
+      const std::size_t t_anti = n_in + plan.n_temps_++;
+      plan.steps_.push_back({false, t_common - n_in, common});
+      plan.steps_.push_back({false, t_anti - n_in, anti});
+      plan.steps_.push_back({true, p, {{t_common, 1.0f}, {t_anti, 1.0f}}});
+      plan.steps_.push_back({true, q, {{t_common, 1.0f}, {t_anti, -1.0f}}});
+      count_ops(common, plan.mul_count_, plan.add_count_);
+      count_ops(anti, plan.mul_count_, plan.add_count_);
+      plan.add_count_ += 2;  // the two combining adds
+      done[p] = done[q] = true;
+      break;
+    }
+  }
+
+  // Remaining rows: direct zero-skipped linear combinations.
+  for (std::size_t i = 0; i < n_out; ++i) {
+    if (done[i]) continue;
+    std::vector<LinTerm> terms;
+    for (std::size_t j = 0; j < n_in; ++j) {
+      const double c = M[i * n_in + j];
+      if (c != 0.0) terms.push_back({j, static_cast<float>(c)});
+    }
+    count_ops(terms, plan.mul_count_, plan.add_count_);
+    plan.steps_.push_back({true, i, std::move(terms)});
+  }
+  return plan;
+}
+
+void CodeletPlan::apply(const float* in, std::size_t in_stride, float* out,
+                        std::size_t out_stride, std::size_t lanes) const {
+  // Temps live in a small stack buffer: n_temps x lanes floats. Transform
+  // codelets use lanes <= 64 and n_temps <= alpha, so 4 KiB is ample.
+  constexpr std::size_t kStackFloats = 1024;
+  float stack_buf[kStackFloats];
+  AlignedBuffer<float> heap_buf;
+  float* temps = stack_buf;
+  if (n_temps_ * lanes > kStackFloats) {
+    heap_buf.reset(n_temps_ * lanes);
+    temps = heap_buf.data();
+  }
+
+  for (const PlanStep& step : steps_) {
+    float* dst = step.is_output ? out + step.index * out_stride : temps + step.index * lanes;
+    if (step.terms.empty()) {
+      for (std::size_t l = 0; l < lanes; ++l) dst[l] = 0.0f;
+      continue;
+    }
+    const auto src_ptr = [&](std::size_t s) {
+      return s < n_in_ ? in + s * in_stride : temps + (s - n_in_) * lanes;
+    };
+    const float* s0 = src_ptr(step.terms[0].src);
+    const float c0 = step.terms[0].coeff;
+    for (std::size_t l = 0; l < lanes; ++l) dst[l] = c0 * s0[l];
+    for (std::size_t ti = 1; ti < step.terms.size(); ++ti) {
+      const float* s = src_ptr(step.terms[ti].src);
+      const float c = step.terms[ti].coeff;
+      for (std::size_t l = 0; l < lanes; ++l) dst[l] += c * s[l];
+    }
+  }
+}
+
+}  // namespace lowino

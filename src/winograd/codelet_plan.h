@@ -1,0 +1,69 @@
+// Codelet planner for Winograd transforms (Section 4.2.4 / Figure 4).
+//
+// A transform stage applies a small constant matrix M (alpha x alpha, m x alpha
+// or alpha x r) to a vector of SIMD lanes. The paper's codelet generator emits
+// specialized code with three optimizations:
+//   1. zero-skipping   — terms with coefficient 0 are never emitted;
+//   2. CSE             — +/- symmetric row pairs share their common and
+//                        anti-symmetric sub-expressions via temporaries
+//                        (the "temp" variable in Figure 4);
+//   3. unrolling       — the interpreter walks a flat step list; the lane loop
+//                        is the vectorized dimension.
+// `CodeletPlan::build` performs 1-2 at plan-construction time; `apply` executes
+// the plan over a strided array of lanes. The hand-tuned AVX-512 codelets in
+// lowino/ implement the same schedules manually for F(2,3) and F(4,3); this
+// module provides the paper's "broadest coverage" generic path (any F(m,r)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lowino {
+
+struct LinTerm {
+  /// Source slot: < n_in refers to input row `src`; >= n_in refers to
+  /// temporary `src - n_in`.
+  std::size_t src = 0;
+  float coeff = 0.0f;
+};
+
+struct PlanStep {
+  bool is_output = false;  ///< temp slot when false, output row when true
+  std::size_t index = 0;   ///< output row index or temp index
+  std::vector<LinTerm> terms;
+};
+
+class CodeletPlan {
+ public:
+  /// Builds a plan computing y = M x for row-major M of shape n_out x n_in.
+  static CodeletPlan build(const double* M, std::size_t n_out, std::size_t n_in);
+
+  /// Executes the plan over `lanes` independent scalar lanes:
+  ///   out[row * out_stride + l] = sum_j M[row][j] * in[j * in_stride + l].
+  void apply(const float* in, std::size_t in_stride, float* out, std::size_t out_stride,
+             std::size_t lanes) const;
+
+  std::size_t n_in() const { return n_in_; }
+  std::size_t n_out() const { return n_out_; }
+  std::size_t n_temps() const { return n_temps_; }
+  const std::vector<PlanStep>& steps() const { return steps_; }
+
+  /// Multiply count of the plan (coefficients of magnitude 1 are free adds).
+  std::size_t mul_count() const { return mul_count_; }
+  std::size_t add_count() const { return add_count_; }
+  /// Multiply/add counts of the naive dense evaluation, for comparison.
+  std::size_t naive_mul_count() const { return naive_mul_count_; }
+  std::size_t naive_add_count() const { return naive_add_count_; }
+
+ private:
+  std::size_t n_in_ = 0;
+  std::size_t n_out_ = 0;
+  std::size_t n_temps_ = 0;
+  std::vector<PlanStep> steps_;
+  std::size_t mul_count_ = 0;
+  std::size_t add_count_ = 0;
+  std::size_t naive_mul_count_ = 0;
+  std::size_t naive_add_count_ = 0;
+};
+
+}  // namespace lowino

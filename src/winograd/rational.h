@@ -1,0 +1,99 @@
+// Exact rational arithmetic for Winograd transform-matrix generation.
+//
+// Transform matrices must be *exact*: the Winograd identity
+//   y = A^T [(G g) . (B^T d)]
+// holds with zero error only for the exact Cook-Toom coefficients, and the
+// generator verifies the identity symbolically at construction time
+// (transform.cc). 128-bit intermediates keep the Gaussian elimination exact
+// for every tile size we generate (up to F(6x6, 5x5)).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace lowino {
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT: implicit by design
+  Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) { normalize(); }
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+  bool is_zero() const { return num_ == 0; }
+  bool is_integer() const { return den_ == 1; }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return make(i128(a.num_) * b.den_ + i128(b.num_) * a.den_, i128(a.den_) * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return make(i128(a.num_) * b.den_ - i128(b.num_) * a.den_, i128(a.den_) * b.den_);
+  }
+  friend Rational operator*(const Rational& a, const Rational& b) {
+    return make(i128(a.num_) * b.num_, i128(a.den_) * b.den_);
+  }
+  friend Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw std::domain_error("Rational division by zero");
+    return make(i128(a.num_) * b.den_, i128(a.den_) * b.num_);
+  }
+  Rational operator-() const { return Rational(-num_, den_); }
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+
+  Rational abs() const { return Rational(num_ < 0 ? -num_ : num_, den_); }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return i128(a.num_) * b.den_ < i128(b.num_) * a.den_;
+  }
+
+ private:
+  using i128 = __int128;
+
+  static Rational make(i128 n, i128 d) {
+    if (d == 0) throw std::domain_error("Rational with zero denominator");
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    const i128 g = gcd128(n < 0 ? -n : n, d);
+    if (g > 1) {
+      n /= g;
+      d /= g;
+    }
+    constexpr i128 kMax = INT64_MAX;
+    if (n > kMax || n < -kMax || d > kMax) {
+      throw std::overflow_error("Rational overflow during transform generation");
+    }
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(n);
+    r.den_ = static_cast<std::int64_t>(d);
+    return r;
+  }
+
+  static i128 gcd128(i128 a, i128 b) {
+    while (b != 0) {
+      const i128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  void normalize() { *this = make(num_, den_); }
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+}  // namespace lowino

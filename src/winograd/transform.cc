@@ -1,0 +1,295 @@
+#include "winograd/transform.h"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace lowino {
+namespace {
+
+using Mat = std::vector<Rational>;  // row-major
+
+/// Solves the (rows x cols) exactly-determined-or-overdetermined consistent
+/// system M x = b with rational Gaussian elimination. Throws if inconsistent
+/// or rank-deficient.
+std::vector<Rational> solve_exact(Mat M, std::vector<Rational> b, std::size_t rows,
+                                  std::size_t cols) {
+  std::size_t pivot_row = 0;
+  std::vector<std::size_t> pivot_of_col(cols, SIZE_MAX);
+  for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    // Find a non-zero pivot.
+    std::size_t p = SIZE_MAX;
+    for (std::size_t rr = pivot_row; rr < rows; ++rr) {
+      if (!M[rr * cols + col].is_zero()) {
+        p = rr;
+        break;
+      }
+    }
+    if (p == SIZE_MAX) continue;
+    if (p != pivot_row) {
+      for (std::size_t j = 0; j < cols; ++j) std::swap(M[p * cols + j], M[pivot_row * cols + j]);
+      std::swap(b[p], b[pivot_row]);
+    }
+    const Rational inv = Rational(1) / M[pivot_row * cols + col];
+    for (std::size_t j = 0; j < cols; ++j) M[pivot_row * cols + j] *= inv;
+    b[pivot_row] *= inv;
+    for (std::size_t rr = 0; rr < rows; ++rr) {
+      if (rr == pivot_row) continue;
+      const Rational f = M[rr * cols + col];
+      if (f.is_zero()) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        M[rr * cols + j] -= f * M[pivot_row * cols + j];
+      }
+      b[rr] -= f * b[pivot_row];
+    }
+    pivot_of_col[col] = pivot_row;
+    ++pivot_row;
+  }
+  // Rank must equal cols for a unique solution.
+  std::vector<Rational> x(cols);
+  for (std::size_t col = 0; col < cols; ++col) {
+    if (pivot_of_col[col] == SIZE_MAX) {
+      throw std::runtime_error("winograd generator: rank-deficient system");
+    }
+    x[col] = b[pivot_of_col[col]];
+  }
+  // Consistency: remaining rows must be all-zero = 0.
+  for (std::size_t rr = pivot_row; rr < rows; ++rr) {
+    if (!b[rr].is_zero()) {
+      throw std::runtime_error("winograd generator: inconsistent system");
+    }
+  }
+  return x;
+}
+
+std::vector<double> to_double(const Mat& m) {
+  std::vector<double> out(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) out[i] = m[i].to_double();
+  return out;
+}
+
+/// Verifies the 1D Winograd identity exactly:
+///   for all i in [0,m), k in [0,r), l in [0,alpha):
+///     sum_j AT[i][j] * G[j][k] * BT[j][l] == (l == i + k)
+void verify_identity(const TransformMatrices& t) {
+  const std::size_t m = t.m, r = t.r, alpha = t.alpha;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < r; ++k) {
+      for (std::size_t l = 0; l < alpha; ++l) {
+        Rational sum = 0;
+        for (std::size_t j = 0; j < alpha; ++j) {
+          sum += t.AT_q[i * alpha + j] * t.G_q[j * r + k] * t.BT_q[j * alpha + l];
+        }
+        const Rational expected = (l == i + k) ? Rational(1) : Rational(0);
+        if (sum != expected) {
+          throw std::runtime_error("winograd generator: identity check failed");
+        }
+      }
+    }
+  }
+}
+
+Rational pow_rational(const Rational& a, std::size_t e) {
+  Rational p = 1;
+  for (std::size_t i = 0; i < e; ++i) p *= a;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Rational> default_points(std::size_t count) {
+  // wincnn-style: 0, then +/- 1, 2, 1/2, 4, 1/4, ...
+  static const std::vector<Rational> kPool = {
+      Rational(0),     Rational(1),     Rational(-1),   Rational(2),    Rational(-2),
+      Rational(1, 2),  Rational(-1, 2), Rational(4),    Rational(-4),   Rational(1, 4),
+      Rational(-1, 4), Rational(8),     Rational(-8),   Rational(3),    Rational(-3)};
+  if (count > kPool.size()) {
+    throw std::invalid_argument("winograd: too many interpolation points requested");
+  }
+  return {kPool.begin(), kPool.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+TransformMatrices generate_winograd_transform(std::size_t m, std::size_t r,
+                                              const std::vector<Rational>& points) {
+  if (m < 1 || r < 2) throw std::invalid_argument("winograd: need m >= 1, r >= 2");
+  const std::size_t alpha = m + r - 1;
+  if (points.size() != alpha - 1) {
+    throw std::invalid_argument("winograd: need alpha-1 finite points");
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (points[i] == points[j]) throw std::invalid_argument("winograd: duplicate points");
+    }
+  }
+
+  TransformMatrices t;
+  t.m = m;
+  t.r = r;
+  t.alpha = alpha;
+  t.AT_q.assign(m * alpha, Rational(0));
+  t.G_q.assign(alpha * r, Rational(0));
+  t.BT_q.assign(alpha * alpha, Rational(0));
+
+  // A^T: Vandermonde over the finite points; the infinity column selects the
+  // highest output coefficient.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j + 1 < alpha; ++j) {
+      t.AT_q[i * alpha + j] = pow_rational(points[j], i);
+    }
+  }
+  t.AT_q[(m - 1) * alpha + (alpha - 1)] = 1;
+
+  // G: scaled Vandermonde (Lagrange normalization N_j); infinity row selects
+  // the filter's leading coefficient.
+  for (std::size_t j = 0; j + 1 < alpha; ++j) {
+    Rational nj = 1;
+    for (std::size_t l = 0; l + 1 < alpha; ++l) {
+      if (l != j) nj *= points[j] - points[l];
+    }
+    for (std::size_t k = 0; k < r; ++k) {
+      t.G_q[j * r + k] = pow_rational(points[j], k) / nj;
+    }
+  }
+  t.G_q[(alpha - 1) * r + (r - 1)] = 1;
+
+  // B^T is the unique matrix closing the identity
+  //   sum_j AT[i][j] G[j][k] BT[j][l] = [l == i+k];
+  // solve one exact linear system per column l. The coefficient matrix
+  // M[(i,k)][j] = AT[i][j] * G[j][k] is shared by all columns.
+  const std::size_t rows = m * r;
+  Mat M(rows * alpha);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < r; ++k) {
+      for (std::size_t j = 0; j < alpha; ++j) {
+        M[(i * r + k) * alpha + j] = t.AT_q[i * alpha + j] * t.G_q[j * r + k];
+      }
+    }
+  }
+  for (std::size_t l = 0; l < alpha; ++l) {
+    std::vector<Rational> rhs(rows, Rational(0));
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < r; ++k) {
+        if (i + k == l) rhs[i * r + k] = 1;
+      }
+    }
+    const std::vector<Rational> col = solve_exact(M, std::move(rhs), rows, alpha);
+    for (std::size_t j = 0; j < alpha; ++j) t.BT_q[j * alpha + l] = col[j];
+  }
+
+  verify_identity(t);
+
+  t.AT = to_double(t.AT_q);
+  t.G = to_double(t.G_q);
+  t.BT = to_double(t.BT_q);
+  return t;
+}
+
+const TransformMatrices& winograd_transform(std::size_t m, std::size_t r) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::size_t>, TransformMatrices> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto key = std::make_pair(m, r);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const std::size_t alpha = m + r - 1;
+    if (alpha > 10) throw std::invalid_argument("winograd: alpha > 10 unsupported");
+    it = cache.emplace(key, generate_winograd_transform(m, r, default_points(alpha - 1))).first;
+  }
+  return it->second;
+}
+
+double TransformMatrices::input_amplification_2d() const {
+  double max_row = 0.0;
+  for (std::size_t i = 0; i < alpha; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < alpha; ++j) s += std::abs(bt(i, j));
+    max_row = std::max(max_row, s);
+  }
+  return max_row * max_row;
+}
+
+std::vector<double> TransformMatrices::correlate_1d(const std::vector<double>& d,
+                                                    const std::vector<double>& g_vec) const {
+  if (d.size() != alpha || g_vec.size() != r) {
+    throw std::invalid_argument("correlate_1d: bad sizes");
+  }
+  std::vector<double> u(alpha, 0.0), v(alpha, 0.0), y(m, 0.0);
+  for (std::size_t j = 0; j < alpha; ++j) {
+    for (std::size_t k = 0; k < r; ++k) u[j] += g(j, k) * g_vec[k];
+    for (std::size_t l = 0; l < alpha; ++l) v[j] += bt(j, l) * d[l];
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < alpha; ++j) y[i] += at(i, j) * u[j] * v[j];
+  }
+  return y;
+}
+
+namespace {
+
+TransformMatrices make_canonical(std::size_t m, std::size_t r,
+                                 std::vector<Rational> at, std::vector<Rational> g,
+                                 std::vector<Rational> bt) {
+  TransformMatrices t;
+  t.m = m;
+  t.r = r;
+  t.alpha = m + r - 1;
+  t.AT_q = std::move(at);
+  t.G_q = std::move(g);
+  t.BT_q = std::move(bt);
+  verify_identity(t);  // canonical matrices must satisfy the identity too
+  t.AT = to_double(t.AT_q);
+  t.G = to_double(t.G_q);
+  t.BT = to_double(t.BT_q);
+  return t;
+}
+
+}  // namespace
+
+const TransformMatrices& canonical_f23() {
+  static const TransformMatrices t = make_canonical(
+      2, 3,
+      // A^T (2x4)
+      {1, 1, 1, 0,
+       0, 1, -1, -1},
+      // G (4x3)
+      {Rational(1), Rational(0), Rational(0),
+       Rational(1, 2), Rational(1, 2), Rational(1, 2),
+       Rational(1, 2), Rational(-1, 2), Rational(1, 2),
+       Rational(0), Rational(0), Rational(1)},
+      // B^T (4x4) — Eq. 2 of the paper
+      {1, 0, -1, 0,
+       0, 1, 1, 0,
+       0, -1, 1, 0,
+       0, 1, 0, -1});
+  return t;
+}
+
+const TransformMatrices& canonical_f43() {
+  static const TransformMatrices t = make_canonical(
+      4, 3,
+      // A^T (4x6)
+      {1, 1, 1, 1, 1, 0,
+       0, 1, -1, 2, -2, 0,
+       0, 1, 1, 4, 4, 0,
+       0, 1, -1, 8, -8, 1},
+      // G (6x3)
+      {Rational(1, 4), Rational(0), Rational(0),
+       Rational(-1, 6), Rational(-1, 6), Rational(-1, 6),
+       Rational(-1, 6), Rational(1, 6), Rational(-1, 6),
+       Rational(1, 24), Rational(1, 12), Rational(1, 6),
+       Rational(1, 24), Rational(-1, 12), Rational(1, 6),
+       Rational(0), Rational(0), Rational(1)},
+      // B^T (6x6) — Eq. 2 of the paper
+      {4, 0, -5, 0, 1, 0,
+       0, -4, -4, 1, 1, 0,
+       0, 4, -4, -1, 1, 0,
+       0, -2, -1, 2, 1, 0,
+       0, 2, -1, -2, 1, 0,
+       0, 4, 0, -5, 0, 1});
+  return t;
+}
+
+}  // namespace lowino

@@ -1,0 +1,67 @@
+// Winograd transform matrices: exact generation for any F(m x m, r x r) plus
+// the canonical Lavin matrices for F(2x2,3x3) and F(4x4,3x3) used by the
+// hand-tuned codelets.
+//
+// Notation follows the paper (Eq. 1): for input tile d, filter g,
+//   Y = A^T [ (G g G^T) . (B^T d B) ] A
+// with A^T of shape m x alpha, G of shape alpha x r, B^T of shape alpha x alpha,
+// alpha = m + r - 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "winograd/rational.h"
+
+namespace lowino {
+
+struct TransformMatrices {
+  std::size_t m = 0;
+  std::size_t r = 0;
+  std::size_t alpha = 0;
+
+  // Row-major double-precision matrices used by the runtime kernels.
+  std::vector<double> AT;  ///< m x alpha
+  std::vector<double> G;   ///< alpha x r
+  std::vector<double> BT;  ///< alpha x alpha
+
+  // Exact rational versions (kept for tests and for the identity check).
+  std::vector<Rational> AT_q;
+  std::vector<Rational> G_q;
+  std::vector<Rational> BT_q;
+
+  double at(std::size_t i, std::size_t j) const { return AT[i * alpha + j]; }
+  double g(std::size_t i, std::size_t j) const { return G[i * r + j]; }
+  double bt(std::size_t i, std::size_t j) const { return BT[i * alpha + j]; }
+
+  /// Worst-case 2D amplification of the input transform: (max row abs-sum of
+  /// B^T)^2. This is the paper's "4x for F(2,3), 100x for F(4,3)" figure and
+  /// drives the down-scaling baseline's scaling factor.
+  double input_amplification_2d() const;
+
+  /// 1D Winograd correlation via this transform (testing utility):
+  /// y[i] = sum_j g[j] * d[i+j], computed as A^T[(G g) . (B^T d)].
+  std::vector<double> correlate_1d(const std::vector<double>& d,
+                                   const std::vector<double>& g_vec) const;
+};
+
+/// Returns the (cached) transform for F(m x m, r x r), generated with exact
+/// rational Cook-Toom construction and symbolically verified. Throws
+/// std::invalid_argument for unsupported sizes (m < 1, r < 2, alpha > 10).
+const TransformMatrices& winograd_transform(std::size_t m, std::size_t r);
+
+/// Generates (uncached) with an explicit set of alpha-1 finite interpolation
+/// points; the point at infinity is always appended. Exposed for tests.
+TransformMatrices generate_winograd_transform(std::size_t m, std::size_t r,
+                                              const std::vector<Rational>& points);
+
+/// Canonical Lavin & Gray matrices for F(2x2, 3x3) (Eq. 2 of the paper).
+const TransformMatrices& canonical_f23();
+/// Canonical Lavin & Gray matrices for F(4x4, 3x3).
+const TransformMatrices& canonical_f43();
+
+/// Default interpolation points [0, 1, -1, 2, -2, 1/2, -1/2, ...] (wincnn's
+/// choice, referenced in Section 4.2.4 of the paper).
+std::vector<Rational> default_points(std::size_t count);
+
+}  // namespace lowino

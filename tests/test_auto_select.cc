@@ -1,0 +1,121 @@
+// Tests for the automatic algorithm selector (the paper's future work #1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "direct/direct_f32.h"
+#include "quant/quantize.h"
+#include "tuning/auto_select.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc make_desc(std::size_t c, std::size_t k, std::size_t hw, std::size_t batch = 1) {
+  ConvDesc d;
+  d.batch = batch;
+  d.in_channels = c;
+  d.out_channels = k;
+  d.height = d.width = hw;
+  d.kernel = 3;
+  d.pad = 1;
+  return d;
+}
+
+struct Problem {
+  std::vector<float> input, weights, bias, ref;
+};
+
+Problem make_problem(const ConvDesc& d, unsigned seed) {
+  Problem p;
+  Rng rng(seed);
+  p.input.resize(d.batch * d.in_channels * d.height * d.width);
+  p.weights.resize(d.out_channels * d.in_channels * 9);
+  p.bias.resize(d.out_channels);
+  for (auto& v : p.input) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : p.weights) v = rng.normal() * 0.1f;
+  p.ref.resize(d.batch * d.out_channels * d.out_height() * d.out_width());
+  direct_conv_f32_reference(d, p.input, p.weights, p.bias, p.ref);
+  return p;
+}
+
+TEST(AutoConv, SelectsAndProducesCorrectOutput) {
+  const ConvDesc d = make_desc(64, 64, 14);
+  Problem p = make_problem(d, 1);
+  AutoConvOptions opts;
+  opts.seconds_per_candidate = 0.01;
+  AutoConv conv(d, opts);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  EXPECT_FALSE(conv.selected());
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  EXPECT_TRUE(conv.selected());
+  EXPECT_GT(quantization_error(p.ref, out).signal_to_noise_db, 15.0);
+}
+
+TEST(AutoConv, SelectionIsSticky) {
+  const ConvDesc d = make_desc(64, 64, 10);
+  Problem p = make_problem(d, 2);
+  AutoConvOptions opts;
+  opts.seconds_per_candidate = 0.005;
+  AutoConv conv(d, opts);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  const ConvAlgorithm chosen = conv.algorithm();
+  conv.execute_nchw(p.input, out);
+  EXPECT_EQ(conv.algorithm(), chosen);
+}
+
+TEST(AutoConv, ForcedAlgorithmSkipsMeasurement) {
+  const ConvDesc d = make_desc(64, 64, 8);
+  Problem p = make_problem(d, 3);
+  AutoConvOptions opts;
+  opts.forced = ConvAlgorithm::kInt8Direct;
+  AutoConv conv(d, opts);
+  EXPECT_TRUE(conv.selected());
+  EXPECT_EQ(conv.algorithm(), ConvAlgorithm::kInt8Direct);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  EXPECT_GT(quantization_error(p.ref, out).signal_to_noise_db, 20.0);
+}
+
+TEST(AutoConv, EachForcedAlgorithmIsAccurate) {
+  const ConvDesc d = make_desc(64, 128, 12);
+  Problem p = make_problem(d, 4);
+  for (ConvAlgorithm a : {ConvAlgorithm::kInt8Direct, ConvAlgorithm::kLoWinoF2,
+                          ConvAlgorithm::kLoWinoF4}) {
+    AutoConvOptions opts;
+    opts.forced = a;
+    AutoConv conv(d, opts);
+    conv.calibrate(p.input);
+    conv.finalize_calibration();
+    conv.set_filters(p.weights, p.bias);
+    std::vector<float> out(p.ref.size());
+    conv.execute_nchw(p.input, out);
+    EXPECT_GT(quantization_error(p.ref, out).signal_to_noise_db, 14.0)
+        << algorithm_name(a);
+  }
+}
+
+TEST(AutoConv, AlgorithmNamesDistinct) {
+  EXPECT_STRNE(algorithm_name(ConvAlgorithm::kInt8Direct),
+               algorithm_name(ConvAlgorithm::kLoWinoF2));
+  EXPECT_STRNE(algorithm_name(ConvAlgorithm::kLoWinoF2),
+               algorithm_name(ConvAlgorithm::kLoWinoF4));
+}
+
+TEST(AutoConv, WisdomKeyIncludesAlgoTag) {
+  const ConvDesc d = make_desc(64, 64, 8);
+  EXPECT_NE(AutoConv::wisdom_algo_key(d).find("algo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lowino

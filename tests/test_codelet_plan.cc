@@ -1,0 +1,119 @@
+// Tests for the codelet planner (CSE + zero-skipping, Figure 4).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "winograd/codelet_plan.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+/// Dense reference: out = M x, applied per lane.
+void naive_apply(const std::vector<double>& M, std::size_t n_out, std::size_t n_in,
+                 const float* in, std::size_t in_stride, float* out, std::size_t out_stride,
+                 std::size_t lanes) {
+  for (std::size_t i = 0; i < n_out; ++i) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < n_in; ++j) {
+        acc += static_cast<float>(M[i * n_in + j]) * in[j * in_stride + l];
+      }
+      out[i * out_stride + l] = acc;
+    }
+  }
+}
+
+void expect_plan_matches(const std::vector<double>& M, std::size_t n_out, std::size_t n_in,
+                         std::size_t lanes, unsigned seed) {
+  const CodeletPlan plan = CodeletPlan::build(M.data(), n_out, n_in);
+  Rng rng(seed);
+  std::vector<float> in(n_in * lanes), got(n_out * lanes), want(n_out * lanes);
+  for (auto& v : in) v = rng.uniform(-3.0f, 3.0f);
+  plan.apply(in.data(), lanes, got.data(), lanes, lanes);
+  naive_apply(M, n_out, n_in, in.data(), lanes, want.data(), lanes, lanes);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], 1e-4f) << "element " << i;
+  }
+}
+
+TEST(CodeletPlan, MatchesNaiveForCanonicalBT) {
+  const TransformMatrices& f23 = canonical_f23();
+  expect_plan_matches(f23.BT, 4, 4, 16, 1);
+  const TransformMatrices& f43 = canonical_f43();
+  expect_plan_matches(f43.BT, 6, 6, 16, 2);
+}
+
+TEST(CodeletPlan, MatchesNaiveForATandG) {
+  const TransformMatrices& f43 = canonical_f43();
+  expect_plan_matches(f43.AT, 4, 6, 16, 3);
+  expect_plan_matches(f43.G, 6, 3, 16, 4);
+}
+
+TEST(CodeletPlan, MatchesNaiveForGeneratedF63) {
+  const TransformMatrices& f63 = winograd_transform(6, 3);
+  expect_plan_matches(f63.BT, 8, 8, 64, 5);
+  expect_plan_matches(f63.AT, 6, 8, 64, 6);
+  expect_plan_matches(f63.G, 8, 3, 64, 7);
+}
+
+TEST(CodeletPlan, CsePairsSymmetricRows) {
+  // B^T(4,3) rows 1&2 and 3&4 are +/- pairs; the planner must find them.
+  const TransformMatrices& f43 = canonical_f43();
+  const CodeletPlan plan = CodeletPlan::build(f43.BT.data(), 6, 6);
+  EXPECT_GE(plan.n_temps(), 4u);  // two pairs -> four temporaries
+  EXPECT_LT(plan.mul_count(), plan.naive_mul_count());
+  EXPECT_LT(plan.add_count(), plan.naive_add_count());
+}
+
+TEST(CodeletPlan, ZeroSkipOnSparseMatrix) {
+  // Identity matrix: no muls, no adds — each output is a plain copy.
+  const std::vector<double> eye = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+  const CodeletPlan plan = CodeletPlan::build(eye.data(), 3, 3);
+  EXPECT_EQ(plan.mul_count(), 0u);
+  EXPECT_EQ(plan.add_count(), 0u);
+  expect_plan_matches(eye, 3, 3, 8, 8);
+}
+
+TEST(CodeletPlan, AllZeroRowProducesZeroOutput) {
+  const std::vector<double> M = {0, 0, 1, 1};  // row0 zero, row1 = x0+x1
+  const CodeletPlan plan = CodeletPlan::build(M.data(), 2, 2);
+  std::vector<float> in = {5.0f, 7.0f}, out(2, 99.0f);
+  plan.apply(in.data(), 1, out.data(), 1, 1);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 12.0f);
+}
+
+TEST(CodeletPlan, StridedLanesWork) {
+  const TransformMatrices& f23 = canonical_f23();
+  const std::size_t lanes = 4, in_stride = 10, out_stride = 7;
+  const CodeletPlan plan = CodeletPlan::build(f23.BT.data(), 4, 4);
+  Rng rng(11);
+  std::vector<float> in(4 * in_stride), got(4 * out_stride, 0.0f), want(4 * out_stride, 0.0f);
+  for (auto& v : in) v = rng.uniform(-1.0f, 1.0f);
+  plan.apply(in.data(), in_stride, got.data(), out_stride, lanes);
+  naive_apply(f23.BT, 4, 4, in.data(), in_stride, want.data(), out_stride, lanes);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ASSERT_NEAR(got[i * out_stride + l], want[i * out_stride + l], 1e-5f);
+    }
+  }
+}
+
+TEST(CodeletPlan, LargeLaneCountUsesHeapBuffer) {
+  // Lanes large enough that temps exceed the stack buffer.
+  const TransformMatrices& f43 = canonical_f43();
+  expect_plan_matches(f43.BT, 6, 6, 1024, 13);
+}
+
+TEST(CodeletPlan, FlopReductionOnF63) {
+  const TransformMatrices& f63 = winograd_transform(6, 3);
+  const CodeletPlan plan = CodeletPlan::build(f63.BT.data(), 8, 8);
+  const std::size_t naive = plan.naive_mul_count() + plan.naive_add_count();
+  const std::size_t opt = plan.mul_count() + plan.add_count();
+  EXPECT_LT(opt, naive) << "CSE should reduce total op count on F(6,3)";
+}
+
+}  // namespace
+}  // namespace lowino

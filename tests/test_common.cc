@@ -1,0 +1,186 @@
+// Tests for src/common: aligned buffers, saturating casts, RNG, partitioning.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/aligned_buffer.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/saturate.h"
+#include "common/timer.h"
+#include "parallel/partition.h"
+
+namespace lowino {
+namespace {
+
+TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    AlignedBuffer<float> buf(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+    EXPECT_EQ(buf.size(), n);
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16);
+  a[0] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move): asserting moved-from state
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EnsureGrowsOnlyWhenNeeded) {
+  AlignedBuffer<int> a(16);
+  int* p = a.data();
+  a.ensure(8);
+  EXPECT_EQ(a.data(), p);  // no reallocation for smaller request
+  a.ensure(32);
+  EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(AlignedBuffer, FillZero) {
+  AlignedBuffer<std::int32_t> a(100);
+  for (std::size_t i = 0; i < 100; ++i) a[i] = -1;
+  a.fill_zero();
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0);
+}
+
+TEST(RoundUp, Basics) {
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(ceil_div(9, 4), 3u);
+}
+
+TEST(Saturate, Int8Clamps) {
+  EXPECT_EQ(saturate_cast_i8(0.0f), 0);
+  EXPECT_EQ(saturate_cast_i8(127.4f), 127);
+  EXPECT_EQ(saturate_cast_i8(1000.0f), 127);
+  EXPECT_EQ(saturate_cast_i8(-1000.0f), -128);
+  EXPECT_EQ(saturate_cast_i8(-128.4f), -128);
+}
+
+TEST(Saturate, RoundsToNearestEven) {
+  EXPECT_EQ(saturate_cast_i8(0.5f), 0);
+  EXPECT_EQ(saturate_cast_i8(1.5f), 2);
+  EXPECT_EQ(saturate_cast_i8(2.5f), 2);
+  EXPECT_EQ(saturate_cast_i8(-0.5f), 0);
+  EXPECT_EQ(saturate_cast_i8(-1.5f), -2);
+}
+
+TEST(Saturate, UInt8Clamps) {
+  EXPECT_EQ(saturate_cast_u8(-1.0f), 0);
+  EXPECT_EQ(saturate_cast_u8(0.0f), 0);
+  EXPECT_EQ(saturate_cast_u8(255.2f), 255);
+  EXPECT_EQ(saturate_cast_u8(300.0f), 255);
+}
+
+TEST(Saturate, Int32Narrowing) {
+  EXPECT_EQ(saturate_i32_to_i8(200), 127);
+  EXPECT_EQ(saturate_i32_to_i8(-200), -128);
+  EXPECT_EQ(saturate_i32_to_i8(5), 5);
+  EXPECT_EQ(saturate_i32_to_i16(100000), 32767);
+  EXPECT_EQ(saturate_i32_to_i16(-100000), -32768);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(StaticPartition, CoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 100u, 1023u}) {
+    for (std::size_t workers : {1u, 2u, 3u, 8u, 17u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t tid = 0; tid < workers; ++tid) {
+        const Range r = static_partition(n, workers, tid);
+        EXPECT_EQ(r.begin, prev_end);
+        prev_end = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(StaticPartition, BalancedWithinOne) {
+  const std::size_t n = 1000, workers = 7;
+  std::size_t mn = n, mx = 0;
+  for (std::size_t tid = 0; tid < workers; ++tid) {
+    const Range r = static_partition(n, workers, tid);
+    mn = std::min(mn, r.size());
+    mx = std::max(mx, r.size());
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(StaticPartitionGranular, RespectsGranule) {
+  const std::size_t n = 100, workers = 3, granule = 16;
+  std::size_t prev_end = 0;
+  for (std::size_t tid = 0; tid < workers; ++tid) {
+    const Range r = static_partition_granular(n, workers, tid, granule);
+    EXPECT_EQ(r.begin, prev_end);
+    if (tid + 1 < workers && r.end < n) EXPECT_EQ(r.end % granule, 0u);
+    prev_end = r.end;
+  }
+  EXPECT_EQ(prev_end, n);
+}
+
+TEST(CpuFeatures, OverrideWorks) {
+  CpuFeatures none;
+  override_cpu_features_for_test(&none);
+  EXPECT_FALSE(cpu_features().has_vnni_kernels());
+  override_cpu_features_for_test(nullptr);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(TimingStats, Summarize) {
+  const TimingStats s = summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_EQ(s.samples, 3u);
+}
+
+}  // namespace
+}  // namespace lowino

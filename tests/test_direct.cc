@@ -1,0 +1,183 @@
+// Tests for the direct convolution engines (FP32 reference, im2col FP32,
+// INT8 direct).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "direct/direct_f32.h"
+#include "direct/direct_int8.h"
+#include "parallel/thread_pool.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc make_desc(std::size_t b, std::size_t c, std::size_t k, std::size_t hw,
+                   std::size_t r = 3, std::size_t pad = 1) {
+  ConvDesc d;
+  d.batch = b;
+  d.in_channels = c;
+  d.out_channels = k;
+  d.height = d.width = hw;
+  d.kernel = r;
+  d.pad = pad;
+  return d;
+}
+
+struct Problem {
+  std::vector<float> input, weights, bias, ref;
+  ConvDesc desc;
+};
+
+Problem make_problem(const ConvDesc& desc, unsigned seed, bool relu = false) {
+  Problem p;
+  p.desc = desc;
+  Rng rng(seed);
+  p.input.resize(desc.batch * desc.in_channels * desc.height * desc.width);
+  p.weights.resize(desc.out_channels * desc.in_channels * desc.kernel * desc.kernel);
+  p.bias.resize(desc.out_channels);
+  for (auto& v : p.input) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : p.weights) v = rng.uniform(-0.5f, 0.5f);
+  for (auto& v : p.bias) v = rng.uniform(-0.2f, 0.2f);
+  p.ref.resize(desc.batch * desc.out_channels * desc.out_height() * desc.out_width());
+  direct_conv_f32_reference(desc, p.input, p.weights, p.bias, p.ref, relu);
+  return p;
+}
+
+TEST(DirectF32Reference, HandChecked1x1x3x3) {
+  // One channel, one filter, 3x3 input, 3x3 kernel, pad 1: center output is
+  // the full dot product.
+  ConvDesc d = make_desc(1, 1, 1, 3);
+  std::vector<float> in = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> w = {0, 0, 0, 0, 1, 0, 0, 0, 0};  // identity kernel
+  std::vector<float> out(9);
+  direct_conv_f32_reference(d, in, w, {}, out);
+  for (int i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(DirectF32Reference, PaddingZeros) {
+  ConvDesc d = make_desc(1, 1, 1, 2);
+  std::vector<float> in = {1, 1, 1, 1};
+  std::vector<float> w(9, 1.0f);  // sum kernel
+  std::vector<float> out(4);
+  direct_conv_f32_reference(d, in, w, {}, out);
+  // each output = sum of in-bounds neighbors = 4 for all (2x2 image).
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 4.0f);
+}
+
+TEST(DirectF32Reference, ReluClamps) {
+  ConvDesc d = make_desc(1, 1, 1, 2, 3, 1);
+  std::vector<float> in = {1, 1, 1, 1};
+  std::vector<float> w(9, -1.0f);
+  std::vector<float> out(4);
+  direct_conv_f32_reference(d, in, w, {}, out, /*relu=*/true);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 0.0f);
+}
+
+TEST(DirectF32Reference, ParallelMatchesSerial) {
+  ThreadPool pool(4);
+  const ConvDesc d = make_desc(2, 5, 7, 9);
+  Problem p = make_problem(d, 42);
+  std::vector<float> out(p.ref.size());
+  direct_conv_f32_reference(d, p.input, p.weights, p.bias, out, false, &pool);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], p.ref[i]);
+}
+
+class Im2colShapes : public ::testing::TestWithParam<ConvDesc> {};
+
+TEST_P(Im2colShapes, MatchesReference) {
+  const ConvDesc d = GetParam();
+  Problem p = make_problem(d, 7);
+  Im2colConvF32 conv(d);
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_NEAR(out[i], p.ref[i], 1e-3f) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Im2colShapes,
+                         ::testing::Values(make_desc(1, 1, 1, 4), make_desc(1, 3, 5, 8),
+                                           make_desc(2, 16, 16, 7),
+                                           make_desc(1, 64, 64, 14),
+                                           make_desc(1, 8, 8, 5, 3, 0),   // no padding
+                                           make_desc(1, 4, 4, 9, 5, 2),   // 5x5 kernel
+                                           make_desc(3, 2, 17, 6)));
+
+TEST(Im2colConv, FusedReluMatchesReference) {
+  const ConvDesc d = make_desc(1, 8, 8, 6);
+  Problem p = make_problem(d, 19, /*relu=*/true);
+  Im2colConvF32 conv(d);
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out, nullptr, /*relu=*/true);
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_NEAR(out[i], p.ref[i], 1e-3f);
+}
+
+class Int8DirectShapes : public ::testing::TestWithParam<ConvDesc> {};
+
+TEST_P(Int8DirectShapes, CloseToFp32Reference) {
+  const ConvDesc d = GetParam();
+  Problem p = make_problem(d, 21);
+  Int8DirectConv conv(d);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  const QuantError e = quantization_error(p.ref, out);
+  EXPECT_GT(e.signal_to_noise_db, 25.0) << "INT8 direct conv too inaccurate";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Int8DirectShapes,
+                         ::testing::Values(make_desc(1, 16, 16, 8), make_desc(1, 64, 64, 14),
+                                           make_desc(2, 32, 48, 7), make_desc(1, 3, 8, 10),
+                                           make_desc(1, 64, 128, 7, 3, 1)));
+
+TEST(Int8Direct, SetThresholdBypassesCalibration) {
+  const ConvDesc d = make_desc(1, 8, 8, 6);
+  Problem p = make_problem(d, 30);
+  Int8DirectConv conv(d);
+  conv.set_input_threshold(abs_max(p.input));
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  EXPECT_GT(quantization_error(p.ref, out).signal_to_noise_db, 25.0);
+}
+
+TEST(Int8Direct, ZeroInputGivesBias) {
+  const ConvDesc d = make_desc(1, 8, 4, 4);
+  Problem p = make_problem(d, 31);
+  std::vector<float> zeros(p.input.size(), 0.0f);
+  Int8DirectConv conv(d);
+  conv.set_input_threshold(1.0f);
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(zeros, out);
+  const std::size_t hw = d.out_height() * d.out_width();
+  for (std::size_t k = 0; k < d.out_channels; ++k) {
+    for (std::size_t i = 0; i < hw; ++i) {
+      ASSERT_NEAR(out[k * hw + i], p.bias[k], 1e-5f);
+    }
+  }
+}
+
+TEST(Int8Direct, ParallelMatchesSerial) {
+  ThreadPool pool(4);
+  const ConvDesc d = make_desc(1, 32, 32, 10);
+  Problem p = make_problem(d, 33);
+  Int8DirectConv conv(d);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> serial(p.ref.size()), parallel(p.ref.size());
+  conv.execute_nchw(p.input, serial);
+  conv.execute_nchw(p.input, parallel, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) ASSERT_EQ(serial[i], parallel[i]);
+}
+
+}  // namespace
+}  // namespace lowino

@@ -1,0 +1,216 @@
+// Cross-engine integration tests: rectangular images, stress shapes, and
+// consistency sweeps across every engine on the same problem.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "direct/direct_f32.h"
+#include "lowino/lowino.h"
+#include "nn/engines.h"
+#include "parallel/thread_pool.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+namespace {
+
+struct Problem {
+  std::vector<float> input, weights, bias, ref;
+};
+
+Problem make_problem(const ConvDesc& d, unsigned seed) {
+  Problem p;
+  Rng rng(seed);
+  p.input.resize(d.batch * d.in_channels * d.height * d.width);
+  p.weights.resize(d.out_channels * d.in_channels * d.kernel * d.kernel);
+  p.bias.resize(d.out_channels);
+  for (auto& v : p.input) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : p.weights) v = rng.normal() * 0.1f;
+  for (auto& v : p.bias) v = rng.uniform(-0.1f, 0.1f);
+  p.ref.resize(d.batch * d.out_channels * d.out_height() * d.out_width());
+  direct_conv_f32_reference(d, p.input, p.weights, p.bias, p.ref);
+  return p;
+}
+
+double engine_snr(EngineKind kind, const ConvDesc& d, const Problem& p,
+                  ThreadPool* pool = nullptr) {
+  auto engine = make_conv_engine(kind, d);
+  engine->calibrate(p.input);
+  engine->finalize_calibration();
+  engine->set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  engine->run(p.input, out, pool);
+  return quantization_error(p.ref, out).signal_to_noise_db;
+}
+
+// --- rectangular images (H != W) --------------------------------------------
+struct RectCase {
+  std::size_t h, w;
+};
+
+class RectangularImages : public ::testing::TestWithParam<RectCase> {};
+
+TEST_P(RectangularImages, AllEnginesHandleNonSquare) {
+  const auto [h, w] = GetParam();
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 64;
+  d.out_channels = 64;
+  d.height = h;
+  d.width = w;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, static_cast<unsigned>(h * 100 + w));
+
+  EXPECT_GT(engine_snr(EngineKind::kFp32Direct, d, p), 90.0);
+  EXPECT_GT(engine_snr(EngineKind::kFp32WinoF4, d, p), 90.0);
+  EXPECT_GT(engine_snr(EngineKind::kInt8Direct, d, p), 25.0);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF2, d, p), 26.0);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF4, d, p), 14.0);
+  EXPECT_GT(engine_snr(EngineKind::kUpcastF2, d, p), 25.0);
+  EXPECT_GT(engine_snr(EngineKind::kVendorF2, d, p), 18.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectangularImages,
+                         ::testing::Values(RectCase{7, 19}, RectCase{19, 7},
+                                           RectCase{5, 32}, RectCase{13, 6}));
+
+// --- stress shapes ------------------------------------------------------------
+TEST(StressShapes, MinimalSpatialSize) {
+  // 1x1 output with pad: tiles are all halo.
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 64;
+  d.out_channels = 64;
+  d.height = d.width = 1;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, 77);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF4, d, p), 10.0);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF2, d, p), 20.0);
+}
+
+TEST(StressShapes, LargeChannelSmallSpatial) {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 512;
+  d.out_channels = 512;
+  d.height = d.width = 4;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, 78);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF4, d, p), 14.0);
+}
+
+TEST(StressShapes, SingleChannelIn) {
+  // C = 1 exercises the 64x channel padding path end to end.
+  ConvDesc d;
+  d.batch = 2;
+  d.in_channels = 1;
+  d.out_channels = 64;
+  d.height = d.width = 12;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, 79);
+  // A single input channel is the worst case for F(4x4): no cross-channel
+  // averaging of quantization noise (this is why deployments often keep a
+  // network's first layer in higher precision).
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF4, d, p), 4.0);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF2, d, p), 20.0);
+  EXPECT_GT(engine_snr(EngineKind::kInt8Direct, d, p), 25.0);
+}
+
+TEST(StressShapes, NoPadding) {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 64;
+  d.out_channels = 64;
+  d.height = d.width = 14;
+  d.kernel = 3;
+  d.pad = 0;  // valid convolution, 12x12 output
+  const Problem p = make_problem(d, 80);
+  EXPECT_EQ(d.out_height(), 12u);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF2, d, p), 26.0);
+  EXPECT_GT(engine_snr(EngineKind::kLoWinoF4, d, p), 14.0);
+}
+
+TEST(StressShapes, FiveByFiveKernelGenericPath) {
+  // r = 5 exercises the generated-transform path (no canonical matrices).
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 64;
+  d.out_channels = 64;
+  d.height = d.width = 12;
+  d.kernel = 5;
+  d.pad = 2;
+  const Problem p = make_problem(d, 81);
+  LoWinoConfig cfg;
+  cfg.m = 2;  // F(2x2, 5x5), alpha = 6
+  LoWinoConvolution conv(d, cfg);
+  conv.calibrate(p.input);
+  conv.finalize_calibration();
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(p.ref.size());
+  conv.execute_nchw(p.input, out);
+  EXPECT_GT(quantization_error(p.ref, out).signal_to_noise_db, 15.0);
+}
+
+TEST(StressShapes, HandCodeletsOffMatchesOnNumerically) {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 64;
+  d.out_channels = 64;
+  d.height = d.width = 10;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, 82);
+  auto run = [&](bool hand) {
+    LoWinoConfig cfg;
+    cfg.m = 4;
+    cfg.use_hand_codelets = hand;
+    LoWinoConvolution conv(d, cfg);
+    conv.set_uniform_input_threshold(16.0f);
+    conv.set_filters(p.weights, p.bias);
+    std::vector<float> out(p.ref.size());
+    conv.execute_nchw(p.input, out);
+    return out;
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  // FMA contraction permits tiny pre-quantization differences; outputs must
+  // agree to well below the INT8 quantization step.
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    ASSERT_NEAR(with[i], without[i], 0.05f) << i;
+  }
+}
+
+// --- threaded sweep -----------------------------------------------------------
+TEST(ThreadedSweep, EveryQuantizedEngineParallelSafe) {
+  ThreadPool pool(4);
+  ConvDesc d;
+  d.batch = 2;
+  d.in_channels = 64;
+  d.out_channels = 128;
+  d.height = 11;
+  d.width = 9;
+  d.kernel = 3;
+  d.pad = 1;
+  const Problem p = make_problem(d, 90);
+  for (EngineKind kind : {EngineKind::kInt8Direct, EngineKind::kLoWinoF2,
+                          EngineKind::kLoWinoF4, EngineKind::kDownscaleF2,
+                          EngineKind::kUpcastF2, EngineKind::kVendorF2}) {
+    auto engine = make_conv_engine(kind, d);
+    engine->calibrate(p.input);
+    engine->finalize_calibration();
+    engine->set_filters(p.weights, p.bias);
+    std::vector<float> serial(p.ref.size()), parallel(p.ref.size());
+    engine->run(p.input, serial, nullptr);
+    engine->run(p.input, parallel, &pool);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << engine_name(kind) << " " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lowino

@@ -1,0 +1,229 @@
+// Tests for linear quantization, histograms and KL calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/calibration.h"
+#include "quant/histogram.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+namespace {
+
+TEST(QuantParams, FromThreshold) {
+  const QuantParams p = QuantParams::from_threshold(2.0f);
+  EXPECT_FLOAT_EQ(p.scale, 63.5f);
+  EXPECT_FLOAT_EQ(p.inv_scale, 1.0f / 63.5f);
+}
+
+TEST(QuantParams, ZeroThresholdIsSafe) {
+  const QuantParams p = QuantParams::from_threshold(0.0f);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+}
+
+TEST(Quantize, RoundTripWithinHalfStep) {
+  Rng rng(3);
+  const QuantParams p = QuantParams::from_threshold(1.0f);
+  std::vector<float> src(1000);
+  for (auto& v : src) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<std::int8_t> q(src.size());
+  quantize_i8(src, p.scale, q);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float back = static_cast<float>(q[i]) * p.inv_scale;
+    EXPECT_LE(std::abs(back - src[i]), 0.5f * p.inv_scale + 1e-6f);
+  }
+}
+
+TEST(Quantize, SaturatesBeyondThreshold) {
+  const QuantParams p = QuantParams::from_threshold(1.0f);
+  std::vector<float> src = {10.0f, -10.0f};
+  std::vector<std::int8_t> q(2);
+  quantize_i8(src, p.scale, q);
+  EXPECT_EQ(q[0], 127);
+  EXPECT_EQ(q[1], -128);
+}
+
+TEST(Quantize, U8Shift128MatchesSignedPlus128) {
+  Rng rng(4);
+  const float scale = 50.0f;
+  std::vector<float> src(500);
+  for (auto& v : src) v = rng.uniform(-2.0f, 2.0f);
+  std::vector<std::int8_t> q(500);
+  std::vector<std::uint8_t> u(500);
+  quantize_i8(src, scale, q);
+  quantize_u8_shift128(src, scale, u);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(static_cast<int>(u[i]), static_cast<int>(q[i]) + 128);
+  }
+}
+
+TEST(Dequantize, Scales) {
+  std::vector<std::int32_t> src = {100, -50, 0};
+  std::vector<float> dst(3);
+  dequantize_i32(src, 0.5f, dst);
+  EXPECT_FLOAT_EQ(dst[0], 50.0f);
+  EXPECT_FLOAT_EQ(dst[1], -25.0f);
+  EXPECT_FLOAT_EQ(dst[2], 0.0f);
+}
+
+TEST(QuantError, ExactSignalsHighSnr) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  const QuantError e = quantization_error(a, a);
+  EXPECT_EQ(e.mse, 0.0);
+  EXPECT_GE(e.signal_to_noise_db, 200.0);
+}
+
+TEST(QuantError, KnownMse) {
+  std::vector<float> ref = {0.0f, 0.0f}, act = {1.0f, -1.0f};
+  const QuantError e = quantization_error(ref, act);
+  EXPECT_DOUBLE_EQ(e.mse, 1.0);
+  EXPECT_DOUBLE_EQ(e.max_abs, 1.0);
+}
+
+TEST(Histogram, CountsAndRange) {
+  Histogram h(64);
+  std::vector<float> first = {1.0f, -1.0f, 0.5f};
+  h.collect(first);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_FLOAT_EQ(h.bin_width(), 1.25f / 64.0f);
+  EXPECT_FLOAT_EQ(h.max_abs_seen(), 1.0f);
+}
+
+TEST(Histogram, AllZeroFirstBatchDefersRange) {
+  Histogram h(64);
+  std::vector<float> zeros(10, 0.0f);
+  h.collect(zeros);
+  EXPECT_TRUE(h.empty());
+  std::vector<float> real = {2.0f};
+  h.collect(real);
+  EXPECT_FALSE(h.empty());
+  EXPECT_FLOAT_EQ(h.bin_width(), 2.5f / 64.0f);
+}
+
+TEST(Histogram, RangeExpandsForLaterBatches) {
+  Histogram h(16);
+  std::vector<float> first = {1.0f};
+  h.collect(first);
+  const float w0 = h.bin_width();
+  std::vector<float> huge = {100.0f};
+  h.collect(huge);
+  EXPECT_GT(h.bin_width(), w0);                          // bins merged
+  EXPECT_LT(100.0f, h.bin_width() * 16.0f);              // new value in range
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_FLOAT_EQ(h.max_abs_seen(), 100.0f);
+}
+
+TEST(Histogram, BatchingOrderIndependent) {
+  // Same data in different batch splits must produce the same histogram.
+  Rng rng(123);
+  std::vector<float> data(4096);
+  for (auto& v : data) v = rng.normal();
+  std::sort(data.begin(), data.end());  // worst case: small values first
+  Histogram one_shot, batched;
+  one_shot.collect(data);
+  for (std::size_t i = 0; i < data.size(); i += 16) {
+    batched.collect(std::span<const float>(data).subspan(i, 16));
+  }
+  // Bin boundaries differ after expansion, so KL picks slightly different
+  // thresholds; they must agree to within a factor of two (without the
+  // expansion fix the batched threshold collapses to the first batch's max,
+  // an order of magnitude off).
+  const float tau_a = calibrate_kl(one_shot).tau;
+  const float tau_b = calibrate_kl(batched).tau;
+  EXPECT_LT(std::max(tau_a, tau_b) / std::min(tau_a, tau_b), 2.0f);
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  std::vector<double> p = {1, 2, 3, 4};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, PositiveForDifferent) {
+  std::vector<double> p = {10, 1, 1, 1};
+  std::vector<double> q = {1, 1, 1, 10};
+  EXPECT_GT(kl_divergence(p, q), 0.1);
+}
+
+TEST(Calibration, GaussianClipsOutliers) {
+  // For a heavy-tailed distribution, the KL threshold should be well below
+  // the max-abs value (that is the whole point of calibration).
+  Rng rng(9);
+  Histogram h;
+  std::vector<float> batch(4096);
+  for (int rep = 0; rep < 8; ++rep) {
+    for (auto& v : batch) v = rng.normal();
+    batch[0] = 40.0f;  // inject rare outliers
+    h.collect(batch);
+  }
+  const CalibrationResult r = calibrate_kl(h);
+  EXPECT_GT(r.tau, 1.0f);
+  EXPECT_LT(r.tau, 0.5f * h.max_abs_seen());
+}
+
+TEST(Calibration, UniformKeepsNearlyFullRange) {
+  Rng rng(10);
+  Histogram h;
+  std::vector<float> batch(65536);
+  for (auto& v : batch) v = rng.uniform(-1.0f, 1.0f);
+  h.collect(batch);
+  const CalibrationResult r = calibrate_kl(h);
+  // Uniform data has no outliers; threshold should keep most of the range.
+  EXPECT_GT(r.tau, 0.8f);
+}
+
+TEST(Calibration, EmptyHistogramFallsBack) {
+  Histogram h;
+  const CalibrationResult r = calibrate_kl(h);
+  EXPECT_EQ(r.tau, 0.0f);
+  const QuantParams p = calibrate_params(h);
+  EXPECT_FLOAT_EQ(p.scale, 1.0f);
+}
+
+TEST(Calibration, FewBinsShortCircuits) {
+  Histogram h(64);  // fewer bins than quant levels
+  std::vector<float> batch = {1.0f, 0.5f, 0.2f};
+  h.collect(batch);
+  const CalibrationResult r = calibrate_kl(h, 128);
+  EXPECT_FLOAT_EQ(r.tau, h.edge(63));
+}
+
+TEST(Calibration, CalibratedScaleBeatsMaxAbsOnDistributionBody) {
+  // Property behind Eq. 7: with rare extreme outliers, max-abs scaling wastes
+  // nearly the whole INT8 range, so the distribution *body* (where all the
+  // information lives) is represented far more coarsely than with the
+  // KL-calibrated threshold. (Total MSE is the wrong metric here — it is
+  // dominated by the clipped outliers, which is exactly why the paper uses KL
+  // rather than MSE.)
+  Rng rng(11);
+  std::vector<float> data(32768);
+  for (auto& v : data) v = rng.normal();
+  data[7] = 80.0f;
+  data[12345] = -95.0f;
+
+  Histogram h;
+  h.collect(data);
+  const QuantParams calibrated = calibrate_params(h);
+  const QuantParams maxabs = QuantParams::from_threshold(abs_max(data));
+  EXPECT_GT(calibrated.scale, maxabs.scale);  // calibration clips the outliers
+
+  auto body_mse = [&](const QuantParams& p) {
+    double mse = 0.0;
+    std::size_t n = 0;
+    for (float v : data) {
+      if (std::abs(v) > 5.0f) continue;  // inliers only
+      std::vector<float> one = {v};
+      std::vector<std::int8_t> q(1);
+      quantize_i8(one, p.scale, q);
+      const double back = static_cast<double>(q[0]) * p.inv_scale;
+      mse += (back - v) * (back - v);
+      ++n;
+    }
+    return mse / static_cast<double>(n);
+  };
+  EXPECT_LT(body_mse(calibrated), 0.25 * body_mse(maxabs));
+}
+
+}  // namespace
+}  // namespace lowino

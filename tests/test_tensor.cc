@@ -1,0 +1,220 @@
+// Tests for tensors, the Table-1 blocked layouts, and NCHW packing.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "parallel/thread_pool.h"
+#include "tensor/conv_desc.h"
+#include "tensor/layout.h"
+#include "tensor/pack.h"
+#include "tensor/tensor.h"
+
+namespace lowino {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor<float> t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  t.zero();
+  t(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 5.0f);
+  EXPECT_EQ(t(0, 0, 0), 0.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor<int> a({4});
+  a.fill(7);
+  Tensor<int> b = a;
+  b(0) = 1;
+  EXPECT_EQ(a(0), 7);
+  EXPECT_EQ(b(1), 7);
+}
+
+TEST(ConvDesc, OutputSizesWithPadding) {
+  ConvDesc d;
+  d.height = d.width = 14;
+  d.kernel = 3;
+  d.pad = 1;
+  EXPECT_EQ(d.out_height(), 14u);
+  EXPECT_EQ(d.out_width(), 14u);
+  d.pad = 0;
+  EXPECT_EQ(d.out_height(), 12u);
+}
+
+TEST(ConvDesc, ChannelPaddingTo64) {
+  ConvDesc d;
+  d.in_channels = 1;
+  d.out_channels = 100;
+  EXPECT_EQ(d.padded_in_channels(), 64u);
+  EXPECT_EQ(d.padded_out_channels(), 128u);
+  d.in_channels = 256;
+  EXPECT_EQ(d.padded_in_channels(), 256u);
+}
+
+TEST(WinogradGeometry, TileCounts) {
+  ConvDesc d;
+  d.batch = 2;
+  d.height = d.width = 14;
+  d.kernel = 3;
+  d.pad = 1;
+  const WinogradGeometry g2(d, 2);
+  EXPECT_EQ(g2.alpha, 4u);
+  EXPECT_EQ(g2.tiles_h, 7u);
+  EXPECT_EQ(g2.total_tiles, 2u * 49u);
+  EXPECT_EQ(g2.t_elems, 16u);
+  const WinogradGeometry g4(d, 4);
+  EXPECT_EQ(g4.alpha, 6u);
+  EXPECT_EQ(g4.tiles_h, 4u);  // ceil(14/4)
+  EXPECT_EQ(g4.t_elems, 36u);
+}
+
+TEST(WinogradGeometry, ComplexityReduction) {
+  // F(4x4,3x3) reduces MACs by (m*r)^2 / alpha^2 = 144/36 = 4x per output.
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = d.out_channels = 64;
+  d.height = d.width = 16;
+  const WinogradGeometry g(d, 4);
+  const double direct = d.direct_macs();
+  const double wino = g.winograd_macs(d);
+  EXPECT_NEAR(direct / wino, 4.0, 0.01);
+}
+
+class LayoutRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(LayoutRoundTrip, PackUnpackNCHW) {
+  const auto [b, c, h, w] = GetParam();
+  Rng rng(b * 1000 + c * 100 + h * 10 + w);
+  Tensor<float> src({static_cast<std::size_t>(b), static_cast<std::size_t>(c),
+                     static_cast<std::size_t>(h), static_cast<std::size_t>(w)});
+  for (auto& v : src.span()) v = rng.uniform(-1.0f, 1.0f);
+
+  const BlockedActLayout layout(b, c, h, w);
+  AlignedBuffer<float> blocked(layout.size());
+  pack_nchw_to_blocked(src.span(), b, c, h, w, blocked.span());
+
+  Tensor<float> dst({static_cast<std::size_t>(b), static_cast<std::size_t>(c),
+                     static_cast<std::size_t>(h), static_cast<std::size_t>(w)});
+  unpack_blocked_to_nchw(blocked.span(), b, c, h, w, dst.span());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(src.data()[i], dst.data()[i]) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LayoutRoundTrip,
+                         ::testing::Values(std::make_tuple(1, 64, 4, 4),
+                                           std::make_tuple(2, 128, 7, 5),
+                                           std::make_tuple(1, 1, 8, 8),
+                                           std::make_tuple(3, 100, 3, 3),
+                                           std::make_tuple(1, 65, 2, 2),
+                                           std::make_tuple(2, 192, 6, 6)));
+
+TEST(BlockedActLayout, PaddingChannelsAreZero) {
+  const int b = 1, c = 70, h = 2, w = 2;
+  Tensor<float> src({1, 70, 2, 2});
+  src.fill(1.0f);
+  const BlockedActLayout layout(b, c, h, w);
+  AlignedBuffer<float> blocked(layout.size());
+  pack_nchw_to_blocked(src.span(), b, c, h, w, blocked.span());
+  // channels 70..127 must be zero-filled
+  for (std::size_t p = 0; p < 4; ++p) {
+    const float* blk = blocked.data() + layout.offset(0, 1, p / 2, p % 2);
+    for (std::size_t ci = 0; ci < kChanBlock; ++ci) {
+      const std::size_t chan = kChanBlock + ci;
+      EXPECT_EQ(blk[ci], chan < 70 ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(PackWithThreadPool, MatchesSerial) {
+  ThreadPool pool(4);
+  const int b = 2, c = 130, h = 5, w = 7;
+  Rng rng(99);
+  Tensor<float> src({2, 130, 5, 7});
+  for (auto& v : src.span()) v = rng.uniform(-1.0f, 1.0f);
+  const BlockedActLayout layout(b, c, h, w);
+  AlignedBuffer<float> serial(layout.size()), parallel(layout.size());
+  pack_nchw_to_blocked(src.span(), b, c, h, w, serial.span());
+  pack_nchw_to_blocked(src.span(), b, c, h, w, parallel.span(), &pool);
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]);
+  }
+}
+
+TEST(TransformedInputLayout, OffsetsAreUniqueAndInBounds) {
+  const TransformedInputLayout l(/*total_tiles=*/10, /*padded_c=*/128, /*t=*/16,
+                                 /*nblk=*/4, /*cblk=*/64);
+  EXPECT_EQ(l.n_blocks, 3u);
+  EXPECT_EQ(l.c_blocks, 2u);
+  std::vector<char> seen(l.size(), 0);
+  for (std::size_t n = 0; n < 10; ++n) {
+    for (std::size_t t = 0; t < 16; ++t) {
+      for (std::size_t c = 0; c < 128; ++c) {
+        const std::size_t off = l.offset(n, t, c);
+        ASSERT_LT(off, l.size());
+        ASSERT_EQ(seen[off], 0);
+        seen[off] = 1;
+      }
+    }
+  }
+}
+
+TEST(TransformedInputLayout, CblkInnermostContiguous) {
+  const TransformedInputLayout l(8, 128, 16, 4, 128);
+  // consecutive channels of one (n, t) must be adjacent — required for the
+  // 64-byte NT stores in the input transform.
+  for (std::size_t c = 0; c + 1 < 128; ++c) {
+    EXPECT_EQ(l.offset(3, 5, c) + 1, l.offset(3, 5, c + 1));
+  }
+}
+
+TEST(PackedFilterLayout, VpdpbusdGrouping) {
+  const PackedFilterLayout l(/*padded_c=*/64, /*padded_k=*/64, /*t=*/4, /*cblk=*/64,
+                             /*kblk=*/64);
+  // Within one c4 group, the 4 channel values of output channel k are
+  // consecutive bytes — the vpdpbusd operand convention (Figure 1).
+  for (std::size_t cr = 0; cr + 1 < 4; ++cr) {
+    EXPECT_EQ(l.offset(0, cr, 7) + 1, l.offset(0, cr + 1, 7));
+  }
+  // Next output channel starts 4 bytes later.
+  EXPECT_EQ(l.offset(0, 0, 7) + 4, l.offset(0, 0, 8));
+}
+
+TEST(PackedFilterLayout, OffsetsAreUniqueAndInBounds) {
+  const PackedFilterLayout l(128, 128, 4, 64, 64);
+  std::vector<char> seen(l.size(), 0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t c = 0; c < 128; ++c) {
+      for (std::size_t k = 0; k < 128; ++k) {
+        const std::size_t off = l.offset(t, c, k);
+        ASSERT_LT(off, l.size());
+        ASSERT_EQ(seen[off], 0);
+        seen[off] = 1;
+      }
+    }
+  }
+}
+
+TEST(TransformedOutputLayout, TileBlockIsConsecutive) {
+  const TransformedOutputLayout l(/*padded_k=*/128, /*tiles=*/20, /*t=*/16);
+  // For a fixed tile n and k-block, all T x 64 values are consecutive —
+  // the property that makes the output transform's reads sequential.
+  const std::size_t base = l.offset(5, 0, 64);
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (std::size_t ki = 0; ki < 64; ++ki) {
+      EXPECT_EQ(l.offset(5, t, 64 + ki), base + t * 64 + ki);
+    }
+  }
+}
+
+TEST(TransformedOutputLayout, SixteenLaneGroupsAre64ByteAligned) {
+  const TransformedOutputLayout l(256, 33, 36);
+  for (std::size_t k = 0; k < 256; k += 16) {
+    EXPECT_EQ((l.offset(7, 11, k) * sizeof(std::int32_t)) % 64, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lowino

@@ -1,0 +1,96 @@
+// Tests for the fork-join thread pool and static scheduling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace lowino {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::size_t calls = 0;
+  pool.run([&](std::size_t tid, std::size_t nw) {
+    EXPECT_EQ(tid, 0u);
+    EXPECT_EQ(nw, 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, AllWorkersInvokedOncePerRun) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(4);
+  pool.run([&](std::size_t tid, std::size_t nw) {
+    EXPECT_EQ(nw, 4u);
+    counts[tid].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, RepeatedRunsDoNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.run([&](std::size_t, std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 600);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(4);
+  const std::size_t n = 10001;
+  std::vector<int> marks(n, 0);
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) marks[i] += 1;
+  });
+  EXPECT_EQ(std::accumulate(marks.begin(), marks.end(), 0), static_cast<int>(n));
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, OversubscriptionWorks) {
+  // More workers than cores must still complete (correctness under
+  // oversubscription matters on the single-core CI machine).
+  ThreadPool pool(16);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1 << 14, [&](std::size_t begin, std::size_t end) {
+    std::size_t local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  const std::size_t n = 1 << 14;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> x{0};
+  ThreadPool::global().parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    x.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(x.load(), 100);
+}
+
+TEST(ThreadPool, NestedDataParallelStages) {
+  // Mimics the engine: several dependent stages, each a fork-join region.
+  ThreadPool pool(4);
+  std::vector<int> data(1000, 1);
+  pool.parallel_for(data.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) data[i] *= 2;
+  });
+  pool.parallel_for(data.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) data[i] += 1;
+  });
+  for (int v : data) EXPECT_EQ(v, 3);
+}
+
+}  // namespace
+}  // namespace lowino

@@ -1,0 +1,372 @@
+// Deep unit tests of the three transform stages against independent
+// references: fused input transform + quantization, filter transform + pack +
+// compensation, and de-quantizing output transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/saturate.h"
+#include "lowino/convolution.h"
+#include "lowino/filter_pack.h"
+#include "lowino/input_transform.h"
+#include "lowino/output_transform.h"
+#include "lowino/scales.h"
+#include "lowino/transform_kernels.h"
+#include "quant/quantize.h"
+#include "tensor/pack.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc make_desc(std::size_t c, std::size_t k, std::size_t hw, std::size_t batch = 1,
+                   std::size_t pad = 1) {
+  ConvDesc d;
+  d.batch = batch;
+  d.in_channels = c;
+  d.out_channels = k;
+  d.height = d.width = hw;
+  d.kernel = 3;
+  d.pad = pad;
+  return d;
+}
+
+// --- transform_tile_fp32 vs an independent scalar B^T d B ------------------
+class TileTransform : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileTransform, MatchesScalarBtDb) {
+  const int m = GetParam();
+  const ConvDesc d = make_desc(64, 64, 9);
+  const WinogradGeometry geo(d, m);
+  const TransformMatrices& tm = winograd_transform(m, 3);
+  const CodeletPlan bt = CodeletPlan::build(tm.BT.data(), geo.alpha, geo.alpha);
+  const BlockedActLayout layout(d.batch, d.in_channels, d.height, d.width);
+
+  Rng rng(m * 7);
+  std::vector<float> nchw(d.batch * d.in_channels * d.height * d.width);
+  for (auto& v : nchw) v = rng.uniform(-1.0f, 1.0f);
+  AlignedBuffer<float> blocked(layout.size());
+  pack_nchw_to_blocked(nchw, d.batch, d.in_channels, d.height, d.width, blocked.span());
+
+  const InputTransformContext ctx{&d, &geo, &bt, layout, TransformedInputLayout{}, false};
+  AlignedBuffer<float> got(geo.t_elems * kChanBlock);
+
+  // Check tiles including the padded borders.
+  for (std::size_t tile : {std::size_t{0}, geo.tiles_w - 1, geo.tiles_per_image - 1}) {
+    transform_tile_fp32(ctx, blocked.span(), tile, 0, got.data());
+    const std::size_t th = (tile % geo.tiles_per_image) / geo.tiles_w;
+    const std::size_t tw = tile % geo.tiles_w;
+    for (std::size_t chan : {std::size_t{0}, std::size_t{17}, std::size_t{63}}) {
+      // Gather d with zero padding.
+      const std::size_t a = geo.alpha;
+      std::vector<double> dt(a * a, 0.0);
+      for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < a; ++j) {
+          const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(th * geo.m + i) - 1;
+          const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(tw * geo.m + j) - 1;
+          if (ih >= 0 && iw >= 0 && ih < 9 && iw < 9) {
+            dt[i * a + j] = nchw[(chan * 9 + ih) * 9 + iw];
+          }
+        }
+      }
+      // V = B^T d B, scalar.
+      std::vector<double> w(a * a, 0.0), v(a * a, 0.0);
+      for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < a; ++j) {
+          for (std::size_t l = 0; l < a; ++l) w[i * a + j] += tm.bt(i, l) * dt[l * a + j];
+        }
+      }
+      for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < a; ++j) {
+          for (std::size_t l = 0; l < a; ++l) v[i * a + j] += w[i * a + l] * tm.bt(j, l);
+        }
+      }
+      for (std::size_t t = 0; t < geo.t_elems; ++t) {
+        ASSERT_NEAR(got[t * kChanBlock + chan], v[t], 1e-3)
+            << "m=" << m << " tile=" << tile << " chan=" << chan << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TileTransform, ::testing::Values(2, 4, 6));
+
+// --- quantized input transform vs fp32 transform + scalar quantization -----
+TEST(InputTransformQuantized, MatchesScalarQuantizationOfFp32Path) {
+  const ConvDesc d = make_desc(64, 64, 8, 2);
+  const WinogradGeometry geo(d, 4);
+  const TransformMatrices& tm = canonical_f43();
+  const CodeletPlan bt = CodeletPlan::build(tm.BT.data(), geo.alpha, geo.alpha);
+  const BlockedActLayout in_layout(d.batch, d.in_channels, d.height, d.width);
+  const TransformedInputLayout vl(geo.total_tiles, 64, geo.t_elems, 12, 64);
+
+  Rng rng(3);
+  std::vector<float> nchw(d.batch * 64 * 64);
+  for (auto& v : nchw) v = rng.uniform(-2.0f, 2.0f);
+  AlignedBuffer<float> blocked(in_layout.size());
+  pack_nchw_to_blocked(nchw, d.batch, 64, 8, 8, blocked.span());
+
+  WinogradScales scales(geo.t_elems, true, 64, false);
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    scales.set_input_scale(t, QuantParams::from_threshold(8.0f + static_cast<float>(t)));
+  }
+
+  const InputTransformContext ctx{&d, &geo, &bt, in_layout, vl, true};
+  AlignedBuffer<std::uint8_t> v(vl.size());
+  v.fill_zero();
+  run_input_transform(ctx, blocked.span(), scales, v.data());
+
+  AlignedBuffer<float> fp32(geo.t_elems * kChanBlock);
+  for (std::size_t tile = 0; tile < geo.total_tiles; ++tile) {
+    transform_tile_fp32(ctx, blocked.span(), tile, 0, fp32.data());
+    for (std::size_t t = 0; t < geo.t_elems; ++t) {
+      for (std::size_t c = 0; c < kChanBlock; ++c) {
+        const float x = fp32[t * kChanBlock + c] * scales.input_scale(t);
+        const std::int32_t q = round_nearest_even(x) + 128;
+        const std::uint8_t want =
+            static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+        ASSERT_EQ(v[vl.offset(tile, t, c)], want) << tile << " " << t << " " << c;
+      }
+    }
+  }
+}
+
+// --- filter pack vs reference_transformed_filter ----------------------------
+TEST(FilterPack, PackedValuesMatchReferenceTransform) {
+  const ConvDesc d = make_desc(64, 64, 8);
+  const WinogradGeometry geo(d, 4);
+  const TransformMatrices& tm = canonical_f43();
+  Rng rng(5);
+  std::vector<float> weights(64 * 64 * 9);
+  for (auto& v : weights) v = rng.normal() * 0.2f;
+
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  cfg.blocking = adapt_blocking(cfg.blocking, 64, 64);
+  const PackedFilterLayout fl(64, 64, geo.t_elems, cfg.blocking.c_blk, cfg.blocking.k_blk);
+  WinogradScales scales(geo.t_elems, true, fl.k_blocks * fl.k_blk, true);
+  PackedFilters packed;
+  transform_and_pack_filters(d, geo, tm, cfg, weights, {}, scales, packed);
+
+  for (std::size_t t : {std::size_t{0}, std::size_t{7}, std::size_t{35}}) {
+    for (std::size_t c : {std::size_t{0}, std::size_t{13}}) {
+      for (std::size_t k : {std::size_t{0}, std::size_t{63}}) {
+        const double u = reference_transformed_filter(tm, weights, 64, k, c, t);
+        const float scale = scales.filter_scale(t, k);
+        const std::int8_t want = saturate_cast_i8(static_cast<float>(u) * scale);
+        ASSERT_EQ(packed.data[packed.layout.offset(t, c, k)], want)
+            << t << " " << c << " " << k;
+      }
+    }
+  }
+}
+
+TEST(FilterPack, CompensationIsMinus128TimesColumnSum) {
+  const ConvDesc d = make_desc(64, 64, 8);
+  const WinogradGeometry geo(d, 2);
+  Rng rng(6);
+  std::vector<float> weights(64 * 64 * 9);
+  for (auto& v : weights) v = rng.normal() * 0.2f;
+  LoWinoConfig cfg;
+  cfg.m = 2;
+  cfg.blocking = adapt_blocking(cfg.blocking, 64, 64);
+  WinogradScales scales(geo.t_elems, true, 64, true);
+  PackedFilters packed;
+  transform_and_pack_filters(d, geo, canonical_f23(), cfg, weights, {}, scales, packed);
+
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    for (std::size_t k = 0; k < 64; ++k) {
+      std::int32_t want = 0;
+      for (std::size_t c = 0; c < 64; ++c) {
+        want -= 128 * static_cast<std::int32_t>(packed.data[packed.layout.offset(t, c, k)]);
+      }
+      ASSERT_EQ(packed.comp[t * packed.k_padded + k], want) << t << " " << k;
+    }
+  }
+}
+
+TEST(FilterPack, ExactScalesNeverSaturate) {
+  // Per-(t,k) scales are computed from the exact abs-max, so no packed value
+  // may sit outside [-127, 127] except by the +-127 boundary itself.
+  const ConvDesc d = make_desc(64, 64, 8);
+  const WinogradGeometry geo(d, 4);
+  Rng rng(8);
+  std::vector<float> weights(64 * 64 * 9);
+  for (auto& v : weights) v = rng.normal();
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  cfg.blocking = adapt_blocking(cfg.blocking, 64, 64);
+  const PackedFilterLayout fl(64, 64, geo.t_elems, cfg.blocking.c_blk, cfg.blocking.k_blk);
+  WinogradScales scales(geo.t_elems, true, fl.k_blocks * fl.k_blk, true);
+  PackedFilters packed;
+  transform_and_pack_filters(d, geo, canonical_f43(), cfg, weights, {}, scales, packed);
+  for (std::size_t i = 0; i < packed.data.size(); ++i) {
+    ASSERT_GE(static_cast<int>(packed.data[i]), -127);
+  }
+}
+
+// --- output transform vs scalar A^T Z A --------------------------------------
+TEST(OutputTransform, MatchesScalarDequantAndSandwich) {
+  const ConvDesc d = make_desc(64, 64, 8);
+  const WinogradGeometry geo(d, 2);
+  const TransformMatrices& tm = canonical_f23();
+  const CodeletPlan at = CodeletPlan::build(tm.AT.data(), geo.m, geo.alpha);
+  const std::size_t n_pad = round_up_multiple(geo.total_tiles, 12);
+  const TransformedOutputLayout zl(64, n_pad, geo.t_elems);
+  const BlockedActLayout out_layout(1, 64, 8, 8);
+
+  Rng rng(9);
+  AlignedBuffer<std::int32_t> z(zl.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<std::int32_t>(rng.next_below(20001)) - 10000;
+  }
+  WinogradScales scales(geo.t_elems, true, 64, true);
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    scales.set_input_scale(t, QuantParams::from_scale(3.0f + static_cast<float>(t)));
+    for (std::size_t k = 0; k < 64; ++k) {
+      scales.set_filter_scale(t, k, QuantParams::from_scale(1.0f + 0.01f * k));
+    }
+  }
+  scales.build_dequant_table();
+  std::vector<float> bias(64);
+  for (auto& b : bias) b = rng.uniform(-1.0f, 1.0f);
+
+  AlignedBuffer<float> out(out_layout.size());
+  const OutputTransformContext ctx{&d, &geo, &at, zl, out_layout, bias.data(), false};
+  run_output_transform(ctx, z.data(), scales, out.span());
+
+  // Scalar check for a handful of (tile, k) pairs.
+  const std::size_t a = geo.alpha;
+  for (std::size_t tile : {std::size_t{0}, geo.total_tiles - 1}) {
+    const std::size_t th = tile / geo.tiles_w, tw = tile % geo.tiles_w;
+    for (std::size_t k : {std::size_t{0}, std::size_t{31}, std::size_t{63}}) {
+      std::vector<double> zf(a * a);
+      for (std::size_t t = 0; t < geo.t_elems; ++t) {
+        zf[t] = static_cast<double>(z[zl.offset(tile, t, k)]) *
+                scales.dequant_table()[t * 64 + k];
+      }
+      for (std::size_t i = 0; i < geo.m; ++i) {
+        for (std::size_t j = 0; j < geo.m; ++j) {
+          double y = 0.0;
+          for (std::size_t p = 0; p < a; ++p) {
+            for (std::size_t q = 0; q < a; ++q) {
+              y += tm.at(i, p) * zf[p * a + q] * tm.at(j, q);
+            }
+          }
+          y += bias[k];
+          const std::size_t oh = th * geo.m + i, ow = tw * geo.m + j;
+          if (oh >= 8 || ow >= 8) continue;
+          const float got =
+              out[out_layout.offset(0, k / kChanBlock, oh, ow) + (k % kChanBlock)];
+          ASSERT_NEAR(got, y, std::abs(y) * 1e-4 + 1e-2) << tile << " " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(OutputTransform, ReluClampsNegativeOutputs) {
+  const ConvDesc d = make_desc(64, 64, 4);
+  const WinogradGeometry geo(d, 2);
+  const TransformMatrices& tm = canonical_f23();
+  const CodeletPlan at = CodeletPlan::build(tm.AT.data(), geo.m, geo.alpha);
+  const std::size_t n_pad = round_up_multiple(geo.total_tiles, 12);
+  const TransformedOutputLayout zl(64, n_pad, geo.t_elems);
+  const BlockedActLayout out_layout(1, 64, 4, 4);
+  Rng rng(10);
+  AlignedBuffer<std::int32_t> z(zl.size());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<std::int32_t>(rng.next_below(2001)) - 1000;
+  }
+  WinogradScales scales(geo.t_elems, true, 64, false);
+  for (std::size_t t = 0; t < geo.t_elems; ++t) {
+    scales.set_input_scale(t, QuantParams::from_scale(1.0f));
+    scales.set_filter_scale(t, 0, QuantParams::from_scale(1.0f));
+  }
+  scales.build_dequant_table();
+  AlignedBuffer<float> out(out_layout.size());
+  OutputTransformContext ctx{&d, &geo, &at, zl, out_layout, nullptr, true};
+  run_output_transform(ctx, z.data(), scales, out.span());
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_GE(out[i], 0.0f);
+}
+
+// --- kernel helpers -----------------------------------------------------------
+TEST(TransformKernels, HandCodeletsMatchPlanExecutor) {
+  Rng rng(21);
+  for (const auto& [m, get_tm] :
+       {std::pair<std::size_t, const TransformMatrices& (*)()>{2, &canonical_f23},
+        std::pair<std::size_t, const TransformMatrices& (*)()>{4, &canonical_f43}}) {
+    const TransformMatrices& tm = get_tm();
+    const std::size_t a = tm.alpha;
+    std::vector<float> in(a * 16), got(a * 16), want(a * 16);
+    for (auto& v : in) v = rng.uniform(-10.0f, 10.0f);
+
+    const CodeletPlan bt_plan = CodeletPlan::build(tm.BT.data(), a, a);
+    if (apply_bt_16(m, 3, in.data(), 16, got.data(), 16)) {
+      apply_plan_16(bt_plan, in.data(), 16, want.data(), 16);
+      for (std::size_t i = 0; i < a * 16; ++i) {
+        ASSERT_NEAR(got[i], want[i], 1e-3f) << "BT m=" << m << " i=" << i;
+      }
+    }
+    const CodeletPlan at_plan = CodeletPlan::build(tm.AT.data(), tm.m, a);
+    if (apply_at_16(m, 3, in.data(), 16, got.data(), 16)) {
+      apply_plan_16(at_plan, in.data(), 16, want.data(), 16);
+      for (std::size_t i = 0; i < tm.m * 16; ++i) {
+        ASSERT_NEAR(got[i], want[i], 1e-3f) << "AT m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(TransformKernels, HandCodeletsDeclineUnsupportedSizes) {
+  std::vector<float> in(10 * 16, 0.0f), out(10 * 16, 0.0f);
+  EXPECT_FALSE(apply_bt_16(6, 3, in.data(), 16, out.data(), 16));
+  EXPECT_FALSE(apply_bt_16(2, 5, in.data(), 16, out.data(), 16));
+  EXPECT_FALSE(apply_at_16(3, 3, in.data(), 16, out.data(), 16));
+}
+
+TEST(TransformKernels, Quantize16MatchesScalar) {
+  Rng rng(11);
+  float src[16];
+  std::uint8_t got[16];
+  for (int trial = 0; trial < 50; ++trial) {
+    const float scale = rng.uniform(0.01f, 100.0f);
+    for (auto& v : src) v = rng.uniform(-300.0f, 300.0f);
+    quantize16_u8(src, scale, got);
+    for (int l = 0; l < 16; ++l) {
+      const std::int32_t q = round_nearest_even(src[l] * scale) + 128;
+      ASSERT_EQ(got[l], static_cast<std::uint8_t>(std::clamp(q, 0, 255)));
+    }
+  }
+}
+
+TEST(TransformKernels, Dequant16MatchesScalar) {
+  Rng rng(12);
+  std::int32_t src[16];
+  float dq[16], got[16];
+  for (int l = 0; l < 16; ++l) {
+    src[l] = static_cast<std::int32_t>(rng.next_below(100000)) - 50000;
+    dq[l] = rng.uniform(0.0001f, 2.0f);
+  }
+  dequant16(src, dq, got);
+  for (int l = 0; l < 16; ++l) {
+    ASSERT_FLOAT_EQ(got[l], static_cast<float>(src[l]) * dq[l]);
+  }
+}
+
+TEST(TransformKernels, StreamStore64BothModes) {
+  alignas(64) std::uint8_t src[64], dst_nt[64], dst_reg[64];
+  for (int i = 0; i < 64; ++i) src[i] = static_cast<std::uint8_t>(i * 3);
+  stream_store_64(dst_nt, src, true);
+  stream_store_64(dst_reg, src, false);
+  stream_fence();
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(dst_nt[i], src[i]);
+    ASSERT_EQ(dst_reg[i], src[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lowino

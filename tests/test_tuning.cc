@@ -1,0 +1,124 @@
+// Tests for the auto-tuner search space and wisdom store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "tuning/search_space.h"
+#include "tuning/tuner.h"
+#include "tuning/wisdom.h"
+
+namespace lowino {
+namespace {
+
+TEST(SearchSpace, AllCandidatesValid) {
+  const auto candidates = enumerate_blockings(512, 512);
+  EXPECT_GT(candidates.size(), 20u);
+  for (const auto& b : candidates) {
+    EXPECT_TRUE(b.valid()) << b.to_string();
+    EXPECT_LE(b.c_blk, 512u);
+    EXPECT_LE(b.k_blk, 512u);
+    EXPECT_LT(b.row_blk * b.col_blk + b.col_blk, 31) << "paper register constraint";
+    EXPECT_LE(b.c_blk * b.k_blk, 512u * 512u) << "paper cache constraint";
+  }
+}
+
+TEST(SearchSpace, ClampsToSmallLayers) {
+  const auto candidates = enumerate_blockings(64, 64);
+  EXPECT_FALSE(candidates.empty());
+  for (const auto& b : candidates) {
+    EXPECT_LE(b.c_blk, 64u);
+    EXPECT_LE(b.k_blk, 64u);
+  }
+}
+
+TEST(SearchSpace, NoDuplicates) {
+  const auto candidates = enumerate_blockings(256, 256);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const auto& a = candidates[i];
+      const auto& b = candidates[j];
+      EXPECT_FALSE(a.n_blk == b.n_blk && a.c_blk == b.c_blk && a.k_blk == b.k_blk &&
+                   a.row_blk == b.row_blk && a.col_blk == b.col_blk);
+    }
+  }
+}
+
+TEST(Wisdom, PutGetRoundTrip) {
+  WisdomStore store;
+  Int8GemmBlocking b;
+  b.n_blk = 48;
+  b.k_blk = 128;
+  b.nt_store = false;
+  store.put("layer-x m4", b);
+  const auto got = store.get("layer-x m4");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->n_blk, 48u);
+  EXPECT_EQ(got->k_blk, 128u);
+  EXPECT_FALSE(got->nt_store);
+  EXPECT_FALSE(store.get("missing").has_value());
+}
+
+TEST(Wisdom, SerializeDeserialize) {
+  WisdomStore store;
+  Int8GemmBlocking a;
+  a.n_blk = 96;
+  Int8GemmBlocking b;
+  b.n_blk = 168;
+  b.row_blk = 12;
+  b.col_blk = 2;
+  b.k_blk = 32;
+  store.put("k1", a);
+  store.put("k2", b);
+  const WisdomStore parsed = WisdomStore::deserialize(store.serialize());
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.get("k2")->row_blk, 12);
+  EXPECT_EQ(parsed.get("k2")->k_blk, 32u);
+}
+
+TEST(Wisdom, MalformedLinesSkipped) {
+  const WisdomStore parsed = WisdomStore::deserialize(
+      "# comment\nnot a valid line\nk = 96 512 64 6 4 1 1\nk2 = broken\n");
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed.get("k").has_value());
+}
+
+TEST(Wisdom, FileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "lowino_wisdom_test.txt";
+  WisdomStore store;
+  store.put("layer", Int8GemmBlocking{});
+  ASSERT_TRUE(store.save(path));
+  const auto loaded = WisdomStore::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(WisdomStore::load(path).has_value());
+}
+
+TEST(Tuner, FindsConfigurationNotWorseThanDefault) {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = d.out_channels = 128;
+  d.height = d.width = 28;
+  d.kernel = 3;
+  d.pad = 1;
+  TuneOptions opts;
+  opts.seconds_per_candidate = 0.005;
+  opts.max_candidates = 6;
+  const TuneResult r = tune_layer(d, 4, nullptr, opts);
+  EXPECT_GT(r.evaluated, 0u);
+  EXPECT_TRUE(r.best.valid());
+  EXPECT_LE(r.best_seconds, r.default_seconds * 1.05);
+}
+
+TEST(Tuner, WisdomKeyDistinguishesLayersAndTileSizes) {
+  ConvDesc a;
+  a.in_channels = 64;
+  ConvDesc b;
+  b.in_channels = 128;
+  EXPECT_NE(wisdom_key(a, 2), wisdom_key(b, 2));
+  EXPECT_NE(wisdom_key(a, 2), wisdom_key(a, 4));
+}
+
+}  // namespace
+}  // namespace lowino

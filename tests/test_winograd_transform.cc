@@ -1,0 +1,256 @@
+// Tests for the Winograd transform generator and canonical matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "winograd/rational.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2), third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, -2), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+}
+
+TEST(Rational, ThrowsOnZeroDivision) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(3, 4).to_double(), 0.75);
+  EXPECT_DOUBLE_EQ(Rational(-5, 2).to_double(), -2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Generator: parameterized over (m, r) — every generated transform must
+// reproduce direct correlation exactly (the generator verifies the identity
+// with exact rationals internally; here we check the double-precision
+// matrices numerically end to end).
+class GeneratedTransform : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeneratedTransform, Correlate1dMatchesDirect) {
+  const auto [m, r] = GetParam();
+  const TransformMatrices& t = winograd_transform(m, r);
+  EXPECT_EQ(t.alpha, static_cast<std::size_t>(m + r - 1));
+
+  Rng rng(m * 10 + r);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> d(t.alpha), g(t.r);
+    for (auto& v : d) v = rng.uniform(-1.0f, 1.0f);
+    for (auto& v : g) v = rng.uniform(-1.0f, 1.0f);
+    const std::vector<double> y = t.correlate_1d(d, g);
+    for (std::size_t i = 0; i < t.m; ++i) {
+      double expected = 0.0;
+      for (std::size_t j = 0; j < t.r; ++j) expected += g[j] * d[i + j];
+      ASSERT_NEAR(y[i], expected, 1e-9) << "m=" << m << " r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GeneratedTransform, IdentityHoldsExactly) {
+  const auto [m, r] = GetParam();
+  const TransformMatrices& t = winograd_transform(m, r);
+  for (std::size_t i = 0; i < t.m; ++i) {
+    for (std::size_t k = 0; k < t.r; ++k) {
+      for (std::size_t l = 0; l < t.alpha; ++l) {
+        Rational sum = 0;
+        for (std::size_t j = 0; j < t.alpha; ++j) {
+          sum += t.AT_q[i * t.alpha + j] * t.G_q[j * t.r + k] * t.BT_q[j * t.alpha + l];
+        }
+        ASSERT_EQ(sum, l == i + k ? Rational(1) : Rational(0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratedTransform,
+                         ::testing::Values(std::make_tuple(2, 3), std::make_tuple(4, 3),
+                                           std::make_tuple(6, 3), std::make_tuple(2, 2),
+                                           std::make_tuple(3, 3), std::make_tuple(4, 5),
+                                           std::make_tuple(5, 3), std::make_tuple(6, 5),
+                                           std::make_tuple(1, 3), std::make_tuple(8, 3)));
+
+TEST(GeneratedTransformErrors, RejectsBadArguments) {
+  EXPECT_THROW(winograd_transform(0, 3), std::invalid_argument);
+  EXPECT_THROW(winograd_transform(2, 1), std::invalid_argument);
+  EXPECT_THROW(winograd_transform(9, 3), std::invalid_argument);  // alpha = 11
+  EXPECT_THROW(generate_winograd_transform(2, 3, {Rational(0), Rational(0), Rational(1)}),
+               std::invalid_argument);  // duplicate points
+  EXPECT_THROW(generate_winograd_transform(2, 3, {Rational(0)}), std::invalid_argument);
+}
+
+TEST(GeneratedTransform, CustomPointsAlsoWork) {
+  const TransformMatrices t =
+      generate_winograd_transform(2, 3, {Rational(1), Rational(-2), Rational(3)});
+  const std::vector<double> y = t.correlate_1d({1, 2, 3, 4}, {0.5, -1, 2});
+  EXPECT_NEAR(y[0], 0.5 * 1 - 1 * 2 + 2 * 3, 1e-9);
+  EXPECT_NEAR(y[1], 0.5 * 2 - 1 * 3 + 2 * 4, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical matrices (Eq. 2 of the paper).
+TEST(Canonical, F23MatchesPaperEq2) {
+  const TransformMatrices& t = canonical_f23();
+  const double expected_bt[16] = {1, 0, -1, 0, 0, 1, 1, 0, 0, -1, 1, 0, 0, 1, 0, -1};
+  for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(t.BT[i], expected_bt[i]);
+}
+
+TEST(Canonical, F43MatchesPaperEq2) {
+  const TransformMatrices& t = canonical_f43();
+  const double expected_row0[6] = {4, 0, -5, 0, 1, 0};
+  const double expected_row5[6] = {0, 4, 0, -5, 0, 1};
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(t.bt(0, j), expected_row0[j]);
+    EXPECT_DOUBLE_EQ(t.bt(5, j), expected_row5[j]);
+  }
+}
+
+TEST(Canonical, F23CorrelatesExactly) {
+  const TransformMatrices& t = canonical_f23();
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> d(4), g(3);
+    for (auto& v : d) v = rng.uniform(-2.0f, 2.0f);
+    for (auto& v : g) v = rng.uniform(-2.0f, 2.0f);
+    const auto y = t.correlate_1d(d, g);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_NEAR(y[i], g[0] * d[i] + g[1] * d[i + 1] + g[2] * d[i + 2], 1e-12);
+    }
+  }
+}
+
+TEST(Canonical, F43CorrelatesExactly) {
+  const TransformMatrices& t = canonical_f43();
+  Rng rng(6);
+  std::vector<double> d(6), g(3);
+  for (auto& v : d) v = rng.uniform(-2.0f, 2.0f);
+  for (auto& v : g) v = rng.uniform(-2.0f, 2.0f);
+  const auto y = t.correlate_1d(d, g);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NEAR(y[i], g[0] * d[i] + g[1] * d[i + 1] + g[2] * d[i + 2], 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The value-range amplification claim of Section 2.2: "values of the
+// transformed input matrix will increase up to 4x and 100x" for F(2,3) and
+// F(4,3), and grows dramatically with m.
+TEST(Amplification, PaperSection22Figures) {
+  EXPECT_DOUBLE_EQ(canonical_f23().input_amplification_2d(), 4.0);
+  EXPECT_DOUBLE_EQ(canonical_f43().input_amplification_2d(), 100.0);
+}
+
+TEST(Amplification, GrowsWithTileSize) {
+  const double a2 = winograd_transform(2, 3).input_amplification_2d();
+  const double a4 = winograd_transform(4, 3).input_amplification_2d();
+  const double a6 = winograd_transform(6, 3).input_amplification_2d();
+  EXPECT_LT(a2, a4);
+  EXPECT_LT(a4, a6);
+  // With wincnn's fractional points F(6,3) amplifies 225x (the paper's 1/10000
+  // figure assumes all-integer interpolation points); the instability that
+  // motivates Winograd-domain quantization is the same.
+  EXPECT_GE(a6 / a2, 50.0);
+}
+
+TEST(DefaultPoints, FirstSevenAreWincnnChoice) {
+  const auto pts = default_points(7);
+  EXPECT_EQ(pts[0], Rational(0));
+  EXPECT_EQ(pts[1], Rational(1));
+  EXPECT_EQ(pts[2], Rational(-1));
+  EXPECT_EQ(pts[3], Rational(2));
+  EXPECT_EQ(pts[4], Rational(-2));
+  EXPECT_EQ(pts[5], Rational(1, 2));
+  EXPECT_EQ(pts[6], Rational(-1, 2));
+}
+
+// 2D correlation through the full sandwich Y = A^T[(G g G^T) . (B^T d B)]A.
+class Transform2d : public ::testing::TestWithParam<int> {};
+
+TEST_P(Transform2d, MatchesDirect2dConvolution) {
+  const int m = GetParam();
+  const TransformMatrices& t = winograd_transform(m, 3);
+  const std::size_t a = t.alpha;
+  Rng rng(m);
+  std::vector<double> d(a * a), g(9);
+  for (auto& v : d) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : g) v = rng.uniform(-1.0f, 1.0f);
+
+  // U = G g G^T (a x a), V = B^T d B (a x a)
+  std::vector<double> u(a * a, 0.0), v(a * a, 0.0), tmp(a * 3, 0.0);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += t.g(i, k) * g[k * 3 + j];
+      tmp[i * 3 + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += tmp[i * 3 + k] * t.g(j, k);
+      u[i * a + j] = s;
+    }
+  }
+  std::vector<double> tmp2(a * a, 0.0);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a; ++k) s += t.bt(i, k) * d[k * a + j];
+      tmp2[i * a + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a; ++k) s += tmp2[i * a + k] * t.bt(j, k);
+      v[i * a + j] = s;
+    }
+  }
+  // Z = U . V ; Y = A^T Z A
+  std::vector<double> z(a * a);
+  for (std::size_t i = 0; i < a * a; ++i) z[i] = u[i] * v[i];
+  std::vector<double> tmp3(t.m * a, 0.0);
+  for (std::size_t i = 0; i < t.m; ++i) {
+    for (std::size_t j = 0; j < a; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a; ++k) s += t.at(i, k) * z[k * a + j];
+      tmp3[i * a + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < t.m; ++i) {
+    for (std::size_t j = 0; j < t.m; ++j) {
+      double y = 0.0;
+      for (std::size_t k = 0; k < a; ++k) y += tmp3[i * a + k] * t.at(j, k);
+      // direct valid correlation at output (i, j)
+      double expected = 0.0;
+      for (std::size_t p = 0; p < 3; ++p) {
+        for (std::size_t q = 0; q < 3; ++q) {
+          expected += g[p * 3 + q] * d[(i + p) * a + (j + q)];
+        }
+      }
+      ASSERT_NEAR(y, expected, 1e-8) << "m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, Transform2d, ::testing::Values(2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace lowino
