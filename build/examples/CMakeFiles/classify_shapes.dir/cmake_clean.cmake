@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_shapes.dir/classify_shapes.cpp.o"
+  "CMakeFiles/classify_shapes.dir/classify_shapes.cpp.o.d"
+  "classify_shapes"
+  "classify_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

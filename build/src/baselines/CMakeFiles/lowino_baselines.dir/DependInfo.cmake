@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/downscale_wino.cc" "src/baselines/CMakeFiles/lowino_baselines.dir/downscale_wino.cc.o" "gcc" "src/baselines/CMakeFiles/lowino_baselines.dir/downscale_wino.cc.o.d"
+  "/root/repo/src/baselines/fp32_wino.cc" "src/baselines/CMakeFiles/lowino_baselines.dir/fp32_wino.cc.o" "gcc" "src/baselines/CMakeFiles/lowino_baselines.dir/fp32_wino.cc.o.d"
+  "/root/repo/src/baselines/upcast_wino.cc" "src/baselines/CMakeFiles/lowino_baselines.dir/upcast_wino.cc.o" "gcc" "src/baselines/CMakeFiles/lowino_baselines.dir/upcast_wino.cc.o.d"
+  "/root/repo/src/baselines/vendor_wino.cc" "src/baselines/CMakeFiles/lowino_baselines.dir/vendor_wino.cc.o" "gcc" "src/baselines/CMakeFiles/lowino_baselines.dir/vendor_wino.cc.o.d"
+  "/root/repo/src/baselines/wino_common.cc" "src/baselines/CMakeFiles/lowino_baselines.dir/wino_common.cc.o" "gcc" "src/baselines/CMakeFiles/lowino_baselines.dir/wino_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lowino/CMakeFiles/lowino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/lowino_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/lowino_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lowino_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/lowino_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowino_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lowino_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_baselines.dir/downscale_wino.cc.o"
+  "CMakeFiles/lowino_baselines.dir/downscale_wino.cc.o.d"
+  "CMakeFiles/lowino_baselines.dir/fp32_wino.cc.o"
+  "CMakeFiles/lowino_baselines.dir/fp32_wino.cc.o.d"
+  "CMakeFiles/lowino_baselines.dir/upcast_wino.cc.o"
+  "CMakeFiles/lowino_baselines.dir/upcast_wino.cc.o.d"
+  "CMakeFiles/lowino_baselines.dir/vendor_wino.cc.o"
+  "CMakeFiles/lowino_baselines.dir/vendor_wino.cc.o.d"
+  "CMakeFiles/lowino_baselines.dir/wino_common.cc.o"
+  "CMakeFiles/lowino_baselines.dir/wino_common.cc.o.d"
+  "liblowino_baselines.a"
+  "liblowino_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

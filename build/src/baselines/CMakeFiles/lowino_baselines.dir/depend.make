@@ -1,0 +1,2 @@
+# Empty dependencies file for lowino_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_common.dir/cpu_features.cc.o"
+  "CMakeFiles/lowino_common.dir/cpu_features.cc.o.d"
+  "CMakeFiles/lowino_common.dir/env.cc.o"
+  "CMakeFiles/lowino_common.dir/env.cc.o.d"
+  "liblowino_common.a"
+  "liblowino_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_direct.dir/direct_f32.cc.o"
+  "CMakeFiles/lowino_direct.dir/direct_f32.cc.o.d"
+  "CMakeFiles/lowino_direct.dir/direct_int8.cc.o"
+  "CMakeFiles/lowino_direct.dir/direct_int8.cc.o.d"
+  "liblowino_direct.a"
+  "liblowino_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblowino_direct.a"
+)

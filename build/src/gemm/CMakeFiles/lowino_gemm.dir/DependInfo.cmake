@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/fp32_gemm.cc" "src/gemm/CMakeFiles/lowino_gemm.dir/fp32_gemm.cc.o" "gcc" "src/gemm/CMakeFiles/lowino_gemm.dir/fp32_gemm.cc.o.d"
+  "/root/repo/src/gemm/int16_gemm.cc" "src/gemm/CMakeFiles/lowino_gemm.dir/int16_gemm.cc.o" "gcc" "src/gemm/CMakeFiles/lowino_gemm.dir/int16_gemm.cc.o.d"
+  "/root/repo/src/gemm/int8_gemm.cc" "src/gemm/CMakeFiles/lowino_gemm.dir/int8_gemm.cc.o" "gcc" "src/gemm/CMakeFiles/lowino_gemm.dir/int8_gemm.cc.o.d"
+  "/root/repo/src/gemm/reference.cc" "src/gemm/CMakeFiles/lowino_gemm.dir/reference.cc.o" "gcc" "src/gemm/CMakeFiles/lowino_gemm.dir/reference.cc.o.d"
+  "/root/repo/src/gemm/vnni_kernels.cc" "src/gemm/CMakeFiles/lowino_gemm.dir/vnni_kernels.cc.o" "gcc" "src/gemm/CMakeFiles/lowino_gemm.dir/vnni_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowino_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lowino_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_gemm.dir/fp32_gemm.cc.o"
+  "CMakeFiles/lowino_gemm.dir/fp32_gemm.cc.o.d"
+  "CMakeFiles/lowino_gemm.dir/int16_gemm.cc.o"
+  "CMakeFiles/lowino_gemm.dir/int16_gemm.cc.o.d"
+  "CMakeFiles/lowino_gemm.dir/int8_gemm.cc.o"
+  "CMakeFiles/lowino_gemm.dir/int8_gemm.cc.o.d"
+  "CMakeFiles/lowino_gemm.dir/reference.cc.o"
+  "CMakeFiles/lowino_gemm.dir/reference.cc.o.d"
+  "CMakeFiles/lowino_gemm.dir/vnni_kernels.cc.o"
+  "CMakeFiles/lowino_gemm.dir/vnni_kernels.cc.o.d"
+  "liblowino_gemm.a"
+  "liblowino_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

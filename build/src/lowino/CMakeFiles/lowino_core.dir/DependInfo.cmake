@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowino/convolution.cc" "src/lowino/CMakeFiles/lowino_core.dir/convolution.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/convolution.cc.o.d"
+  "/root/repo/src/lowino/filter_pack.cc" "src/lowino/CMakeFiles/lowino_core.dir/filter_pack.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/filter_pack.cc.o.d"
+  "/root/repo/src/lowino/input_transform.cc" "src/lowino/CMakeFiles/lowino_core.dir/input_transform.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/input_transform.cc.o.d"
+  "/root/repo/src/lowino/output_transform.cc" "src/lowino/CMakeFiles/lowino_core.dir/output_transform.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/output_transform.cc.o.d"
+  "/root/repo/src/lowino/scales.cc" "src/lowino/CMakeFiles/lowino_core.dir/scales.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/scales.cc.o.d"
+  "/root/repo/src/lowino/transform_kernels.cc" "src/lowino/CMakeFiles/lowino_core.dir/transform_kernels.cc.o" "gcc" "src/lowino/CMakeFiles/lowino_core.dir/transform_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lowino_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowino_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/lowino_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lowino_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/lowino_gemm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

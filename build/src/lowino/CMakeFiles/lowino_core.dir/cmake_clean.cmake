@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_core.dir/convolution.cc.o"
+  "CMakeFiles/lowino_core.dir/convolution.cc.o.d"
+  "CMakeFiles/lowino_core.dir/filter_pack.cc.o"
+  "CMakeFiles/lowino_core.dir/filter_pack.cc.o.d"
+  "CMakeFiles/lowino_core.dir/input_transform.cc.o"
+  "CMakeFiles/lowino_core.dir/input_transform.cc.o.d"
+  "CMakeFiles/lowino_core.dir/output_transform.cc.o"
+  "CMakeFiles/lowino_core.dir/output_transform.cc.o.d"
+  "CMakeFiles/lowino_core.dir/scales.cc.o"
+  "CMakeFiles/lowino_core.dir/scales.cc.o.d"
+  "CMakeFiles/lowino_core.dir/transform_kernels.cc.o"
+  "CMakeFiles/lowino_core.dir/transform_kernels.cc.o.d"
+  "liblowino_core.a"
+  "liblowino_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

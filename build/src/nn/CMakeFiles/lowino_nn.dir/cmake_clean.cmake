@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_nn.dir/dataset.cc.o"
+  "CMakeFiles/lowino_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/lowino_nn.dir/engines.cc.o"
+  "CMakeFiles/lowino_nn.dir/engines.cc.o.d"
+  "CMakeFiles/lowino_nn.dir/graph.cc.o"
+  "CMakeFiles/lowino_nn.dir/graph.cc.o.d"
+  "CMakeFiles/lowino_nn.dir/layers.cc.o"
+  "CMakeFiles/lowino_nn.dir/layers.cc.o.d"
+  "CMakeFiles/lowino_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/lowino_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/lowino_nn.dir/train.cc.o"
+  "CMakeFiles/lowino_nn.dir/train.cc.o.d"
+  "liblowino_nn.a"
+  "liblowino_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/lowino_parallel.dir/thread_pool.cc.o.d"
+  "liblowino_parallel.a"
+  "liblowino_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

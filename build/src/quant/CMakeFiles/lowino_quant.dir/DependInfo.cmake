@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/calibration.cc" "src/quant/CMakeFiles/lowino_quant.dir/calibration.cc.o" "gcc" "src/quant/CMakeFiles/lowino_quant.dir/calibration.cc.o.d"
+  "/root/repo/src/quant/histogram.cc" "src/quant/CMakeFiles/lowino_quant.dir/histogram.cc.o" "gcc" "src/quant/CMakeFiles/lowino_quant.dir/histogram.cc.o.d"
+  "/root/repo/src/quant/quantize.cc" "src/quant/CMakeFiles/lowino_quant.dir/quantize.cc.o" "gcc" "src/quant/CMakeFiles/lowino_quant.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

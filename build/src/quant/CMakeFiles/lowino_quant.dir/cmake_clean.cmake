@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_quant.dir/calibration.cc.o"
+  "CMakeFiles/lowino_quant.dir/calibration.cc.o.d"
+  "CMakeFiles/lowino_quant.dir/histogram.cc.o"
+  "CMakeFiles/lowino_quant.dir/histogram.cc.o.d"
+  "CMakeFiles/lowino_quant.dir/quantize.cc.o"
+  "CMakeFiles/lowino_quant.dir/quantize.cc.o.d"
+  "liblowino_quant.a"
+  "liblowino_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

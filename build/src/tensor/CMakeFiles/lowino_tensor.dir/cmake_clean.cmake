@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_tensor.dir/pack.cc.o"
+  "CMakeFiles/lowino_tensor.dir/pack.cc.o.d"
+  "liblowino_tensor.a"
+  "liblowino_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_tuning.dir/auto_select.cc.o"
+  "CMakeFiles/lowino_tuning.dir/auto_select.cc.o.d"
+  "CMakeFiles/lowino_tuning.dir/search_space.cc.o"
+  "CMakeFiles/lowino_tuning.dir/search_space.cc.o.d"
+  "CMakeFiles/lowino_tuning.dir/tuner.cc.o"
+  "CMakeFiles/lowino_tuning.dir/tuner.cc.o.d"
+  "CMakeFiles/lowino_tuning.dir/wisdom.cc.o"
+  "CMakeFiles/lowino_tuning.dir/wisdom.cc.o.d"
+  "liblowino_tuning.a"
+  "liblowino_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

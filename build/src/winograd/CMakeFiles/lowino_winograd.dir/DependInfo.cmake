@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/winograd/codelet_plan.cc" "src/winograd/CMakeFiles/lowino_winograd.dir/codelet_plan.cc.o" "gcc" "src/winograd/CMakeFiles/lowino_winograd.dir/codelet_plan.cc.o.d"
+  "/root/repo/src/winograd/transform.cc" "src/winograd/CMakeFiles/lowino_winograd.dir/transform.cc.o" "gcc" "src/winograd/CMakeFiles/lowino_winograd.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowino_winograd.dir/codelet_plan.cc.o"
+  "CMakeFiles/lowino_winograd.dir/codelet_plan.cc.o.d"
+  "CMakeFiles/lowino_winograd.dir/transform.cc.o"
+  "CMakeFiles/lowino_winograd.dir/transform.cc.o.d"
+  "liblowino_winograd.a"
+  "liblowino_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowino_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

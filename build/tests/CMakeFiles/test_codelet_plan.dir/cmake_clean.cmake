@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codelet_plan.dir/test_codelet_plan.cc.o"
+  "CMakeFiles/test_codelet_plan.dir/test_codelet_plan.cc.o.d"
+  "test_codelet_plan"
+  "test_codelet_plan.pdb"
+  "test_codelet_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codelet_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

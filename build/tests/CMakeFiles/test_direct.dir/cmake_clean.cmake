@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct.dir/test_direct.cc.o"
+  "CMakeFiles/test_direct.dir/test_direct.cc.o.d"
+  "test_direct"
+  "test_direct.pdb"
+  "test_direct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowino.dir/test_lowino.cc.o"
+  "CMakeFiles/test_lowino.dir/test_lowino.cc.o.d"
+  "test_lowino"
+  "test_lowino.pdb"
+  "test_lowino[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

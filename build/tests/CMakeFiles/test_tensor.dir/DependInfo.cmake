@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tensor.cc" "tests/CMakeFiles/test_tensor.dir/test_tensor.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/test_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/lowino_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lowino_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lowino_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lowino/CMakeFiles/lowino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/winograd/CMakeFiles/lowino_winograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/direct/CMakeFiles/lowino_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lowino_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemm/CMakeFiles/lowino_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lowino_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lowino_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lowino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

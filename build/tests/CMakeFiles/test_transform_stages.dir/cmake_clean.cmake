@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform_stages.dir/test_transform_stages.cc.o"
+  "CMakeFiles/test_transform_stages.dir/test_transform_stages.cc.o.d"
+  "test_transform_stages"
+  "test_transform_stages.pdb"
+  "test_transform_stages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

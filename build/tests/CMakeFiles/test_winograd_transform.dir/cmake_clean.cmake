@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winograd_transform.dir/test_winograd_transform.cc.o"
+  "CMakeFiles/test_winograd_transform.dir/test_winograd_transform.cc.o.d"
+  "test_winograd_transform"
+  "test_winograd_transform.pdb"
+  "test_winograd_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winograd_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

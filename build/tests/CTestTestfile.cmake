@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_winograd_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_codelet_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm[1]_include.cmake")
+include("/root/repo/build/tests/test_direct[1]_include.cmake")
+include("/root/repo/build/tests/test_lowino[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_auto_select[1]_include.cmake")
+include("/root/repo/build/tests/test_transform_stages[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
