@@ -1,0 +1,108 @@
+// Staged vs fused execution-mode comparison on the Table 2 layers.
+//
+// For every layer: wall time of the staged three-barrier pipeline, wall time
+// of the fused streaming path (per-thread L2-resident panels, single parallel
+// region), their workspace footprints, and the mode kAuto would pick. Timing
+// uses execute_blocked so pack/unpack at the NCHW edges does not dilute the
+// pipeline comparison.
+//
+// Also writes a machine-readable summary to BENCH_fused.json (override the
+// path with LOWINO_BENCH_JSON).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "lowino/lowino.h"
+#include "nn/model_zoo.h"
+#include "tensor/pack.h"
+
+namespace lowino {
+namespace {
+
+struct Row {
+  std::string name;
+  double staged_ms = 0.0;
+  double fused_ms = 0.0;
+  std::size_t staged_ws = 0;
+  std::size_t fused_ws = 0;
+  ExecutionMode auto_mode = ExecutionMode::kAuto;
+};
+
+double time_mode(const ConvDesc& d, ExecutionMode mode, const bench::LayerData& data,
+                 ThreadPool& pool, std::size_t m) {
+  LoWinoConfig cfg;
+  cfg.m = m;
+  cfg.execution_mode = mode;
+  LoWinoConvolution conv(d, cfg);
+  conv.set_uniform_input_threshold(2.0f);
+  conv.set_filters(data.weights, data.bias);
+  AlignedBuffer<float> in(conv.input_layout().size());
+  AlignedBuffer<float> out(conv.output_layout().size());
+  pack_nchw_to_blocked(data.input, d.batch, d.in_channels, d.height, d.width, in.span(),
+                       &pool);
+  return bench::measure([&] { conv.execute_blocked(in.span(), out.span(), &pool); });
+}
+
+int bench_main() {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t m = static_cast<std::size_t>(env_long("LOWINO_BENCH_M", 4));
+  const auto layers = paper_layers_table2(bench::batch_override());
+
+  std::printf("Staged vs fused execution mode, F(%zux%zu,3x3), %zu thread(s)\n\n", m, m,
+              pool.num_threads());
+  std::printf("%-13s | %9s %9s %8s | %11s %11s | %6s\n", "layer", "staged ms", "fused ms",
+              "speedup", "staged MB", "fused MB", "auto");
+  bench::print_rule(84);
+
+  std::vector<Row> rows;
+  for (const auto& layer : layers) {
+    const ConvDesc& d = layer.desc;
+    const bench::LayerData data = bench::make_layer_data(d, 23);
+
+    Row row;
+    row.name = layer.name;
+    row.staged_ms = time_mode(d, ExecutionMode::kStaged, data, pool, m) * 1e3;
+    row.fused_ms = time_mode(d, ExecutionMode::kFused, data, pool, m) * 1e3;
+    {
+      LoWinoConfig cfg;
+      cfg.m = m;
+      LoWinoConvolution conv(d, cfg);
+      row.staged_ws = conv.workspace_bytes(ExecutionMode::kStaged, pool.num_threads());
+      row.fused_ws = conv.workspace_bytes(ExecutionMode::kFused, pool.num_threads());
+      row.auto_mode = conv.resolve_execution_mode(pool.num_threads());
+    }
+    std::printf("%-13s | %9.3f %9.3f %7.2fx | %11.2f %11.2f | %6s\n", row.name.c_str(),
+                row.staged_ms, row.fused_ms, row.staged_ms / row.fused_ms,
+                row.staged_ws / 1e6, row.fused_ws / 1e6, execution_mode_name(row.auto_mode));
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  const std::string json_path = env_string("LOWINO_BENCH_JSON", "BENCH_fused.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"m\": %zu,\n  \"threads\": %zu,\n  \"batch_override\": %zu,\n"
+                 "  \"layers\": [\n",
+                 m, pool.num_threads(), bench::batch_override());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"staged_ms\": %.4f, \"fused_ms\": %.4f, "
+                   "\"speedup\": %.4f, \"staged_workspace_bytes\": %zu, "
+                   "\"fused_workspace_bytes\": %zu, \"auto_mode\": \"%s\"}%s\n",
+                   r.name.c_str(), r.staged_ms, r.fused_ms, r.staged_ms / r.fused_ms,
+                   r.staged_ws, r.fused_ws, execution_mode_name(r.auto_mode),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lowino
+
+int main() { return lowino::bench_main(); }

@@ -31,12 +31,15 @@ int main(int argc, char** argv) {
               result.best.to_string().c_str());
   std::printf("  speedup              : %.2fx\n",
               result.default_seconds / result.best_seconds);
+  std::printf("  execution mode       : %s wins (staged %.3f ms, fused %.3f ms)\n",
+              execution_mode_name(result.best_mode), result.staged_seconds * 1e3,
+              result.fused_seconds * 1e3);
 
   // Persist to the wisdom file like a deployment would.
   const char* path = "lowino_wisdom.txt";
   WisdomStore store;
   if (auto existing = WisdomStore::load(path)) store = *existing;
-  store.put(wisdom_key(desc, 4), result.best);
+  store.put(wisdom_key(desc, 4), result.best, result.best_mode);
   store.save(path);
   std::printf("  saved to %s (%zu entries); inference loads this ahead of time\n", path,
               store.size());
@@ -44,8 +47,9 @@ int main(int argc, char** argv) {
   // Demonstrate the load path.
   const auto loaded = WisdomStore::load(path);
   if (loaded && loaded->get(wisdom_key(desc, 4))) {
-    std::printf("  reload check: OK (%s)\n",
-                loaded->get(wisdom_key(desc, 4))->to_string().c_str());
+    std::printf("  reload check: OK (%s, mode=%s)\n",
+                loaded->get(wisdom_key(desc, 4))->to_string().c_str(),
+                execution_mode_name(loaded->get_mode(wisdom_key(desc, 4))));
   }
   return 0;
 }

@@ -131,7 +131,6 @@ void VendorWinoF23::execute_nchw(std::span<const float> input, std::span<float> 
   const std::size_t cb_count = c64 / kChanBlock;
   const float v_scale = alpha_v_ * input_scale_;
 
-  Timer total_timer;
   stage_times_ = StageTimes{};
 
   grid_input_.ensure(n_in);
@@ -205,7 +204,6 @@ void VendorWinoF23::execute_nchw(std::span<const float> input, std::span<float> 
   unpack_blocked_to_nchw(out_blocked_.span(), desc_.batch, desc_.out_channels,
                          desc_.out_height(), desc_.out_width(), output, pool);
   stage_times_.output_transform = 0.0;  // folded into input_transform above
-  (void)total_timer;
 }
 
 }  // namespace lowino

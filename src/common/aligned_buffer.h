@@ -5,8 +5,10 @@
 // loads/stores and non-temporal stores (which require 64B alignment).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -16,6 +18,17 @@
 namespace lowino {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_aligned_buffer_allocs{0};
+}  // namespace detail
+
+/// Process-wide count of AlignedBuffer (re-)allocations. Tests snapshot this
+/// around steady-state execute() calls to assert the hot path is
+/// allocation-free.
+inline std::uint64_t aligned_buffer_alloc_count() {
+  return detail::g_aligned_buffer_allocs.load(std::memory_order_relaxed);
+}
 
 /// Rounds `n` up to the next multiple of `align` (which must be a power of two).
 constexpr std::size_t round_up(std::size_t n, std::size_t align) {
@@ -66,6 +79,7 @@ class AlignedBuffer {
     const std::size_t bytes = round_up(count * sizeof(T), kCacheLineBytes);
     data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
     if (data_ == nullptr) throw std::bad_alloc();
+    detail::g_aligned_buffer_allocs.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Re-allocates only if the current capacity is insufficient.

@@ -7,6 +7,10 @@
 #define LOWINO_X86 1
 #endif
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace lowino {
 namespace {
 
@@ -36,5 +40,17 @@ const CpuFeatures& cpu_features() {
 }
 
 void override_cpu_features_for_test(const CpuFeatures* features) { g_override = features; }
+
+std::size_t l2_cache_bytes() {
+  static const std::size_t bytes = [] {
+    constexpr std::size_t kFallback = 1u << 20;  // 1 MiB
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+    const long v = sysconf(_SC_LEVEL2_CACHE_SIZE);
+    if (v > 0) return static_cast<std::size_t>(v);
+#endif
+    return kFallback;
+  }();
+  return bytes;
+}
 
 }  // namespace lowino

@@ -4,6 +4,8 @@
 // binaries remain runnable (via scalar fallbacks) on machines without VNNI.
 #pragma once
 
+#include <cstddef>
+
 namespace lowino {
 
 struct CpuFeatures {
@@ -24,5 +26,10 @@ const CpuFeatures& cpu_features();
 
 /// Overrides detection for testing ("force scalar paths"). Pass nullptr to restore.
 void override_cpu_features_for_test(const CpuFeatures* features);
+
+/// Best-effort per-core L2 data cache size in bytes (sysconf where available;
+/// 1 MiB fallback — the Cascade Lake size the paper's blocking assumes).
+/// Computed once, cached. Used by ExecutionMode::kAuto.
+std::size_t l2_cache_bytes();
 
 }  // namespace lowino

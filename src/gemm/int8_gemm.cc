@@ -109,7 +109,8 @@ std::string Int8GemmBlocking::to_string() const {
 void batched_int8_gemm(const TransformedInputLayout& vl, const std::uint8_t* v,
                        const PackedFilterLayout& ul, const std::int8_t* u,
                        const std::int32_t* comp, const TransformedOutputLayout& zl,
-                       std::int32_t* z, const Int8GemmBlocking& blocking, ThreadPool* pool) {
+                       std::int32_t* z, const Int8GemmBlocking& blocking, ThreadPool* pool,
+                       Int8GemmScratch* scratch) {
   assert(blocking.valid());
   assert(vl.c_blk == blocking.c_blk && vl.n_blk == blocking.n_blk);
   assert(ul.c_blk == blocking.c_blk && ul.k_blk == blocking.k_blk);
@@ -136,11 +137,14 @@ void batched_int8_gemm(const TransformedInputLayout& vl, const std::uint8_t* v,
   // tasks are fully independent and statically partitioned.
   const std::size_t total_tasks = n_blocks * k_blocks * t_elems;
   const std::size_t num_threads = pool != nullptr ? pool->num_threads() : 1;
-  std::vector<AlignedBuffer<std::int32_t>> scratch(num_threads);
-  for (auto& s : scratch) s.reset(n_blk * k_blk);
+  // Accumulator scratch: caller-owned when provided (steady-state inference
+  // is then allocation-free), local otherwise (one-shot callers, tuner).
+  Int8GemmScratch local_scratch;
+  Int8GemmScratch& sc = scratch != nullptr ? *scratch : local_scratch;
+  sc.ensure(num_threads, n_blk * k_blk);
 
   auto worker = [&](std::size_t tid, std::size_t nw) {
-    std::int32_t* acc = scratch[tid].data();
+    std::int32_t* acc = sc.per_thread[tid].data();
     const Range range = static_partition(total_tasks, nw, tid);
     for (std::size_t task = range.begin; task < range.end; ++task) {
       // kb innermost: consecutive tasks reuse the same (nb, t) V panels while
@@ -196,6 +200,53 @@ void batched_int8_gemm(const TransformedInputLayout& vl, const std::uint8_t* v,
     pool->run(worker);
   } else {
     worker(0, 1);
+  }
+}
+
+void int8_gemm_n_block(const std::uint8_t* v_block, std::size_t c_blocks,
+                       std::size_t t_elems, const PackedFilterLayout& ul,
+                       const std::int8_t* u, const std::int32_t* comp, std::size_t k_real,
+                       std::size_t kb_begin, std::size_t kb_end, std::int32_t* z_block,
+                       const Int8GemmBlocking& blocking, std::int32_t* acc) {
+  const std::size_t n_blk = blocking.n_blk;
+  const std::size_t c_blk = blocking.c_blk;
+  const std::size_t k_blk = blocking.k_blk;
+  const std::size_t k_blocks = ul.k_blocks;
+  const std::size_t k_padded = k_blocks * k_blk;
+  const std::size_t c4_count = c_blk / 4;
+  const std::size_t v_panel_sz = n_blk * c_blk;  // bytes
+  const std::size_t u_panel_sz = c_blk * k_blk;  // bytes
+  MicroKernelFn fn = get_vnni_microkernel(blocking.row_blk, blocking.col_blk);
+
+  for (std::size_t kb = kb_begin; kb < kb_end; ++kb) {
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      // Same accumulation order as the staged batched_int8_gemm task body:
+      // compensation init, then the full channel-block reduction.
+      const std::int32_t* comp_row = comp + t * k_padded + kb * k_blk;
+      for (std::size_t r = 0; r < n_blk; ++r) {
+        std::memcpy(acc + r * k_blk, comp_row, k_blk * sizeof(std::int32_t));
+      }
+      for (std::size_t cb = 0; cb < c_blocks; ++cb) {
+        const std::uint8_t* v_panel = v_block + (cb * t_elems + t) * v_panel_sz;
+        const std::int8_t* u_panel = u + ((cb * k_blocks + kb) * t_elems + t) * u_panel_sz;
+        // No software prefetch: the V panel is L2-resident by construction.
+        run_panel(v_panel, c_blk, u_panel, k_blk * 4, acc, k_blk, n_blk, k_blk, c4_count,
+                  nullptr, fn, blocking.row_blk, blocking.col_blk);
+      }
+      // Scatter into the per-thread Z panel [k_grp/64][n_blk][T][64]; plain
+      // stores — the panel is about to be re-read by the output transform.
+      for (std::size_t r = 0; r < n_blk; ++r) {
+        for (std::size_t k0 = 0; k0 < k_blk; k0 += 16) {
+          const std::size_t k = kb * k_blk + k0;  // global output channel
+          if (k >= k_real) break;
+          const std::size_t k_local = k - kb_begin * k_blk;
+          const std::size_t kb64 = k_local / kChanBlock;
+          const std::size_t ki = k_local % kChanBlock;
+          store_line(z_block + ((kb64 * n_blk + r) * t_elems + t) * kChanBlock + ki,
+                     acc + r * k_blk + k0, /*nt=*/false);
+        }
+      }
+    }
   }
 }
 

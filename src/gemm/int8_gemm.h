@@ -13,12 +13,27 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/aligned_buffer.h"
 #include "tensor/layout.h"
 
 namespace lowino {
 
 class ThreadPool;
+
+/// Persistent per-thread accumulator scratch for batched_int8_gemm. Owned by
+/// the convolution object (next to the fused workspace arena) so steady-state
+/// execute() calls are allocation-free; ensure() only re-allocates when the
+/// thread count or blocking grows.
+struct Int8GemmScratch {
+  std::vector<AlignedBuffer<std::int32_t>> per_thread;
+
+  void ensure(std::size_t num_threads, std::size_t acc_elems) {
+    if (per_thread.size() < num_threads) per_thread.resize(num_threads);
+    for (auto& buf : per_thread) buf.ensure(acc_elems);
+  }
+};
 
 /// Tuneable blocking parameters (Section 4.3.4). Defaults are sensible for
 /// typical layer shapes; the auto-tuner (src/tuning) searches this space.
@@ -50,7 +65,24 @@ void batched_int8_gemm(const TransformedInputLayout& vl, const std::uint8_t* v,
                        const PackedFilterLayout& ul, const std::int8_t* u,
                        const std::int32_t* comp, const TransformedOutputLayout& zl,
                        std::int32_t* z, const Int8GemmBlocking& blocking,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr, Int8GemmScratch* scratch = nullptr);
+
+/// Block-level GEMM for one n-block slice (the fused streaming path).
+///
+/// `v_block` is a per-thread V panel [c_blocks][T][n_blk][c_blk] (the staged
+/// layout with the leading n-block index fixed). Computes, for every filter
+/// block kb in [kb_begin, kb_end) and every position t, the full channel
+/// reduction with the same panel shapes and accumulation order as
+/// batched_int8_gemm (=> bit-identical int32 results) and scatters into the
+/// caller's Z panel `z_block` with layout [k_grp/64][n_blk][T][64], where
+/// k_grp = (kb_end - kb_begin) * k_blk local output channels. Columns beyond
+/// `k_real` global channels (K padded to 64) are skipped, exactly like the
+/// staged scatter. `acc` is caller-provided n_blk x k_blk scratch.
+void int8_gemm_n_block(const std::uint8_t* v_block, std::size_t c_blocks,
+                       std::size_t t_elems, const PackedFilterLayout& ul,
+                       const std::int8_t* u, const std::int32_t* comp, std::size_t k_real,
+                       std::size_t kb_begin, std::size_t kb_end, std::int32_t* z_block,
+                       const Int8GemmBlocking& blocking, std::int32_t* acc);
 
 /// Plain single GEMM on row-major uint8 A (n x c, stride lda) and a packed
 /// filter panel B ((c/4) x (k*4) int8, vpdpbusd layout):

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/cpu_features.h"
 #include "common/timer.h"
 #include "gemm/int8_gemm.h"
 #include "gemm/vnni_kernels.h"
@@ -136,7 +137,30 @@ void LoWinoConvolution::maybe_build_dequant() {
   if (filters_set_ && input_scales_set_) scales_.build_dequant_table();
 }
 
-std::size_t LoWinoConvolution::workspace_bytes() const {
+ExecutionMode LoWinoConvolution::resolve_execution_mode(std::size_t num_threads) const {
+  // Stage timing needs the three fork-join boundaries; fused mode has none.
+  if (config_.collect_stage_times) return ExecutionMode::kStaged;
+  if (config_.execution_mode != ExecutionMode::kAuto) return config_.execution_mode;
+  const std::size_t staged =
+      v_layout_.size() * sizeof(std::uint8_t) + z_layout_.size() * sizeof(std::int32_t);
+  const std::size_t threshold = config_.fused_threshold_bytes != 0
+                                    ? config_.fused_threshold_bytes
+                                    : num_threads * l2_cache_bytes();
+  // Fuse exactly when the staged intermediates stop fitting in aggregate L2:
+  // below that the staged round trips are cache hits anyway and its larger
+  // GEMM task grid parallelizes the k dimension too.
+  return staged > threshold ? ExecutionMode::kFused : ExecutionMode::kStaged;
+}
+
+std::size_t LoWinoConvolution::workspace_bytes(ExecutionMode mode,
+                                               std::size_t num_threads) const {
+  if (num_threads == 0) num_threads = 1;
+  if (mode == ExecutionMode::kAuto) mode = resolve_execution_mode(num_threads);
+  if (mode == ExecutionMode::kFused) {
+    const FusedGeometry fg =
+        FusedGeometry::make(geo_, desc_.padded_in_channels(), config_.blocking);
+    return num_threads * fg.per_thread_bytes();
+  }
   return v_layout_.size() * sizeof(std::uint8_t) + z_layout_.size() * sizeof(std::int32_t);
 }
 
@@ -148,6 +172,26 @@ void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<
   assert(input.size() >= in_layout_.size());
   assert(output.size() >= out_layout_.size());
 
+  const std::size_t num_threads = pool != nullptr ? pool->num_threads() : 1;
+  const ExecutionMode mode = resolve_execution_mode(num_threads);
+  last_mode_ = mode;
+  last_threads_ = num_threads;
+
+  InputTransformContext in_ctx{&desc_,     &geo_,     &bt_plan_,     in_layout_,
+                               v_layout_, config_.blocking.nt_store, canonical_tm_};
+  OutputTransformContext out_ctx{&desc_,      &geo_,       &at_plan_,
+                                 z_layout_,   out_layout_, filters_.bias.data(),
+                                 config_.fuse_relu, canonical_tm_};
+
+  if (mode == ExecutionMode::kFused) {
+    const FusedGeometry fg =
+        FusedGeometry::make(geo_, desc_.padded_in_channels(), config_.blocking);
+    fused_ws_.ensure(num_threads, geo_, fg);
+    run_fused(in_ctx, out_ctx, filters_.layout, filters_.data.data(), filters_.comp.data(),
+              config_.blocking, fg, input, scales_, output, fused_ws_, pool);
+    return;
+  }
+
   if (v_buf_.size() != v_layout_.size()) {
     v_buf_.reset(v_layout_.size());
     // Padded tiles/channels are never written by the transform; zero them
@@ -157,20 +201,16 @@ void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<
   z_buf_.ensure(z_layout_.size());
 
   Timer timer;
-  InputTransformContext in_ctx{&desc_,     &geo_,     &bt_plan_,     in_layout_,
-                               v_layout_, config_.blocking.nt_store, canonical_tm_};
   run_input_transform(in_ctx, input, scales_, v_buf_.data(), pool);
   if (config_.collect_stage_times) stage_times_.input_transform = timer.seconds();
 
   timer.restart();
   batched_int8_gemm(v_layout_, v_buf_.data(), filters_.layout, filters_.data.data(),
-                    filters_.comp.data(), z_layout_, z_buf_.data(), config_.blocking, pool);
+                    filters_.comp.data(), z_layout_, z_buf_.data(), config_.blocking, pool,
+                    &gemm_scratch_);
   if (config_.collect_stage_times) stage_times_.gemm = timer.seconds();
 
   timer.restart();
-  OutputTransformContext out_ctx{&desc_,      &geo_,       &at_plan_,
-                                 z_layout_,   out_layout_, filters_.bias.data(),
-                                 config_.fuse_relu, canonical_tm_};
   run_output_transform(out_ctx, z_buf_.data(), scales_, output, pool);
   if (config_.collect_stage_times) stage_times_.output_transform = timer.seconds();
 }

@@ -17,8 +17,10 @@
 #include <span>
 
 #include "common/aligned_buffer.h"
+#include "gemm/int8_gemm.h"
 #include "lowino/engine_config.h"
 #include "lowino/filter_pack.h"
+#include "lowino/fused.h"
 #include "lowino/input_transform.h"
 #include "lowino/output_transform.h"
 #include "lowino/scales.h"
@@ -73,11 +75,36 @@ class LoWinoConvolution {
   BlockedActLayout output_layout() const { return out_layout_; }
 
   /// Per-stage times of the last execute (only populated when
-  /// config.collect_stage_times is set).
+  /// config.collect_stage_times is set, which forces staged execution).
   const StageTimes& stage_times() const { return stage_times_; }
 
-  /// Bytes of intermediate state (V + Z), for the memory-overhead analysis.
-  std::size_t workspace_bytes() const;
+  /// Resolves config.execution_mode for a concrete thread count: kAuto picks
+  /// kFused when the staged V + Z workspace exceeds the fused-mode threshold
+  /// (config.fused_threshold_bytes, default num_threads x L2 size) — i.e.
+  /// exactly when the staged intermediates stop fitting in cache.
+  /// collect_stage_times always forces kStaged (the fused path has no
+  /// per-stage boundaries to time).
+  ExecutionMode resolve_execution_mode(std::size_t num_threads = 1) const;
+
+  /// Bytes of intermediate state, for the memory-overhead analysis: the full
+  /// V + Z tensors in staged mode, the per-thread panel arenas in fused mode.
+  /// Passing kAuto reports the mode resolve_execution_mode(num_threads) picks.
+  std::size_t workspace_bytes(ExecutionMode mode, std::size_t num_threads) const;
+
+  /// Reports the mode + thread count of the last execute_*() call; before any
+  /// execute an unresolved kAuto reports the staged tensors (the historical
+  /// meaning — the full V + Z footprint this layer *would* materialize).
+  std::size_t workspace_bytes() const {
+    const ExecutionMode m =
+        last_mode_ != ExecutionMode::kAuto ? last_mode_ : ExecutionMode::kStaged;
+    return workspace_bytes(config_.execution_mode == ExecutionMode::kAuto
+                               ? m
+                               : config_.execution_mode,
+                           last_threads_);
+  }
+
+  /// The mode the last execute_*() call actually ran in (kAuto until then).
+  ExecutionMode last_execution_mode() const { return last_mode_; }
 
  private:
   void maybe_build_dequant();
@@ -105,7 +132,11 @@ class LoWinoConvolution {
   AlignedBuffer<std::int32_t> z_buf_;
   AlignedBuffer<float> in_blocked_scratch_;
   AlignedBuffer<float> out_blocked_scratch_;
+  FusedWorkspace fused_ws_;
+  Int8GemmScratch gemm_scratch_;
   StageTimes stage_times_;
+  ExecutionMode last_mode_ = ExecutionMode::kAuto;
+  std::size_t last_threads_ = 1;
 };
 
 /// Clamps and repairs a blocking configuration for a concrete layer shape

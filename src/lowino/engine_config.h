@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 
 #include "gemm/int8_gemm.h"
 
@@ -12,6 +13,46 @@ enum class ScaleGranularity {
   kPerTensor,    ///< one scale for the whole transformed-input tensor
   kPerPosition,  ///< one scale per tile position t in [0, T) — the default.
 };
+
+/// How the three pipeline stages are executed (Section 4.3 vs the fused
+/// streaming alternative).
+enum class ExecutionMode {
+  /// Three fork-join regions with the full transformed tensors V and Z
+  /// materialized in between (the paper's staged pipeline). Required for
+  /// per-stage time breakdowns; also the differential-testing oracle.
+  kStaged,
+  /// One fork-join region: each worker transforms, multiplies and
+  /// output-transforms its n-block slice with L2-resident per-thread panels.
+  /// Bit-identical results; workspace independent of the total tile count.
+  kFused,
+  /// Staged for small layers (intermediates fit in cache anyway), fused once
+  /// the staged V+Z workspace exceeds a cache-derived threshold.
+  kAuto,
+};
+
+inline const char* execution_mode_name(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kStaged: return "staged";
+    case ExecutionMode::kFused: return "fused";
+    case ExecutionMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// Parses an execution-mode token ("staged" / "fused" / "auto"); returns false
+/// on anything else. Used by the wisdom store's text format.
+inline bool parse_execution_mode(const char* name, ExecutionMode& mode) {
+  if (std::strcmp(name, "staged") == 0) {
+    mode = ExecutionMode::kStaged;
+  } else if (std::strcmp(name, "fused") == 0) {
+    mode = ExecutionMode::kFused;
+  } else if (std::strcmp(name, "auto") == 0) {
+    mode = ExecutionMode::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 /// LoWino engine configuration. The paper's headline configurations are
 /// m = 2 (F(2x2,3x3)) and m = 4 (F(4x4,3x3)); the generic transform path
@@ -40,7 +81,18 @@ struct LoWinoConfig {
   bool fuse_relu = false;
 
   /// Collect per-stage wall-clock times during execute() (Figure 10).
+  /// Per-stage times only exist in the staged pipeline, so this forces
+  /// ExecutionMode::kStaged regardless of `execution_mode`.
   bool collect_stage_times = false;
+
+  /// Staged pipeline vs fused streaming execution (see ExecutionMode).
+  ExecutionMode execution_mode = ExecutionMode::kAuto;
+
+  /// kAuto switches to the fused path when the staged V+Z workspace exceeds
+  /// this many bytes per thread. 0 = derive from the L2 cache size (the point
+  /// where the staged intermediates stop being cache-resident and every stage
+  /// boundary becomes DRAM traffic).
+  std::size_t fused_threshold_bytes = 0;
 };
 
 /// Per-stage execution time of the last run, seconds (Figure 10).

@@ -11,23 +11,7 @@
 namespace lowino {
 namespace {
 
-/// Per-thread scratch: FP32 tile buffers and the uint8 staging tile.
-struct Scratch {
-  AlignedBuffer<float> d;        ///< alpha x alpha x 16 gathered input
-  AlignedBuffer<float> w;        ///< column-pass intermediate
-  AlignedBuffer<float> v;        ///< fully transformed tile
-  AlignedBuffer<std::uint8_t> staging;  ///< T x 64 quantized tile
-
-  Scratch() = default;
-  explicit Scratch(std::size_t t_elems) { ensure(t_elems); }
-
-  void ensure(std::size_t t_elems) {
-    d.ensure(t_elems * 16);
-    w.ensure(t_elems * 16);
-    v.ensure(t_elems * 16);
-    staging.ensure(t_elems * kChanBlock);
-  }
-};
+using Scratch = InputTransformScratch;
 
 /// Gathers the alpha x alpha x 16 sub-tile of `tile` for channel lanes
 /// [chan_block*64 + group*16, +16) into `d` (zero-filling the halo).
@@ -106,6 +90,20 @@ void transform_tile_fp32(const InputTransformContext& ctx, std::span<const float
   }
 }
 
+void transform_quantize_tile(const InputTransformContext& ctx, const float* in_blocked,
+                             std::size_t tile, std::size_t chan_block,
+                             const float* scale_of_t, InputTransformScratch& s) {
+  const std::size_t t_elems = ctx.geo->t_elems;
+  for (std::size_t g = 0; g < kPhi; ++g) {
+    gather_tile_group(ctx, in_blocked, tile, chan_block, g, s.d.data());
+    transform_group(ctx, s);
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      quantize16_u8(s.v.data() + t * 16, scale_of_t[t],
+                    s.staging.data() + t * kChanBlock + g * 16);
+    }
+  }
+}
+
 void run_input_transform(const InputTransformContext& ctx, std::span<const float> in_blocked,
                          const WinogradScales& scales, std::uint8_t* v, ThreadPool* pool) {
   const WinogradGeometry& geo = *ctx.geo;
@@ -113,26 +111,22 @@ void run_input_transform(const InputTransformContext& ctx, std::span<const float
   const std::size_t t_elems = geo.t_elems;
   const std::size_t jobs = geo.total_tiles * c_blocks64;
 
-  // Resolve per-position scales once.
-  AlignedBuffer<float> scale_of_t(t_elems);
+  // Resolve per-position scales once (stack-resident: T is tiny and a heap
+  // buffer here would make steady-state execute() calls allocate).
+  float scale_of_t[256];
+  assert(t_elems <= 256);
   for (std::size_t t = 0; t < t_elems; ++t) scale_of_t[t] = scales.input_scale(t);
 
   auto worker = [&](std::size_t tid, std::size_t nw) {
-    (void)tid;
-    (void)nw;
-    Scratch s(t_elems);
+    // Persistent per-thread scratch: pool workers outlive execute() calls, so
+    // steady-state runs never re-allocate.
+    thread_local Scratch s;
+    s.ensure(t_elems);
     const Range range = static_partition(jobs, nw, tid);
     for (std::size_t job = range.begin; job < range.end; ++job) {
       const std::size_t tile = job / c_blocks64;
       const std::size_t cb = job % c_blocks64;
-      for (std::size_t g = 0; g < kPhi; ++g) {
-        gather_tile_group(ctx, in_blocked.data(), tile, cb, g, s.d.data());
-        transform_group(ctx, s);
-        for (std::size_t t = 0; t < t_elems; ++t) {
-          quantize16_u8(s.v.data() + t * 16, scale_of_t[t],
-                        s.staging.data() + t * kChanBlock + g * 16);
-        }
-      }
+      transform_quantize_tile(ctx, in_blocked.data(), tile, cb, scale_of_t, s);
       // Scatter complete cache lines into [N/Nblk][C/Cblk][T][Nblk][Cblk].
       for (std::size_t t = 0; t < t_elems; ++t) {
         std::uint8_t* dst = v + ctx.v_layout.offset(tile, t, cb * kChanBlock);

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/aligned_buffer.h"
 #include "lowino/scales.h"
 #include "tensor/conv_desc.h"
 #include "tensor/layout.h"
@@ -21,6 +22,26 @@
 namespace lowino {
 
 class ThreadPool;
+
+/// Per-thread transform scratch: FP32 tile buffers and the uint8 staging
+/// tile. Reused across execute() calls (thread-local in the staged driver,
+/// arena-owned in the fused one) so steady-state runs are allocation-free.
+struct InputTransformScratch {
+  AlignedBuffer<float> d;               ///< alpha x alpha x 16 gathered input
+  AlignedBuffer<float> w;               ///< column-pass intermediate
+  AlignedBuffer<float> v;               ///< fully transformed tile
+  AlignedBuffer<std::uint8_t> staging;  ///< T x 64 quantized tile
+
+  InputTransformScratch() = default;
+  explicit InputTransformScratch(std::size_t t_elems) { ensure(t_elems); }
+
+  void ensure(std::size_t t_elems) {
+    d.ensure(t_elems * 16);
+    w.ensure(t_elems * 16);
+    v.ensure(t_elems * 16);
+    staging.ensure(t_elems * kChanBlock);
+  }
+};
 
 struct InputTransformContext {
   const ConvDesc* desc = nullptr;
@@ -39,6 +60,16 @@ struct InputTransformContext {
 void run_input_transform(const InputTransformContext& ctx, std::span<const float> in_blocked,
                          const WinogradScales& scales, std::uint8_t* v,
                          ThreadPool* pool = nullptr);
+
+/// Block-level body shared by the staged and fused drivers: transforms one
+/// (tile, 64-channel-block) pair and quantizes it into `s.staging`
+/// (T x 64 bytes, position-major). `scale_of_t` holds the resolved
+/// per-position input scales (length T). The caller scatters the staging tile
+/// into its destination layout; the computation is identical either way, so
+/// the two drivers produce bit-identical V bytes.
+void transform_quantize_tile(const InputTransformContext& ctx, const float* in_blocked,
+                             std::size_t tile, std::size_t chan_block,
+                             const float* scale_of_t, InputTransformScratch& s);
 
 /// Transforms one (tile, 64-channel-block) pair to FP32 Winograd-domain
 /// values without quantization: out[t*64 + g*16 + lane]. Used by calibration

@@ -10,81 +10,86 @@
 
 namespace lowino {
 
-void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
-                          const WinogradScales& scales, std::span<float> out_blocked,
-                          ThreadPool* pool) {
+void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t* z_tile,
+                           std::size_t tile, std::size_t kb, const WinogradScales& scales,
+                           OutputTransformScratch& s, float* out_blocked) {
   const ConvDesc& desc = *ctx.desc;
   const WinogradGeometry& geo = *ctx.geo;
   const std::size_t alpha = geo.alpha;
   const std::size_t m = geo.m;
   const std::size_t t_elems = geo.t_elems;
-  const std::size_t k_blocks64 = ctx.out_layout.chan_blocks;
-  const std::size_t out_h = desc.out_height();
-  const std::size_t out_w = desc.out_width();
-  const std::size_t jobs = geo.total_tiles * k_blocks64;
   const std::vector<float>& dq = scales.dequant_table();
   const std::size_t k_padded = scales.k_padded();
 
+  const std::size_t b = tile / geo.tiles_per_image;
+  const std::size_t rem = tile % geo.tiles_per_image;
+  const std::size_t th = rem / geo.tiles_w;
+  const std::size_t tw = rem % geo.tiles_w;
+  const std::size_t oh0 = th * m;
+  const std::size_t ow0 = tw * m;
+  const std::size_t valid_h = std::min(m, desc.out_height() - oh0);
+  const std::size_t valid_w = std::min(m, desc.out_width() - ow0);
+
+  for (std::size_t g = 0; g < kPhi; ++g) {
+    const std::size_t k_base = kb * kChanBlock + g * 16;
+    // 1. De-quantize the T x 16 lanes (reads are fully consecutive).
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      dequant16(z_tile + t * kChanBlock + g * 16, dq.data() + t * k_padded + k_base,
+                s.zf.data() + t * 16);
+    }
+    // 2. Y = A^T Z A: column pass (alpha -> m rows), then row pass.
+    const std::size_t m_codelet = ctx.hand_codelets ? m : 0;
+    for (std::size_t j = 0; j < alpha; ++j) {
+      if (!apply_at_16(m_codelet, geo.r, s.zf.data() + j * 16, alpha * 16,
+                       s.wbuf.data() + j * 16, alpha * 16)) {
+        apply_plan_16(*ctx.at_plan, s.zf.data() + j * 16, alpha * 16,
+                      s.wbuf.data() + j * 16, alpha * 16);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!apply_at_16(m_codelet, geo.r, s.wbuf.data() + i * alpha * 16, 16,
+                       s.ybuf.data() + i * m * 16, 16)) {
+        apply_plan_16(*ctx.at_plan, s.wbuf.data() + i * alpha * 16, 16,
+                      s.ybuf.data() + i * m * 16, 16);
+      }
+    }
+    // 3. Bias/ReLU + store the valid region.
+    const float* bias16 = ctx.bias != nullptr ? ctx.bias + k_base : nullptr;
+    for (std::size_t i = 0; i < valid_h; ++i) {
+      for (std::size_t j = 0; j < valid_w; ++j) {
+        const float* y = s.ybuf.data() + (i * m + j) * 16;
+        float* dst = out_blocked + ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
+        if (bias16 != nullptr && ctx.relu) {
+          for (int l = 0; l < 16; ++l) dst[l] = std::max(0.0f, y[l] + bias16[l]);
+        } else if (bias16 != nullptr) {
+          for (int l = 0; l < 16; ++l) dst[l] = y[l] + bias16[l];
+        } else if (ctx.relu) {
+          for (int l = 0; l < 16; ++l) dst[l] = std::max(0.0f, y[l]);
+        } else {
+          std::memcpy(dst, y, 16 * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
+                          const WinogradScales& scales, std::span<float> out_blocked,
+                          ThreadPool* pool) {
+  const WinogradGeometry& geo = *ctx.geo;
+  const std::size_t k_blocks64 = ctx.out_layout.chan_blocks;
+  const std::size_t jobs = geo.total_tiles * k_blocks64;
+
   auto worker = [&](std::size_t tid, std::size_t nw) {
-    AlignedBuffer<float> zf(t_elems * 16);  // de-quantized tile, one lane group
-    AlignedBuffer<float> wbuf(m * alpha * 16);
-    AlignedBuffer<float> ybuf(m * m * 16);
+    // Persistent per-thread scratch (see run_input_transform).
+    thread_local OutputTransformScratch s;
+    s.ensure(geo.t_elems, geo.m, geo.alpha);
     const Range range = static_partition(jobs, nw, tid);
     for (std::size_t job = range.begin; job < range.end; ++job) {
       const std::size_t tile = job / k_blocks64;
       const std::size_t kb = job % k_blocks64;
-      const std::size_t b = tile / geo.tiles_per_image;
-      const std::size_t rem = tile % geo.tiles_per_image;
-      const std::size_t th = rem / geo.tiles_w;
-      const std::size_t tw = rem % geo.tiles_w;
-      const std::size_t oh0 = th * m;
-      const std::size_t ow0 = tw * m;
-      const std::size_t valid_h = std::min(m, out_h - oh0);
-      const std::size_t valid_w = std::min(m, out_w - ow0);
-
       const std::int32_t* z_tile = z + ctx.z_layout.offset(tile, 0, kb * kChanBlock);
-      for (std::size_t g = 0; g < kPhi; ++g) {
-        const std::size_t k_base = kb * kChanBlock + g * 16;
-        // 1. De-quantize the T x 16 lanes (reads are fully consecutive).
-        for (std::size_t t = 0; t < t_elems; ++t) {
-          dequant16(z_tile + t * kChanBlock + g * 16, dq.data() + t * k_padded + k_base,
-                    zf.data() + t * 16);
-        }
-        // 2. Y = A^T Z A: column pass (alpha -> m rows), then row pass.
-        const std::size_t m_codelet = ctx.hand_codelets ? m : 0;
-        for (std::size_t j = 0; j < alpha; ++j) {
-          if (!apply_at_16(m_codelet, geo.r, zf.data() + j * 16, alpha * 16,
-                           wbuf.data() + j * 16, alpha * 16)) {
-            apply_plan_16(*ctx.at_plan, zf.data() + j * 16, alpha * 16,
-                          wbuf.data() + j * 16, alpha * 16);
-          }
-        }
-        for (std::size_t i = 0; i < m; ++i) {
-          if (!apply_at_16(m_codelet, geo.r, wbuf.data() + i * alpha * 16, 16,
-                           ybuf.data() + i * m * 16, 16)) {
-            apply_plan_16(*ctx.at_plan, wbuf.data() + i * alpha * 16, 16,
-                          ybuf.data() + i * m * 16, 16);
-          }
-        }
-        // 3. Bias/ReLU + store the valid region.
-        const float* bias16 = ctx.bias != nullptr ? ctx.bias + k_base : nullptr;
-        for (std::size_t i = 0; i < valid_h; ++i) {
-          for (std::size_t j = 0; j < valid_w; ++j) {
-            const float* y = ybuf.data() + (i * m + j) * 16;
-            float* dst = out_blocked.data() +
-                         ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
-            if (bias16 != nullptr && ctx.relu) {
-              for (int l = 0; l < 16; ++l) dst[l] = std::max(0.0f, y[l] + bias16[l]);
-            } else if (bias16 != nullptr) {
-              for (int l = 0; l < 16; ++l) dst[l] = y[l] + bias16[l];
-            } else if (ctx.relu) {
-              for (int l = 0; l < 16; ++l) dst[l] = std::max(0.0f, y[l]);
-            } else {
-              std::memcpy(dst, y, 16 * sizeof(float));
-            }
-          }
-        }
-      }
+      output_transform_tile(ctx, z_tile, tile, kb, scales, s, out_blocked.data());
     }
   };
 

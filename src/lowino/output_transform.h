@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/aligned_buffer.h"
 #include "lowino/engine_config.h"
 #include "lowino/scales.h"
 #include "tensor/conv_desc.h"
@@ -20,6 +21,24 @@
 namespace lowino {
 
 class ThreadPool;
+
+/// Per-thread scratch of the output transform (see InputTransformScratch).
+struct OutputTransformScratch {
+  AlignedBuffer<float> zf;    ///< de-quantized tile, one 16-lane group
+  AlignedBuffer<float> wbuf;  ///< column-pass intermediate (m x alpha x 16)
+  AlignedBuffer<float> ybuf;  ///< transformed output tile (m x m x 16)
+
+  OutputTransformScratch() = default;
+  OutputTransformScratch(std::size_t t_elems, std::size_t m, std::size_t alpha) {
+    ensure(t_elems, m, alpha);
+  }
+
+  void ensure(std::size_t t_elems, std::size_t m, std::size_t alpha) {
+    zf.ensure(t_elems * 16);
+    wbuf.ensure(m * alpha * 16);
+    ybuf.ensure(m * m * 16);
+  }
+};
 
 struct OutputTransformContext {
   const ConvDesc* desc = nullptr;
@@ -36,5 +55,15 @@ struct OutputTransformContext {
 void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
                           const WinogradScales& scales, std::span<float> out_blocked,
                           ThreadPool* pool = nullptr);
+
+/// Block-level body shared by the staged and fused drivers: de-quantizes one
+/// tile's T x 64 INT32 block (`z_tile`, contiguous position-major as produced
+/// by the GEMM scatter for both the staged Z tensor and the fused Z panel),
+/// applies Y = A^T Z A, adds bias/ReLU and stores the valid m x m region of
+/// global tile `tile`, output-channel block `kb` (64 channels). Identical
+/// float operation sequence in both drivers => bit-identical outputs.
+void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t* z_tile,
+                           std::size_t tile, std::size_t kb, const WinogradScales& scales,
+                           OutputTransformScratch& s, float* out_blocked);
 
 }  // namespace lowino

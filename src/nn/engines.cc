@@ -1,5 +1,6 @@
 #include "nn/engines.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "baselines/downscale_wino.h"
@@ -119,6 +120,12 @@ class LoWinoEngine final : public ConvEngine {
   static LoWinoConfig make_config(std::size_t m) {
     LoWinoConfig cfg;
     cfg.m = m;
+    // Default kAuto: small layers run staged, layers whose V + Z tensors
+    // outgrow aggregate L2 stream through the fused per-thread panels.
+    // LOWINO_EXECUTION_MODE=staged|fused|auto overrides for experiments.
+    if (const char* env = std::getenv("LOWINO_EXECUTION_MODE")) {
+      parse_execution_mode(env, cfg.execution_mode);
+    }
     return cfg;
   }
   LoWinoConvolution conv_;

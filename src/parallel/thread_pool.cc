@@ -29,35 +29,45 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t, std::size_t)>& fn) {
+  dispatch([](void* ctx, std::size_t tid, std::size_t nw) {
+    (*static_cast<const std::function<void(std::size_t, std::size_t)>*>(ctx))(tid, nw);
+  }, const_cast<void*>(static_cast<const void*>(&fn)));
+}
+
+void ThreadPool::dispatch(JobFn fn, void* ctx) {
   if (num_threads_ == 1) {
-    fn(0, 1);
+    fn(ctx, 0, 1);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     pending_ = num_threads_ - 1;
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(0, num_threads_);  // the caller is worker 0
+  fn(ctx, 0, num_threads_);  // the caller is worker 0
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
+  job_fn_ = nullptr;
+  job_ctx_ = nullptr;
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    JobFn job = nullptr;
+    void* ctx = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) return;
       seen_generation = generation_;
-      job = job_;
+      job = job_fn_;
+      ctx = job_ctx_;
     }
-    (*job)(tid, num_threads_);
+    job(ctx, tid, num_threads_);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_one();

@@ -12,9 +12,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "parallel/partition.h"
@@ -34,6 +37,21 @@ class ThreadPool {
   std::size_t num_threads() const { return num_threads_; }
 
   /// Runs `fn(tid, num_threads)` on every worker; blocks until all complete.
+  ///
+  /// This templated overload dispatches through a thin (function pointer,
+  /// context) vtable, so invoking it with a lambda never heap-allocates —
+  /// important for the hot stage drivers, which open 3+ parallel regions per
+  /// convolution (and the fused path one per layer). The callable must stay
+  /// alive until run() returns, which it does: run() is fully synchronous.
+  template <typename Fn>
+  void run(Fn&& fn) {
+    using F = std::remove_reference_t<Fn>;
+    dispatch(
+        [](void* ctx, std::size_t tid, std::size_t nw) { (*static_cast<F*>(ctx))(tid, nw); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+
+  /// Overload for callers that already hold a std::function (no extra wrap).
   void run(const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Statically partitions [0, n) and runs `fn(begin, end)` per worker.
@@ -50,6 +68,10 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// Type-erased job: `fn(ctx, tid, num_threads)`.
+  using JobFn = void (*)(void*, std::size_t, std::size_t);
+
+  void dispatch(JobFn fn, void* ctx);
   void worker_loop(std::size_t tid);
 
   std::size_t num_threads_;
@@ -58,7 +80,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  JobFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t pending_ = 0;
   bool shutdown_ = false;

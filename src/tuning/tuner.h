@@ -10,6 +10,7 @@
 #include <string>
 
 #include "gemm/int8_gemm.h"
+#include "lowino/engine_config.h"
 #include "tensor/conv_desc.h"
 #include "tuning/wisdom.h"
 
@@ -28,6 +29,12 @@ struct TuneResult {
   double best_seconds = 0.0;
   double default_seconds = 0.0;  ///< time of the default blocking
   std::size_t evaluated = 0;
+  /// Staged-vs-fused shoot-out with the winning blocking: full-pipeline
+  /// execute times and the faster mode. Recorded into wisdom so inference
+  /// replays the measured winner instead of the kAuto heuristic.
+  ExecutionMode best_mode = ExecutionMode::kStaged;
+  double staged_seconds = 0.0;
+  double fused_seconds = 0.0;
 };
 
 /// Tunes the batched GEMM of F(m x m, r x r) on `desc`. Deterministic given

@@ -5,11 +5,24 @@
 
 namespace lowino {
 
-void WisdomStore::put(const std::string& key, const Int8GemmBlocking& blocking) {
-  entries_[key] = blocking;
+void WisdomStore::put(const std::string& key, const Int8GemmBlocking& blocking,
+                      ExecutionMode mode) {
+  entries_[key] = WisdomEntry{blocking, mode};
 }
 
 std::optional<Int8GemmBlocking> WisdomStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.blocking;
+}
+
+ExecutionMode WisdomStore::get_mode(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return ExecutionMode::kAuto;
+  return it->second.mode;
+}
+
+std::optional<WisdomEntry> WisdomStore::get_entry(const std::string& key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -17,11 +30,12 @@ std::optional<Int8GemmBlocking> WisdomStore::get(const std::string& key) const {
 
 std::string WisdomStore::serialize() const {
   std::ostringstream os;
-  os << "# lowino wisdom v1: key = n_blk c_blk k_blk row_blk col_blk nt prefetch\n";
-  for (const auto& [key, b] : entries_) {
+  os << "# lowino wisdom v2: key = n_blk c_blk k_blk row_blk col_blk nt prefetch mode\n";
+  for (const auto& [key, e] : entries_) {
+    const Int8GemmBlocking& b = e.blocking;
     os << key << " = " << b.n_blk << ' ' << b.c_blk << ' ' << b.k_blk << ' ' << b.row_blk
        << ' ' << b.col_blk << ' ' << (b.nt_store ? 1 : 0) << ' ' << (b.prefetch ? 1 : 0)
-       << '\n';
+       << ' ' << execution_mode_name(e.mode) << '\n';
   }
   return os.str();
 }
@@ -36,14 +50,20 @@ WisdomStore WisdomStore::deserialize(const std::string& text) {
     if (eq == std::string::npos) continue;
     const std::string key = line.substr(0, eq);
     std::istringstream vals(line.substr(eq + 3));
-    Int8GemmBlocking b;
+    WisdomEntry e;
+    Int8GemmBlocking& b = e.blocking;
     int nt = 1, pf = 1;
     if (!(vals >> b.n_blk >> b.c_blk >> b.k_blk >> b.row_blk >> b.col_blk >> nt >> pf)) {
       continue;
     }
     b.nt_store = nt != 0;
     b.prefetch = pf != 0;
-    if (b.valid()) store.entries_[key] = b;
+    // Optional v2 trailing mode token; absent (v1) or unknown => kAuto.
+    std::string mode_token;
+    if (vals >> mode_token && !parse_execution_mode(mode_token.c_str(), e.mode)) {
+      e.mode = ExecutionMode::kAuto;
+    }
+    if (b.valid()) store.entries_[key] = e;
   }
   return store;
 }

@@ -8,25 +8,40 @@
 #include <string>
 
 #include "gemm/int8_gemm.h"
+#include "lowino/engine_config.h"
 
 namespace lowino {
 
+/// One tuned configuration: the winning GEMM blocking plus the execution
+/// mode (staged/fused) the tuner measured as faster. Mode kAuto means the
+/// entry predates mode tuning (a v1 wisdom line) — inference falls back to
+/// the workspace-threshold heuristic.
+struct WisdomEntry {
+  Int8GemmBlocking blocking;
+  ExecutionMode mode = ExecutionMode::kAuto;
+};
+
 class WisdomStore {
  public:
-  void put(const std::string& key, const Int8GemmBlocking& blocking);
+  void put(const std::string& key, const Int8GemmBlocking& blocking,
+           ExecutionMode mode = ExecutionMode::kAuto);
   std::optional<Int8GemmBlocking> get(const std::string& key) const;
+  /// The tuned execution mode (kAuto for v1 entries / unknown keys).
+  ExecutionMode get_mode(const std::string& key) const;
+  std::optional<WisdomEntry> get_entry(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
 
-  /// Serializes to "key = n_blk c_blk k_blk row col nt pf" lines.
+  /// Serializes to "key = n_blk c_blk k_blk row col nt pf mode" lines (v2).
   std::string serialize() const;
-  /// Parses serialized text; malformed lines are skipped.
+  /// Parses serialized text; malformed lines are skipped. v1 lines (without
+  /// the trailing mode token) load with mode = kAuto.
   static WisdomStore deserialize(const std::string& text);
 
   bool save(const std::string& path) const;
   static std::optional<WisdomStore> load(const std::string& path);
 
  private:
-  std::map<std::string, Int8GemmBlocking> entries_;
+  std::map<std::string, WisdomEntry> entries_;
 };
 
 }  // namespace lowino

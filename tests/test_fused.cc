@@ -1,0 +1,219 @@
+// Differential tests of the fused streaming execution path against the staged
+// pipeline (the oracle). The two modes share every block-level compute body,
+// so they must agree bit-for-bit — any mismatch is an indexing bug, not
+// round-off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "lowino/lowino.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc make_desc(std::size_t b, std::size_t c, std::size_t k, std::size_t hw,
+                   std::size_t r = 3, std::size_t pad = 1) {
+  ConvDesc d;
+  d.batch = b;
+  d.in_channels = c;
+  d.out_channels = k;
+  d.height = d.width = hw;
+  d.kernel = r;
+  d.pad = pad;
+  return d;
+}
+
+struct Problem {
+  std::vector<float> input, weights, bias;
+};
+
+Problem make_problem(const ConvDesc& desc, unsigned seed) {
+  Problem p;
+  Rng rng(seed);
+  p.input.resize(desc.batch * desc.in_channels * desc.height * desc.width);
+  p.weights.resize(desc.out_channels * desc.in_channels * desc.kernel * desc.kernel);
+  p.bias.resize(desc.out_channels);
+  for (auto& v : p.input) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : p.weights) v = rng.normal() * 0.1f;
+  for (auto& v : p.bias) v = rng.uniform(-0.2f, 0.2f);
+  return p;
+}
+
+std::vector<float> run_mode(const ConvDesc& desc, std::size_t m, ExecutionMode mode,
+                            const Problem& p, ThreadPool* pool, bool relu = false) {
+  LoWinoConfig cfg;
+  cfg.m = m;
+  cfg.execution_mode = mode;
+  cfg.fuse_relu = relu;
+  LoWinoConvolution conv(desc, cfg);
+  conv.set_uniform_input_threshold(2.0f);
+  conv.set_filters(p.weights, p.bias);
+  std::vector<float> out(desc.batch * desc.out_channels * desc.out_height() *
+                         desc.out_width());
+  conv.execute_nchw(p.input, out, pool);
+  EXPECT_EQ(conv.last_execution_mode(), mode);
+  return out;
+}
+
+std::size_t count_mismatches(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bit comparison: catches -0.0f vs 0.0f divergence a value compare hides.
+    if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) ++bad;
+  }
+  return bad;
+}
+
+// --- Differential matrix ----------------------------------------------------
+class FusedDifferential : public ::testing::TestWithParam<std::tuple<ConvDesc, int>> {};
+
+TEST_P(FusedDifferential, BitIdenticalToStaged) {
+  const auto [desc, m] = GetParam();
+  const Problem p = make_problem(desc, 900 + m);
+  // Pool sizes: serial, small, oversubscribed (more threads than n-blocks on
+  // the tiny shapes — exercises workers with empty partitions).
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2}, std::size_t{5}}) {
+    ThreadPool pool(threads == 0 ? 1 : threads);
+    ThreadPool* pp = threads == 0 ? nullptr : &pool;
+    const std::vector<float> staged =
+        run_mode(desc, static_cast<std::size_t>(m), ExecutionMode::kStaged, p, pp);
+    const std::vector<float> fused =
+        run_mode(desc, static_cast<std::size_t>(m), ExecutionMode::kFused, p, pp);
+    EXPECT_EQ(count_mismatches(staged, fused), 0u)
+        << desc.to_string() << " m=" << m << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedDifferential,
+    ::testing::Combine(
+        ::testing::Values(make_desc(1, 64, 64, 14),          // canonical small
+                          make_desc(2, 64, 64, 7),           // batch > 1
+                          make_desc(1, 192, 128, 10),        // multiple C blocks
+                          make_desc(1, 64, 64, 13),          // odd spatial + halo
+                          make_desc(1, 100, 80, 8),          // non-64-multiple C/K
+                          make_desc(1, 64, 64, 12, 3, 0),    // no padding
+                          make_desc(1, 64, 64, 9, 2, 1)),    // r = 2 kernel
+        ::testing::Values(2, 4, 6)));
+
+TEST(FusedDifferential, ReluAndBiasAgree) {
+  const ConvDesc d = make_desc(1, 64, 96, 12);
+  const Problem p = make_problem(d, 77);
+  ThreadPool pool(2);
+  const auto staged = run_mode(d, 4, ExecutionMode::kStaged, p, &pool, /*relu=*/true);
+  const auto fused = run_mode(d, 4, ExecutionMode::kFused, p, &pool, /*relu=*/true);
+  EXPECT_EQ(count_mismatches(staged, fused), 0u);
+}
+
+TEST(FusedDifferential, CalibratedScalesAgree) {
+  // Per-position calibrated scales (not the uniform-threshold shortcut).
+  const ConvDesc d = make_desc(1, 64, 64, 10);
+  const Problem p = make_problem(d, 31);
+  std::vector<float> outs[2];
+  for (int i = 0; i < 2; ++i) {
+    LoWinoConfig cfg;
+    cfg.m = 4;
+    cfg.execution_mode = i == 0 ? ExecutionMode::kStaged : ExecutionMode::kFused;
+    LoWinoConvolution conv(d, cfg);
+    conv.calibrate(p.input);
+    conv.finalize_calibration();
+    conv.set_filters(p.weights, p.bias);
+    outs[i].resize(d.batch * d.out_channels * d.out_height() * d.out_width());
+    conv.execute_nchw(p.input, outs[i]);
+  }
+  EXPECT_EQ(count_mismatches(outs[0], outs[1]), 0u);
+}
+
+// --- kAuto resolution -------------------------------------------------------
+TEST(ExecutionModeAuto, ThresholdPicksMode) {
+  const ConvDesc d = make_desc(1, 64, 64, 14);
+  const Problem p = make_problem(d, 8);
+
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  cfg.fused_threshold_bytes = 1;  // anything exceeds it -> fused
+  LoWinoConvolution low(d, cfg);
+  EXPECT_EQ(low.resolve_execution_mode(1), ExecutionMode::kFused);
+
+  cfg.fused_threshold_bytes = std::size_t{1} << 40;  // nothing exceeds it
+  LoWinoConvolution high(d, cfg);
+  EXPECT_EQ(high.resolve_execution_mode(1), ExecutionMode::kStaged);
+
+  low.set_uniform_input_threshold(2.0f);
+  low.set_filters(p.weights, p.bias);
+  std::vector<float> out(d.batch * d.out_channels * d.out_height() * d.out_width());
+  low.execute_nchw(p.input, out);
+  EXPECT_EQ(low.last_execution_mode(), ExecutionMode::kFused);
+}
+
+TEST(ExecutionModeAuto, StageTimingForcesStaged) {
+  const ConvDesc d = make_desc(1, 64, 64, 14);
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  cfg.execution_mode = ExecutionMode::kFused;
+  cfg.collect_stage_times = true;  // needs the three fork-join boundaries
+  LoWinoConvolution conv(d, cfg);
+  EXPECT_EQ(conv.resolve_execution_mode(4), ExecutionMode::kStaged);
+}
+
+// --- Workspace accounting ---------------------------------------------------
+TEST(FusedWorkspaceBytes, IndependentOfTileCount) {
+  // Same channels/blocking, 4x the tiles: staged workspace scales with the
+  // image, the fused per-thread panels do not (the whole point of streaming).
+  // Images big enough that adapt_blocking keeps the same n_blk for both.
+  const ConvDesc small = make_desc(1, 64, 64, 56);
+  const ConvDesc large = make_desc(1, 64, 64, 112);
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  LoWinoConvolution a(small, cfg), b(large, cfg);
+  EXPECT_GT(b.workspace_bytes(ExecutionMode::kStaged, 1),
+            2 * a.workspace_bytes(ExecutionMode::kStaged, 1));
+  EXPECT_EQ(a.workspace_bytes(ExecutionMode::kFused, 1),
+            b.workspace_bytes(ExecutionMode::kFused, 1));
+  // Fused workspace is linear in the thread count (one arena per worker).
+  EXPECT_EQ(a.workspace_bytes(ExecutionMode::kFused, 4),
+            4 * a.workspace_bytes(ExecutionMode::kFused, 1));
+}
+
+TEST(FusedWorkspaceBytes, UnresolvedAutoReportsStaged) {
+  // The zero-arg accessor keeps its historical meaning (full V + Z tensors)
+  // until an execute resolves kAuto — existing memory-analysis callers rely
+  // on comparing layers without executing them.
+  const ConvDesc d = make_desc(1, 64, 64, 28);
+  LoWinoConvolution conv(d, {});
+  EXPECT_EQ(conv.workspace_bytes(), conv.workspace_bytes(ExecutionMode::kStaged, 1));
+}
+
+// --- Steady-state allocation behavior ---------------------------------------
+TEST(FusedSteadyState, NoAllocationsAfterWarmup) {
+  const ConvDesc d = make_desc(1, 64, 64, 14);
+  const Problem p = make_problem(d, 17);
+  ThreadPool pool(2);
+
+  for (const ExecutionMode mode : {ExecutionMode::kStaged, ExecutionMode::kFused}) {
+    LoWinoConfig cfg;
+    cfg.m = 4;
+    cfg.execution_mode = mode;
+    LoWinoConvolution conv(d, cfg);
+    conv.set_uniform_input_threshold(2.0f);
+    conv.set_filters(p.weights, p.bias);
+
+    std::vector<float> in(conv.input_layout().size(), 0.25f);
+    std::vector<float> out(conv.output_layout().size());
+    // Warmup: workspace + per-thread scratch allocation happens here.
+    conv.execute_blocked(in, out, &pool);
+    conv.execute_blocked(in, out, &pool);
+
+    const std::uint64_t before = aligned_buffer_alloc_count();
+    for (int i = 0; i < 5; ++i) conv.execute_blocked(in, out, &pool);
+    EXPECT_EQ(aligned_buffer_alloc_count(), before)
+        << "mode=" << execution_mode_name(mode);
+  }
+}
+
+}  // namespace
+}  // namespace lowino

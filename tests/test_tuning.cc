@@ -83,6 +83,22 @@ TEST(Wisdom, MalformedLinesSkipped) {
   EXPECT_TRUE(parsed.get("k").has_value());
 }
 
+TEST(Wisdom, ModeRoundTripAndV1Compat) {
+  WisdomStore store;
+  store.put("fused-layer", Int8GemmBlocking{}, ExecutionMode::kFused);
+  store.put("staged-layer", Int8GemmBlocking{}, ExecutionMode::kStaged);
+  store.put("legacy-layer", Int8GemmBlocking{});  // no mode recorded
+  const WisdomStore parsed = WisdomStore::deserialize(store.serialize());
+  EXPECT_EQ(parsed.get_mode("fused-layer"), ExecutionMode::kFused);
+  EXPECT_EQ(parsed.get_mode("staged-layer"), ExecutionMode::kStaged);
+  EXPECT_EQ(parsed.get_mode("legacy-layer"), ExecutionMode::kAuto);
+  EXPECT_EQ(parsed.get_mode("missing"), ExecutionMode::kAuto);
+  // v1 lines (7 fields, no mode token) must keep loading.
+  const WisdomStore v1 = WisdomStore::deserialize("k = 96 512 64 6 4 1 1\n");
+  ASSERT_TRUE(v1.get("k").has_value());
+  EXPECT_EQ(v1.get_mode("k"), ExecutionMode::kAuto);
+}
+
 TEST(Wisdom, FileRoundTrip) {
   const std::string path = std::filesystem::temp_directory_path() / "lowino_wisdom_test.txt";
   WisdomStore store;
@@ -109,6 +125,10 @@ TEST(Tuner, FindsConfigurationNotWorseThanDefault) {
   EXPECT_GT(r.evaluated, 0u);
   EXPECT_TRUE(r.best.valid());
   EXPECT_LE(r.best_seconds, r.default_seconds * 1.05);
+  // The mode shoot-out always runs and records a concrete winner.
+  EXPECT_NE(r.best_mode, ExecutionMode::kAuto);
+  EXPECT_GT(r.staged_seconds, 0.0);
+  EXPECT_GT(r.fused_seconds, 0.0);
 }
 
 TEST(Tuner, WisdomKeyDistinguishesLayersAndTileSizes) {
