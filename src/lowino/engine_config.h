@@ -1,6 +1,7 @@
 // Configuration of the LoWino convolution engine.
 #pragma once
 
+#include <cctype>
 #include <cstddef>
 #include <cstring>
 
@@ -39,14 +40,22 @@ inline const char* execution_mode_name(ExecutionMode mode) {
   return "?";
 }
 
-/// Parses an execution-mode token ("staged" / "fused" / "auto"); returns false
-/// on anything else. Used by the wisdom store's text format.
+/// Parses an execution-mode token ("staged" / "fused" / "auto", matched
+/// ASCII case-insensitively so env knobs like LOWINO_EXECUTION_MODE=FUSED
+/// behave predictably); returns false on anything else and leaves `mode`
+/// untouched. Used by the wisdom store's text format and the env override.
 inline bool parse_execution_mode(const char* name, ExecutionMode& mode) {
-  if (std::strcmp(name, "staged") == 0) {
+  const auto matches = [](const char* token, const char* lower) {
+    for (; *token != '\0' && *lower != '\0'; ++token, ++lower) {
+      if (std::tolower(static_cast<unsigned char>(*token)) != *lower) return false;
+    }
+    return *token == '\0' && *lower == '\0';
+  };
+  if (matches(name, "staged")) {
     mode = ExecutionMode::kStaged;
-  } else if (std::strcmp(name, "fused") == 0) {
+  } else if (matches(name, "fused")) {
     mode = ExecutionMode::kFused;
-  } else if (std::strcmp(name, "auto") == 0) {
+  } else if (matches(name, "auto")) {
     mode = ExecutionMode::kAuto;
   } else {
     return false;

@@ -11,8 +11,11 @@ WinogradScales::WinogradScales(std::size_t t_elems, bool per_position, std::size
       per_position_(per_position),
       per_channel_filters_(per_channel_filters) {
   input_.assign(per_position_ ? t_elems_ : 1, QuantParams{});
-  filter_.assign((per_position_ ? t_elems_ : 1) * (per_channel_filters_ ? k_padded_ : 1),
-                 QuantParams{});
+  // Filter scales are always per position: filters are known offline, so
+  // coarsening them buys nothing and clips transformed values at positions
+  // whose abs-max exceeds the shared scale. Only the input granularity is a
+  // calibration-cost trade-off; per_channel_filters controls the k dimension.
+  filter_.assign(t_elems_ * (per_channel_filters_ ? k_padded_ : 1), QuantParams{});
 }
 
 void WinogradScales::build_dequant_table() {

@@ -47,8 +47,7 @@ class WinogradScales {
 
  private:
   std::size_t filter_index(std::size_t t, std::size_t k) const {
-    const std::size_t ti = per_position_ ? t : 0;
-    return per_channel_filters_ ? ti * k_padded_ + k : ti;
+    return per_channel_filters_ ? t * k_padded_ + k : t;
   }
 
   std::size_t t_elems_ = 0;

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <cstdint>
+#include <utility>
 
 #include "common/env.h"
 
@@ -34,7 +35,24 @@ void ThreadPool::run(const std::function<void(std::size_t, std::size_t)>& fn) {
   }, const_cast<void*>(static_cast<const void*>(&fn)));
 }
 
+namespace {
+/// The pool whose region the current thread is executing, if any. Used to
+/// serialize re-entrant run() calls instead of deadlocking on dispatch state.
+thread_local const ThreadPool* t_active_pool = nullptr;
+}  // namespace
+
+void ThreadPool::record_error() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
 void ThreadPool::dispatch(JobFn fn, void* ctx) {
+  if (t_active_pool == this) {
+    // Re-entrant region: execute inline as a serial single-worker region
+    // (see the contract in the header). Exceptions propagate to the task.
+    fn(ctx, 0, 1);
+    return;
+  }
   if (num_threads_ == 1) {
     fn(ctx, 0, 1);
     return;
@@ -47,11 +65,24 @@ void ThreadPool::dispatch(JobFn fn, void* ctx) {
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(ctx, 0, num_threads_);  // the caller is worker 0
+  t_active_pool = this;
+  try {
+    fn(ctx, 0, num_threads_);  // the caller is worker 0
+  } catch (...) {
+    record_error();
+  }
+  t_active_pool = nullptr;
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_fn_ = nullptr;
   job_ctx_ = nullptr;
+  if (first_error_) {
+    // The ctx (and the caller's captured state) outlived every worker, so
+    // rethrowing after the join is safe; the pool is idle and reusable.
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
@@ -67,7 +98,13 @@ void ThreadPool::worker_loop(std::size_t tid) {
       job = job_fn_;
       ctx = job_ctx_;
     }
-    job(ctx, tid, num_threads_);
+    t_active_pool = this;
+    try {
+      job(ctx, tid, num_threads_);
+    } catch (...) {
+      record_error();
+    }
+    t_active_pool = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--pending_ == 0) done_cv_.notify_one();

@@ -13,6 +13,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -43,6 +44,19 @@ class ThreadPool {
   /// important for the hot stage drivers, which open 3+ parallel regions per
   /// convolution (and the fused path one per layer). The callable must stay
   /// alive until run() returns, which it does: run() is fully synchronous.
+  ///
+  /// Error handling contract: an exception thrown by the callable on any
+  /// worker is captured, the fork-join region still completes on every other
+  /// worker, and the *first* captured exception is rethrown on the calling
+  /// thread. The pool remains fully usable afterwards (no worker dies, no
+  /// region deadlocks). Work already performed by other workers is not rolled
+  /// back — callers that throw mid-region own their partial state.
+  ///
+  /// Re-entrancy contract: calling run() (or parallel_for()) on a pool from
+  /// inside one of its own tasks does not deadlock; the nested region
+  /// executes inline on the calling worker as a serial single-worker region
+  /// (fn(0, 1)). Nested parallelism is deliberately not expanded — the
+  /// engine's static-scheduling model has exactly one live region per pool.
   template <typename Fn>
   void run(Fn&& fn) {
     using F = std::remove_reference_t<Fn>;
@@ -73,6 +87,7 @@ class ThreadPool {
 
   void dispatch(JobFn fn, void* ctx);
   void worker_loop(std::size_t tid);
+  void record_error() noexcept;
 
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
@@ -82,6 +97,7 @@ class ThreadPool {
   std::condition_variable done_cv_;
   JobFn job_fn_ = nullptr;
   void* job_ctx_ = nullptr;
+  std::exception_ptr first_error_;  ///< first exception of the current region
   std::uint64_t generation_ = 0;
   std::size_t pending_ = 0;
   bool shutdown_ = false;

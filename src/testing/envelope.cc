@@ -1,0 +1,209 @@
+#include "testing/envelope.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lowino {
+namespace testing {
+namespace {
+
+/// Quantization step (after de-quantization) of an INT8 grid covering
+/// [-tau, tau]: half the grid spacing.
+double half_step(double tau) { return 0.5 * tau / 127.0; }
+
+/// Relative slack for FP32 arithmetic inside the integer engines (transforms
+/// and de-quantization run in FP32). Sized as C * r * r * eps with headroom —
+/// an engineering margin, validated by the fuzz corpus, always far below the
+/// quantization terms it accompanies.
+double float_slack_rel(const ConvDesc& desc) {
+  const double macs = static_cast<double>(desc.in_channels) *
+                      static_cast<double>(desc.kernel * desc.kernel);
+  return 8.0 * macs * 1.2e-7;
+}
+
+/// max over output pixels (i, j) of sum_{s,t} |AT[i,s]|^pw |AT[j,t]|^pw
+/// em[s,t]: the exact output-transform weighting of per-position
+/// multiplication errors (pw = 1) or error variances (pw = 2). Sharper than
+/// a per-position max over AT rows, which matters for the large-entry
+/// F(4x4,3x3) / F(6x6,3x3) matrices.
+double at_weighted_max(const TransformMatrices& tm, const std::vector<double>& em,
+                       int pw) {
+  const std::size_t m = tm.m, alpha = tm.alpha;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < alpha; ++s) {
+        double ai = std::abs(tm.at(i, s));
+        if (pw == 2) ai *= ai;
+        if (ai == 0.0) continue;
+        double row = 0.0;
+        for (std::size_t t = 0; t < alpha; ++t) {
+          double aj = std::abs(tm.at(j, t));
+          if (pw == 2) aj *= aj;
+          row += aj * em[s * alpha + t];
+        }
+        acc += ai * row;
+      }
+      worst = std::max(worst, acc);
+    }
+  }
+  return worst;
+}
+
+/// Variance of the rounding residue of an INT8 grid over [-tau, tau]
+/// (uniform over one grid step).
+double step_var(double tau) {
+  const double step = tau / 127.0;
+  return step * step / 12.0;
+}
+
+}  // namespace
+
+TransformGains transform_gains(const TransformMatrices& tm) {
+  const std::size_t m = tm.m, r = tm.r, alpha = tm.alpha;
+  std::vector<double> at_colmax(alpha, 0.0), bt_rowsum(alpha, 0.0), g_rowsum(alpha, 0.0);
+  std::vector<double> bt_rowsq(alpha, 0.0), g_rowsq(alpha, 0.0);
+  for (std::size_t s = 0; s < alpha; ++s) {
+    for (std::size_t i = 0; i < m; ++i) {
+      at_colmax[s] = std::max(at_colmax[s], std::abs(tm.at(i, s)));
+    }
+    for (std::size_t j = 0; j < alpha; ++j) {
+      bt_rowsum[s] += std::abs(tm.bt(s, j));
+      bt_rowsq[s] += tm.bt(s, j) * tm.bt(s, j);
+    }
+    for (std::size_t j = 0; j < r; ++j) {
+      g_rowsum[s] += std::abs(tm.g(s, j));
+      g_rowsq[s] += tm.g(s, j) * tm.g(s, j);
+    }
+  }
+  TransformGains gains;
+  gains.out_weight.resize(alpha * alpha);
+  gains.in_amp.resize(alpha * alpha);
+  gains.g_amp.resize(alpha * alpha);
+  gains.in_amp_sq.resize(alpha * alpha);
+  gains.g_amp_sq.resize(alpha * alpha);
+  for (std::size_t s = 0; s < alpha; ++s) {
+    for (std::size_t t = 0; t < alpha; ++t) {
+      gains.out_weight[s * alpha + t] = at_colmax[s] * at_colmax[t];
+      gains.in_amp[s * alpha + t] = bt_rowsum[s] * bt_rowsum[t];
+      gains.g_amp[s * alpha + t] = g_rowsum[s] * g_rowsum[t];
+      gains.in_amp_sq[s * alpha + t] = bt_rowsq[s] * bt_rowsq[t];
+      gains.g_amp_sq[s * alpha + t] = g_rowsq[s] * g_rowsq[t];
+    }
+  }
+  gains.in_amp_max = *std::max_element(gains.in_amp.begin(), gains.in_amp.end());
+  gains.g_amp_max = *std::max_element(gains.g_amp.begin(), gains.g_amp.end());
+  return gains;
+}
+
+std::vector<double> lowino_budget(const ConvDesc& desc, const TransformMatrices& tm,
+                                  std::span<const double> taus,
+                                  const TransformedFilterStats& fstats) {
+  const std::size_t T = tm.alpha * tm.alpha, K = fstats.k;
+  const double C = static_cast<double>(desc.in_channels);
+  const double slack = float_slack_rel(desc);
+  std::vector<double> bound(K, 0.0);
+  std::vector<double> em(T), fs(T), vm(T);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t t = 0; t < T; ++t) {
+      const double tau = taus[t];
+      const double umax = fstats.abs_max[t * K + k];
+      const double usum = fstats.abs_sum[t * K + k];
+      const double ev = half_step(tau);   // input quantization, per element
+      const double eu = half_step(umax);  // filter quantization, per element
+      em[t] = usum * ev + C * tau * eu + C * ev * eu;
+      fs[t] = slack * (usum * tau + C * tau * umax);  // FP32 transform rounding
+      // Variance of the same stage: sum over c of U^2 var_v + V^2 var_u
+      // (sum_c U^2 <= umax * usum; V^2 <= tau^2).
+      vm[t] = usum * umax * step_var(tau) + C * tau * tau * step_var(umax) +
+              C * step_var(tau) * step_var(umax);
+    }
+    const double float_slack = at_weighted_max(tm, fs, 1);
+    const double det = at_weighted_max(tm, em, 1);
+    const double stoch = kSigmaFactor * std::sqrt(at_weighted_max(tm, vm, 2));
+    bound[k] = std::min(det, stoch) + float_slack + 1e-6;
+  }
+  return bound;
+}
+
+std::vector<double> downscale_budget(const ConvDesc& desc, const TransformMatrices& tm,
+                                     double tau_d, const SpatialFilterStats& wstats) {
+  const TransformGains gains = transform_gains(tm);
+  const std::size_t T = tm.alpha * tm.alpha, K = wstats.k;
+  const double C = static_cast<double>(desc.in_channels);
+  const double slack = float_slack_rel(desc);
+  const double ed = half_step(tau_d);  // spatial input quantization
+  std::vector<double> bound(K, 0.0);
+  std::vector<double> em(T), fs(T), vm(T);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double wmax = wstats.abs_max[k];
+    const double ew = half_step(wmax);  // spatial per-channel filter quantization
+    for (std::size_t t = 0; t < T; ++t) {
+      // Winograd-domain per-element input error: transformed spatial error
+      // plus the post-transform re-round at the fixed 1/amp_max factor.
+      const double ev = gains.in_amp[t] * ed + half_step(gains.in_amp_max * tau_d);
+      const double vmag = gains.in_amp[t] * tau_d + ev;
+      // Same structure for the filters at the fixed 1/g_amp_max factor.
+      const double eu = gains.g_amp[t] * ew + half_step(gains.g_amp_max * wmax);
+      const double umag = gains.g_amp[t] * wmax + eu;
+      em[t] = C * (umag * ev + vmag * eu + ev * eu);
+      fs[t] = slack * C * vmag * umag;
+      // Variances propagate through the linear transforms with squared
+      // coefficients; the fixed-factor re-round adds one more uniform step.
+      const double var_v = gains.in_amp_sq[t] * step_var(tau_d) +
+                           step_var(gains.in_amp_max * tau_d);
+      const double var_u = gains.g_amp_sq[t] * step_var(wmax) +
+                           step_var(gains.g_amp_max * wmax);
+      vm[t] = C * (umag * umag * var_v + vmag * vmag * var_u + var_v * var_u);
+    }
+    const double float_slack = at_weighted_max(tm, fs, 1);
+    const double det = at_weighted_max(tm, em, 1);
+    const double stoch = kSigmaFactor * std::sqrt(at_weighted_max(tm, vm, 2));
+    bound[k] = std::min(det, stoch) + float_slack + 1e-6;
+  }
+  return bound;
+}
+
+std::vector<double> spatial_int8_budget(const ConvDesc& desc, double tau_d, double dmax,
+                                        const SpatialFilterStats& wstats) {
+  const std::size_t K = wstats.k;
+  const double patch = static_cast<double>(desc.in_channels) *
+                       static_cast<double>(desc.kernel * desc.kernel);
+  const double slack = float_slack_rel(desc);
+  const double ed = half_step(tau_d);
+  std::vector<double> bound(K, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double wmax = wstats.abs_max[k];
+    const double ew = half_step(wmax);
+    const double det = wstats.abs_sum[k] * ed + patch * (dmax * ew + ed * ew);
+    // Variance per patch term: w^2 var_d + d^2 var_w + var_d var_w, with
+    // sum w^2 <= wmax * abs_sum and sum d^2 <= patch * dmax^2.
+    const double var = wmax * wstats.abs_sum[k] * step_var(tau_d) +
+                       patch * dmax * dmax * step_var(wmax) +
+                       patch * step_var(tau_d) * step_var(wmax);
+    const double stoch = kSigmaFactor * std::sqrt(var);
+    bound[k] = std::min(det, stoch) + slack * (wstats.abs_sum[k] * dmax) + 1e-6;
+  }
+  return bound;
+}
+
+std::vector<double> fp32_budget(const ConvDesc& desc, double dmax,
+                                const SpatialFilterStats& wstats,
+                                std::span<const float> bias, double amplification) {
+  const std::size_t K = wstats.k;
+  const double macs = static_cast<double>(desc.in_channels) *
+                      static_cast<double>(desc.kernel * desc.kernel);
+  // gamma_n-style dot-product bound with headroom for the blocked/vectorized
+  // summation orders, scaled by the Winograd intermediate growth.
+  const double rel = 16.0 * (macs + 32.0) * 1.2e-7 * std::max(1.0, amplification);
+  std::vector<double> bound(K, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double babs = k < bias.size() ? std::abs(static_cast<double>(bias[k])) : 0.0;
+    bound[k] = rel * (wstats.abs_sum[k] * dmax + babs) + 1e-6;
+  }
+  return bound;
+}
+
+}  // namespace testing
+}  // namespace lowino

@@ -1,0 +1,83 @@
+// Derived accuracy envelopes: per-output-channel absolute error bounds for
+// every quantization scheme in the repository.
+//
+// The conformance harness does not assert "close to the reference" with an
+// arbitrary tolerance — it derives, per case, the worst-case error each
+// engine's quantization scheme can introduce (Section 3's error analysis,
+// instantiated per scheme) and asserts the observed error stays inside it.
+// All bounds assume *clipping-free* thresholds (tau >= the actual abs-max of
+// what gets quantized); the fuzz harness guarantees that by computing
+// thresholds from the oracle statistics, which also makes the bounds sharp
+// enough to catch real defects (see EnvelopeRejectsCorruptedOutput).
+//
+// Derivation sketch (per Winograd output Y(i,j) = sum_p AT[i,s] AT[j,t] M(p),
+// p = (s, t)): |dY| <= sum_p wmax(p) * E_M(p, k) where wmax(p) is the product
+// of AT column abs-maxima and E_M bounds the element-wise error of the
+// multiplication stage,
+//   E_M(p, k) <= sum_c |U| * eV  +  C * Vmag * eU  +  C * eV * eU  + slack
+// with eV / eU the scheme's per-element input/filter errors in the Winograd
+// domain. ReLU is 1-Lipschitz, so post-op cases reuse the same bounds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/conv_desc.h"
+#include "testing/oracle.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace testing {
+
+/// Matrix-derived gain factors of one transform set (all lengths T).
+struct TransformGains {
+  std::vector<double> out_weight;  ///< wmax(p): AT column abs-max product
+  std::vector<double> in_amp;      ///< amp2(p): BT row abs-sum product
+  std::vector<double> g_amp;       ///< gg2(p): G row abs-sum product
+  std::vector<double> in_amp_sq;   ///< BT row sum-of-squares product
+  std::vector<double> g_amp_sq;    ///< G row sum-of-squares product
+  double in_amp_max = 1.0;         ///< max_p in_amp — the paper's 4x / 100x
+  double g_amp_max = 1.0;
+};
+TransformGains transform_gains(const TransformMatrices& tm);
+
+/// Every budget below is min(worst-case, stochastic): the worst-case bound
+/// assumes all rounding residues align adversarially (a hard guarantee, but
+/// for F(4x4,3x3)+ it approaches the output magnitude — the amplification
+/// effect of Section 2.3 made concrete); the stochastic bound models the
+/// residues as independent zero-mean noise and allows kSigmaFactor standard
+/// deviations, which is what makes the envelope sharp for wide channel
+/// counts. At 12 sigma over bounded summands a violation is not bad luck —
+/// it is a defect.
+inline constexpr double kSigmaFactor = 12.0;
+
+/// LoWino (Winograd-domain quantization): `taus` are the per-position input
+/// thresholds actually configured (length T; pass the uniform value T times
+/// for per-tensor granularity). Filter scales are exact per-(t, k) abs-max,
+/// matching the engine. Returns B(k), length K.
+std::vector<double> lowino_budget(const ConvDesc& desc, const TransformMatrices& tm,
+                                  std::span<const double> taus,
+                                  const TransformedFilterStats& fstats);
+
+/// Down-scaling baselines (downscale / vendor): spatial INT8 quantization
+/// with threshold `tau_d`, then a post-transform re-round to INT8 at the
+/// fixed 1/amplification factor — the re-round term dominates and grows with
+/// the tile size, which is exactly the paper's Figure 2(b) critique.
+std::vector<double> downscale_budget(const ConvDesc& desc, const TransformMatrices& tm,
+                                     double tau_d, const SpatialFilterStats& wstats);
+
+/// Spatial INT8 with exact integer arithmetic after quantization (up-casting
+/// Winograd and the INT8 direct engine): only the spatial quantization steps
+/// contribute. `dmax` is the actual input abs-max (<= tau_d).
+std::vector<double> spatial_int8_budget(const ConvDesc& desc, double tau_d, double dmax,
+                                        const SpatialFilterStats& wstats);
+
+/// FP32 engines: rounding-only slack. `amplification` folds in the
+/// intermediate growth of a Winograd pipeline (pass
+/// gains.in_amp_max * gains.g_amp_max; 1.0 for direct convolution).
+std::vector<double> fp32_budget(const ConvDesc& desc, double dmax,
+                                const SpatialFilterStats& wstats,
+                                std::span<const float> bias, double amplification);
+
+}  // namespace testing
+}  // namespace lowino

@@ -1,0 +1,339 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/downscale_wino.h"
+#include "baselines/fp32_wino.h"
+#include "baselines/upcast_wino.h"
+#include "baselines/vendor_wino.h"
+#include "common/rng.h"
+#include "direct/direct_f32.h"
+#include "direct/direct_int8.h"
+#include "lowino/convolution.h"
+#include "parallel/thread_pool.h"
+#include "testing/envelope.h"
+#include "testing/oracle.h"
+
+namespace lowino {
+namespace testing {
+namespace {
+
+/// Multiplicative + additive margin applied to oracle-derived thresholds so
+/// the engines' FP32-computed values can never exceed them (clipping would
+/// void the envelopes).
+double with_margin(double v) { return v * 1.0001 + 1e-6; }
+
+struct CaseData {
+  std::vector<float> input, weights, bias;
+};
+
+CaseData make_data(const FuzzCase& fc) {
+  const ConvDesc& d = fc.desc;
+  Rng rng(fc.seed ^ 0x9e3779b97f4a7c15ULL);
+  CaseData data;
+  data.input.resize(d.batch * d.in_channels * d.height * d.width);
+  for (float& v : data.input) v = rng.uniform(-1.5f, 1.5f);
+  data.weights.resize(d.out_channels * d.in_channels * d.kernel * d.kernel);
+  for (float& v : data.weights) v = rng.uniform(-1.0f, 1.0f);
+  if (fc.with_bias) {
+    data.bias.resize(d.out_channels);
+    for (float& v : data.bias) v = rng.uniform(-0.5f, 0.5f);
+  }
+  return data;
+}
+
+/// Checks one engine output against a reference within per-channel bounds.
+/// Returns an empty string on success.
+std::string check_output(const char* engine, const ConvDesc& d,
+                         std::span<const float> out, const std::vector<double>& ref,
+                         const std::vector<double>& bound) {
+  const std::size_t plane = d.out_height() * d.out_width();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const std::size_t k = (i / plane) % d.out_channels;
+    const double diff = std::abs(static_cast<double>(out[i]) - ref[i]);
+    if (!(diff <= bound[k])) {  // negated compare also catches NaN
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s: |err|=%.6g exceeds bound %.6g at element %zu (channel %zu)",
+                    engine, diff, bound[k], i, k);
+      return buf;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+FuzzCase generate_case(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fc;
+  fc.seed = rng.next_u64();
+
+  ConvDesc& d = fc.desc;
+  d.kernel = rng.next_below(10) == 0 ? 5 : 3;
+  d.pad = rng.next_below(d.kernel == 3 ? 2 : 3);
+  d.batch = 1 + rng.next_below(2);
+  d.in_channels = 1 + rng.next_below(48);
+  d.out_channels = 1 + rng.next_below(48);
+  d.height = d.kernel + rng.next_below(16);
+  d.width = d.kernel + rng.next_below(16);
+  d.stride = 1;
+  while (d.direct_macs() > 2.0e7) {
+    if (d.in_channels > 8) {
+      d.in_channels /= 2;
+    } else if (d.out_channels > 8) {
+      d.out_channels /= 2;
+    } else {
+      d.batch = 1;
+      d.height = std::max(d.kernel, d.height / 2);
+      d.width = std::max(d.kernel, d.width / 2);
+    }
+  }
+
+  const std::size_t ms[] = {2, 4, 6};
+  fc.m = ms[rng.next_below(3)];
+  const ExecutionMode modes[] = {ExecutionMode::kStaged, ExecutionMode::kFused,
+                                 ExecutionMode::kAuto};
+  fc.mode = modes[rng.next_below(3)];
+  fc.threads = 1 + rng.next_below(4);
+  fc.relu = rng.next_below(2) == 0;
+  fc.with_bias = rng.next_below(2) == 0;
+  fc.per_tensor_scales = rng.next_below(4) == 0;
+  return fc;
+}
+
+std::string describe(const FuzzCase& fc) {
+  std::string s = fc.desc.to_string();
+  s += " p" + std::to_string(fc.desc.pad);
+  s += " m" + std::to_string(fc.m);
+  s += std::string(" ") + execution_mode_name(fc.mode);
+  s += " t" + std::to_string(fc.threads);
+  s += fc.relu ? " relu" : "";
+  s += fc.with_bias ? " bias" : "";
+  s += fc.per_tensor_scales ? " per-tensor" : " per-position";
+  s += " seed=" + std::to_string(fc.seed);
+  return s;
+}
+
+std::string repro_line(std::uint64_t base_seed, std::size_t index) {
+  return "LOWINO_TEST_SEED=" + std::to_string(base_seed) +
+         " LOWINO_FUZZ_INDEX=" + std::to_string(index) +
+         " LOWINO_FUZZ_CASES=1 ./tests/fuzz_conv";
+}
+
+CaseResult run_case(const FuzzCase& fc) {
+  CaseResult result;
+  const ConvDesc& d = fc.desc;
+  const CaseData data = make_data(fc);
+  const std::span<const float> bias(data.bias);
+
+  const std::vector<double> ref_plain =
+      direct_conv_f64(d, data.input, data.weights, bias, /*relu=*/false);
+  std::vector<double> ref_relu;
+  if (fc.relu) {
+    ref_relu = ref_plain;
+    for (double& v : ref_relu) v = std::max(v, 0.0);
+  }
+  const std::vector<double>& ref_post = fc.relu ? ref_relu : ref_plain;
+
+  const SpatialFilterStats sstats = spatial_filter_stats(d, data.weights);
+  const double dmax = abs_max_f64(data.input);
+  const double tau_d = with_margin(dmax);
+
+  ThreadPool pool(fc.threads);
+  std::vector<float> out(ref_plain.size());
+  const auto check = [&](const char* engine, const std::vector<double>& ref,
+                         const std::vector<double>& bound) {
+    ++result.engines_checked;
+    if (!result.ok) return;
+    const std::string err = check_output(engine, d, out, ref, bound);
+    if (!err.empty()) {
+      result.ok = false;
+      result.failure = err;
+    }
+  };
+
+  try {
+    // --- FP32 engines ------------------------------------------------------
+    const std::vector<double> fp32_direct_bound =
+        fp32_budget(d, dmax, sstats, bias, /*amplification=*/1.0);
+    direct_conv_f32_reference(d, data.input, data.weights, bias, out, fc.relu, &pool);
+    check("fp32-reference", ref_post, fp32_direct_bound);
+
+    {
+      Im2colConvF32 conv(d);
+      conv.set_filters(data.weights, bias);
+      conv.execute_nchw(data.input, out, &pool, fc.relu);
+      check("fp32-im2col", ref_post, fp32_direct_bound);
+    }
+
+    const TransformMatrices& tm = engine_transform(fc.m, d.kernel);
+    const TransformGains gains = transform_gains(tm);
+    {
+      Fp32WinoConv conv(d, fc.m);
+      conv.set_filters(data.weights, bias);
+      conv.execute_nchw(data.input, out, &pool);
+      check("fp32-winograd", ref_plain,
+            fp32_budget(d, dmax, sstats, bias, gains.in_amp_max * gains.g_amp_max));
+    }
+
+    // --- LoWino: staged and fused must agree bit-for-bit and sit inside the
+    // Winograd-domain quantization envelope. ------------------------------
+    {
+      const std::vector<double> v_absmax = transformed_input_absmax(d, fc.m, data.input);
+      std::vector<double> taus(v_absmax.size());
+      double tau_uniform = 0.0;
+      for (std::size_t t = 0; t < taus.size(); ++t) {
+        taus[t] = with_margin(v_absmax[t]);
+        tau_uniform = std::max(tau_uniform, taus[t]);
+      }
+      if (fc.per_tensor_scales) std::fill(taus.begin(), taus.end(), tau_uniform);
+      const TransformedFilterStats fstats =
+          transformed_filter_stats(d, fc.m, data.weights);
+      const std::vector<double> lw_bound = lowino_budget(d, tm, taus, fstats);
+
+      const auto run_lowino = [&](ExecutionMode mode, std::vector<float>& dst) {
+        LoWinoConfig cfg;
+        cfg.m = fc.m;
+        cfg.execution_mode = mode;
+        cfg.fuse_relu = fc.relu;
+        cfg.input_scales = fc.per_tensor_scales ? ScaleGranularity::kPerTensor
+                                                : ScaleGranularity::kPerPosition;
+        LoWinoConvolution conv(d, cfg);
+        if (fc.per_tensor_scales) {
+          conv.set_uniform_input_threshold(static_cast<float>(tau_uniform));
+        } else {
+          std::vector<float> taus_f(taus.begin(), taus.end());
+          conv.set_input_thresholds(taus_f);
+        }
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, dst, &pool);
+      };
+
+      std::vector<float> out_fused(out.size());
+      run_lowino(ExecutionMode::kStaged, out);
+      check("lowino-staged", ref_post, lw_bound);
+      run_lowino(ExecutionMode::kFused, out_fused);
+      std::swap(out, out_fused);
+      check("lowino-fused", ref_post, lw_bound);
+      std::swap(out, out_fused);
+
+      ++result.engines_checked;
+      if (result.ok && out != out_fused) {
+        std::size_t i = 0;
+        while (i < out.size() && out[i] == out_fused[i]) ++i;
+        result.ok = false;
+        result.failure = "lowino staged/fused mismatch at element " + std::to_string(i) +
+                         ": " + std::to_string(out[i]) + " vs " +
+                         std::to_string(out_fused[i]);
+      }
+
+      if (fc.mode == ExecutionMode::kAuto) {
+        run_lowino(ExecutionMode::kAuto, out);
+        check("lowino-auto", ref_post, lw_bound);
+      }
+    }
+
+    // --- Spatially quantized engines --------------------------------------
+    {
+      Int8DirectConv conv(d);
+      conv.set_input_threshold(static_cast<float>(tau_d));
+      conv.set_filters(data.weights, bias);
+      conv.execute_nchw(data.input, out, &pool, fc.relu);
+      check("int8-direct", ref_post, spatial_int8_budget(d, tau_d, dmax, sstats));
+    }
+    {
+      DownscaleWinoConv conv(d, fc.m);
+      conv.set_input_threshold(static_cast<float>(tau_d));
+      conv.set_filters(data.weights, bias);
+      conv.execute_nchw(data.input, out, &pool);
+      check("downscale-winograd", ref_plain, downscale_budget(d, tm, tau_d, sstats));
+    }
+    if (d.kernel == 3) {
+      {
+        UpcastWinoConv conv(d);
+        conv.set_input_threshold(static_cast<float>(tau_d));
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, out, &pool);
+        check("upcast-winograd", ref_plain, spatial_int8_budget(d, tau_d, dmax, sstats));
+      }
+      {
+        VendorWinoF23 conv(d);
+        conv.set_input_threshold(static_cast<float>(tau_d));
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, out, &pool);
+        check("vendor-winograd", ref_plain,
+              downscale_budget(d, canonical_f23(), tau_d, sstats));
+      }
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.failure = std::string("engine threw: ") + e.what();
+  }
+  return result;
+}
+
+FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts) {
+  const auto still_fails = [&](const FuzzCase& candidate) {
+    return !run_case(candidate).ok;
+  };
+  using Mutator = bool (*)(FuzzCase&);
+  static const Mutator mutators[] = {
+      [](FuzzCase& c) { return std::exchange(c.threads, 1) != 1; },
+      [](FuzzCase& c) { return std::exchange(c.desc.batch, 1) != 1; },
+      [](FuzzCase& c) { return std::exchange(c.relu, false); },
+      [](FuzzCase& c) { return std::exchange(c.with_bias, false); },
+      [](FuzzCase& c) { return std::exchange(c.per_tensor_scales, false); },
+      [](FuzzCase& c) {
+        return std::exchange(c.mode, ExecutionMode::kStaged) != ExecutionMode::kStaged;
+      },
+      [](FuzzCase& c) {
+        if (c.desc.in_channels <= 1) return false;
+        c.desc.in_channels = (c.desc.in_channels + 1) / 2;
+        return true;
+      },
+      [](FuzzCase& c) {
+        if (c.desc.out_channels <= 1) return false;
+        c.desc.out_channels = (c.desc.out_channels + 1) / 2;
+        return true;
+      },
+      [](FuzzCase& c) {
+        if (c.desc.height <= c.desc.kernel) return false;
+        c.desc.height = std::max(c.desc.kernel, (c.desc.height + 1) / 2);
+        return true;
+      },
+      [](FuzzCase& c) {
+        if (c.desc.width <= c.desc.kernel) return false;
+        c.desc.width = std::max(c.desc.kernel, (c.desc.width + 1) / 2);
+        return true;
+      },
+      [](FuzzCase& c) { return std::exchange(c.desc.pad, 0) != 0; },
+  };
+
+  std::size_t attempts = 0;
+  bool improved = true;
+  while (improved && attempts < max_attempts) {
+    improved = false;
+    for (const Mutator mutate : mutators) {
+      if (attempts >= max_attempts) break;
+      FuzzCase candidate = fc;
+      if (!mutate(candidate)) continue;
+      ++attempts;
+      if (still_fails(candidate)) {
+        fc = candidate;
+        improved = true;
+      }
+    }
+  }
+  return fc;
+}
+
+}  // namespace testing
+}  // namespace lowino

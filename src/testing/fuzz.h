@@ -1,0 +1,66 @@
+// Randomized differential conformance harness.
+//
+// A FuzzCase is a fully deterministic convolution problem: shape, tile size,
+// execution mode, thread count, post-ops and scale granularity are drawn from
+// a seed, and the input/weight data are regenerated from that same seed. One
+// run_case() call executes *every* engine in the repository on the problem —
+// LoWino staged + fused (always both, checked bit-identical), the
+// down-scaling / up-casting / vendor baselines, INT8 direct and the FP32
+// engines — and checks each against the double-precision oracle within the
+// scheme-specific error envelope of testing/envelope.h.
+//
+// Failures reproduce from a single printed line (see repro_line); the driver
+// shrinks a failing case to a minimal one before reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lowino/engine_config.h"
+#include "tensor/conv_desc.h"
+
+namespace lowino {
+namespace testing {
+
+struct FuzzCase {
+  std::uint64_t seed = 0;  ///< data seed: input/weight/bias values
+  ConvDesc desc;
+  std::size_t m = 4;  ///< LoWino / FP32-Winograd / downscale tile size
+  ExecutionMode mode = ExecutionMode::kAuto;  ///< extra LoWino instance's mode
+  std::size_t threads = 1;
+  bool relu = false;
+  bool with_bias = true;
+  bool per_tensor_scales = false;  ///< LoWino input-scale granularity
+};
+
+/// Draws a case from `seed`: N/C/K/H/W, stride-1 pads, ReLU/bias on-off,
+/// F(2/4/6) (r = 5 occasionally), staged/fused/auto, 1..4 threads. The shape
+/// is cost-clamped so a full engine sweep stays in the low tens of
+/// milliseconds.
+FuzzCase generate_case(std::uint64_t seed);
+
+/// Human-readable one-line description ("B1 C17 K5 H9 W12 r3 p1 m4 fused t2
+/// relu bias per-position").
+std::string describe(const FuzzCase& fc);
+
+/// The single-line environment repro for case `index` of a run seeded with
+/// `base_seed` (what the driver prints on failure).
+std::string repro_line(std::uint64_t base_seed, std::size_t index);
+
+struct CaseResult {
+  bool ok = true;
+  std::string failure;  ///< first violation: engine, channel, error vs bound
+  std::size_t engines_checked = 0;
+};
+
+/// Runs every applicable engine on the case and checks the envelopes.
+/// Never throws for a conforming stack; engine exceptions are reported as
+/// failures.
+CaseResult run_case(const FuzzCase& fc);
+
+/// Greedily shrinks a failing case (smaller shape, fewer features) while it
+/// keeps failing; `max_attempts` caps the number of run_case() re-executions.
+FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts = 48);
+
+}  // namespace testing
+}  // namespace lowino

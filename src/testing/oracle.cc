@@ -1,0 +1,235 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lowino {
+namespace testing {
+
+std::vector<double> direct_conv_f64(const ConvDesc& desc, std::span<const float> input,
+                                    std::span<const float> weights,
+                                    std::span<const float> bias, bool relu) {
+  const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  assert(input.size() >= B * C * H * W);
+  assert(weights.size() >= K * C * r * r);
+  std::vector<double> out(B * K * OH * OW, 0.0);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow) {
+          double acc = bias.empty() ? 0.0 : static_cast<double>(bias[k]);
+          for (std::size_t c = 0; c < C; ++c) {
+            for (std::size_t i = 0; i < r; ++i) {
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                  static_cast<std::ptrdiff_t>(desc.pad);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+              for (std::size_t j = 0; j < r; ++j) {
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                    static_cast<std::ptrdiff_t>(desc.pad);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
+                acc += static_cast<double>(
+                           input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
+                                 static_cast<std::size_t>(iw)]) *
+                       static_cast<double>(weights[((k * C + c) * r + i) * r + j]);
+              }
+            }
+          }
+          if (relu && acc < 0.0) acc = 0.0;
+          out[((b * K + k) * OH + oh) * OW + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> direct_conv_i64(const ConvDesc& desc,
+                                          std::span<const std::int8_t> input,
+                                          std::span<const std::int8_t> weights) {
+  const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  assert(input.size() >= B * C * H * W);
+  assert(weights.size() >= K * C * r * r);
+  std::vector<std::int64_t> out(B * K * OH * OW, 0);
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow) {
+          std::int64_t acc = 0;
+          for (std::size_t c = 0; c < C; ++c) {
+            for (std::size_t i = 0; i < r; ++i) {
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                  static_cast<std::ptrdiff_t>(desc.pad);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+              for (std::size_t j = 0; j < r; ++j) {
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                    static_cast<std::ptrdiff_t>(desc.pad);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
+                acc += static_cast<std::int64_t>(
+                           input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
+                                 static_cast<std::size_t>(iw)]) *
+                       static_cast<std::int64_t>(weights[((k * C + c) * r + i) * r + j]);
+              }
+            }
+          }
+          out[((b * K + k) * OH + oh) * OW + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Loads one alpha x alpha input tile (image b, channel c, tile th/tw) with
+/// zero padding, mirroring the engines' tiling: tile origin in the padded
+/// image is (th * m - pad, tw * m - pad).
+void load_tile_f64(const ConvDesc& desc, std::span<const float> input, std::size_t b,
+                   std::size_t c, std::size_t th, std::size_t tw, std::size_t m,
+                   std::size_t alpha, double* tile) {
+  const std::size_t H = desc.height, W = desc.width, C = desc.in_channels;
+  for (std::size_t i = 0; i < alpha; ++i) {
+    const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(th * m + i) -
+                              static_cast<std::ptrdiff_t>(desc.pad);
+    for (std::size_t j = 0; j < alpha; ++j) {
+      const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(tw * m + j) -
+                                static_cast<std::ptrdiff_t>(desc.pad);
+      double v = 0.0;
+      if (ih >= 0 && ih < static_cast<std::ptrdiff_t>(H) && iw >= 0 &&
+          iw < static_cast<std::ptrdiff_t>(W)) {
+        v = static_cast<double>(input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
+                                      static_cast<std::size_t>(iw)]);
+      }
+      tile[i * alpha + j] = v;
+    }
+  }
+}
+
+/// out = M * in * M^T with M of shape rows x cols, in of shape cols x cols.
+void sandwich_f64(const double* M, std::size_t rows, std::size_t cols, const double* in,
+                  double* out) {
+  std::vector<double> tmp(rows * cols, 0.0);  // M * in
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < cols; ++p) s += M[i * cols + p] * in[p * cols + j];
+      tmp[i * cols + j] = s;
+    }
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < cols; ++p) s += tmp[i * cols + p] * M[j * cols + p];
+      out[i * rows + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+const TransformMatrices& engine_transform(std::size_t m, std::size_t r) {
+  if (m == 2 && r == 3) return canonical_f23();
+  if (m == 4 && r == 3) return canonical_f43();
+  return winograd_transform(m, r);
+}
+
+std::vector<double> transformed_input_absmax(const ConvDesc& desc, std::size_t m,
+                                             std::span<const float> input) {
+  const WinogradGeometry geo(desc, m);
+  const TransformMatrices& tm = engine_transform(m, desc.kernel);
+  std::vector<double> result(geo.t_elems, 0.0);
+  std::vector<double> tile(geo.t_elems), v(geo.t_elems);
+  for (std::size_t b = 0; b < desc.batch; ++b) {
+    for (std::size_t c = 0; c < desc.in_channels; ++c) {
+      for (std::size_t th = 0; th < geo.tiles_h; ++th) {
+        for (std::size_t tw = 0; tw < geo.tiles_w; ++tw) {
+          load_tile_f64(desc, input, b, c, th, tw, m, geo.alpha, tile.data());
+          sandwich_f64(tm.BT.data(), geo.alpha, geo.alpha, tile.data(), v.data());
+          for (std::size_t t = 0; t < geo.t_elems; ++t) {
+            result[t] = std::max(result[t], std::abs(v[t]));
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+TransformedFilterStats transformed_filter_stats(const ConvDesc& desc, std::size_t m,
+                                                std::span<const float> weights) {
+  const std::size_t K = desc.out_channels, C = desc.in_channels, r = desc.kernel;
+  const TransformMatrices& tm = engine_transform(m, r);
+  const std::size_t alpha = tm.alpha, T = alpha * alpha;
+  assert(weights.size() >= K * C * r * r);
+
+  TransformedFilterStats stats;
+  stats.t_elems = T;
+  stats.k = K;
+  stats.abs_max.assign(T * K, 0.0);
+  stats.abs_sum.assign(T * K, 0.0);
+
+  std::vector<double> g(r * r), tmp(alpha * r), u(T);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t i = 0; i < r * r; ++i) {
+        g[i] = static_cast<double>(weights[(k * C + c) * r * r + i]);
+      }
+      // u = G * g * G^T (G is alpha x r, g is r x r).
+      for (std::size_t i = 0; i < alpha; ++i) {
+        for (std::size_t j = 0; j < r; ++j) {
+          double s = 0.0;
+          for (std::size_t p = 0; p < r; ++p) s += tm.g(i, p) * g[p * r + j];
+          tmp[i * r + j] = s;
+        }
+      }
+      for (std::size_t i = 0; i < alpha; ++i) {
+        for (std::size_t j = 0; j < alpha; ++j) {
+          double s = 0.0;
+          for (std::size_t p = 0; p < r; ++p) s += tmp[i * r + p] * tm.g(j, p);
+          u[i * alpha + j] = s;
+        }
+      }
+      for (std::size_t t = 0; t < T; ++t) {
+        const double a = std::abs(u[t]);
+        stats.abs_max[t * K + k] = std::max(stats.abs_max[t * K + k], a);
+        stats.abs_sum[t * K + k] += a;
+      }
+    }
+  }
+  return stats;
+}
+
+SpatialFilterStats spatial_filter_stats(const ConvDesc& desc,
+                                        std::span<const float> weights) {
+  const std::size_t K = desc.out_channels, C = desc.in_channels, r = desc.kernel;
+  SpatialFilterStats stats;
+  stats.k = K;
+  stats.abs_max.assign(K, 0.0);
+  stats.abs_sum.assign(K, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t i = 0; i < C * r * r; ++i) {
+      const double a = std::abs(static_cast<double>(weights[k * C * r * r + i]));
+      stats.abs_max[k] = std::max(stats.abs_max[k], a);
+      stats.abs_sum[k] += a;
+    }
+  }
+  return stats;
+}
+
+double abs_max_f64(std::span<const float> values) {
+  double m = 0.0;
+  for (const float v : values) m = std::max(m, std::abs(static_cast<double>(v)));
+  return m;
+}
+
+}  // namespace testing
+}  // namespace lowino

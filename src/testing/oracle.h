@@ -1,0 +1,75 @@
+// Exact reference oracles for conformance testing (independent of the
+// production stack).
+//
+// Every production engine shares layout/transform/GEMM machinery, so a bug in
+// that machinery could cancel out in engine-vs-engine comparisons. The
+// functions here use nothing from src/lowino, src/gemm or src/tensor: plain
+// NCHW loops with double (or int64) accumulation, plus scalar double
+// implementations of the Winograd-domain statistics the accuracy-envelope
+// model (testing/envelope.h) needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/conv_desc.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace testing {
+
+/// Direct convolution with double accumulation: the floating-point oracle.
+/// Output is B x K x OH x OW (row-major), `bias` optional (length K),
+/// `relu` applies max(0, .) after the bias.
+std::vector<double> direct_conv_f64(const ConvDesc& desc, std::span<const float> input,
+                                    std::span<const float> weights,
+                                    std::span<const float> bias = {}, bool relu = false);
+
+/// Direct convolution over already-quantized operands with int64
+/// accumulation: *exact* — no rounding anywhere — so any correctly
+/// implemented integer engine path must match it bit-for-bit after its own
+/// (deterministic) de-quantization. Output is B x K x OH x OW.
+std::vector<std::int64_t> direct_conv_i64(const ConvDesc& desc,
+                                          std::span<const std::int8_t> input,
+                                          std::span<const std::int8_t> weights);
+
+/// The transform matrices the production engines select for F(m, r): the
+/// canonical Lavin matrices for F(2x2,3x3) / F(4x4,3x3), the generated
+/// Cook-Toom matrices otherwise. Winograd-domain statistics must be computed
+/// with the *same* matrices or the thresholds they imply are meaningless.
+const TransformMatrices& engine_transform(std::size_t m, std::size_t r);
+
+/// Per-tile-position abs-max of the transformed input B^T d B over every
+/// tile of every image/channel (length T = alpha^2). Computed in double from
+/// the NCHW input with the same zero-padding / edge-tiling the engines use.
+/// This is what a clipping-free Winograd-domain threshold must dominate.
+std::vector<double> transformed_input_absmax(const ConvDesc& desc, std::size_t m,
+                                             std::span<const float> input);
+
+/// Per-(t, k) statistics of the transformed filters U = G g G^T.
+struct TransformedFilterStats {
+  std::size_t t_elems = 0;
+  std::size_t k = 0;
+  std::vector<double> abs_max;  ///< [t * k + k_i]: max over c of |U(t, k, c)|
+  std::vector<double> abs_sum;  ///< [t * k + k_i]: sum over c of |U(t, k, c)|
+};
+TransformedFilterStats transformed_filter_stats(const ConvDesc& desc, std::size_t m,
+                                                std::span<const float> weights);
+
+/// Per-output-channel statistics of the spatial filters (for the
+/// spatial-domain quantization envelopes).
+struct SpatialFilterStats {
+  std::size_t k = 0;
+  std::vector<double> abs_max;  ///< per k: max element magnitude
+  std::vector<double> abs_sum;  ///< per k: sum of |w| over C * r * r
+};
+SpatialFilterStats spatial_filter_stats(const ConvDesc& desc,
+                                        std::span<const float> weights);
+
+/// abs-max in double (quantize.h's abs_max returns float; the envelope wants
+/// the exact value).
+double abs_max_f64(std::span<const float> values);
+
+}  // namespace testing
+}  // namespace lowino

@@ -1,0 +1,192 @@
+#include "testing/rational_conv.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "testing/oracle.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace testing {
+
+Rational rational_from_float(float x) {
+  if (!std::isfinite(x)) throw std::domain_error("rational_from_float: non-finite input");
+  if (x == 0.0f) return Rational(0);
+  int exp = 0;
+  const double frac = std::frexp(static_cast<double>(x), &exp);  // |frac| in [0.5, 1)
+  // frac * 2^24 is an integer for any float (24-bit significand).
+  const auto num = static_cast<std::int64_t>(std::ldexp(frac, 24));
+  const int e = exp - 24;
+  if (e >= 0) {
+    if (e > 38) throw std::overflow_error("rational_from_float: exponent too large");
+    return Rational(num * (std::int64_t{1} << e), 1);
+  }
+  if (e < -62) throw std::overflow_error("rational_from_float: exponent too small");
+  return Rational(num, std::int64_t{1} << -e);
+}
+
+std::vector<Rational> rationalize(std::span<const float> values) {
+  std::vector<Rational> out;
+  out.reserve(values.size());
+  for (const float v : values) out.push_back(rational_from_float(v));
+  return out;
+}
+
+std::vector<Rational> rational_direct_conv(const ConvDesc& desc,
+                                           std::span<const Rational> input,
+                                           std::span<const Rational> weights,
+                                           std::span<const Rational> bias) {
+  const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  assert(input.size() >= B * C * H * W);
+  assert(weights.size() >= K * C * r * r);
+  std::vector<Rational> out(B * K * OH * OW, Rational(0));
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow) {
+          Rational acc = bias.empty() ? Rational(0) : bias[k];
+          for (std::size_t c = 0; c < C; ++c) {
+            for (std::size_t i = 0; i < r; ++i) {
+              const std::ptrdiff_t ih =
+                  static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
+                  static_cast<std::ptrdiff_t>(desc.pad);
+              if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+              for (std::size_t j = 0; j < r; ++j) {
+                const std::ptrdiff_t iw =
+                    static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
+                    static_cast<std::ptrdiff_t>(desc.pad);
+                if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
+                acc += input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
+                             static_cast<std::size_t>(iw)] *
+                       weights[((k * C + c) * r + i) * r + j];
+              }
+            }
+          }
+          out[((b * K + k) * OH + oh) * OW + ow] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// out = M * in * M^T, M rows x cols (rational), in cols x cols.
+void sandwich_q(const std::vector<Rational>& M, std::size_t rows, std::size_t cols,
+                const std::vector<Rational>& in, std::vector<Rational>& out) {
+  std::vector<Rational> tmp(rows * cols, Rational(0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      Rational s(0);
+      for (std::size_t p = 0; p < cols; ++p) s += M[i * cols + p] * in[p * cols + j];
+      tmp[i * cols + j] = s;
+    }
+  }
+  out.assign(rows * rows, Rational(0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < rows; ++j) {
+      Rational s(0);
+      for (std::size_t p = 0; p < cols; ++p) s += tmp[i * cols + p] * M[j * cols + p];
+      out[i * rows + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Rational> rational_winograd_conv(const ConvDesc& desc, std::size_t m,
+                                             std::span<const Rational> input,
+                                             std::span<const Rational> weights,
+                                             std::span<const Rational> bias) {
+  if (desc.stride != 1) {
+    throw std::invalid_argument("rational_winograd_conv: unit stride only");
+  }
+  const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  const WinogradGeometry geo(desc, m);
+  const TransformMatrices& tm = engine_transform(m, r);
+  const std::size_t alpha = geo.alpha, T = geo.t_elems;
+
+  // Pre-transform every filter: U[k][c] = G g G^T.
+  std::vector<std::vector<Rational>> u(K * C);
+  {
+    std::vector<Rational> g(r * r), gt(alpha * r);
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t c = 0; c < C; ++c) {
+        for (std::size_t i = 0; i < r * r; ++i) g[i] = weights[(k * C + c) * r * r + i];
+        for (std::size_t i = 0; i < alpha; ++i) {
+          for (std::size_t j = 0; j < r; ++j) {
+            Rational s(0);
+            for (std::size_t p = 0; p < r; ++p) s += tm.G_q[i * r + p] * g[p * r + j];
+            gt[i * r + j] = s;
+          }
+        }
+        auto& uk = u[k * C + c];
+        uk.assign(T, Rational(0));
+        for (std::size_t i = 0; i < alpha; ++i) {
+          for (std::size_t j = 0; j < alpha; ++j) {
+            Rational s(0);
+            for (std::size_t p = 0; p < r; ++p) s += gt[i * r + p] * tm.G_q[j * r + p];
+            uk[i * alpha + j] = s;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Rational> out(B * K * OH * OW, Rational(0));
+  std::vector<Rational> tile(T), v(T), acc(T), y;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t th = 0; th < geo.tiles_h; ++th) {
+      for (std::size_t tw = 0; tw < geo.tiles_w; ++tw) {
+        // Per-channel transformed tiles for this (b, th, tw).
+        std::vector<std::vector<Rational>> v_all(C);
+        for (std::size_t c = 0; c < C; ++c) {
+          for (std::size_t i = 0; i < alpha; ++i) {
+            const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(th * m + i) -
+                                      static_cast<std::ptrdiff_t>(desc.pad);
+            for (std::size_t j = 0; j < alpha; ++j) {
+              const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(tw * m + j) -
+                                        static_cast<std::ptrdiff_t>(desc.pad);
+              Rational val(0);
+              if (ih >= 0 && ih < static_cast<std::ptrdiff_t>(H) && iw >= 0 &&
+                  iw < static_cast<std::ptrdiff_t>(W)) {
+                val = input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
+                            static_cast<std::size_t>(iw)];
+              }
+              tile[i * alpha + j] = val;
+            }
+          }
+          sandwich_q(tm.BT_q, alpha, alpha, tile, v);
+          v_all[c] = v;
+        }
+        for (std::size_t k = 0; k < K; ++k) {
+          for (std::size_t t = 0; t < T; ++t) acc[t] = Rational(0);
+          for (std::size_t c = 0; c < C; ++c) {
+            const auto& uk = u[k * C + c];
+            const auto& vc = v_all[c];
+            for (std::size_t t = 0; t < T; ++t) acc[t] += uk[t] * vc[t];
+          }
+          sandwich_q(tm.AT_q, m, alpha, acc, y);
+          const Rational bk = bias.empty() ? Rational(0) : bias[k];
+          for (std::size_t i = 0; i < m && th * m + i < OH; ++i) {
+            for (std::size_t j = 0; j < m && tw * m + j < OW; ++j) {
+              out[((b * K + k) * OH + th * m + i) * OW + tw * m + j] =
+                  y[i * m + j] + bk;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace lowino

@@ -1,0 +1,48 @@
+// Exact rational convolution references.
+//
+// Every float is a dyadic rational, so a float-valued convolution problem has
+// an *exact* answer in rational arithmetic. Computing it twice — once with
+// direct summation, once through the Winograd identity with the engines'
+// exact rational matrices (TransformMatrices::*_q) — separates the transform
+// error (provably zero: both paths must agree term-for-term) from the
+// quantization and floating-point rounding the envelope model budgets for.
+//
+// Rational numerators/denominators are int64 (i128 intermediates), so feed
+// these functions inputs on a coarse dyadic grid (e.g. multiples of 1/256);
+// Rational throws std::overflow_error rather than silently wrapping when a
+// problem is too big for exact arithmetic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/conv_desc.h"
+#include "winograd/rational.h"
+
+namespace lowino {
+namespace testing {
+
+/// Exact conversion: any finite float is m * 2^e with 24-bit m. Throws
+/// std::overflow_error for exponents the int64 denominator cannot hold
+/// (|x| < ~2^-39 nonzero) and std::domain_error for non-finite input.
+Rational rational_from_float(float x);
+
+std::vector<Rational> rationalize(std::span<const float> values);
+
+/// Exact direct convolution (NCHW in, B x K x OH x OW out).
+std::vector<Rational> rational_direct_conv(const ConvDesc& desc,
+                                           std::span<const Rational> input,
+                                           std::span<const Rational> weights,
+                                           std::span<const Rational> bias = {});
+
+/// Exact Winograd convolution F(m x m, r x r) via the engines' rational
+/// matrices: Y = A^T [(G g G^T) . (B^T d B)] A per tile, accumulated over
+/// input channels, with the engines' zero-padded edge tiling. Must equal
+/// rational_direct_conv exactly for every input.
+std::vector<Rational> rational_winograd_conv(const ConvDesc& desc, std::size_t m,
+                                             std::span<const Rational> input,
+                                             std::span<const Rational> weights,
+                                             std::span<const Rational> bias = {});
+
+}  // namespace testing
+}  // namespace lowino

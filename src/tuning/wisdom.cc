@@ -40,6 +40,26 @@ std::string WisdomStore::serialize() const {
   return os.str();
 }
 
+namespace {
+
+/// Ceiling on any blocking dimension a wisdom file may carry. Far above what
+/// the search space ever emits (c_blk * k_blk <= 512^2 already), low enough
+/// to reject wrapped negatives and corrupt-file garbage before they reach
+/// workspace sizing arithmetic.
+constexpr long long kMaxBlockingValue = 1 << 20;
+
+/// Reads one strictly positive bounded integer. istream extraction into an
+/// unsigned type silently wraps negative input, so parse through a signed
+/// intermediate and range-check explicitly.
+bool read_blocking_value(std::istringstream& vals, long long max, std::size_t& out) {
+  long long v = 0;
+  if (!(vals >> v) || v <= 0 || v > max) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
 WisdomStore WisdomStore::deserialize(const std::string& text) {
   WisdomStore store;
   std::istringstream is(text);
@@ -52,16 +72,28 @@ WisdomStore WisdomStore::deserialize(const std::string& text) {
     std::istringstream vals(line.substr(eq + 3));
     WisdomEntry e;
     Int8GemmBlocking& b = e.blocking;
-    int nt = 1, pf = 1;
-    if (!(vals >> b.n_blk >> b.c_blk >> b.k_blk >> b.row_blk >> b.col_blk >> nt >> pf)) {
+    std::size_t row = 0, col = 0;
+    long long nt = 0, pf = 0;
+    // Every field must be present, strictly positive and sane; a corrupt or
+    // truncated line is rejected whole rather than repaired.
+    if (!read_blocking_value(vals, kMaxBlockingValue, b.n_blk) ||
+        !read_blocking_value(vals, kMaxBlockingValue, b.c_blk) ||
+        !read_blocking_value(vals, kMaxBlockingValue, b.k_blk) ||
+        !read_blocking_value(vals, /*max=*/64, row) ||
+        !read_blocking_value(vals, /*max=*/64, col) || !(vals >> nt) || !(vals >> pf) ||
+        (nt != 0 && nt != 1) || (pf != 0 && pf != 1)) {
       continue;
     }
+    b.row_blk = static_cast<int>(row);
+    b.col_blk = static_cast<int>(col);
     b.nt_store = nt != 0;
     b.prefetch = pf != 0;
-    // Optional v2 trailing mode token; absent (v1) or unknown => kAuto.
+    // Optional v2 trailing mode token; absent (v1) => kAuto, but a token that
+    // is present yet unrecognized marks a corrupt/newer file — reject the
+    // line instead of silently running with a default mode.
     std::string mode_token;
     if (vals >> mode_token && !parse_execution_mode(mode_token.c_str(), e.mode)) {
-      e.mode = ExecutionMode::kAuto;
+      continue;
     }
     if (b.valid()) store.entries_[key] = e;
   }

@@ -33,7 +33,11 @@ class WisdomStore {
 
   /// Serializes to "key = n_blk c_blk k_blk row col nt pf mode" lines (v2).
   std::string serialize() const;
-  /// Parses serialized text; malformed lines are skipped. v1 lines (without
+  /// Parses serialized text. Malformed lines are skipped whole: truncated
+  /// value lists, non-positive / wrapped-negative / absurdly large blocking
+  /// values, non-boolean nt/pf flags, unknown mode tokens, and blockings that
+  /// fail Int8GemmBlocking::valid() are all rejected (a corrupt wisdom file
+  /// degrades to defaults, never to garbage parameters). v1 lines (without
   /// the trailing mode token) load with mode = kAuto.
   static WisdomStore deserialize(const std::string& text);
 

@@ -2,13 +2,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 
 #include "common/aligned_buffer.h"
 #include "common/cpu_features.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/saturate.h"
 #include "common/timer.h"
+#include "lowino/engine_config.h"
 #include "parallel/partition.h"
 
 namespace lowino {
@@ -180,6 +183,97 @@ TEST(TimingStats, Summarize) {
   EXPECT_DOUBLE_EQ(s.mean, 2.0);
   EXPECT_DOUBLE_EQ(s.median, 2.0);
   EXPECT_EQ(s.samples, 3u);
+}
+
+// --- Environment-knob parsing ----------------------------------------------
+// Scoped setter so a failing assertion can't leak state into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Env, LongParsesAndFallsBack) {
+  constexpr const char* kVar = "LOWINO_TEST_ENV_LONG";
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_long(kVar, 7), 7);
+  {
+    ScopedEnv e(kVar, "42");
+    EXPECT_EQ(env_long(kVar, 7), 42);
+  }
+  {
+    ScopedEnv e(kVar, "-3");
+    EXPECT_EQ(env_long(kVar, 7), -3);
+  }
+  {
+    // Entirely non-numeric input falls back to the default — no crash, no 0.
+    ScopedEnv e(kVar, "banana");
+    EXPECT_EQ(env_long(kVar, 7), 7);
+  }
+  {
+    ScopedEnv e(kVar, "");
+    EXPECT_EQ(env_long(kVar, 7), 7);
+  }
+}
+
+TEST(Env, FlagTruthTableAndCaseHandling) {
+  constexpr const char* kVar = "LOWINO_TEST_ENV_FLAG";
+  ::unsetenv(kVar);
+  EXPECT_FALSE(env_flag(kVar));
+  EXPECT_TRUE(env_flag(kVar, true));
+  for (const char* truthy : {"1", "true", "TRUE", "True", "yes", "YES", "on", "ON"}) {
+    ScopedEnv e(kVar, truthy);
+    EXPECT_TRUE(env_flag(kVar)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "off", "no", "2", "yess", "garbage"}) {
+    ScopedEnv e(kVar, falsy);
+    EXPECT_FALSE(env_flag(kVar)) << falsy;
+    // An *invalid* value is simply "not truthy": it also overrides a true
+    // fallback, which is the documented set-means-explicit behaviour.
+    EXPECT_FALSE(env_flag(kVar, true)) << falsy;
+  }
+}
+
+TEST(Env, StringFallsBackOnlyWhenUnsetOrEmpty) {
+  constexpr const char* kVar = "LOWINO_TEST_ENV_STRING";
+  ::unsetenv(kVar);
+  EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+  {
+    ScopedEnv e(kVar, "value");
+    EXPECT_EQ(env_string(kVar, "dflt"), "value");
+  }
+  {
+    ScopedEnv e(kVar, "");
+    EXPECT_EQ(env_string(kVar, "dflt"), "dflt");
+  }
+}
+
+TEST(Env, ExecutionModeTokenParsing) {
+  // The LOWINO_EXECUTION_MODE surface: known tokens parse case-insensitively;
+  // anything else returns false and leaves the mode untouched (callers keep
+  // their default — invalid values can never crash or half-configure).
+  ExecutionMode mode = ExecutionMode::kAuto;
+  EXPECT_TRUE(parse_execution_mode("staged", mode));
+  EXPECT_EQ(mode, ExecutionMode::kStaged);
+  EXPECT_TRUE(parse_execution_mode("FUSED", mode));
+  EXPECT_EQ(mode, ExecutionMode::kFused);
+  EXPECT_TRUE(parse_execution_mode("Auto", mode));
+  EXPECT_EQ(mode, ExecutionMode::kAuto);
+  EXPECT_TRUE(parse_execution_mode("StAgEd", mode));
+  EXPECT_EQ(mode, ExecutionMode::kStaged);
+
+  mode = ExecutionMode::kFused;
+  EXPECT_FALSE(parse_execution_mode("", mode));
+  EXPECT_FALSE(parse_execution_mode("stage", mode));     // prefix is not a match
+  EXPECT_FALSE(parse_execution_mode("stagedd", mode));   // neither is an extension
+  EXPECT_FALSE(parse_execution_mode("fused ", mode));    // no trailing junk
+  EXPECT_FALSE(parse_execution_mode("sideways", mode));
+  EXPECT_EQ(mode, ExecutionMode::kFused) << "failed parse must not clobber the mode";
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+// Self-checks of the conformance subsystem (src/testing): the oracles must
+// be exact, the envelopes sound (never violated by correct engines) and
+// non-vacuous (tight enough to flag a corrupted output).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "direct/direct_f32.h"
+#include "testing/envelope.h"
+#include "testing/fuzz.h"
+#include "testing/oracle.h"
+#include "testing/rational_conv.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace testing {
+namespace {
+
+/// Random values on a coarse dyadic grid (multiples of 1/256 in [-2, 2]) so
+/// exact rational arithmetic stays within int64 numerators.
+std::vector<float> dyadic_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(static_cast<int>(rng.next_below(1025)) - 512) / 256.0f;
+  }
+  return v;
+}
+
+TEST(RationalConv, FloatConversionIsExact) {
+  for (const float x : {0.0f, 1.0f, -1.0f, 0.5f, -0.375f, 3.1415927f, 1e-6f, -127.5f}) {
+    EXPECT_EQ(rational_from_float(x).to_double(), static_cast<double>(x)) << x;
+  }
+  EXPECT_THROW(rational_from_float(std::numeric_limits<float>::infinity()),
+               std::domain_error);
+}
+
+// The transform-identity check in exact arithmetic: the Winograd path and the
+// direct path must agree *exactly* — this bounds the transform error of the
+// real matrices at zero, separating it from quantization error.
+TEST(RationalConv, WinogradIdentityHoldsExactly) {
+  for (const std::size_t m : {2u, 4u, 6u}) {
+    ConvDesc d;
+    d.batch = 1;
+    d.in_channels = 2;
+    d.out_channels = 3;
+    d.height = d.width = 9;
+    d.kernel = 3;
+    d.pad = 1;
+    const auto input = rationalize(
+        dyadic_values(d.batch * d.in_channels * d.height * d.width, 11 * m));
+    const auto weights = rationalize(
+        dyadic_values(d.out_channels * d.in_channels * d.kernel * d.kernel, 13 * m));
+    const auto bias = rationalize(dyadic_values(d.out_channels, 17 * m));
+
+    const auto direct = rational_direct_conv(d, input, weights, bias);
+    const auto wino = rational_winograd_conv(d, m, input, weights, bias);
+    ASSERT_EQ(direct.size(), wino.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_EQ(direct[i], wino[i]) << "m=" << m << " element " << i;
+    }
+  }
+}
+
+TEST(RationalConv, WinogradIdentityWithUnevenTiling) {
+  // Output size not divisible by m: exercises edge-tile clipping.
+  ConvDesc d;
+  d.in_channels = 1;
+  d.out_channels = 2;
+  d.height = 7;
+  d.width = 10;
+  d.kernel = 3;
+  d.pad = 0;
+  const auto input = rationalize(dyadic_values(d.height * d.width, 23));
+  const auto weights = rationalize(
+      dyadic_values(d.out_channels * d.kernel * d.kernel, 29));
+  const auto direct = rational_direct_conv(d, input, weights);
+  const auto wino = rational_winograd_conv(d, 4, input, weights);
+  for (std::size_t i = 0; i < direct.size(); ++i) ASSERT_EQ(direct[i], wino[i]);
+}
+
+TEST(Oracle, F64MatchesProductionF32Reference) {
+  ConvDesc d;
+  d.batch = 2;
+  d.in_channels = 5;
+  d.out_channels = 7;
+  d.height = d.width = 12;
+  d.kernel = 3;
+  d.pad = 1;
+  Rng rng(99);
+  std::vector<float> input(d.batch * d.in_channels * d.height * d.width);
+  std::vector<float> weights(d.out_channels * d.in_channels * 9);
+  std::vector<float> bias(d.out_channels);
+  for (float& v : input) v = rng.uniform(-2.0f, 2.0f);
+  for (float& v : weights) v = rng.uniform(-1.0f, 1.0f);
+  for (float& v : bias) v = rng.uniform(-1.0f, 1.0f);
+
+  const auto ref = direct_conv_f64(d, input, weights, bias, /*relu=*/true);
+  std::vector<float> out(ref.size());
+  direct_conv_f32_reference(d, input, weights, bias, out, /*relu=*/true);
+  const SpatialFilterStats w = spatial_filter_stats(d, weights);
+  const auto bound = fp32_budget(d, abs_max_f64(input), w, bias, 1.0);
+  const std::size_t plane = d.out_height() * d.out_width();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const std::size_t k = (i / plane) % d.out_channels;
+    EXPECT_LE(std::abs(static_cast<double>(out[i]) - ref[i]), bound[k]);
+  }
+}
+
+TEST(Oracle, I64DirectIsExactForQuantizedOperands) {
+  ConvDesc d;
+  d.in_channels = 3;
+  d.out_channels = 2;
+  d.height = d.width = 8;
+  d.kernel = 3;
+  d.pad = 1;
+  Rng rng(7);
+  std::vector<std::int8_t> in_q(d.in_channels * d.height * d.width);
+  std::vector<std::int8_t> w_q(d.out_channels * d.in_channels * 9);
+  for (auto& v : in_q) v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+  for (auto& v : w_q) v = static_cast<std::int8_t>(static_cast<int>(rng.next_below(255)) - 127);
+  // int8 x int8 sums over <= 27 terms fit double exactly: f64 of the casts
+  // must equal the int64 oracle bit-for-bit.
+  std::vector<float> in_f(in_q.begin(), in_q.end()), w_f(w_q.begin(), w_q.end());
+  const auto i64 = direct_conv_i64(d, in_q, w_q);
+  const auto f64 = direct_conv_f64(d, in_f, w_f);
+  for (std::size_t i = 0; i < i64.size(); ++i) {
+    EXPECT_EQ(static_cast<double>(i64[i]), f64[i]);
+  }
+}
+
+TEST(Oracle, EngineTransformMatchesProductionSelection) {
+  EXPECT_EQ(&engine_transform(2, 3), &canonical_f23());
+  EXPECT_EQ(&engine_transform(4, 3), &canonical_f43());
+  EXPECT_EQ(&engine_transform(6, 3), &winograd_transform(6, 3));
+  EXPECT_EQ(&engine_transform(2, 5), &winograd_transform(2, 5));
+}
+
+TEST(Envelope, GainsMatchPaperAmplification) {
+  // Section 2.3: "4x for F(2x2,3x3) and 100x for F(4x4,3x3)".
+  EXPECT_DOUBLE_EQ(transform_gains(canonical_f23()).in_amp_max, 4.0);
+  EXPECT_DOUBLE_EQ(transform_gains(canonical_f43()).in_amp_max, 100.0);
+}
+
+TEST(Envelope, NonVacuousRelativeToOutputMagnitude) {
+  // A vacuous envelope (bound >> output scale) would accept anything. Check
+  // the LoWino bound on a realistic case is a fraction of the worst-case
+  // output magnitude. The acceptable fraction grows with the tile size: the
+  // transform amplification (4x at m=2, 100x at m=4 — Section 2.3) is real
+  // error the envelope must admit, which is why the paper stops at F(4x4).
+  ConvDesc d;
+  d.in_channels = 32;
+  d.out_channels = 16;
+  d.height = d.width = 14;
+  d.kernel = 3;
+  d.pad = 1;
+  Rng data_rng(5);
+  std::vector<float> input(d.in_channels * d.height * d.width);
+  std::vector<float> weights(d.out_channels * d.in_channels * 9);
+  for (float& v : input) v = data_rng.uniform(-1.0f, 1.0f);
+  for (float& v : weights) v = data_rng.uniform(-1.0f, 1.0f);
+  const auto sstats = spatial_filter_stats(d, weights);
+  const double dmax = abs_max_f64(input);
+
+  const struct { std::size_t m; double frac; } cases[] = {{2, 0.25}, {4, 0.5}};
+  for (const auto& c : cases) {
+    const TransformMatrices& tm = engine_transform(c.m, 3);
+    const auto v_absmax = transformed_input_absmax(d, c.m, input);
+    std::vector<double> taus(v_absmax.size());
+    for (std::size_t t = 0; t < taus.size(); ++t) taus[t] = v_absmax[t] * 1.0001 + 1e-6;
+    const auto fstats = transformed_filter_stats(d, c.m, weights);
+    const auto bound = lowino_budget(d, tm, taus, fstats);
+    for (std::size_t k = 0; k < bound.size(); ++k) {
+      const double out_scale = sstats.abs_sum[k] * dmax;  // worst-case |Y(k)|
+      EXPECT_LT(bound[k], c.frac * out_scale) << "m=" << c.m << " k=" << k;
+      EXPECT_GT(bound[k], 0.0);
+    }
+  }
+}
+
+TEST(Envelope, RejectsCorruptedOutput) {
+  // Simulated buggy engine: the exact reference plus a perturbation of twice
+  // the budget on one element must violate the envelope check the fuzz
+  // harness applies — i.e. the harness has teeth.
+  ConvDesc d;
+  d.in_channels = 8;
+  d.out_channels = 4;
+  d.height = d.width = 10;
+  d.kernel = 3;
+  d.pad = 1;
+  Rng rng(3);
+  std::vector<float> input(d.in_channels * d.height * d.width);
+  std::vector<float> weights(d.out_channels * d.in_channels * 9);
+  for (float& v : input) v = rng.uniform(-1.0f, 1.0f);
+  for (float& v : weights) v = rng.uniform(-1.0f, 1.0f);
+  const auto ref = direct_conv_f64(d, input, weights);
+
+  const TransformMatrices& tm = engine_transform(2, 3);
+  const auto v_absmax = transformed_input_absmax(d, 2, input);
+  std::vector<double> taus(v_absmax.size());
+  for (std::size_t t = 0; t < taus.size(); ++t) taus[t] = v_absmax[t] * 1.0001 + 1e-6;
+  const auto bound = lowino_budget(d, tm, taus, transformed_filter_stats(d, 2, weights));
+
+  std::vector<float> corrupt(ref.begin(), ref.end());
+  const std::size_t victim = corrupt.size() / 2;
+  const std::size_t plane = d.out_height() * d.out_width();
+  const std::size_t k = (victim / plane) % d.out_channels;
+  corrupt[victim] += static_cast<float>(2.0 * bound[k]);
+  EXPECT_GT(std::abs(static_cast<double>(corrupt[victim]) - ref[victim]), bound[k]);
+}
+
+TEST(Fuzz, CaseGenerationIsDeterministic) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 20260806ULL}) {
+    const FuzzCase a = generate_case(seed), b = generate_case(seed);
+    EXPECT_EQ(describe(a), describe(b));
+    EXPECT_EQ(a.seed, b.seed);
+  }
+}
+
+TEST(Fuzz, ReproLineIsSingleLine) {
+  const std::string line = repro_line(123, 45);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("LOWINO_TEST_SEED=123"), std::string::npos);
+  EXPECT_NE(line.find("LOWINO_FUZZ_INDEX=45"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace lowino

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.h"
@@ -77,6 +79,101 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
     x.fetch_add(static_cast<int>(end - begin));
   });
   EXPECT_EQ(x.load(), 100);
+}
+
+// --- Exception propagation contract ----------------------------------------
+TEST(ThreadPool, ExceptionOnSpawnedWorkerPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([&](std::size_t tid, std::size_t) {
+                 if (tid == 2) throw std::runtime_error("worker 2 failed");
+               }),
+               std::runtime_error);
+  // The pool must survive: workers alive, next region completes normally.
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t, std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ExceptionOnCallingThreadStillJoinsRegion) {
+  ThreadPool pool(4);
+  std::atomic<int> others{0};
+  try {
+    pool.run([&](std::size_t tid, std::size_t) {
+      if (tid == 0) throw std::logic_error("caller failed");
+      others.fetch_add(1);
+    });
+    FAIL() << "expected the caller-side exception to propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_EQ(std::string(e.what()), "caller failed");
+  }
+  // All other workers completed before the rethrow (full join).
+  EXPECT_EQ(others.load(), 3);
+}
+
+TEST(ThreadPool, EveryWorkerThrowingPropagatesExactlyOne) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        pool.run([&](std::size_t, std::size_t) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+  }
+  std::atomic<int> ok{0};
+  pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPool, SingleThreadExceptionPropagatesInline) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.run([](std::size_t, std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  bool ran = false;
+  pool.run([&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+// --- Re-entrancy contract ---------------------------------------------------
+TEST(ThreadPool, ReentrantRunExecutesInlineSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> outer{0}, inner{0};
+  pool.run([&](std::size_t, std::size_t nw) {
+    EXPECT_EQ(nw, 4u);
+    outer.fetch_add(1);
+    // A nested region on the same pool must not deadlock; it runs inline as
+    // a serial single-worker region.
+    pool.run([&](std::size_t tid, std::size_t nested_nw) {
+      EXPECT_EQ(tid, 0u);
+      EXPECT_EQ(nested_nw, 1u);
+      inner.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 4);
+}
+
+TEST(ThreadPool, ReentrantParallelForCoversFullRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> marks(300);
+  pool.run([&](std::size_t, std::size_t) {
+    pool.parallel_for(marks.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) marks[i].fetch_add(1);
+    });
+  });
+  for (auto& m : marks) EXPECT_EQ(m.load(), 3);  // once per outer worker
+}
+
+TEST(ThreadPool, NestedExceptionReachesOuterTask) {
+  ThreadPool pool(2);
+  std::atomic<int> caught{0};
+  pool.run([&](std::size_t, std::size_t) {
+    try {
+      pool.run([](std::size_t, std::size_t) { throw std::runtime_error("nested"); });
+    } catch (const std::runtime_error&) {
+      caught.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(caught.load(), 2);
 }
 
 TEST(ThreadPool, NestedDataParallelStages) {

@@ -1,0 +1,142 @@
+// Concurrency stress tests — the TSan preset's target (see CMakePresets.json
+// and TESTING.md).
+//
+// The fused execution path runs transform -> GEMM -> output transform inside
+// one parallel region with per-thread panel arenas; the transform-matrix
+// cache is lazily populated behind a mutex; the tuner hammers the same GEMM
+// substrate. These tests run all of that concurrently from independent
+// ThreadPools and assert the outputs stay bitwise identical — any data race
+// that corrupts state shows up as a mismatch (and as a TSan report under the
+// tsan preset).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "lowino/convolution.h"
+#include "parallel/thread_pool.h"
+#include "testing/oracle.h"
+#include "tuning/tuner.h"
+#include "winograd/transform.h"
+
+namespace lowino {
+namespace {
+
+ConvDesc stress_desc() {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = 32;
+  d.out_channels = 32;
+  d.height = d.width = 16;
+  d.kernel = 3;
+  d.pad = 1;
+  return d;
+}
+
+struct StressData {
+  std::vector<float> input, weights, bias;
+};
+
+StressData stress_data(const ConvDesc& d) {
+  Rng rng(0x57e55);
+  StressData s;
+  s.input.resize(d.batch * d.in_channels * d.height * d.width);
+  s.weights.resize(d.out_channels * d.in_channels * d.kernel * d.kernel);
+  s.bias.resize(d.out_channels);
+  for (float& v : s.input) v = rng.uniform(-1.0f, 1.0f);
+  for (float& v : s.weights) v = rng.uniform(-1.0f, 1.0f);
+  for (float& v : s.bias) v = rng.uniform(-0.5f, 0.5f);
+  return s;
+}
+
+std::vector<float> run_fused_conv(const ConvDesc& d, const StressData& data,
+                                  std::size_t threads, std::size_t iterations) {
+  LoWinoConfig cfg;
+  cfg.m = 4;
+  cfg.execution_mode = ExecutionMode::kFused;
+  LoWinoConvolution conv(d, cfg);
+  conv.set_uniform_input_threshold(12.0f);
+  conv.set_filters(data.weights, data.bias);
+  ThreadPool pool(threads);
+  std::vector<float> out(d.batch * d.out_channels * d.out_height() * d.out_width());
+  for (std::size_t i = 0; i < iterations; ++i) {
+    conv.execute_nchw(data.input, out, &pool);
+  }
+  return out;
+}
+
+// Several fused-mode convolutions, each with its own pool, executing at once.
+// Every run must produce the same bits as a quiet single-threaded run.
+TEST(ThreadStress, ConcurrentFusedConvolutionsAreBitIdentical) {
+  const ConvDesc d = stress_desc();
+  const StressData data = stress_data(d);
+  const std::vector<float> golden = run_fused_conv(d, data, 1, 1);
+
+  constexpr std::size_t kRunners = 4;
+  std::vector<std::vector<float>> results(kRunners);
+  {
+    std::vector<std::thread> runners;
+    runners.reserve(kRunners);
+    for (std::size_t i = 0; i < kRunners; ++i) {
+      runners.emplace_back([&, i] {
+        results[i] = run_fused_conv(d, data, 1 + i % 3, /*iterations=*/4);
+      });
+    }
+    for (auto& t : runners) t.join();
+  }
+  for (std::size_t i = 0; i < kRunners; ++i) {
+    ASSERT_EQ(results[i].size(), golden.size());
+    EXPECT_EQ(results[i], golden) << "runner " << i;
+  }
+}
+
+// First-touch race on the lazily generated transform cache: many threads ask
+// for the same (and different) tile sizes simultaneously; everyone must see
+// one fully constructed, identical instance.
+TEST(ThreadStress, TransformCacheFirstTouchIsSafe) {
+  constexpr std::size_t kThreads = 8;
+  const std::size_t ms[] = {2, 4, 6, 3};
+  std::vector<const TransformMatrices*> seen(kThreads * 4, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (std::size_t j = 0; j < 4; ++j) {
+        seen[i * 4 + j] = &winograd_transform(ms[(i + j) % 4], 3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kThreads * 4; ++i) {
+    ASSERT_NE(seen[i], nullptr);
+    const std::size_t m = ms[(i / 4 + i % 4) % 4];
+    EXPECT_EQ(seen[i], &winograd_transform(m, 3));
+    EXPECT_EQ(seen[i]->alpha, m + 2);
+  }
+}
+
+// The tuner (timing loops over the shared GEMM substrate, wisdom writes into
+// a local store) racing against live fused convolutions.
+TEST(ThreadStress, TunerRacesFusedExecution) {
+  const ConvDesc d = stress_desc();
+  const StressData data = stress_data(d);
+  const std::vector<float> golden = run_fused_conv(d, data, 1, 1);
+
+  std::thread tuner([&] {
+    TuneOptions opts;
+    opts.seconds_per_candidate = 0.002;
+    opts.min_reps = 1;
+    opts.max_candidates = 3;
+    const TuneResult r = tune_layer(d, 4, nullptr, opts);
+    EXPECT_GT(r.evaluated, 0u);
+  });
+  std::vector<float> out;
+  for (int i = 0; i < 3; ++i) out = run_fused_conv(d, data, 2, 2);
+  tuner.join();
+  EXPECT_EQ(out, golden);
+}
+
+}  // namespace
+}  // namespace lowino

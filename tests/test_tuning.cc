@@ -3,7 +3,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
+#include "common/rng.h"
 #include "tuning/search_space.h"
 #include "tuning/tuner.h"
 #include "tuning/wisdom.h"
@@ -97,6 +99,82 @@ TEST(Wisdom, ModeRoundTripAndV1Compat) {
   const WisdomStore v1 = WisdomStore::deserialize("k = 96 512 64 6 4 1 1\n");
   ASSERT_TRUE(v1.get("k").has_value());
   EXPECT_EQ(v1.get_mode("k"), ExecutionMode::kAuto);
+}
+
+// --- Hardened parsing: corrupt and hostile input ----------------------------
+TEST(Wisdom, RejectsNonPositiveAndAbsurdValues) {
+  // Zero, negative (would wrap through unsigned extraction) and huge values
+  // must each reject the whole line, not load a repaired entry.
+  EXPECT_EQ(WisdomStore::deserialize("k = 0 512 64 6 4 1 1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = -96 512 64 6 4 1 1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 -512 64 6 4 1 1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 -6 4 1 1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 1 1073741824\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 18446744073709551615 512 64 6 4 1 1\n").size(),
+            0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 2097152 512 64 6 4 1 1\n").size(), 0u);
+  // Boolean flags must be 0/1.
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 7 1\n").size(), 0u);
+}
+
+TEST(Wisdom, RejectsUnknownModeToken) {
+  // A trailing token that is present but not a known mode means the file is
+  // corrupt (or from a newer format): reject rather than default to kAuto.
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 1 1 sideways\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 1 1 stagedX\n").size(), 0u);
+  // Known tokens and the v1 7-field form still load.
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 1 1 fused\n").get_mode("k"),
+            ExecutionMode::kFused);
+  EXPECT_TRUE(WisdomStore::deserialize("k = 96 512 64 6 4 1 1\n").get("k").has_value());
+}
+
+TEST(Wisdom, TruncatedLinesRejected) {
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = 96 512 64 6 4 1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize("k = \n").size(), 0u);
+}
+
+TEST(Wisdom, FuzzedGarbageNeverYieldsInvalidEntries) {
+  // Feed the parser random garbage (printable noise, truncations, huge
+  // numerals, binary bytes): it must never crash and every entry that does
+  // load must satisfy the blocking invariants.
+  Rng rng(0x715d0f00dULL);
+  const std::string alphabet =
+      "0123456789-+= abcdefghijklmnopqrstuvwxyz#\t\x01\xff.eE";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text;
+    const std::size_t lines = rng.next_below(6);
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t len = rng.next_below(80);
+      for (std::size_t i = 0; i < len; ++i) {
+        text += alphabet[rng.next_below(alphabet.size())];
+      }
+      text += '\n';
+    }
+    const WisdomStore parsed = WisdomStore::deserialize(text);
+    // Whatever survived must be structurally valid.
+    const std::string out = parsed.serialize();
+    const WisdomStore reparsed = WisdomStore::deserialize(out);
+    EXPECT_EQ(reparsed.size(), parsed.size()) << "round-trip must be stable for: " << text;
+  }
+}
+
+TEST(Wisdom, SerializedFormRoundTripsThroughHardenedParser) {
+  WisdomStore store;
+  Int8GemmBlocking b;
+  b.n_blk = 48;
+  b.c_blk = 64;
+  b.k_blk = 64;
+  b.row_blk = 4;
+  b.col_blk = 2;
+  b.nt_store = false;
+  store.put("small layer", b, ExecutionMode::kStaged);
+  store.put("big layer", Int8GemmBlocking{}, ExecutionMode::kFused);
+  const WisdomStore parsed = WisdomStore::deserialize(store.serialize());
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.get("small layer")->row_blk, 4);
+  EXPECT_EQ(parsed.get_mode("small layer"), ExecutionMode::kStaged);
+  EXPECT_EQ(parsed.get_mode("big layer"), ExecutionMode::kFused);
 }
 
 TEST(Wisdom, FileRoundTrip) {
