@@ -2,31 +2,65 @@
 // multiplication) of LoWino F(2x2,3x3) vs the vendor-style fused Winograd on
 // VGG16_b, ResNet-50_c, YOLOv3_c and U-Net_b.
 //
-// Values are normalized to the vendor implementation's total (= 1.00), like
-// the paper's stacked bars.
+// Stage times come from the in-situ execution profiler (profile/profiler.h):
+// every engine's workers open per-stage spans, so the split is measured
+// inside the actual execution — including LoWino's fused mode, whose stage
+// boundaries are invisible to wall-clock timing because transform, GEMM and
+// output interleave per n-block on every worker. Times are aggregate
+// per-thread busy seconds, normalized to the vendor implementation's total
+// (= 1.00), like the paper's stacked bars.
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "baselines/vendor_wino.h"
 #include "bench_util.h"
 #include "lowino/lowino.h"
 #include "nn/model_zoo.h"
+#include "profile/profiler.h"
 #include "quant/quantize.h"
 
 namespace lowino {
 namespace {
+
+struct StageSplit {
+  double transform = 0.0;  ///< input + output transform busy seconds
+  double multiply = 0.0;   ///< INT8 GEMM busy seconds
+  double total() const { return transform + multiply; }
+};
+
+/// Runs `execute` once warm and once profiled, returning the profiled run's
+/// per-stage busy-time split. Resets the profiler so each measurement starts
+/// from zero totals.
+StageSplit measure(const std::function<void()>& execute) {
+  execute();  // warm-up: filter packing, page faults, branch training
+  profiler_reset();
+  execute();
+  const auto totals = profiler_stage_totals();
+  const auto seconds = [&](ProfileStage s) {
+    return totals[static_cast<std::size_t>(s)].seconds;
+  };
+  StageSplit split;
+  split.transform =
+      seconds(ProfileStage::kInputTransform) + seconds(ProfileStage::kOutputTransform);
+  split.multiply = seconds(ProfileStage::kGemm);
+  return split;
+}
 
 int bench_main() {
   ThreadPool& pool = ThreadPool::global();
   const char* wanted[] = {"VGG16_b", "ResNet-50_c", "YOLOv3_c", "U-Net_b"};
   const auto all = paper_layers_table2(bench::batch_override());
 
+  profiler_set_enabled(true);
+
   std::printf("Figure 10 reproduction: stage breakdown, F(2x2,3x3) INT8 Winograd\n");
-  std::printf("(normalized to the vendor-style implementation's total time)\n\n");
-  std::printf("%-13s | %-28s | %-28s\n", "", "vendor-style (oneDNN-like)", "LoWino");
-  std::printf("%-13s | %9s %9s %8s | %9s %9s %8s\n", "layer", "transform", "multiply",
-              "total", "transform", "multiply", "total");
-  bench::print_rule(100);
+  std::printf("(in-situ profiler busy times, normalized to the vendor total)\n\n");
+  std::printf("%-13s | %-24s | %-24s | %-24s\n", "", "vendor-style (fused)", "LoWino staged",
+              "LoWino fused");
+  std::printf("%-13s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n", "layer", "trans",
+              "mult", "total", "trans", "mult", "total", "trans", "mult", "total");
+  bench::print_rule(96);
 
   for (const char* name : wanted) {
     const PaperLayer* layer = nullptr;
@@ -41,36 +75,35 @@ int bench_main() {
     VendorWinoF23 vendor(d);
     vendor.set_input_threshold(abs_max(data.input));
     vendor.set_filters(data.weights, data.bias);
-    // Warm up, then take the stage times of a representative run.
-    vendor.execute_nchw(data.input, out, &pool);
-    vendor.execute_nchw(data.input, out, &pool);
-    const double v_tr = vendor.stage_times().input_transform;
-    const double v_mm = vendor.stage_times().gemm;
-    const double v_total = v_tr + v_mm;
+    const StageSplit v =
+        measure([&] { vendor.execute_nchw(data.input, out, &pool); });
 
-    LoWinoConfig cfg;
-    cfg.m = 2;
-    cfg.collect_stage_times = true;
-    LoWinoConvolution lowino(d, cfg);
-    lowino.calibrate(data.input, /*tile_stride=*/8);
-    lowino.finalize_calibration();
-    lowino.set_filters(data.weights, data.bias);
-    lowino.execute_nchw(data.input, out, &pool);
-    lowino.execute_nchw(data.input, out, &pool);
-    const double l_tr =
-        lowino.stage_times().input_transform + lowino.stage_times().output_transform;
-    const double l_mm = lowino.stage_times().gemm;
+    const auto run_mode = [&](ExecutionMode mode) {
+      LoWinoConfig cfg;
+      cfg.m = 2;
+      cfg.execution_mode = mode;
+      LoWinoConvolution lowino(d, cfg);
+      lowino.calibrate(data.input, /*tile_stride=*/8);
+      lowino.finalize_calibration();
+      lowino.set_filters(data.weights, data.bias);
+      return measure([&] { lowino.execute_nchw(data.input, out, &pool); });
+    };
+    const StageSplit staged = run_mode(ExecutionMode::kStaged);
+    const StageSplit fused = run_mode(ExecutionMode::kFused);
 
-    std::printf("%-13s | %9.3f %9.3f %8.3f | %9.3f %9.3f %8.3f\n", name, v_tr / v_total,
-                v_mm / v_total, 1.0, l_tr / v_total, l_mm / v_total,
-                (l_tr + l_mm) / v_total);
+    const double vt = v.total();
+    std::printf("%-13s | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f\n",
+                name, v.transform / vt, v.multiply / vt, 1.0, staged.transform / vt,
+                staged.multiply / vt, staged.total() / vt, fused.transform / vt,
+                fused.multiply / vt, fused.total() / vt);
     std::fflush(stdout);
   }
   std::printf(
       "\nPaper shape to verify: LoWino spends *more* on transforms (it reads 4x the\n"
       "bytes: FP32 inputs vs the vendor's INT8) but wins it back in the multiplication\n"
       "stage on layers with large C/K (bigger cache blocks, higher compute/memory\n"
-      "ratio). See Section 5.3.\n");
+      "ratio). See Section 5.3. The fused columns are this repo's first honest fused\n"
+      "split — stage spans are recorded per n-block inside each worker.\n");
   return 0;
 }
 

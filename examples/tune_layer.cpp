@@ -34,12 +34,23 @@ int main(int argc, char** argv) {
   std::printf("  execution mode       : %s wins (staged %.3f ms, fused %.3f ms)\n",
               execution_mode_name(result.best_mode), result.staged_seconds * 1e3,
               result.fused_seconds * 1e3);
+  const StageTimes& st = result.best_mode == ExecutionMode::kFused ? result.fused_stages
+                                                                   : result.staged_stages;
+  std::printf("  winner's stage split : transform %.3f ms, GEMM %.3f ms, output %.3f ms\n",
+              st.input_transform * 1e3, st.gemm * 1e3, st.output_transform * 1e3);
 
-  // Persist to the wisdom file like a deployment would.
+  // Persist to the wisdom file like a deployment would — the full v3 entry,
+  // including the shoot-out timings and the winner's per-stage breakdown.
   const char* path = "lowino_wisdom.txt";
   WisdomStore store;
   if (auto existing = WisdomStore::load(path)) store = *existing;
-  store.put(wisdom_key(desc, 4), result.best, result.best_mode);
+  WisdomEntry entry;
+  entry.blocking = result.best;
+  entry.mode = result.best_mode;
+  entry.staged_seconds = result.staged_seconds;
+  entry.fused_seconds = result.fused_seconds;
+  entry.stages = st;
+  store.put(wisdom_key(desc, 4), entry);
   store.save(path);
   std::printf("  saved to %s (%zu entries); inference loads this ahead of time\n", path,
               store.size());

@@ -31,6 +31,7 @@ double filter_amplification_2d(const TransformMatrices& tm) {
 DownscaleWinoConv::DownscaleWinoConv(const ConvDesc& desc, std::size_t m,
                                      const Int8GemmBlocking& blocking)
     : desc_(desc) {
+  desc.validate();
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   geo_ = WinogradGeometry(desc_, m);
   if (m == 2 && desc.kernel == 3) {

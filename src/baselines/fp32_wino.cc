@@ -7,11 +7,13 @@
 #include "gemm/fp32_gemm.h"
 #include "lowino/filter_pack.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 #include "tensor/pack.h"
 
 namespace lowino {
 
 Fp32WinoConv::Fp32WinoConv(const ConvDesc& desc, std::size_t m) : desc_(desc) {
+  desc.validate();
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   geo_ = WinogradGeometry(desc_, m);
   tm_ = (m == 2 && desc.kernel == 3)   ? &canonical_f23()
@@ -55,6 +57,7 @@ void Fp32WinoConv::execute_nchw(std::span<const float> input, std::span<float> o
                             false, canonical};
   const std::size_t cb_count = c64 / kChanBlock;
   auto transform_worker = [&](std::size_t begin, std::size_t end) {
+    ProfileSpan span(ProfileStage::kInputTransform);
     AlignedBuffer<float> tile_vals(t_elems * kChanBlock);
     for (std::size_t job = begin; job < end; ++job) {
       const std::size_t tile = job / cb_count;
@@ -72,14 +75,20 @@ void Fp32WinoConv::execute_nchw(std::span<const float> input, std::span<float> o
     transform_worker(0, n_tiles * cb_count);
   }
 
-  // Batched GEMM: T independent (N x C64) x (C64 x K64) products.
-  for (std::size_t t = 0; t < t_elems; ++t) {
-    fp32_gemm(v_.data() + t * n_tiles * c64, c64, u_all_.data() + t * c64 * k64, k64,
-              z_.data() + t * n_tiles * k64, k64, n_tiles, c64, k64, pool);
+  // Batched GEMM: T independent (N x C64) x (C64 x K64) products. Caller-side
+  // span (wall time of the multiply phase; the FP32 GEMM has no per-worker
+  // instrumentation of its own).
+  {
+    ProfileSpan span(ProfileStage::kGemm);
+    for (std::size_t t = 0; t < t_elems; ++t) {
+      fp32_gemm(v_.data() + t * n_tiles * c64, c64, u_all_.data() + t * c64 * k64, k64,
+                z_.data() + t * n_tiles * k64, k64, n_tiles, c64, k64, pool);
+    }
   }
 
   // Gather-side output transform.
   auto out_worker = [&](std::size_t begin, std::size_t end) {
+    ProfileSpan span(ProfileStage::kOutputTransform);
     gather_output_transform_f32(desc_, geo_, at_plan_, z_.data(), n_tiles, k64, bias_.data(),
                                 out_blocked_.span(), begin, end, 0);
   };

@@ -13,6 +13,7 @@
 #include "lowino/input_transform.h"
 #include "lowino/transform_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 #include "quant/calibration.h"
 #include "tensor/pack.h"
 
@@ -20,6 +21,7 @@ namespace lowino {
 
 VendorWinoF23::VendorWinoF23(const ConvDesc& desc, std::size_t cache_budget_bytes)
     : desc_(desc) {
+  desc.validate();
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   if (desc.kernel != 3) throw std::invalid_argument("VendorWinoF23: r = 3 only");
   geo_ = WinogradGeometry(desc_, 2);
@@ -39,6 +41,7 @@ VendorWinoF23::VendorWinoF23(const ConvDesc& desc, std::size_t cache_budget_byte
 }
 
 void VendorWinoF23::calibrate(std::span<const float> input_nchw) {
+  ProfileSpan span(ProfileStage::kCalibration);
   input_hist_.collect(input_nchw);
 }
 
@@ -71,6 +74,7 @@ void VendorWinoF23::set_filters(std::span<const float> weights, std::span<const 
 
 void VendorWinoF23::maybe_pack() {
   if (!filters_set_ || !input_scales_set_) return;
+  ProfileSpan span(ProfileStage::kFilterPack);
   const std::size_t C = desc_.in_channels, K = desc_.out_channels;
   const std::size_t c64 = desc_.padded_in_channels();
   const std::size_t k64 = desc_.padded_out_channels();
@@ -159,15 +163,18 @@ void VendorWinoF23::execute_nchw(std::span<const float> input, std::span<float> 
       const std::size_t rows = tile1 - tile0;
 
       Timer t0;
-      for (std::size_t tile = tile0; tile < tile1; ++tile) {
-        for (std::size_t cb = 0; cb < cb_count; ++cb) {
-          transform_tile_fp32(ctx, in_blocked_.span(), tile, cb, tile_vals.data());
-          for (std::size_t t = 0; t < t_elems; ++t) {
-            std::uint8_t* dst =
-                v_strip.data() + (t * strip_tiles_ + (tile - tile0)) * c64 + cb * kChanBlock;
-            for (std::size_t g = 0; g < kPhi; ++g) {
-              quantize16_u8(tile_vals.data() + t * kChanBlock + g * 16, v_scale,
-                            dst + g * 16);
+      {
+        ProfileSpan span(ProfileStage::kInputTransform);
+        for (std::size_t tile = tile0; tile < tile1; ++tile) {
+          for (std::size_t cb = 0; cb < cb_count; ++cb) {
+            transform_tile_fp32(ctx, in_blocked_.span(), tile, cb, tile_vals.data());
+            for (std::size_t t = 0; t < t_elems; ++t) {
+              std::uint8_t* dst = v_strip.data() +
+                                  (t * strip_tiles_ + (tile - tile0)) * c64 + cb * kChanBlock;
+              for (std::size_t g = 0; g < kPhi; ++g) {
+                quantize16_u8(tile_vals.data() + t * kChanBlock + g * 16, v_scale,
+                              dst + g * 16);
+              }
             }
           }
         }
@@ -175,18 +182,24 @@ void VendorWinoF23::execute_nchw(std::span<const float> input, std::span<float> 
       transform_s += t0.seconds();
 
       Timer t1;
-      for (std::size_t t = 0; t < t_elems; ++t) {
-        int8_gemm_packed(v_strip.data() + t * strip_tiles_ * c64, c64,
-                         u_packed_.data() + t * panel, comp_.data() + t * k64,
-                         z_strip.data() + t * strip_tiles_ * k64, k64, rows, c64, k64,
-                         Int8GemmBlocking{});
+      {
+        ProfileSpan span(ProfileStage::kGemm);
+        for (std::size_t t = 0; t < t_elems; ++t) {
+          int8_gemm_packed(v_strip.data() + t * strip_tiles_ * c64, c64,
+                           u_packed_.data() + t * panel, comp_.data() + t * k64,
+                           z_strip.data() + t * strip_tiles_ * k64, k64, rows, c64, k64,
+                           Int8GemmBlocking{});
+        }
       }
       gemm_s += t1.seconds();
 
       Timer t2;
-      gather_output_transform_i32(desc_, geo_, at_plan_, z_strip.data(), strip_tiles_, k64,
-                                  dequant_.data(), bias_.data(), out_blocked_.span(), tile0,
-                                  tile1, tile0);
+      {
+        ProfileSpan span(ProfileStage::kOutputTransform);
+        gather_output_transform_i32(desc_, geo_, at_plan_, z_strip.data(), strip_tiles_, k64,
+                                    dequant_.data(), bias_.data(), out_blocked_.span(),
+                                    tile0, tile1, tile0);
+      }
       transform_s += t2.seconds();
     }
     if (tid == 0) {

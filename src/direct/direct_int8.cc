@@ -51,6 +51,7 @@ void im2col_quantized(const ConvDesc& desc, std::span<const float> input, std::s
 }  // namespace
 
 Int8DirectConv::Int8DirectConv(const ConvDesc& desc) : desc_(desc) {
+  desc.validate();
   patch_ = desc_.in_channels * desc_.kernel * desc_.kernel;
   patch_pad_ = round_up(patch_, 4);
   k_pad_ = round_up(desc_.out_channels, 16);

@@ -8,6 +8,7 @@
 #include "common/cpu_features.h"
 #include "gemm/vnni_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 
 #ifdef LOWINO_COMPILE_AVX512
 #include <immintrin.h>
@@ -144,6 +145,9 @@ void batched_int8_gemm(const TransformedInputLayout& vl, const std::uint8_t* v,
   sc.ensure(num_threads, n_blk * k_blk);
 
   auto worker = [&](std::size_t tid, std::size_t nw) {
+    // Covers the whole task loop including the Z scatter: everything between
+    // the transform stages is "multiply" in the Figure 10 sense.
+    ProfileSpan span(ProfileStage::kGemm);
     std::int32_t* acc = sc.per_thread[tid].data();
     const Range range = static_partition(total_tasks, nw, tid);
     for (std::size_t task = range.begin; task < range.end; ++task) {
@@ -258,6 +262,10 @@ void int8_gemm_packed(const std::uint8_t* a, std::size_t lda, const std::int8_t*
   MicroKernelFn fn = get_vnni_microkernel(blocking.row_blk, blocking.col_blk);
 
   auto body = [&](std::size_t row_begin, std::size_t row_end) {
+    // Baseline/direct GEMM entry point. Callers that already hold a kGemm
+    // span (the vendor strip loop) are not double-counted: same-stage nested
+    // spans are excluded from totals.
+    ProfileSpan span(ProfileStage::kGemm);
     for (std::size_t r = row_begin; r < row_end; ++r) {
       if (comp != nullptr) {
         std::memcpy(c + r * ldc, comp, k * sizeof(std::int32_t));

@@ -8,6 +8,7 @@
 #include "gemm/int8_gemm.h"
 #include "gemm/vnni_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 #include "tensor/pack.h"
 
 namespace lowino {
@@ -46,6 +47,7 @@ Int8GemmBlocking adapt_blocking(Int8GemmBlocking b, std::size_t padded_c,
 
 LoWinoConvolution::LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& config)
     : desc_(desc), config_(config) {
+  desc.validate();
   if (desc.stride != 1) {
     throw std::invalid_argument("LoWino supports unit stride only");
   }
@@ -92,6 +94,7 @@ LoWinoConvolution::LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& c
 
 void LoWinoConvolution::calibrate(std::span<const float> input_nchw,
                                   std::size_t tile_stride) {
+  ProfileSpan span(ProfileStage::kCalibration);
   in_blocked_scratch_.ensure(in_layout_.size());
   pack_nchw_to_blocked(input_nchw, desc_.batch, desc_.in_channels, desc_.height, desc_.width,
                        in_blocked_scratch_.span());
@@ -128,6 +131,7 @@ void LoWinoConvolution::set_uniform_input_threshold(float tau) {
 
 void LoWinoConvolution::set_filters(std::span<const float> weights,
                                     std::span<const float> bias) {
+  ProfileSpan span(ProfileStage::kFilterPack);
   transform_and_pack_filters(desc_, geo_, *tm_, config_, weights, bias, scales_, filters_);
   filters_set_ = true;
   maybe_build_dequant();

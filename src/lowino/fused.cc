@@ -5,6 +5,7 @@
 
 #include "lowino/transform_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 
 namespace lowino {
 
@@ -73,19 +74,24 @@ void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext
 
       // Stage 1: transform + quantize the n-block into the V panel
       // ([C/Cblk][T][Nblk][Cblk] — the staged layout with nb fixed, so the
-      // GEMM walks it with identical strides).
-      for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t cb64 = 0; cb64 < c_blocks64; ++cb64) {
-          transform_quantize_tile(in_ctx, in_blocked.data(), tile0 + r, cb64, scale_of_t,
-                                  a.in_scratch);
-          const std::size_t c = cb64 * kChanBlock;
-          const std::size_t cb = c / c_blk;
-          const std::size_t ci = c % c_blk;
-          for (std::size_t t = 0; t < t_elems; ++t) {
-            std::uint8_t* dst =
-                a.v_panel.data() + ((cb * t_elems + t) * n_blk + r) * c_blk + ci;
-            // Plain stores: the panel is re-read immediately by the GEMM.
-            stream_store_64(dst, a.in_scratch.staging.data() + t * kChanBlock, false);
+      // GEMM walks it with identical strides). Per-n-block profiler spans
+      // expose the interleaving the fused design is built on: the trace shows
+      // transform/GEMM/output alternating within one parallel region.
+      {
+        ProfileSpan span(ProfileStage::kInputTransform);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t cb64 = 0; cb64 < c_blocks64; ++cb64) {
+            transform_quantize_tile(in_ctx, in_blocked.data(), tile0 + r, cb64, scale_of_t,
+                                    a.in_scratch);
+            const std::size_t c = cb64 * kChanBlock;
+            const std::size_t cb = c / c_blk;
+            const std::size_t ci = c % c_blk;
+            for (std::size_t t = 0; t < t_elems; ++t) {
+              std::uint8_t* dst =
+                  a.v_panel.data() + ((cb * t_elems + t) * n_blk + r) * c_blk + ci;
+              // Plain stores: the panel is re-read immediately by the GEMM.
+              stream_store_64(dst, a.in_scratch.staging.data() + t * kChanBlock, false);
+            }
           }
         }
       }
@@ -94,8 +100,12 @@ void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext
       // panel is output-transformed while still hot.
       for (std::size_t g0 = 0; g0 < ul.k_blocks; g0 += fg.kb_per_group) {
         const std::size_t g1 = std::min(g0 + fg.kb_per_group, ul.k_blocks);
-        int8_gemm_n_block(a.v_panel.data(), fg.c_blocks, t_elems, ul, u, comp, k_real, g0,
-                          g1, a.z_panel.data(), blocking, a.acc.data());
+        {
+          ProfileSpan span(ProfileStage::kGemm);
+          int8_gemm_n_block(a.v_panel.data(), fg.c_blocks, t_elems, ul, u, comp, k_real, g0,
+                            g1, a.z_panel.data(), blocking, a.acc.data());
+        }
+        ProfileSpan span(ProfileStage::kOutputTransform);
         const std::size_t k64_begin = g0 * k_blk / kChanBlock;
         const std::size_t k64_end = std::min(g1 * k_blk / kChanBlock, k_blocks64);
         for (std::size_t r = 0; r < rows; ++r) {

@@ -7,6 +7,7 @@
 #include "common/aligned_buffer.h"
 #include "lowino/transform_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 
 namespace lowino {
 namespace {
@@ -118,6 +119,9 @@ void run_input_transform(const InputTransformContext& ctx, std::span<const float
   for (std::size_t t = 0; t < t_elems; ++t) scale_of_t[t] = scales.input_scale(t);
 
   auto worker = [&](std::size_t tid, std::size_t nw) {
+    // Per-worker span: each thread is credited exactly its own busy time (the
+    // fused path records the same stage around its per-block transform loop).
+    ProfileSpan span(ProfileStage::kInputTransform);
     // Persistent per-thread scratch: pool workers outlive execute() calls, so
     // steady-state runs never re-allocate.
     thread_local Scratch s;

@@ -7,6 +7,7 @@
 #include "common/aligned_buffer.h"
 #include "lowino/transform_kernels.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 
 namespace lowino {
 
@@ -81,6 +82,7 @@ void run_output_transform(const OutputTransformContext& ctx, const std::int32_t*
   const std::size_t jobs = geo.total_tiles * k_blocks64;
 
   auto worker = [&](std::size_t tid, std::size_t nw) {
+    ProfileSpan span(ProfileStage::kOutputTransform);
     // Persistent per-thread scratch (see run_input_transform).
     thread_local OutputTransformScratch s;
     s.ensure(geo.t_elems, geo.m, geo.alpha);

@@ -5,6 +5,7 @@
 
 #include "baselines/downscale_wino.h"
 #include "baselines/fp32_wino.h"
+#include "common/env.h"
 #include "baselines/upcast_wino.h"
 #include "baselines/vendor_wino.h"
 #include "direct/direct_f32.h"
@@ -28,6 +29,12 @@ const char* engine_name(EngineKind kind) {
     case EngineKind::kVendorF2: return "Vendor-style fused INT8 F(2x2,3x3)";
   }
   return "?";
+}
+
+std::size_t lowino_calibration_stride(std::size_t total_tiles) {
+  const long forced = env_long("LOWINO_CALIB_STRIDE", 0);
+  if (forced > 0) return static_cast<std::size_t>(forced);
+  return total_tiles < kCalibDenseTileLimit ? 1 : 2;
 }
 
 bool engine_is_quantized(EngineKind kind) {
@@ -103,9 +110,10 @@ class LoWinoEngine final : public ConvEngine {
   LoWinoEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
       : conv_(desc, make_config(m)), kind_(kind) {}
   void calibrate(std::span<const float> in) override {
-    // Subsample tiles: calibration statistics converge quickly and the
-    // histograms are per position anyway.
-    conv_.calibrate(in, /*tile_stride=*/2);
+    // Subsample tiles on big feature maps (the statistics converge quickly
+    // and the histograms are per position anyway), but walk every tile of
+    // tiny ones — see lowino_calibration_stride.
+    conv_.calibrate(in, lowino_calibration_stride(conv_.geometry().total_tiles));
   }
   void finalize_calibration() override { conv_.finalize_calibration(); }
   void set_filters(std::span<const float> w, std::span<const float> b) override {
@@ -188,6 +196,7 @@ class VendorEngine final : public ConvEngine {
 }  // namespace
 
 std::unique_ptr<ConvEngine> make_conv_engine(EngineKind kind, const ConvDesc& desc) {
+  desc.validate();
   switch (kind) {
     case EngineKind::kFp32Direct:
       return std::make_unique<Fp32DirectEngine>(desc);

@@ -30,6 +30,16 @@ enum class EngineKind {
 const char* engine_name(EngineKind kind);
 bool engine_is_quantized(EngineKind kind);
 
+/// Below this many Winograd tiles, calibration samples every tile: a strided
+/// sweep over e.g. a 4-tile CIFAR tail would feed the KL histograms from a
+/// quarter of the data.
+inline constexpr std::size_t kCalibDenseTileLimit = 32;
+
+/// Calibration tile stride used by the LoWino engines: LOWINO_CALIB_STRIDE
+/// (when set to a positive integer) wins; otherwise stride 1 for layers with
+/// fewer than kCalibDenseTileLimit tiles and the subsampling stride 2 beyond.
+std::size_t lowino_calibration_stride(std::size_t total_tiles);
+
 /// One convolution engine bound to a fixed ConvDesc. Lifecycle:
 /// calibrate()* -> finalize_calibration() -> set_filters() -> run()*.
 /// (Non-quantized engines ignore the calibration calls.)

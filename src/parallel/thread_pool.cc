@@ -1,9 +1,11 @@
 #include "parallel/thread_pool.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <utility>
 
 #include "common/env.h"
+#include "profile/profiler.h"
 
 namespace lowino {
 
@@ -86,6 +88,11 @@ void ThreadPool::dispatch(JobFn fn, void* ctx) {
 }
 
 void ThreadPool::worker_loop(std::size_t tid) {
+  // Stashes a name for the profiler's per-thread logs/trace rows (no log is
+  // registered until the thread actually records a span).
+  char name[32];
+  std::snprintf(name, sizeof(name), "pool-worker-%zu", tid);
+  profiler_set_thread_name(name);
   std::uint64_t seen_generation = 0;
   for (;;) {
     JobFn job = nullptr;

@@ -1,0 +1,359 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/env.h"
+
+namespace lowino {
+
+const char* profile_stage_name(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kFilterPack: return "filter pack";
+    case ProfileStage::kInputTransform: return "input transform";
+    case ProfileStage::kGemm: return "int8 gemm";
+    case ProfileStage::kOutputTransform: return "output transform";
+    case ProfileStage::kCalibration: return "calibration";
+    case ProfileStage::kTunerTrial: return "tuner trial";
+  }
+  return "?";
+}
+
+namespace profile_detail {
+namespace {
+
+/// Events kept per thread before the ring saturates (drop-newest). 16 Ki
+/// events x 24 B = 384 KiB per thread — enough for several fused executions
+/// of the largest Table 2 layer; totals stay exact past the cap.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+constexpr std::size_t kNameCapacity = 32;
+
+}  // namespace
+
+struct Event {
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  ProfileStage stage;
+  std::uint8_t depth;
+  bool nested_same;
+};
+
+struct ThreadLog {
+  // The ring lives in an AlignedBuffer so the repository's allocation-counter
+  // test harness (common/aligned_buffer.h) observes profiler allocations too.
+  AlignedBuffer<Event> events{kRingCapacity};
+  /// Published event count; release store pairs with the collectors' acquire
+  /// load so a drained event's fields are fully visible.
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::array<std::atomic<std::uint64_t>, kProfileStageCount> total_ns{};
+  std::array<std::atomic<std::uint64_t>, kProfileStageCount> span_count{};
+  // Owner-thread-only state (never read by collectors):
+  std::uint16_t depth = 0;
+  std::array<std::uint16_t, kProfileStageCount> open_count{};
+  char name[kNameCapacity] = {};
+  std::uint32_t index = 0;  ///< registration order == trace tid
+};
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::uint64_t epoch_ns;
+
+  Registry() : epoch_ns(now_ns()) {
+    if (env_flag("LOWINO_PROFILE")) {
+      g_profiler_enabled.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Env-gated end-of-process dump. Runs inside the singleton's own destructor
+  // (not atexit) so it cannot outlive the registry; the env is re-read here
+  // so tests that scoped-set LOWINO_PROFILE leave no output behind.
+  ~Registry();
+};
+
+std::string summary_of(Registry& r);
+bool write_chrome_trace_of(Registry& r, const std::string& path);
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Touch the registry during static initialization: the LOWINO_PROFILE env
+// read lives in the Registry constructor, and without this a program that
+// never calls a profiler API explicitly would leave the flag false forever
+// (spans only construct the registry once the flag is already true).
+const bool g_registry_static_init = (registry(), true);
+
+Registry::~Registry() {
+  if (env_flag("LOWINO_PROFILE")) {
+    const std::string s = summary_of(*this);
+    std::fputs(s.c_str(), stderr);
+    const std::string trace_path = env_string("LOWINO_TRACE_JSON", "");
+    if (!trace_path.empty()) {
+      if (write_chrome_trace_of(*this, trace_path)) {
+        std::fprintf(stderr, "lowino profile: trace written to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "lowino profile: FAILED to write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
+  }
+}
+
+thread_local ThreadLog* t_log = nullptr;
+thread_local char t_pending_name[kNameCapacity] = {};
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ThreadLog* acquire_thread_log() {
+  if (t_log == nullptr) {
+    auto log = std::make_unique<ThreadLog>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    log->index = static_cast<std::uint32_t>(r.logs.size());
+    if (t_pending_name[0] != '\0') {
+      std::memcpy(log->name, t_pending_name, kNameCapacity);
+    } else {
+      std::snprintf(log->name, kNameCapacity, "thread-%u", log->index);
+    }
+    t_log = log.get();
+    r.logs.push_back(std::move(log));
+  }
+  return t_log;
+}
+
+void span_open(ThreadLog* log, ProfileStage stage, bool& nested_same,
+               std::uint16_t& depth) {
+  const auto s = static_cast<std::size_t>(stage);
+  nested_same = log->open_count[s] != 0;
+  ++log->open_count[s];
+  depth = log->depth++;
+}
+
+void span_close(ThreadLog* log, ProfileStage stage, std::uint64_t start_ns,
+                std::uint16_t depth, bool nested_same) {
+  const std::uint64_t end_ns = now_ns();
+  const auto s = static_cast<std::size_t>(stage);
+  --log->open_count[s];
+  --log->depth;
+  if (!nested_same) {
+    log->total_ns[s].fetch_add(end_ns - start_ns, std::memory_order_relaxed);
+    log->span_count[s].fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = log->count.load(std::memory_order_relaxed);
+  if (n < kRingCapacity) {
+    Event& e = log->events[n];
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.stage = stage;
+    e.depth = static_cast<std::uint8_t>(std::min<std::uint16_t>(depth, 255));
+    e.nested_same = nested_same;
+    log->count.store(n + 1, std::memory_order_release);
+  } else {
+    log->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+std::string summary_of(Registry& r) {
+  std::array<std::uint64_t, kProfileStageCount> ns{};
+  std::array<std::uint64_t, kProfileStageCount> spans{};
+  std::uint64_t dropped = 0;
+  std::string out;
+  char buf[160];
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& log : r.logs) {
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      ns[s] += log->total_ns[s].load(std::memory_order_relaxed);
+      spans[s] += log->span_count[s].load(std::memory_order_relaxed);
+    }
+    dropped += log->dropped.load(std::memory_order_relaxed);
+  }
+  out += "lowino profile summary (" + std::to_string(r.logs.size()) + " thread" +
+         (r.logs.size() == 1 ? "" : "s") + ")\n";
+  std::snprintf(buf, sizeof(buf), "  %-18s %12s %10s\n", "stage", "busy ms", "spans");
+  out += buf;
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    if (spans[s] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-18s %12.3f %10llu\n",
+                  profile_stage_name(static_cast<ProfileStage>(s)),
+                  static_cast<double>(ns[s]) * 1e-6,
+                  static_cast<unsigned long long>(spans[s]));
+    out += buf;
+  }
+  for (const auto& log : r.logs) {
+    std::uint64_t thread_ns = 0, thread_spans = 0;
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      thread_ns += log->total_ns[s].load(std::memory_order_relaxed);
+      thread_spans += log->span_count[s].load(std::memory_order_relaxed);
+    }
+    if (thread_spans == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  [%s] busy %.3f ms over %llu spans\n", log->name,
+                  static_cast<double>(thread_ns) * 1e-6,
+                  static_cast<unsigned long long>(thread_spans));
+    out += buf;
+  }
+  if (dropped != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  (%llu trace events dropped; totals remain exact)\n",
+                  static_cast<unsigned long long>(dropped));
+    out += buf;
+  }
+  return out;
+}
+
+/// Minimal JSON string escaping (names are ASCII identifiers we control, but
+/// stay safe against anything a caller passes to profiler_set_thread_name).
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+bool write_chrome_trace_of(Registry& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[192];
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& log : r.logs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    out += std::to_string(log->index);
+    out += ",\"args\":{\"name\":\"";
+    append_json_escaped(out, log->name);
+    out += "\"}}";
+    const std::uint64_t n =
+        std::min<std::uint64_t>(log->count.load(std::memory_order_acquire), kRingCapacity);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Event& e = log->events[i];
+      // Timestamps are microseconds relative to the registry epoch (chrome
+      // trace convention); durations keep nanosecond resolution as fractions.
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"lowino\",\"pid\":1,"
+                    "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                    profile_stage_name(e.stage), log->index,
+                    static_cast<double>(e.start_ns - r.epoch_ns) * 1e-3,
+                    static_cast<double>(e.end_ns - e.start_ns) * 1e-3);
+      out += buf;
+      if (out.size() >= (1u << 16)) {
+        if (std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+          std::fclose(f);
+          return false;
+        }
+        out.clear();
+      }
+    }
+  }
+  out += "]}\n";
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+}  // namespace profile_detail
+
+void profiler_set_enabled(bool enabled) {
+  // Touch the registry first so its lifetime (and exit-time dump) encloses
+  // every log created while enabled.
+  profile_detail::registry();
+  profile_detail::g_profiler_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void profiler_set_thread_name(const char* name) {
+  using namespace profile_detail;
+  std::strncpy(t_pending_name, name, kNameCapacity - 1);
+  t_pending_name[kNameCapacity - 1] = '\0';
+  if (t_log != nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::memcpy(t_log->name, t_pending_name, kNameCapacity);
+  }
+}
+
+std::array<ProfileStageTotals, kProfileStageCount> profiler_stage_totals() {
+  using namespace profile_detail;
+  std::array<ProfileStageTotals, kProfileStageCount> totals{};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& log : r.logs) {
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      totals[s].seconds +=
+          static_cast<double>(log->total_ns[s].load(std::memory_order_relaxed)) * 1e-9;
+      totals[s].spans += log->span_count[s].load(std::memory_order_relaxed);
+    }
+  }
+  return totals;
+}
+
+std::size_t profiler_thread_count() {
+  using namespace profile_detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.logs.size();
+}
+
+std::uint64_t profiler_dropped_events() {
+  using namespace profile_detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t dropped = 0;
+  for (const auto& log : r.logs) {
+    dropped += log->dropped.load(std::memory_order_relaxed);
+  }
+  return dropped;
+}
+
+void profiler_reset() {
+  using namespace profile_detail;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& log : r.logs) {
+    log->count.store(0, std::memory_order_relaxed);
+    log->dropped.store(0, std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      log->total_ns[s].store(0, std::memory_order_relaxed);
+      log->span_count[s].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string profiler_summary() { return profile_detail::summary_of(profile_detail::registry()); }
+
+bool profiler_write_chrome_trace(const std::string& path) {
+  return profile_detail::write_chrome_trace_of(profile_detail::registry(), path);
+}
+
+}  // namespace lowino

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 
 #include "common/aligned_buffer.h"
@@ -27,8 +28,35 @@ struct ConvDesc {
   std::size_t pad = 1;          ///< symmetric zero padding
   std::size_t stride = 1;       ///< only 1 is Winograd-compatible
 
+  /// out_height()/out_width() are only meaningful for descriptors that pass
+  /// validate(): `height + 2*pad - kernel` is size_t arithmetic and silently
+  /// wraps to a huge value when kernel > height + 2*pad (and stride = 0
+  /// divides by zero). Every engine constructor validates first.
   std::size_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
   std::size_t out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
+
+  /// Nothrow structural check; the conditions validate() enforces.
+  bool is_valid() const {
+    return kernel >= 1 && stride >= 1 && batch >= 1 && in_channels >= 1 &&
+           out_channels >= 1 && pad < kernel && kernel <= height + 2 * pad &&
+           kernel <= width + 2 * pad;
+  }
+
+  /// Rejects degenerate shapes before any size arithmetic can wrap. Called
+  /// from every engine constructor and make_conv_engine; throws
+  /// std::invalid_argument naming the violated constraint.
+  void validate() const {
+    const auto fail = [this](const char* what) {
+      throw std::invalid_argument("ConvDesc [" + to_string() + "]: " + what);
+    };
+    if (kernel < 1) fail("kernel must be >= 1");
+    if (stride < 1) fail("stride must be >= 1");
+    if (batch < 1) fail("batch must be >= 1");
+    if (in_channels < 1 || out_channels < 1) fail("channels must be >= 1");
+    if (pad >= kernel) fail("pad must be < kernel");
+    if (kernel > height + 2 * pad) fail("kernel exceeds padded height");
+    if (kernel > width + 2 * pad) fail("kernel exceeds padded width");
+  }
 
   /// Channels rounded up to the 64-channel block of the blocked layouts.
   std::size_t padded_in_channels() const { return round_up(in_channels, kChanBlock); }

@@ -13,6 +13,7 @@
 #include "baselines/fp32_wino.h"
 #include "baselines/upcast_wino.h"
 #include "baselines/vendor_wino.h"
+#include "common/aligned_buffer.h"
 #include "common/rng.h"
 #include "direct/direct_f32.h"
 #include "direct/direct_int8.h"
@@ -69,6 +70,52 @@ std::string check_output(const char* engine, const ConvDesc& d,
   return {};
 }
 
+/// Degenerate-descriptor path: every engine constructor must reject the shape
+/// with std::invalid_argument — thrown by ConvDesc::validate() before any
+/// workspace sizing arithmetic (which would wrap in size_t) and before any
+/// aligned allocation happens.
+CaseResult run_degenerate_case(const FuzzCase& fc) {
+  CaseResult result;
+  const ConvDesc& d = fc.desc;
+  const std::uint64_t allocs_before = aligned_buffer_alloc_count();
+  const auto expect_reject = [&](const char* engine, auto&& construct) {
+    ++result.engines_checked;
+    if (!result.ok) return;
+    try {
+      construct();
+      result.ok = false;
+      result.failure = std::string(engine) + ": accepted a degenerate descriptor";
+    } catch (const std::invalid_argument&) {
+      // The required rejection.
+    } catch (const std::exception& e) {
+      result.ok = false;
+      result.failure =
+          std::string(engine) + ": rejected with the wrong exception: " + e.what();
+    }
+  };
+  expect_reject("fp32-im2col", [&] { [[maybe_unused]] Im2colConvF32 c(d); });
+  expect_reject("fp32-winograd", [&] { [[maybe_unused]] Fp32WinoConv c(d, 2); });
+  expect_reject("int8-direct", [&] { [[maybe_unused]] Int8DirectConv c(d); });
+  expect_reject("lowino-m2", [&] {
+    LoWinoConfig cfg;
+    cfg.m = 2;
+    [[maybe_unused]] LoWinoConvolution c(d, cfg);
+  });
+  expect_reject("lowino-m4", [&] {
+    LoWinoConfig cfg;
+    cfg.m = 4;
+    [[maybe_unused]] LoWinoConvolution c(d, cfg);
+  });
+  expect_reject("downscale-winograd", [&] { [[maybe_unused]] DownscaleWinoConv c(d, 2); });
+  expect_reject("upcast-winograd", [&] { [[maybe_unused]] UpcastWinoConv c(d); });
+  expect_reject("vendor-winograd", [&] { [[maybe_unused]] VendorWinoF23 c(d); });
+  if (result.ok && aligned_buffer_alloc_count() != allocs_before) {
+    result.ok = false;
+    result.failure = "degenerate rejection allocated workspace memory";
+  }
+  return result;
+}
+
 }  // namespace
 
 FuzzCase generate_case(std::uint64_t seed) {
@@ -106,6 +153,21 @@ FuzzCase generate_case(std::uint64_t seed) {
   fc.relu = rng.next_below(2) == 0;
   fc.with_bias = rng.next_below(2) == 0;
   fc.per_tensor_scales = rng.next_below(4) == 0;
+
+  // Occasionally break the descriptor on purpose: the harness then asserts
+  // every engine rejects it cleanly (std::invalid_argument, no allocation)
+  // instead of wrapping the size_t out_height()/out_width() arithmetic.
+  // Mutate last — the cost clamp above calls direct_macs(), which itself
+  // evaluates out_height() and would wrap on a degenerate shape.
+  if (rng.next_below(12) == 0) {
+    switch (rng.next_below(5)) {
+      case 0: d.pad = 0; d.height = d.kernel - 1; break;  // kernel > h + 2p
+      case 1: d.pad = 0; d.width = d.kernel - 1; break;   // kernel > w + 2p
+      case 2: d.pad = d.kernel + rng.next_below(2); break;  // pad >= kernel
+      case 3: (rng.next_below(2) == 0 ? d.in_channels : d.out_channels) = 0; break;
+      case 4: d.stride = 0; break;  // division by zero in out_height()
+    }
+  }
   return fc;
 }
 
@@ -118,6 +180,7 @@ std::string describe(const FuzzCase& fc) {
   s += fc.relu ? " relu" : "";
   s += fc.with_bias ? " bias" : "";
   s += fc.per_tensor_scales ? " per-tensor" : " per-position";
+  if (!fc.desc.is_valid()) s += " degenerate";
   s += " seed=" + std::to_string(fc.seed);
   return s;
 }
@@ -129,6 +192,10 @@ std::string repro_line(std::uint64_t base_seed, std::size_t index) {
 }
 
 CaseResult run_case(const FuzzCase& fc) {
+  // A degenerate shape never reaches data generation: make_data() and the
+  // oracle both evaluate out_height(), which wraps (or divides by zero) on
+  // shapes ConvDesc::validate() rejects.
+  if (!fc.desc.is_valid()) return run_degenerate_case(fc);
   CaseResult result;
   const ConvDesc& d = fc.desc;
   const CaseData data = make_data(fc);

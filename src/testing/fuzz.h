@@ -36,7 +36,9 @@ struct FuzzCase {
 /// Draws a case from `seed`: N/C/K/H/W, stride-1 pads, ReLU/bias on-off,
 /// F(2/4/6) (r = 5 occasionally), staged/fused/auto, 1..4 threads. The shape
 /// is cost-clamped so a full engine sweep stays in the low tens of
-/// milliseconds.
+/// milliseconds. Roughly 1 in 12 cases is deliberately degenerate (kernel
+/// larger than the padded input, pad >= kernel, zero channels, stride 0);
+/// run_case() then asserts clean rejection instead of numeric conformance.
 FuzzCase generate_case(std::uint64_t seed);
 
 /// Human-readable one-line description ("B1 C17 K5 H9 W12 r3 p1 m4 fused t2
@@ -55,7 +57,8 @@ struct CaseResult {
 
 /// Runs every applicable engine on the case and checks the envelopes.
 /// Never throws for a conforming stack; engine exceptions are reported as
-/// failures.
+/// failures. Degenerate cases instead assert that every engine constructor
+/// throws std::invalid_argument without allocating workspace memory.
 CaseResult run_case(const FuzzCase& fc);
 
 /// Greedily shrinks a failing case (smaller shape, fewer features) while it

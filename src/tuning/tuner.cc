@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 #include "tuning/search_space.h"
 
 namespace lowino {
@@ -28,6 +29,7 @@ double time_blocking(const ConvDesc& desc, const WinogradGeometry& geo,
   comp.ensure(geo.t_elems * ul.k_blocks * ul.k_blk);
   z.ensure(zl.size());
   // Contents are irrelevant for timing; reuse whatever is in the buffers.
+  ProfileSpan trial(ProfileStage::kTunerTrial);
   const TimingStats stats = time_it(
       [&] {
         batched_int8_gemm(vl, v.data(), ul, u.data(), comp.data(), zl, z.data(), blocking,
@@ -43,7 +45,7 @@ double time_blocking(const ConvDesc& desc, const WinogradGeometry& geo,
 double time_mode(const ConvDesc& desc, std::size_t m, const Int8GemmBlocking& blocking,
                  ExecutionMode mode, ThreadPool* pool, const TuneOptions& options,
                  AlignedBuffer<float>& in, AlignedBuffer<float>& out,
-                 std::vector<float>& weights) {
+                 std::vector<float>& weights, StageTimes* breakdown) {
   LoWinoConfig cfg;
   cfg.m = m;
   cfg.blocking = blocking;
@@ -54,9 +56,29 @@ double time_mode(const ConvDesc& desc, std::size_t m, const Int8GemmBlocking& bl
   conv.set_filters(weights);
   in.ensure(conv.input_layout().size());
   out.ensure(conv.output_layout().size());
+  ProfileSpan trial(ProfileStage::kTunerTrial);
   const TimingStats stats = time_it(
       [&] { conv.execute_blocked(in.span(), out.span(), pool); },
       /*warmup=*/1, options.min_reps, /*max_iters=*/50, options.seconds_per_candidate);
+  if (breakdown != nullptr) {
+    // One extra instrumented execute: the totals delta attributes the mode's
+    // time to transform/GEMM/output stages in situ (works for fused too,
+    // where stage boundaries are invisible to wall-clock timing). The global
+    // enable is restored, not reset — user-recorded data survives tuning.
+    const bool was_enabled = profiler_enabled();
+    profiler_set_enabled(true);
+    const auto before = profiler_stage_totals();
+    conv.execute_blocked(in.span(), out.span(), pool);
+    const auto after = profiler_stage_totals();
+    profiler_set_enabled(was_enabled);
+    const auto delta = [&](ProfileStage s) {
+      const auto i = static_cast<std::size_t>(s);
+      return after[i].seconds - before[i].seconds;
+    };
+    breakdown->input_transform = delta(ProfileStage::kInputTransform);
+    breakdown->gemm = delta(ProfileStage::kGemm);
+    breakdown->output_transform = delta(ProfileStage::kOutputTransform);
+  }
   return stats.median;
 }
 
@@ -104,9 +126,9 @@ TuneResult tune_layer(const ConvDesc& desc, std::size_t m, ThreadPool* pool,
     AlignedBuffer<float> in, out;
     std::vector<float> weights;
     result.staged_seconds = time_mode(desc, m, result.best, ExecutionMode::kStaged, pool,
-                                      options, in, out, weights);
+                                      options, in, out, weights, &result.staged_stages);
     result.fused_seconds = time_mode(desc, m, result.best, ExecutionMode::kFused, pool,
-                                     options, in, out, weights);
+                                     options, in, out, weights, &result.fused_stages);
     result.best_mode = result.fused_seconds < result.staged_seconds
                            ? ExecutionMode::kFused
                            : ExecutionMode::kStaged;

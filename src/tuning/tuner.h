@@ -35,6 +35,11 @@ struct TuneResult {
   ExecutionMode best_mode = ExecutionMode::kStaged;
   double staged_seconds = 0.0;
   double fused_seconds = 0.0;
+  /// In-situ per-stage breakdown of one instrumented execute per mode
+  /// (profiler spans, so the fused split is real, not inferred). Persisted
+  /// into wisdom v3 lines so an entry explains *why* its mode won.
+  StageTimes staged_stages;
+  StageTimes fused_stages;
 };
 
 /// Tunes the batched GEMM of F(m x m, r x r) on `desc`. Deterministic given

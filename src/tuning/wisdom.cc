@@ -1,5 +1,7 @@
 #include "tuning/wisdom.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -7,7 +9,14 @@ namespace lowino {
 
 void WisdomStore::put(const std::string& key, const Int8GemmBlocking& blocking,
                       ExecutionMode mode) {
-  entries_[key] = WisdomEntry{blocking, mode};
+  WisdomEntry e;
+  e.blocking = blocking;
+  e.mode = mode;
+  entries_[key] = e;
+}
+
+void WisdomStore::put(const std::string& key, const WisdomEntry& entry) {
+  entries_[key] = entry;
 }
 
 std::optional<Int8GemmBlocking> WisdomStore::get(const std::string& key) const {
@@ -30,12 +39,16 @@ std::optional<WisdomEntry> WisdomStore::get_entry(const std::string& key) const 
 
 std::string WisdomStore::serialize() const {
   std::ostringstream os;
-  os << "# lowino wisdom v2: key = n_blk c_blk k_blk row_blk col_blk nt prefetch mode\n";
+  os << "# lowino wisdom v3: key = n_blk c_blk k_blk row_blk col_blk nt prefetch mode"
+        " staged_s fused_s it_s gemm_s ot_s\n";
+  os.precision(9);
   for (const auto& [key, e] : entries_) {
     const Int8GemmBlocking& b = e.blocking;
     os << key << " = " << b.n_blk << ' ' << b.c_blk << ' ' << b.k_blk << ' ' << b.row_blk
        << ' ' << b.col_blk << ' ' << (b.nt_store ? 1 : 0) << ' ' << (b.prefetch ? 1 : 0)
-       << ' ' << execution_mode_name(e.mode) << '\n';
+       << ' ' << execution_mode_name(e.mode) << ' ' << e.staged_seconds << ' '
+       << e.fused_seconds << ' ' << e.stages.input_transform << ' ' << e.stages.gemm << ' '
+       << e.stages.output_transform << '\n';
   }
   return os.str();
 }
@@ -55,6 +68,19 @@ bool read_blocking_value(std::istringstream& vals, long long max, std::size_t& o
   long long v = 0;
   if (!(vals >> v) || v <= 0 || v > max) return false;
   out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Parses one timing value of the v3 tail: a finite non-negative double with
+/// nothing trailing. strtod (not istream extraction) so "1.5x" is rejected
+/// rather than read as 1.5.
+bool parse_seconds(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return false;
+  if (!std::isfinite(v) || v < 0.0) return false;
+  out = v;
   return true;
 }
 
@@ -94,6 +120,29 @@ WisdomStore WisdomStore::deserialize(const std::string& text) {
     std::string mode_token;
     if (vals >> mode_token && !parse_execution_mode(mode_token.c_str(), e.mode)) {
       continue;
+    }
+    // Optional v3 timing tail: staged_s fused_s it_s gemm_s ot_s. All five or
+    // none — a truncated or garbled tail rejects the line (it signals file
+    // corruption, and half a shoot-out record would mislead more than no
+    // record).
+    std::string tail_token;
+    std::size_t tail_count = 0;
+    double tail[5] = {0, 0, 0, 0, 0};
+    bool tail_bad = false;
+    while (vals >> tail_token) {
+      if (tail_count >= 5 || !parse_seconds(tail_token, tail[tail_count])) {
+        tail_bad = true;
+        break;
+      }
+      ++tail_count;
+    }
+    if (tail_bad || (tail_count != 0 && tail_count != 5)) continue;
+    if (tail_count == 5) {
+      e.staged_seconds = tail[0];
+      e.fused_seconds = tail[1];
+      e.stages.input_transform = tail[2];
+      e.stages.gemm = tail[3];
+      e.stages.output_transform = tail[4];
     }
     if (b.valid()) store.entries_[key] = e;
   }

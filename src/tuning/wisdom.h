@@ -19,26 +19,38 @@ namespace lowino {
 struct WisdomEntry {
   Int8GemmBlocking blocking;
   ExecutionMode mode = ExecutionMode::kAuto;
+  /// Mode shoot-out record (v3 lines; all-zero on v1/v2 entries): the
+  /// measured full-pipeline seconds per mode and the winning mode's in-situ
+  /// per-stage breakdown from the execution profiler — the entry documents
+  /// *why* its mode won, not just which.
+  double staged_seconds = 0.0;
+  double fused_seconds = 0.0;
+  StageTimes stages;
 };
 
 class WisdomStore {
  public:
   void put(const std::string& key, const Int8GemmBlocking& blocking,
            ExecutionMode mode = ExecutionMode::kAuto);
+  void put(const std::string& key, const WisdomEntry& entry);
   std::optional<Int8GemmBlocking> get(const std::string& key) const;
   /// The tuned execution mode (kAuto for v1 entries / unknown keys).
   ExecutionMode get_mode(const std::string& key) const;
   std::optional<WisdomEntry> get_entry(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
 
-  /// Serializes to "key = n_blk c_blk k_blk row col nt pf mode" lines (v2).
+  /// Serializes to "key = n_blk c_blk k_blk row col nt pf mode staged_s
+  /// fused_s it_s gemm_s ot_s" lines (v3; the five trailing seconds are the
+  /// mode shoot-out record).
   std::string serialize() const;
   /// Parses serialized text. Malformed lines are skipped whole: truncated
   /// value lists, non-positive / wrapped-negative / absurdly large blocking
   /// values, non-boolean nt/pf flags, unknown mode tokens, and blockings that
   /// fail Int8GemmBlocking::valid() are all rejected (a corrupt wisdom file
   /// degrades to defaults, never to garbage parameters). v1 lines (without
-  /// the trailing mode token) load with mode = kAuto.
+  /// the trailing mode token) load with mode = kAuto; v2 lines (without the
+  /// timing tail) load with a zero shoot-out record; a tail that is present
+  /// but incomplete, non-numeric or negative rejects the line.
   static WisdomStore deserialize(const std::string& text);
 
   bool save(const std::string& path) const;

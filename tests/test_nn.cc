@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/dataset.h"
+#include "nn/engines.h"
 #include "nn/model_zoo.h"
 #include "nn/train.h"
 #include "quant/quantize.h"
@@ -347,6 +350,73 @@ TEST(PaperLayers, Table2Complete) {
   const auto scaled = paper_layers_table2(/*batch_override=*/8);
   EXPECT_EQ(scaled[0].desc.batch, 8u);
   EXPECT_EQ(scaled[11].desc.batch, 1u);  // batch-1 rows unaffected
+}
+
+// --- Engine factory: degenerate-shape rejection ------------------------------
+TEST(MakeConvEngine, RejectsDegenerateDescriptors) {
+  // One representative degenerate descriptor per validate() rule; each must be
+  // rejected at the factory for every engine kind, not deep inside a ctor
+  // after size_t wrap-around has already sized a workspace.
+  const auto degenerate = [](auto mutate) {
+    ConvDesc d;
+    d.batch = 1;
+    d.in_channels = d.out_channels = 4;
+    d.height = d.width = 8;
+    d.kernel = 3;
+    d.pad = 1;
+    mutate(d);
+    return d;
+  };
+  const ConvDesc bad[] = {
+      degenerate([](ConvDesc& d) { d.kernel = 0; }),
+      degenerate([](ConvDesc& d) { d.stride = 0; }),
+      degenerate([](ConvDesc& d) { d.batch = 0; }),
+      degenerate([](ConvDesc& d) { d.in_channels = 0; }),
+      degenerate([](ConvDesc& d) { d.out_channels = 0; }),
+      degenerate([](ConvDesc& d) { d.pad = 3; }),                   // pad >= kernel
+      degenerate([](ConvDesc& d) { d.pad = 0; d.height = 2; }),     // r > h + 2p
+      degenerate([](ConvDesc& d) { d.pad = 0; d.width = 2; }),      // r > w + 2p
+  };
+  const EngineKind kinds[] = {
+      EngineKind::kFp32Direct, EngineKind::kFp32WinoF2, EngineKind::kInt8Direct,
+      EngineKind::kLoWinoF2,   EngineKind::kDownscaleF2, EngineKind::kUpcastF2,
+      EngineKind::kVendorF2,
+  };
+  for (const ConvDesc& d : bad) {
+    for (const EngineKind kind : kinds) {
+      EXPECT_THROW(make_conv_engine(kind, d), std::invalid_argument)
+          << engine_name(kind) << " accepted " << d.to_string();
+    }
+  }
+}
+
+// --- Calibration stride heuristic and its env override -----------------------
+TEST(CalibrationStride, HeuristicIsDenseBelowTheTileLimit) {
+  ::unsetenv("LOWINO_CALIB_STRIDE");
+  // Tiny maps (a CIFAR tail with a handful of tiles) walk every tile; big
+  // maps keep the historical subsampling stride 2.
+  EXPECT_EQ(lowino_calibration_stride(1), 1u);
+  EXPECT_EQ(lowino_calibration_stride(8), 1u);
+  EXPECT_EQ(lowino_calibration_stride(kCalibDenseTileLimit - 1), 1u);
+  EXPECT_EQ(lowino_calibration_stride(kCalibDenseTileLimit), 2u);
+  EXPECT_EQ(lowino_calibration_stride(4096), 2u);
+}
+
+TEST(CalibrationStride, EnvOverrideParsing) {
+  const auto with_env = [](const char* value, std::size_t tiles) {
+    ::setenv("LOWINO_CALIB_STRIDE", value, 1);
+    const std::size_t s = lowino_calibration_stride(tiles);
+    ::unsetenv("LOWINO_CALIB_STRIDE");
+    return s;
+  };
+  EXPECT_EQ(with_env("3", 4096), 3u);
+  EXPECT_EQ(with_env("1", 4096), 1u);
+  EXPECT_EQ(with_env("16", 4), 16u);
+  // Non-positive or unparsable values fall back to the heuristic.
+  EXPECT_EQ(with_env("0", 4096), 2u);
+  EXPECT_EQ(with_env("-3", 4096), 2u);
+  EXPECT_EQ(with_env("banana", 4096), 2u);
+  EXPECT_EQ(with_env("", 8), 1u);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // Tests for tensors, the Table-1 blocked layouts, and NCHW packing.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <tuple>
 
 #include "common/rng.h"
@@ -41,6 +42,102 @@ TEST(ConvDesc, OutputSizesWithPadding) {
   EXPECT_EQ(d.out_width(), 14u);
   d.pad = 0;
   EXPECT_EQ(d.out_height(), 12u);
+}
+
+// --- Degenerate-shape validation ---------------------------------------------
+// out_height()/out_width() compute (extent + 2*pad - kernel) / stride + 1 in
+// size_t: a kernel larger than the padded extent wraps to ~2^64 and stride 0
+// divides by zero. validate() must reject every such shape before any caller
+// reaches that arithmetic. One test per rejected shape class.
+
+ConvDesc small_valid_desc() {
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = d.out_channels = 4;
+  d.height = d.width = 8;
+  d.kernel = 3;
+  d.pad = 1;
+  return d;
+}
+
+TEST(ConvDescValidate, RejectsZeroKernel) {
+  ConvDesc d = small_valid_desc();
+  d.kernel = 0;
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConvDescValidate, RejectsZeroStride) {
+  ConvDesc d = small_valid_desc();
+  d.stride = 0;  // out_height() would divide by zero
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConvDescValidate, RejectsZeroBatchAndChannels) {
+  for (const auto mutate : {+[](ConvDesc& d) { d.batch = 0; },
+                            +[](ConvDesc& d) { d.in_channels = 0; },
+                            +[](ConvDesc& d) { d.out_channels = 0; }}) {
+    ConvDesc d = small_valid_desc();
+    mutate(d);
+    EXPECT_FALSE(d.is_valid());
+    EXPECT_THROW(d.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ConvDescValidate, RejectsPadNotBelowKernel) {
+  ConvDesc d = small_valid_desc();
+  d.pad = d.kernel;
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.pad = d.kernel + 3;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConvDescValidate, RejectsKernelExceedingPaddedHeight) {
+  ConvDesc d = small_valid_desc();
+  d.pad = 0;
+  d.height = d.kernel - 1;  // out_height() would wrap to ~2^64
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConvDescValidate, RejectsKernelExceedingPaddedWidth) {
+  ConvDesc d = small_valid_desc();
+  d.pad = 0;
+  d.width = d.kernel - 1;
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(ConvDescValidate, AcceptsBoundaryShapes) {
+  // kernel == padded extent: the smallest legal input, a single 1x1 output.
+  ConvDesc d = small_valid_desc();
+  d.height = d.width = 1;
+  d.kernel = 3;
+  d.pad = 1;
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_NO_THROW(d.validate());
+  EXPECT_EQ(d.out_height(), 1u);
+  EXPECT_EQ(d.out_width(), 1u);
+  // 1x1 kernel with zero pad is legal too (pad < kernel holds).
+  ConvDesc e = small_valid_desc();
+  e.kernel = 1;
+  e.pad = 0;
+  EXPECT_TRUE(e.is_valid());
+  EXPECT_NO_THROW(e.validate());
+  EXPECT_EQ(e.out_height(), 8u);
+}
+
+TEST(ConvDescValidate, ErrorMessageNamesTheShape) {
+  ConvDesc d = small_valid_desc();
+  d.stride = 0;
+  try {
+    d.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("stride"), std::string::npos) << e.what();
+  }
 }
 
 TEST(ConvDesc, ChannelPaddingTo64) {

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
+#include "profile/profiler.h"
 #include "testing/oracle.h"
 #include "tuning/tuner.h"
 #include "winograd/transform.h"
@@ -136,6 +137,50 @@ TEST(ThreadStress, TunerRacesFusedExecution) {
   for (int i = 0; i < 3; ++i) out = run_fused_conv(d, data, 2, 2);
   tuner.join();
   EXPECT_EQ(out, golden);
+}
+
+// Everything above, but with the execution profiler recording: concurrent
+// fused convolutions write per-stage spans into per-thread logs while another
+// thread repeatedly collects totals and resets — the collection API races the
+// register path (new threads acquiring logs), which must stay clean under
+// TSan and must not perturb the numerics.
+TEST(ThreadStress, ProfiledConcurrentFusedConvolutionsAreBitIdentical) {
+  const ConvDesc d = stress_desc();
+  const StressData data = stress_data(d);
+  const std::vector<float> golden = run_fused_conv(d, data, 1, 1);
+
+  const bool was_enabled = profiler_enabled();
+  profiler_set_enabled(true);
+
+  constexpr std::size_t kRunners = 3;
+  std::vector<std::vector<float>> results(kRunners);
+  {
+    std::vector<std::thread> runners;
+    runners.reserve(kRunners);
+    for (std::size_t i = 0; i < kRunners; ++i) {
+      runners.emplace_back([&, i] {
+        results[i] = run_fused_conv(d, data, 1 + i % 3, /*iterations=*/4);
+      });
+    }
+    // Concurrent collection: totals/summary readers share the registry with
+    // threads that are still registering their logs.
+    for (int i = 0; i < 20; ++i) {
+      const auto totals = profiler_stage_totals();
+      EXPECT_GE(totals[static_cast<std::size_t>(ProfileStage::kGemm)].seconds, 0.0);
+      (void)profiler_thread_count();
+    }
+    for (auto& t : runners) t.join();
+  }
+  const auto totals = profiler_stage_totals();
+  EXPECT_GT(totals[static_cast<std::size_t>(ProfileStage::kGemm)].spans, 0u);
+
+  profiler_set_enabled(was_enabled);
+  profiler_reset();
+
+  for (std::size_t i = 0; i < kRunners; ++i) {
+    ASSERT_EQ(results[i].size(), golden.size());
+    EXPECT_EQ(results[i], golden) << "runner " << i;
+  }
 }
 
 }  // namespace

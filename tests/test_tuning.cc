@@ -177,6 +177,74 @@ TEST(Wisdom, SerializedFormRoundTripsThroughHardenedParser) {
   EXPECT_EQ(parsed.get_mode("big layer"), ExecutionMode::kFused);
 }
 
+// --- v3 timing tail ----------------------------------------------------------
+TEST(Wisdom, V3BreakdownRoundTrip) {
+  WisdomStore store;
+  WisdomEntry e;
+  e.blocking.n_blk = 48;
+  e.mode = ExecutionMode::kFused;
+  e.staged_seconds = 3.5e-3;
+  e.fused_seconds = 2.1e-3;
+  e.stages.input_transform = 8.0e-4;
+  e.stages.gemm = 1.0e-3;
+  e.stages.output_transform = 3.0e-4;
+  store.put("layer m4", e);
+  const WisdomStore parsed = WisdomStore::deserialize(store.serialize());
+  const auto got = parsed.get_entry("layer m4");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->blocking.n_blk, 48u);
+  EXPECT_EQ(got->mode, ExecutionMode::kFused);
+  EXPECT_NEAR(got->staged_seconds, 3.5e-3, 1e-12);
+  EXPECT_NEAR(got->fused_seconds, 2.1e-3, 1e-12);
+  EXPECT_NEAR(got->stages.input_transform, 8.0e-4, 1e-12);
+  EXPECT_NEAR(got->stages.gemm, 1.0e-3, 1e-12);
+  EXPECT_NEAR(got->stages.output_transform, 3.0e-4, 1e-12);
+}
+
+TEST(Wisdom, V1AndV2LinesLoadWithZeroBreakdown) {
+  const WisdomStore v2 = WisdomStore::deserialize("k = 96 512 64 6 4 1 1 fused\n");
+  const auto e2 = v2.get_entry("k");
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->mode, ExecutionMode::kFused);
+  EXPECT_EQ(e2->staged_seconds, 0.0);
+  EXPECT_EQ(e2->fused_seconds, 0.0);
+  EXPECT_EQ(e2->stages.gemm, 0.0);
+  const WisdomStore v1 = WisdomStore::deserialize("k = 96 512 64 6 4 1 1\n");
+  const auto e1 = v1.get_entry("k");
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->staged_seconds, 0.0);
+}
+
+TEST(Wisdom, PartialTimingTailRejected) {
+  // The tail is all-or-none: 1..4 doubles mean a truncated line, 6 mean a
+  // corrupt or newer format — both reject the whole line.
+  const char* base = "k = 96 512 64 6 4 1 1 fused";
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 0.001\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 0.001 0.002\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 0.001 0.002 0.003\n").size(),
+            0u);
+  EXPECT_EQ(
+      WisdomStore::deserialize(std::string(base) + " 0.001 0.002 0.003 0.004\n").size(),
+      0u);
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 1 2 3 4 5 6\n").size(), 0u);
+  // The full five-double tail loads.
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 1 2 3 4 5\n").size(), 1u);
+}
+
+TEST(Wisdom, GarbledTimingTailRejected) {
+  const char* base = "k = 96 512 64 6 4 1 1 staged";
+  // Negative, non-finite, and partially numeric tokens each reject the line.
+  EXPECT_EQ(
+      WisdomStore::deserialize(std::string(base) + " 0.001 -0.002 0.1 0.1 0.1\n").size(),
+      0u);
+  EXPECT_EQ(
+      WisdomStore::deserialize(std::string(base) + " 0.001 nan 0.1 0.1 0.1\n").size(), 0u);
+  EXPECT_EQ(
+      WisdomStore::deserialize(std::string(base) + " 0.001 inf 0.1 0.1 0.1\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 1 2 3 4 5x\n").size(), 0u);
+  EXPECT_EQ(WisdomStore::deserialize(std::string(base) + " 1 2 3 4 banana\n").size(), 0u);
+}
+
 TEST(Wisdom, FileRoundTrip) {
   const std::string path = std::filesystem::temp_directory_path() / "lowino_wisdom_test.txt";
   WisdomStore store;
