@@ -1,0 +1,106 @@
+// Serving-path benchmark: the planned InferenceSession against the
+// single-engine forward_engine evaluation path on the model-zoo networks.
+//
+// forward_engine forces ONE engine kind on every convolution; the session
+// plans per layer (wisdom-backed shoot-out across the candidate set, accuracy
+// envelope enforced) and serves from a liveness-planned arena. The claim to
+// check: the auto-planned session is at least as fast as the best
+// single-engine choice, because per-layer selection can only match or beat a
+// uniform assignment.
+//
+// Env: LOWINO_BENCH_BATCH (default 16), LOWINO_BENCH_HW (default 32),
+//      LOWINO_BENCH_BUDGET_MS (measurement budget per cell).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/env.h"
+#include "nn/model_zoo.h"
+#include "parallel/thread_pool.h"
+#include "serve/session.h"
+
+namespace lowino {
+namespace {
+
+Tensor<float> random_input(std::size_t batch, std::size_t hw, std::uint64_t seed) {
+  Tensor<float> t({batch, 1, hw, hw});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+int bench_main() {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t batch = bench::batch_override();
+  const std::size_t hw = static_cast<std::size_t>(env_long("LOWINO_BENCH_HW", 32));
+  const Tensor<float> calib = random_input(batch, hw, 42);
+  const Tensor<float> input = random_input(batch, hw, 43);
+
+  const EngineKind candidates[] = {EngineKind::kInt8Direct, EngineKind::kLoWinoF2,
+                                   EngineKind::kLoWinoF4, EngineKind::kLoWinoF6};
+
+  std::printf("InferenceSession vs forward_engine: batch=%zu hw=%zu, %zu thread(s)\n\n",
+              batch, hw, pool.num_threads());
+
+  struct ModelSpec {
+    const char* name;
+    SequentialModel model;
+  };
+  ModelSpec models[] = {{"MiniVGG", make_minivgg(hw)}, {"MiniResNet", make_miniresnet(hw)}};
+
+  for (auto& spec : models) {
+    std::printf("=== %s ===\n", spec.name);
+    std::printf("%-36s %12s %10s\n", "path", "median ms", "vs best");
+    bench::print_rule(60);
+
+    double best_single = 0.0;
+    const char* best_name = nullptr;
+    std::vector<std::pair<std::string, double>> rows;
+    for (const EngineKind kind : candidates) {
+      spec.model.calibrate(calib, kind);
+      spec.model.finalize_calibration(kind);
+      const double sec =
+          bench::measure([&] { spec.model.forward_engine(input, kind, &pool); });
+      rows.emplace_back(std::string("forward_engine ") + engine_name(kind), sec);
+      if (!best_name || sec < best_single) {
+        best_single = sec;
+        best_name = engine_name(kind);
+      }
+    }
+
+    // Two plans: the default accuracy envelope (may reject the fastest
+    // engine on noisy layers — the latency cost of accuracy), and a
+    // latency-only plan, which is the apples-to-apples comparison against
+    // forward_engine (itself unconstrained by any envelope).
+    PlanOptions options;
+    options.candidates.assign(std::begin(candidates), std::end(candidates));
+    options.pool = &pool;
+    options.min_snr_db = static_cast<double>(env_long("LOWINO_BENCH_MIN_SNR", 20));
+    InferenceSession session = InferenceSession::compile(spec.model, calib, options);
+    PlanOptions latency_only = options;
+    latency_only.min_snr_db = 0.0;
+    InferenceSession fast_session = InferenceSession::compile(spec.model, calib, latency_only);
+
+    Tensor<float> out;
+    const double envelope_sec = bench::measure([&] { session.run(input, out); });
+    const double fast_sec = bench::measure([&] { fast_session.run(input, out); });
+    char label[64];
+    std::snprintf(label, sizeof label, "session (envelope %.0f dB)", options.min_snr_db);
+    rows.emplace_back(label, envelope_sec);
+    rows.emplace_back("session (latency-only plan)", fast_sec);
+
+    for (const auto& [name, sec] : rows) {
+      std::printf("%-36s %12.3f %9.2fx\n", name.c_str(), 1e3 * sec, best_single / sec);
+    }
+    std::printf("\nbest single engine: %s; latency-only session speedup over it: %.2fx\n",
+                best_name, best_single / fast_sec);
+    std::printf("%s\n", session.plan().summary().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lowino
+
+int main() { return lowino::bench_main(); }

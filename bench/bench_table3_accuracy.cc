@@ -7,8 +7,12 @@
 // post-training quantization with ~500-sample calibration.
 //
 // Env: LOWINO_TRAIN_N (default 1280), LOWINO_TEST_N (default 640),
-//      LOWINO_EPOCHS (default 8), LOWINO_FAST=1 (quick smoke configuration).
+//      LOWINO_EPOCHS (default 8), LOWINO_FAST=1 (quick smoke configuration),
+//      LOWINO_BENCH_ENGINES (comma-separated engine tokens, e.g.
+//      "lowino_f2,lowino_f4" — default: the full Table 3 engine set).
 #include <cstdio>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -41,7 +45,7 @@ int bench_main() {
   const Dataset calib_set = make_shape_dataset(calib_n, 1002);
   const Dataset test_set = make_shape_dataset(test_n, 1003);
 
-  const EngineRow engines[] = {
+  const EngineRow all_engines[] = {
       {EngineKind::kInt8Direct, "Non-Winograd"},
       {EngineKind::kUpcastF2, "F(2x2,3x3)"},
       {EngineKind::kVendorF2, "F(2x2,3x3)"},
@@ -51,6 +55,34 @@ int bench_main() {
       {EngineKind::kLoWinoF4, "F(4x4,3x3)"},
       {EngineKind::kLoWinoF6, "F(6x6,3x3)"},
   };
+  // LOWINO_BENCH_ENGINES narrows the sweep ("lowino_f2,lowino_f4"); rows keep
+  // the declaration order above. Unknown tokens abort rather than silently
+  // benchmark the wrong set.
+  std::vector<EngineRow> engines;
+  const std::string filter = config_string("LOWINO_BENCH_ENGINES", "");
+  if (filter.empty()) {
+    engines.assign(std::begin(all_engines), std::end(all_engines));
+  } else {
+    std::istringstream tokens(filter);
+    std::string token;
+    std::vector<EngineKind> wanted;
+    while (std::getline(tokens, token, ',')) {
+      const auto kind = engine_kind_from_string(token);
+      if (!kind) {
+        std::fprintf(stderr, "LOWINO_BENCH_ENGINES: unknown engine '%s'\n", token.c_str());
+        return 1;
+      }
+      wanted.push_back(*kind);
+    }
+    for (const EngineRow& row : all_engines) {
+      for (EngineKind k : wanted) {
+        if (row.kind == k) {
+          engines.push_back(row);
+          break;
+        }
+      }
+    }
+  }
 
   std::printf("Table 3 reproduction: top-1 accuracy, procedural dataset "
               "(train=%zu test=%zu epochs=%zu)\n\n",

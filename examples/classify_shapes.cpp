@@ -2,9 +2,14 @@
 // LoWino, and compare FP32 vs INT8 classification accuracy — the full
 // deployment pipeline of the paper on the procedural shape dataset.
 //
-//   build/examples/classify_shapes [fast]
+//   build/examples/classify_shapes [fast] [engine ...]
+//
+// Trailing arguments select the quantized engines to evaluate by token
+// ("lowino_f4", "int8-direct", ...); the default set compares LoWino against
+// direct INT8 and the down-scaling baseline.
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "nn/model_zoo.h"
 #include "nn/train.h"
@@ -13,6 +18,22 @@
 int main(int argc, char** argv) {
   using namespace lowino;
   const bool fast = argc > 1 && std::strcmp(argv[1], "fast") == 0;
+
+  std::vector<EngineKind> kinds;
+  for (int i = fast ? 2 : 1; i < argc; ++i) {
+    const auto kind = engine_kind_from_string(argv[i]);
+    if (!kind) {
+      std::fprintf(stderr, "unknown engine '%s'; valid tokens:", argv[i]);
+      for (EngineKind k : all_engine_kinds()) std::fprintf(stderr, " %s", engine_token(k));
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    kinds.push_back(*kind);
+  }
+  if (kinds.empty()) {
+    kinds = {EngineKind::kInt8Direct, EngineKind::kLoWinoF2, EngineKind::kLoWinoF4,
+             EngineKind::kDownscaleF4};
+  }
 
   const Dataset train_set = make_shape_dataset(fast ? 320 : 960, 1);
   const Dataset calib_set = make_shape_dataset(256, 2);
@@ -30,8 +51,6 @@ int main(int argc, char** argv) {
   const EvalResult fp32 = evaluate_fp32(model, test_set, 32);
   std::printf("\nFP32 test accuracy: %.2f%%\n\n", 100.0 * fp32.accuracy);
 
-  const EngineKind kinds[] = {EngineKind::kInt8Direct, EngineKind::kLoWinoF2,
-                              EngineKind::kLoWinoF4, EngineKind::kDownscaleF4};
   for (EngineKind kind : kinds) {
     std::printf("Calibrating + evaluating: %s\n", engine_name(kind));
     calibrate_model(model, calib_set, kind, 256, 32);

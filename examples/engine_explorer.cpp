@@ -2,7 +2,10 @@
 // layer and print time + accuracy side by side — a compact view of the whole
 // design space the paper discusses (Figure 2 approaches, LoWino, FP32).
 //
-//   build/examples/engine_explorer [C] [K] [HW] [batch]
+//   build/examples/engine_explorer [C] [K] [HW] [batch] [engine ...]
+//
+// Trailing arguments select a subset of engines by token ("lowino_f4",
+// "int8-direct", ...) or display name; no engine arguments runs them all.
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -41,11 +44,20 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 64; ++i) std::putchar('-');
   std::putchar('\n');
 
-  const EngineKind kinds[] = {
-      EngineKind::kFp32Direct, EngineKind::kFp32WinoF2,  EngineKind::kFp32WinoF4,
-      EngineKind::kInt8Direct, EngineKind::kUpcastF2,    EngineKind::kVendorF2,
-      EngineKind::kDownscaleF2, EngineKind::kDownscaleF4, EngineKind::kLoWinoF2,
-      EngineKind::kLoWinoF4,   EngineKind::kLoWinoF6};
+  std::vector<EngineKind> kinds;
+  for (int i = 5; i < argc; ++i) {
+    const auto kind = engine_kind_from_string(argv[i]);
+    if (!kind) {
+      std::fprintf(stderr, "unknown engine '%s'; valid tokens:", argv[i]);
+      for (EngineKind k : all_engine_kinds()) std::fprintf(stderr, " %s", engine_token(k));
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    kinds.push_back(*kind);
+  }
+  if (kinds.empty()) {
+    kinds.assign(all_engine_kinds().begin(), all_engine_kinds().end());
+  }
   ThreadPool& pool = ThreadPool::global();
   std::vector<float> output(reference.size());
   for (EngineKind kind : kinds) {

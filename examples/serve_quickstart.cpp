@@ -1,0 +1,88 @@
+// Serving quick-start: the full plan-once / serve-many workflow.
+//
+//   build/examples/serve_quickstart [plan-path] [requests]
+//
+//   1. compile an InferenceSession for MiniResNet (per-layer engine
+//      shoot-out, liveness-planned activation arena);
+//   2. save the resulting plan to disk;
+//   3. reload the plan into a *fresh* session via PlanOptions::reuse —
+//      the deployment path, where plan time already happened elsewhere;
+//   4. serve a stream of requests from the reloaded session and check the
+//      outputs stay bit-identical to the originally planned session.
+//
+// Run with LOWINO_PROFILE=1 (and optionally LOWINO_TRACE_JSON=trace.json) to
+// get a per-op serving profile; CI drives this binary exactly that way.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "nn/model_zoo.h"
+#include "parallel/thread_pool.h"
+#include "profile/profiler.h"
+#include "serve/session.h"
+
+int main(int argc, char** argv) {
+  using namespace lowino;
+  const std::string plan_path = argc > 1 ? argv[1] : "serve_plan.txt";
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 100;
+
+  const std::size_t batch = 4, hw = 16;
+  Rng rng(7);
+  Tensor<float> calib({batch, 1, hw, hw});
+  for (std::size_t i = 0; i < calib.size(); ++i)
+    calib.data()[i] = rng.uniform(-1.0f, 1.0f);
+
+  SequentialModel model = make_miniresnet(hw);
+
+  // --- Plan time -----------------------------------------------------------
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.seconds_per_candidate = 0.01;
+  InferenceSession planned = InferenceSession::compile(model, calib, options);
+  std::printf("%s\n", planned.plan().summary().c_str());
+
+  if (!planned.plan().save(plan_path)) {
+    std::fprintf(stderr, "failed to write %s\n", plan_path.c_str());
+    return 1;
+  }
+  std::printf("plan saved to %s (%zu convolution choices)\n\n", plan_path.c_str(),
+              planned.plan().convs.size());
+
+  // --- Deployment: reload the plan, no measurement at compile time ---------
+  const auto reloaded = SessionPlan::load(plan_path);
+  if (!reloaded) {
+    std::fprintf(stderr, "failed to reload %s\n", plan_path.c_str());
+    return 1;
+  }
+  PlanOptions replay;
+  replay.pool = &ThreadPool::global();
+  replay.reuse = &*reloaded;
+  InferenceSession serving = InferenceSession::compile(model, calib, replay);
+
+  // --- Serve ---------------------------------------------------------------
+  Tensor<float> request({batch, 1, hw, hw});
+  Tensor<float> out, expected;
+  Timer wall;
+  for (int r = 0; r < requests; ++r) {
+    for (std::size_t i = 0; i < request.size(); ++i)
+      request.data()[i] = rng.uniform(-1.0f, 1.0f);
+    serving.run(request, out);
+    planned.run(request, expected);
+    if (std::memcmp(out.data(), expected.data(), out.size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "request %d: reloaded plan diverged from planned session\n", r);
+      return 1;
+    }
+  }
+  const double ms = wall.milliseconds();
+  std::printf("served %d requests (batch %zu) in %.1f ms — %.2f ms/request, "
+              "all bit-identical to the planning session\n",
+              requests, batch, ms, ms / requests);
+
+  if (profiler_enabled()) {
+    std::printf("\n%s\n", profiler_summary().c_str());
+  }
+  return 0;
+}

@@ -2,15 +2,43 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 
 namespace lowino {
 
-long env_long(const char* name, long fallback) {
-  const char* v = std::getenv(name);
+namespace {
+
+long parse_long(const char* v, long fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
   return end != v ? parsed : fallback;
+}
+
+bool parse_flag(const char* v, bool fallback) {
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+struct OverrideStore {
+  std::mutex mu;
+  std::map<std::string, std::string> values;
+};
+
+// Function-local static so a ScopedRuntimeOverride constructed during static
+// init (or read from a static destructor) always sees a live store.
+OverrideStore& overrides() {
+  static OverrideStore* store = new OverrideStore();  // never destroyed
+  return *store;
+}
+
+}  // namespace
+
+long env_long(const char* name, long fallback) {
+  return parse_long(std::getenv(name), fallback);
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
@@ -19,11 +47,61 @@ std::string env_string(const char* name, const std::string& fallback) {
 }
 
 bool env_flag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  std::string s(v);
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) { return std::tolower(c); });
-  return s == "1" || s == "true" || s == "yes" || s == "on";
+  return parse_flag(std::getenv(name), fallback);
+}
+
+void RuntimeConfig::set(const std::string& knob, const std::string& value) {
+  OverrideStore& s = overrides();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.values[knob] = value;
+}
+
+void RuntimeConfig::clear(const std::string& knob) {
+  OverrideStore& s = overrides();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.values.erase(knob);
+}
+
+void RuntimeConfig::clear_all() {
+  OverrideStore& s = overrides();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.values.clear();
+}
+
+std::optional<std::string> RuntimeConfig::get(const std::string& knob) {
+  OverrideStore& s = overrides();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.values.find(knob);
+  if (it == s.values.end()) return std::nullopt;
+  return it->second;
+}
+
+ScopedRuntimeOverride::ScopedRuntimeOverride(const std::string& knob, const std::string& value)
+    : knob_(knob), previous_(RuntimeConfig::get(knob)) {
+  RuntimeConfig::set(knob, value);
+}
+
+ScopedRuntimeOverride::~ScopedRuntimeOverride() {
+  if (previous_.has_value()) {
+    RuntimeConfig::set(knob_, *previous_);
+  } else {
+    RuntimeConfig::clear(knob_);
+  }
+}
+
+long config_long(const char* name, long fallback) {
+  if (const auto v = RuntimeConfig::get(name)) return parse_long(v->c_str(), fallback);
+  return env_long(name, fallback);
+}
+
+std::string config_string(const char* name, const std::string& fallback) {
+  if (const auto v = RuntimeConfig::get(name)) return v->empty() ? fallback : *v;
+  return env_string(name, fallback);
+}
+
+bool config_flag(const char* name, bool fallback) {
+  if (const auto v = RuntimeConfig::get(name)) return parse_flag(v->c_str(), fallback);
+  return env_flag(name, fallback);
 }
 
 }  // namespace lowino

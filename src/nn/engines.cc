@@ -1,18 +1,45 @@
 #include "nn/engines.h"
 
-#include <cstdlib>
+#include <array>
+#include <cctype>
 #include <stdexcept>
 
 #include "baselines/downscale_wino.h"
 #include "baselines/fp32_wino.h"
-#include "common/env.h"
 #include "baselines/upcast_wino.h"
 #include "baselines/vendor_wino.h"
+#include "common/env.h"
 #include "direct/direct_f32.h"
 #include "direct/direct_int8.h"
 #include "lowino/lowino.h"
 
 namespace lowino {
+
+namespace {
+
+constexpr std::array<EngineKind, 11> kAllEngineKinds = {
+    EngineKind::kFp32Direct, EngineKind::kFp32WinoF2, EngineKind::kFp32WinoF4,
+    EngineKind::kInt8Direct, EngineKind::kLoWinoF2,   EngineKind::kLoWinoF4,
+    EngineKind::kLoWinoF6,   EngineKind::kDownscaleF2, EngineKind::kDownscaleF4,
+    EngineKind::kUpcastF2,   EngineKind::kVendorF2,
+};
+
+/// Token comparison: ASCII case-insensitive with '-' == '_'.
+bool token_matches(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca == '-') ca = '_';
+    if (cb == '-') cb = '_';
+    if (std::tolower(static_cast<unsigned char>(ca)) !=
+        std::tolower(static_cast<unsigned char>(cb))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 const char* engine_name(EngineKind kind) {
   switch (kind) {
@@ -31,8 +58,36 @@ const char* engine_name(EngineKind kind) {
   return "?";
 }
 
+const char* engine_token(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFp32Direct: return "fp32_direct";
+    case EngineKind::kFp32WinoF2: return "fp32_wino_f2";
+    case EngineKind::kFp32WinoF4: return "fp32_wino_f4";
+    case EngineKind::kInt8Direct: return "int8_direct";
+    case EngineKind::kLoWinoF2: return "lowino_f2";
+    case EngineKind::kLoWinoF4: return "lowino_f4";
+    case EngineKind::kLoWinoF6: return "lowino_f6";
+    case EngineKind::kDownscaleF2: return "downscale_f2";
+    case EngineKind::kDownscaleF4: return "downscale_f4";
+    case EngineKind::kUpcastF2: return "upcast_f2";
+    case EngineKind::kVendorF2: return "vendor_f2";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> engine_kind_from_string(std::string_view name) {
+  for (const EngineKind kind : kAllEngineKinds) {
+    if (token_matches(name, engine_token(kind)) || name == engine_name(kind)) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::span<const EngineKind> all_engine_kinds() { return kAllEngineKinds; }
+
 std::size_t lowino_calibration_stride(std::size_t total_tiles) {
-  const long forced = env_long("LOWINO_CALIB_STRIDE", 0);
+  const long forced = config_long("LOWINO_CALIB_STRIDE", 0);
   if (forced > 0) return static_cast<std::size_t>(forced);
   return total_tiles < kCalibDenseTileLimit ? 1 : 2;
 }
@@ -48,22 +103,77 @@ bool engine_is_quantized(EngineKind kind) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Lifecycle state machine (the non-virtual public API).
+
+void ConvEngine::misuse(const char* what) const {
+  throw std::logic_error(std::string(engine_name(kind())) + ": " + what);
+}
+
+void ConvEngine::calibrate(std::span<const float> input_nchw) {
+  if (state_ != Lifecycle::kCalibrating) {
+    misuse("calibrate() after finalize_calibration() — the input scales are "
+           "already fixed; create a new engine to recalibrate");
+  }
+  saw_calibration_ = true;
+  do_calibrate(input_nchw);
+}
+
+void ConvEngine::finalize_calibration() {
+  if (state_ != Lifecycle::kCalibrating) {
+    misuse("finalize_calibration() called twice");
+  }
+  if (!saw_calibration_ && engine_is_quantized(kind())) {
+    misuse("finalize_calibration() without any calibrate() sample — a "
+           "quantized engine has no statistics to derive input scales from");
+  }
+  do_finalize_calibration();
+  state_ = Lifecycle::kFinalized;
+}
+
+void ConvEngine::set_filters(std::span<const float> weights, std::span<const float> bias) {
+  if (state_ == Lifecycle::kCalibrating) {
+    if (engine_is_quantized(kind())) {
+      misuse(saw_calibration_
+                 ? "set_filters() before finalize_calibration() — finalize the "
+                   "input scales first"
+                 : "set_filters() on an uncalibrated quantized engine — run "
+                   "calibrate() + finalize_calibration() first");
+    }
+    // FP32 engines skip calibration entirely; advance implicitly.
+    state_ = Lifecycle::kFinalized;
+  }
+  do_set_filters(weights, bias);
+  state_ = Lifecycle::kReady;
+}
+
+void ConvEngine::run(std::span<const float> input, std::span<float> output,
+                     ThreadPool* pool) {
+  if (state_ != Lifecycle::kReady) {
+    misuse("run() before set_filters()");
+  }
+  do_run(input, output, pool);
+}
+
 namespace {
 
-/// CRTP-free small wrappers; each translates the common interface onto the
-/// underlying engine's own API.
+/// CRTP-free small wrappers; each translates the protected do_* interface
+/// onto the underlying engine's own API (the public methods on the ConvEngine
+/// base enforce the lifecycle before delegating here).
 class Fp32DirectEngine final : public ConvEngine {
  public:
   explicit Fp32DirectEngine(const ConvDesc& desc) : conv_(desc) {}
-  void calibrate(std::span<const float>) override {}
-  void finalize_calibration() override {}
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return EngineKind::kFp32Direct; }
+
+ protected:
+  void do_calibrate(std::span<const float>) override {}
+  void do_finalize_calibration() override {}
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return EngineKind::kFp32Direct; }
 
  private:
   Im2colConvF32 conv_;
@@ -73,15 +183,17 @@ class Fp32WinoEngine final : public ConvEngine {
  public:
   Fp32WinoEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
       : conv_(desc, m), kind_(kind) {}
-  void calibrate(std::span<const float>) override {}
-  void finalize_calibration() override {}
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return kind_; }
+
+ protected:
+  void do_calibrate(std::span<const float>) override {}
+  void do_finalize_calibration() override {}
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return kind_; }
 
  private:
   Fp32WinoConv conv_;
@@ -91,15 +203,17 @@ class Fp32WinoEngine final : public ConvEngine {
 class Int8DirectEngine final : public ConvEngine {
  public:
   explicit Int8DirectEngine(const ConvDesc& desc) : conv_(desc) {}
-  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
-  void finalize_calibration() override { conv_.finalize_calibration(); }
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return EngineKind::kInt8Direct; }
+
+ protected:
+  void do_calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void do_finalize_calibration() override { conv_.finalize_calibration(); }
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return EngineKind::kInt8Direct; }
 
  private:
   Int8DirectConv conv_;
@@ -109,20 +223,22 @@ class LoWinoEngine final : public ConvEngine {
  public:
   LoWinoEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
       : conv_(desc, make_config(m)), kind_(kind) {}
-  void calibrate(std::span<const float> in) override {
+  EngineKind kind() const override { return kind_; }
+
+ protected:
+  void do_calibrate(std::span<const float> in) override {
     // Subsample tiles on big feature maps (the statistics converge quickly
     // and the histograms are per position anyway), but walk every tile of
     // tiny ones — see lowino_calibration_stride.
     conv_.calibrate(in, lowino_calibration_stride(conv_.geometry().total_tiles));
   }
-  void finalize_calibration() override { conv_.finalize_calibration(); }
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  void do_finalize_calibration() override { conv_.finalize_calibration(); }
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return kind_; }
 
  private:
   static LoWinoConfig make_config(std::size_t m) {
@@ -130,10 +246,10 @@ class LoWinoEngine final : public ConvEngine {
     cfg.m = m;
     // Default kAuto: small layers run staged, layers whose V + Z tensors
     // outgrow aggregate L2 stream through the fused per-thread panels.
-    // LOWINO_EXECUTION_MODE=staged|fused|auto overrides for experiments.
-    if (const char* env = std::getenv("LOWINO_EXECUTION_MODE")) {
-      parse_execution_mode(env, cfg.execution_mode);
-    }
+    // LOWINO_EXECUTION_MODE=staged|fused|auto (env or RuntimeConfig
+    // override) overrides for experiments.
+    const std::string mode = config_string("LOWINO_EXECUTION_MODE", "");
+    if (!mode.empty()) parse_execution_mode(mode.c_str(), cfg.execution_mode);
     return cfg;
   }
   LoWinoConvolution conv_;
@@ -144,15 +260,17 @@ class DownscaleEngine final : public ConvEngine {
  public:
   DownscaleEngine(const ConvDesc& desc, std::size_t m, EngineKind kind)
       : conv_(desc, m), kind_(kind) {}
-  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
-  void finalize_calibration() override { conv_.finalize_calibration(); }
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return kind_; }
+
+ protected:
+  void do_calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void do_finalize_calibration() override { conv_.finalize_calibration(); }
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return kind_; }
 
  private:
   DownscaleWinoConv conv_;
@@ -162,15 +280,17 @@ class DownscaleEngine final : public ConvEngine {
 class UpcastEngine final : public ConvEngine {
  public:
   explicit UpcastEngine(const ConvDesc& desc) : conv_(desc) {}
-  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
-  void finalize_calibration() override { conv_.finalize_calibration(); }
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return EngineKind::kUpcastF2; }
+
+ protected:
+  void do_calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void do_finalize_calibration() override { conv_.finalize_calibration(); }
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return EngineKind::kUpcastF2; }
 
  private:
   UpcastWinoConv conv_;
@@ -179,15 +299,17 @@ class UpcastEngine final : public ConvEngine {
 class VendorEngine final : public ConvEngine {
  public:
   explicit VendorEngine(const ConvDesc& desc) : conv_(desc) {}
-  void calibrate(std::span<const float> in) override { conv_.calibrate(in); }
-  void finalize_calibration() override { conv_.finalize_calibration(); }
-  void set_filters(std::span<const float> w, std::span<const float> b) override {
+  EngineKind kind() const override { return EngineKind::kVendorF2; }
+
+ protected:
+  void do_calibrate(std::span<const float> in) override { conv_.calibrate(in); }
+  void do_finalize_calibration() override { conv_.finalize_calibration(); }
+  void do_set_filters(std::span<const float> w, std::span<const float> b) override {
     conv_.set_filters(w, b);
   }
-  void run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
+  void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
-  EngineKind kind() const override { return EngineKind::kVendorF2; }
 
  private:
   VendorWinoF23 conv_;

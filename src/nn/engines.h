@@ -1,11 +1,13 @@
 // Uniform adapter over every convolution engine in the repository, used by
-// the NN runtime to swap implementations per experiment configuration
-// (Table 3 columns and the Figure 8 engine set).
+// the NN runtime and the serving layer to swap implementations per layer
+// (Table 3 columns, the Figure 8 engine set, and serve-plan auto-selection).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "tensor/conv_desc.h"
 
@@ -27,7 +29,23 @@ enum class EngineKind {
   kVendorF2,      ///< fused vendor-style INT8 F(2x2,3x3)
 };
 
+/// Human-readable display name ("LoWino F(4x4,3x3)").
 const char* engine_name(EngineKind kind);
+
+/// Stable machine token ("lowino_f4") — what plan files, wisdom entries and
+/// command lines use. engine_kind_from_string() parses both forms.
+const char* engine_token(EngineKind kind);
+
+/// Parses an engine identifier: the machine token (ASCII case-insensitive,
+/// '-' and '_' interchangeable) or the exact engine_name() display string.
+/// Returns nullopt for anything else. Round-trips with both engine_token()
+/// and engine_name() for every EngineKind.
+std::optional<EngineKind> engine_kind_from_string(std::string_view name);
+
+/// Every EngineKind, in declaration order (for benches/examples that sweep
+/// the whole engine set).
+std::span<const EngineKind> all_engine_kinds();
+
 bool engine_is_quantized(EngineKind kind);
 
 /// Below this many Winograd tiles, calibration samples every tile: a strided
@@ -36,22 +54,63 @@ bool engine_is_quantized(EngineKind kind);
 inline constexpr std::size_t kCalibDenseTileLimit = 32;
 
 /// Calibration tile stride used by the LoWino engines: LOWINO_CALIB_STRIDE
-/// (when set to a positive integer) wins; otherwise stride 1 for layers with
-/// fewer than kCalibDenseTileLimit tiles and the subsampling stride 2 beyond.
+/// (when set to a positive integer, via env or RuntimeConfig override) wins;
+/// otherwise stride 1 for layers with fewer than kCalibDenseTileLimit tiles
+/// and the subsampling stride 2 beyond.
 std::size_t lowino_calibration_stride(std::size_t total_tiles);
 
-/// One convolution engine bound to a fixed ConvDesc. Lifecycle:
-/// calibrate()* -> finalize_calibration() -> set_filters() -> run()*.
-/// (Non-quantized engines ignore the calibration calls.)
+/// One convolution engine bound to a fixed ConvDesc.
+///
+/// Lifecycle: calibrate()* -> finalize_calibration() -> set_filters() ->
+/// run()*, enforced by an explicit state machine — misuse throws
+/// std::logic_error instead of silently computing garbage:
+///
+///   * calibrate() after finalize_calibration()            -> throws
+///   * finalize_calibration() twice                        -> throws
+///   * finalize_calibration() without any calibrate() on a
+///     quantized engine (no statistics to finalize)        -> throws
+///   * set_filters() on a quantized engine that is mid-calibration or was
+///     never finalized (its input scales don't exist yet)  -> throws
+///   * run() before set_filters()                          -> throws
+///
+/// Non-quantized engines ignore calibration: their set_filters() may be the
+/// first call (the state machine advances implicitly), but the ordering
+/// violations above still throw so a caller's bug surfaces regardless of
+/// which engine kind the layer happens to select.
+///
+/// set_filters() may be called again at any point after the engine is ready
+/// (weight reload); run() stays legal afterwards.
 class ConvEngine {
  public:
+  enum class Lifecycle {
+    kCalibrating,  ///< accepting calibrate() samples (initial state)
+    kFinalized,    ///< scales fixed; waiting for filters
+    kReady,        ///< run() is legal
+  };
+
   virtual ~ConvEngine() = default;
-  virtual void calibrate(std::span<const float> input_nchw) = 0;
-  virtual void finalize_calibration() = 0;
-  virtual void set_filters(std::span<const float> weights, std::span<const float> bias) = 0;
-  virtual void run(std::span<const float> input, std::span<float> output,
-                   ThreadPool* pool) = 0;
+
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  void set_filters(std::span<const float> weights, std::span<const float> bias);
+  void run(std::span<const float> input, std::span<float> output, ThreadPool* pool);
+
+  Lifecycle lifecycle() const { return state_; }
   virtual EngineKind kind() const = 0;
+
+ protected:
+  virtual void do_calibrate(std::span<const float> input_nchw) = 0;
+  virtual void do_finalize_calibration() = 0;
+  virtual void do_set_filters(std::span<const float> weights,
+                              std::span<const float> bias) = 0;
+  virtual void do_run(std::span<const float> input, std::span<float> output,
+                      ThreadPool* pool) = 0;
+
+ private:
+  [[noreturn]] void misuse(const char* what) const;
+
+  Lifecycle state_ = Lifecycle::kCalibrating;
+  bool saw_calibration_ = false;
 };
 
 /// Factory. Throws std::invalid_argument for incompatible (kind, desc) pairs

@@ -40,12 +40,22 @@ void SequentialModel::finalize_calibration(EngineKind kind) {
 
 const Tensor<float>& SequentialModel::forward_engine(const Tensor<float>& input,
                                                      EngineKind kind, ThreadPool* pool) {
-  activations_.resize(layers_.size() + 1);
-  activations_[0] = input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->forward_engine(activations_[i], activations_[i + 1], kind, pool);
+  // Two persistent ping-pong tensors instead of layers+1 buffers: layer i
+  // reads one and writes the other, so steady-state calls never allocate
+  // (Tensor::reshape only grows) and the footprint is 2 activations, not L+1.
+  if (layers_.empty()) {
+    engine_act_[0] = input;
+    return engine_act_[0];
   }
-  return activations_.back();
+  const Tensor<float>* src = &input;
+  std::size_t which = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor<float>& dst = engine_act_[which];
+    layers_[i]->forward_engine(*src, dst, kind, pool);
+    src = &dst;
+    which ^= 1;
+  }
+  return *src;
 }
 
 std::size_t SequentialModel::parameter_count() const {

@@ -35,6 +35,12 @@ class SequentialModel {
   void finalize_calibration(EngineKind kind);
 
   /// Inference forward with the chosen engine for every convolution.
+  ///
+  /// This is the *debug / evaluation* path: one EngineKind forced on every
+  /// layer, activations in two persistent ping-pong tensors (steady-state
+  /// allocation-free, but no cross-layer memory planning and no per-layer
+  /// engine choice). Production serving goes through serve/session.h, which
+  /// plans engines per layer and lays activations out in a single arena.
   const Tensor<float>& forward_engine(const Tensor<float>& input, EngineKind kind,
                                       ThreadPool* pool = nullptr);
 
@@ -43,8 +49,9 @@ class SequentialModel {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<Tensor<float>> activations_;  ///< ping-pong buffers
+  std::vector<Tensor<float>> activations_;  ///< per-layer FP32 activations
   std::vector<Tensor<float>> grads_;
+  Tensor<float> engine_act_[2];  ///< forward_engine ping-pong pair
 };
 
 }  // namespace lowino

@@ -87,22 +87,32 @@ ConvDesc ConvLayer::desc_for_batch(std::size_t batch) const {
 void ConvLayer::forward(const Tensor<float>& in, Tensor<float>& out, bool train) {
   const std::size_t batch = in.dim(0);
   const ConvDesc d = desc_for_batch(batch);
+  out.reshape({batch, k_, d.out_height(), d.out_width()});
+  if (train) cached_in_ = in;
+  forward_fp32(in.span(), out.span(), batch);
+}
+
+void ConvLayer::forward_fp32(std::span<const float> in, std::span<float> out,
+                             std::size_t batch) {
+  const ConvDesc d = desc_for_batch(batch);
   const std::size_t rows = d.out_height() * d.out_width();
   const std::size_t patch = c_ * r_ * r_;
-  out.reshape({batch, k_, d.out_height(), d.out_width()});
 
-  if (train) cached_in_ = in;
+  // col_ keeps the whole batch's im2col: backward() consumes it after a
+  // forward(train = true), which routes through here.
   col_.ensure(batch * rows * patch);
   // wT: patch x K operand of the GEMM (weights are K x patch row-major).
-  std::vector<float> wT(patch * k_);
+  wt_scratch_.ensure(patch * k_);
+  float* wT = wt_scratch_.data();
   for (std::size_t k = 0; k < k_; ++k) {
     for (std::size_t p = 0; p < patch; ++p) wT[p * k_ + k] = weights_[k * patch + p];
   }
-  std::vector<float> out_rows(rows * k_);
+  rows_scratch_.ensure(rows * k_);
+  float* out_rows = rows_scratch_.data();
   for (std::size_t b = 0; b < batch; ++b) {
     float* col_b = col_.data() + b * rows * patch;
-    im2col_f32(d, in.span(), b, col_b);
-    fp32_gemm(col_b, patch, wT.data(), k_, out_rows.data(), k_, rows, patch, k_);
+    im2col_f32(d, in, b, col_b);
+    fp32_gemm(col_b, patch, wT, k_, out_rows, k_, rows, patch, k_);
     for (std::size_t k = 0; k < k_; ++k) {
       float* dst = out.data() + (b * k_ + k) * rows;
       const float bk = bias_[k];

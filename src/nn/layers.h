@@ -60,10 +60,22 @@ class ConvLayer : public Layer {
   void forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
                       ThreadPool* pool) override;
 
+  /// Span-based FP32 forward (the compute core of forward(), and the serving
+  /// path for non-quantizable layers). All scratch lives in member buffers —
+  /// allocation-free once the buffers are warm. Not reentrant: concurrent
+  /// callers must hold distinct ConvLayer instances.
+  void forward_fp32(std::span<const float> in, std::span<float> out, std::size_t batch);
+
   std::size_t parameter_count() const override { return weights_.size() + bias_.size(); }
   std::span<const float> weights() const { return {weights_.data(), weights_.size()}; }
   std::span<float> mutable_weights() { return {weights_.data(), weights_.size()}; }
+  std::span<const float> bias() const { return {bias_.data(), bias_.size()}; }
+  std::size_t in_channels() const { return c_; }
   std::size_t out_channels() const { return k_; }
+  std::size_t spatial() const { return hw_; }
+  /// The ConvDesc this layer presents for a given batch size (what the
+  /// serving planner feeds make_conv_engine / the tuner).
+  ConvDesc conv_desc(std::size_t batch) const { return desc_for_batch(batch); }
 
   /// When false, quantized inference keeps this layer in FP32 (standard
   /// practice for network stems; mirrors the paper's setup where the first
@@ -82,6 +94,8 @@ class ConvLayer : public Layer {
 
   Tensor<float> cached_in_;  ///< input cache for backward
   AlignedBuffer<float> col_;  ///< im2col scratch
+  AlignedBuffer<float> wt_scratch_;   ///< patch x K transposed-weights operand
+  AlignedBuffer<float> rows_scratch_; ///< rows x K GEMM output scratch
 
   /// Engines keyed by (kind, batch); filters are (re)loaded lazily whenever
   /// the FP32 weights changed since the engine last saw them.
@@ -112,6 +126,8 @@ class MaxPoolLayer : public Layer {
   std::string name() const override { return "maxpool2x2"; }
   void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
   void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
+  std::size_t channels() const { return c_; }
+  std::size_t spatial() const { return hw_; }
 
  private:
   std::size_t c_, hw_;
@@ -127,6 +143,10 @@ class DenseLayer : public Layer {
   void backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) override;
   void update(float lr, float momentum) override;
   std::size_t parameter_count() const override { return w_.size() + b_.size(); }
+  std::size_t in_features() const { return in_f_; }
+  std::size_t out_features() const { return out_f_; }
+  std::span<const float> weights() const { return {w_.data(), w_.size()}; }
+  std::span<const float> bias() const { return {b_.data(), b_.size()}; }
 
  private:
   std::size_t in_f_, out_f_;
@@ -149,6 +169,8 @@ class ResidualBlock : public Layer {
   std::size_t parameter_count() const override {
     return conv1_.parameter_count() + conv2_.parameter_count();
   }
+  ConvLayer& conv1() { return conv1_; }
+  ConvLayer& conv2() { return conv2_; }
 
  private:
   ConvLayer conv1_, conv2_;

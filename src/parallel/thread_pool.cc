@@ -120,7 +120,7 @@ void ThreadPool::worker_loop(std::size_t tid) {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(static_cast<std::size_t>(env_long("LOWINO_NUM_THREADS", 0)));
+  static ThreadPool pool(static_cast<std::size_t>(config_long("LOWINO_NUM_THREADS", 0)));
   return pool;
 }
 

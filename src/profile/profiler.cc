@@ -21,6 +21,7 @@ const char* profile_stage_name(ProfileStage stage) {
     case ProfileStage::kOutputTransform: return "output transform";
     case ProfileStage::kCalibration: return "calibration";
     case ProfileStage::kTunerTrial: return "tuner trial";
+    case ProfileStage::kServe: return "serve op";
   }
   return "?";
 }
@@ -70,7 +71,7 @@ struct Registry {
   std::uint64_t epoch_ns;
 
   Registry() : epoch_ns(now_ns()) {
-    if (env_flag("LOWINO_PROFILE")) {
+    if (config_flag("LOWINO_PROFILE")) {
       g_profiler_enabled.store(true, std::memory_order_relaxed);
     }
   }
@@ -95,10 +96,10 @@ Registry& registry() {
 const bool g_registry_static_init = (registry(), true);
 
 Registry::~Registry() {
-  if (env_flag("LOWINO_PROFILE")) {
+  if (config_flag("LOWINO_PROFILE")) {
     const std::string s = summary_of(*this);
     std::fputs(s.c_str(), stderr);
-    const std::string trace_path = env_string("LOWINO_TRACE_JSON", "");
+    const std::string trace_path = config_string("LOWINO_TRACE_JSON", "");
     if (!trace_path.empty()) {
       if (write_chrome_trace_of(*this, trace_path)) {
         std::fprintf(stderr, "lowino profile: trace written to %s\n", trace_path.c_str());

@@ -55,8 +55,9 @@ enum class ProfileStage : std::uint8_t {
   kOutputTransform, ///< de-quantization + output transform + bias/ReLU
   kCalibration,     ///< Winograd-domain statistics collection
   kTunerTrial,      ///< one auto-tuner candidate measurement
+  kServe,           ///< one serving op inside InferenceSession::run
 };
-inline constexpr std::size_t kProfileStageCount = 6;
+inline constexpr std::size_t kProfileStageCount = 7;
 
 const char* profile_stage_name(ProfileStage stage);
 

@@ -1,0 +1,63 @@
+#include "serve/arena.h"
+
+#include <algorithm>
+
+#include "common/aligned_buffer.h"
+
+namespace lowino {
+
+namespace {
+
+bool intervals_overlap(const ArenaRequest& a, const ArenaRequest& b) {
+  return a.def_step <= b.last_use_step && b.def_step <= a.last_use_step;
+}
+
+}  // namespace
+
+ArenaPlan plan_arena(std::span<const ArenaRequest> requests) {
+  ArenaPlan plan;
+  plan.offsets.assign(requests.size(), 0);
+
+  // Largest-first placement order: big tensors claim the low offsets, small
+  // ones fill the gaps — the classic greedy that keeps the peak close to the
+  // max-overlap lower bound.
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].bytes > requests[b].bytes;
+  });
+
+  struct Placed {
+    std::size_t offset, end, index;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(requests.size());
+
+  for (std::size_t idx : order) {
+    const ArenaRequest& req = requests[idx];
+    const std::size_t size = round_up(req.bytes, kArenaAlignment);
+    plan.naive_bytes += size;
+    if (size == 0) continue;  // zero-byte values occupy no space
+
+    // Offsets already claimed during this request's live interval, in offset
+    // order; scan the gaps for the lowest fit.
+    std::vector<Placed> conflicts;
+    for (const Placed& p : placed) {
+      if (intervals_overlap(req, requests[p.index])) conflicts.push_back(p);
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const Placed& a, const Placed& b) { return a.offset < b.offset; });
+
+    std::size_t offset = 0;
+    for (const Placed& c : conflicts) {
+      if (offset + size <= c.offset) break;  // fits in the gap below c
+      offset = std::max(offset, c.end);
+    }
+    plan.offsets[idx] = offset;
+    placed.push_back({offset, offset + size, idx});
+    plan.peak_bytes = std::max(plan.peak_bytes, offset + size);
+  }
+  return plan;
+}
+
+}  // namespace lowino

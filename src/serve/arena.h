@@ -1,0 +1,46 @@
+// Liveness-based activation memory planner for the serving layer.
+//
+// The planner receives one request per intermediate value of a lowered
+// network — its size in bytes and the [def_step, last_use_step] interval in
+// which the value is live — and assigns every request an offset inside a
+// single arena such that no two time-overlapping values alias. Values whose
+// lifetimes are disjoint share bytes, so the arena peak is typically far
+// below the naive sum-of-all-buffers footprint (the quantity ArenaPlan
+// reports next to the planned peak).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lowino {
+
+/// One value to place: `bytes` of storage, live over the inclusive step
+/// interval [def_step, last_use_step]. A request with bytes == 0 is legal and
+/// gets offset 0 (it occupies no space and conflicts with nothing).
+struct ArenaRequest {
+  std::size_t bytes = 0;
+  std::size_t def_step = 0;
+  std::size_t last_use_step = 0;
+};
+
+/// Result of plan_arena(): one offset per request (same order), the arena
+/// size the offsets imply, and the naive footprint for comparison.
+struct ArenaPlan {
+  std::vector<std::size_t> offsets;
+  std::size_t peak_bytes = 0;   ///< arena size = max(offset + aligned size)
+  std::size_t naive_bytes = 0;  ///< sum of aligned sizes (one buffer each)
+};
+
+/// Alignment of every planned offset (cache line, and what AlignedBuffer
+/// guarantees for the arena base — so every value pointer is 64B-aligned).
+inline constexpr std::size_t kArenaAlignment = 64;
+
+/// Plans offsets greedily: requests are placed largest-first, each at the
+/// lowest 64B-aligned offset where it fits below, between or above the
+/// already-placed requests whose live intervals overlap its own. Guarantees
+/// (fuzz-tested): no two requests with overlapping [def, last_use] intervals
+/// overlap in [offset, offset + bytes), and peak_bytes <= naive_bytes.
+ArenaPlan plan_arena(std::span<const ArenaRequest> requests);
+
+}  // namespace lowino

@@ -1,0 +1,577 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/timer.h"
+#include "direct/direct_f32.h"
+#include "gemm/fp32_gemm.h"
+#include "parallel/thread_pool.h"
+#include "profile/profiler.h"
+#include "quant/quantize.h"
+
+namespace lowino {
+
+namespace {
+
+/// Default shoot-out candidates: the INT8 engines the paper evaluates, plus
+/// the F(6x6,3x3) extension. FP32 kinds are reachable via forced_engine or an
+/// explicit candidate list.
+constexpr EngineKind kDefaultCandidates[] = {
+    EngineKind::kInt8Direct,
+    EngineKind::kLoWinoF2,
+    EngineKind::kLoWinoF4,
+    EngineKind::kLoWinoF6,
+};
+
+std::string plan_wisdom_key(const std::string& desc_str) {
+  return "plan-engine " + desc_str;
+}
+
+/// SNR values are clamped before they enter a plan record: an FP32 candidate
+/// reproduces the reference bit-for-bit and quantization_error() then reports
+/// +inf dB, which would not round-trip through the text format.
+double clamp_snr(double snr_db) { return std::min(snr_db, 999.0); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionPlan
+
+std::string SessionPlan::summary() const {
+  std::ostringstream os;
+  os << "inference session plan: batch " << batch << ", " << convs.size()
+     << " planned convolution(s)\n";
+  for (const ConvChoice& c : convs) {
+    os << "  op " << c.op_index << ": " << engine_token(c.engine) << "  " << c.layer << " ["
+       << c.desc << "]  snr " << c.snr_db << " dB";
+    if (c.seconds > 0.0) os << ", " << c.seconds * 1e3 << " ms";
+    if (!c.met_envelope) os << "  (below accuracy envelope; best-effort pick)";
+    os << '\n';
+  }
+  const double saved =
+      naive_bytes == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(arena_bytes) / static_cast<double>(naive_bytes));
+  os << "  arena " << arena_bytes << " B vs naive " << naive_bytes << " B (" << saved
+     << "% saved)\n";
+  return os.str();
+}
+
+std::string SessionPlan::serialize() const {
+  std::ostringstream os;
+  os << "# lowino-plan v1: conv = op_index engine snr_db seconds met | layer | desc\n";
+  os.precision(9);
+  os << "batch = " << batch << '\n';
+  os << "arena = " << arena_bytes << '\n';
+  os << "naive = " << naive_bytes << '\n';
+  for (const ConvChoice& c : convs) {
+    os << "conv = " << c.op_index << ' ' << engine_token(c.engine) << ' ' << c.snr_db << ' '
+       << c.seconds << ' ' << (c.met_envelope ? 1 : 0) << " | " << c.layer << " | " << c.desc
+       << '\n';
+  }
+  return os.str();
+}
+
+std::optional<SessionPlan> SessionPlan::deserialize(const std::string& text) {
+  SessionPlan plan;
+  bool saw_batch = false, saw_arena = false, saw_naive = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find(" = ");
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, eq);
+    const std::string payload = line.substr(eq + 3);
+    if (key == "batch" || key == "arena" || key == "naive") {
+      std::istringstream vals(payload);
+      long long v = 0;
+      std::string extra;
+      if (!(vals >> v) || v < 0 || (vals >> extra)) return std::nullopt;
+      if (key == "batch") plan.batch = static_cast<std::size_t>(v), saw_batch = true;
+      if (key == "arena") plan.arena_bytes = static_cast<std::size_t>(v), saw_arena = true;
+      if (key == "naive") plan.naive_bytes = static_cast<std::size_t>(v), saw_naive = true;
+    } else if (key == "conv") {
+      // Numeric head up to the first " | ", then "layer | desc".
+      const std::size_t bar = payload.find(" | ");
+      if (bar == std::string::npos) return std::nullopt;
+      ConvChoice c;
+      std::istringstream head(payload.substr(0, bar));
+      long long idx = 0;
+      std::string token;
+      int met = -1;
+      std::string extra;
+      if (!(head >> idx >> token >> c.snr_db >> c.seconds >> met) || idx < 0 ||
+          (met != 0 && met != 1) || (head >> extra)) {
+        return std::nullopt;
+      }
+      const std::optional<EngineKind> kind = engine_kind_from_string(token);
+      if (!kind) return std::nullopt;
+      c.op_index = static_cast<std::size_t>(idx);
+      c.engine = *kind;
+      c.met_envelope = met == 1;
+      const std::string tail = payload.substr(bar + 3);
+      const std::size_t bar2 = tail.find(" | ");
+      if (bar2 == std::string::npos) return std::nullopt;
+      c.layer = tail.substr(0, bar2);
+      c.desc = tail.substr(bar2 + 3);
+      if (c.layer.empty() || c.desc.empty()) return std::nullopt;
+      plan.convs.push_back(std::move(c));
+    } else {
+      return std::nullopt;  // unknown key: corrupt or newer format
+    }
+  }
+  if (!saw_batch || !saw_arena || !saw_naive || plan.batch == 0) return std::nullopt;
+  return plan;
+}
+
+bool SessionPlan::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<SessionPlan> SessionPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+
+namespace {
+
+[[noreturn]] void lower_fail(const std::string& what) {
+  throw std::invalid_argument("InferenceSession: " + what);
+}
+
+}  // namespace
+
+InferenceSession InferenceSession::compile(SequentialModel& model,
+                                           const Tensor<float>& calib_input,
+                                           const PlanOptions& options) {
+  if (model.layer_count() == 0) lower_fail("model has no layers");
+  if (calib_input.rank() != 4) lower_fail("calibration input must be rank-4 NCHW");
+  const std::size_t batch = calib_input.dim(0);
+  if (batch == 0) lower_fail("calibration batch must be non-empty");
+
+  InferenceSession s;
+  s.pool_ = options.pool != nullptr ? options.pool : &ThreadPool::global();
+  s.plan_.batch = batch;
+
+  // -- Lower the model to the flat op list, tracking value liveness. --------
+  const auto new_value = [&s](std::vector<std::size_t> shape, std::size_t def) {
+    Value v;
+    v.elems = 1;
+    for (std::size_t d : shape) v.elems *= d;
+    v.shape = std::move(shape);
+    v.def_step = def;
+    v.last_use = def;
+    s.values_.push_back(std::move(v));
+    return s.values_.size() - 1;
+  };
+  const auto push_op = [&s](Op op) {
+    const std::size_t step = s.ops_.size();
+    s.values_[op.in0].last_use = step;
+    if (op.kind == Op::Kind::kAddRelu) s.values_[op.in1].last_use = step;
+    s.ops_.push_back(std::move(op));
+  };
+  const auto lower_conv = [&](ConvLayer& conv, std::size_t in_val) {
+    const Value& vi = s.values_[in_val];
+    const ConvDesc d = conv.conv_desc(batch);
+    if (vi.elems != batch * conv.in_channels() * conv.spatial() * conv.spatial()) {
+      lower_fail("shape mismatch feeding " + conv.name());
+    }
+    const std::size_t out_val = new_value(
+        {batch, conv.out_channels(), d.out_height(), d.out_width()}, s.ops_.size());
+    Op op;
+    op.kind = conv.quantizable() ? Op::Kind::kConvEngine : Op::Kind::kConvFp32;
+    op.in0 = in_val;
+    op.out = out_val;
+    op.conv = &conv;
+    op.label = conv.name();
+    push_op(std::move(op));
+    return out_val;
+  };
+
+  std::size_t cur = new_value(calib_input.shape(), 0);
+  s.values_[cur].external = true;
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    Layer& layer = model.layer(i);
+    if (auto* conv = dynamic_cast<ConvLayer*>(&layer)) {
+      cur = lower_conv(*conv, cur);
+    } else if (dynamic_cast<ReluLayer*>(&layer) != nullptr) {
+      const std::size_t out_val = new_value(s.values_[cur].shape, s.ops_.size());
+      Op op;
+      op.kind = Op::Kind::kRelu;
+      op.in0 = cur;
+      op.out = out_val;
+      op.label = "relu";
+      push_op(std::move(op));
+      cur = out_val;
+    } else if (auto* mp = dynamic_cast<MaxPoolLayer*>(&layer)) {
+      const std::size_t hw = mp->spatial();
+      if (s.values_[cur].elems != batch * mp->channels() * hw * hw) {
+        lower_fail("shape mismatch feeding maxpool");
+      }
+      const std::size_t out_val =
+          new_value({batch, mp->channels(), hw / 2, hw / 2}, s.ops_.size());
+      Op op;
+      op.kind = Op::Kind::kMaxPool;
+      op.in0 = cur;
+      op.out = out_val;
+      op.channels = mp->channels();
+      op.hw = hw;
+      op.label = "maxpool2x2";
+      push_op(std::move(op));
+      cur = out_val;
+    } else if (auto* dense = dynamic_cast<DenseLayer*>(&layer)) {
+      if (s.values_[cur].elems != batch * dense->in_features()) {
+        lower_fail("shape mismatch feeding " + dense->name());
+      }
+      const std::size_t out_val = new_value({batch, dense->out_features()}, s.ops_.size());
+      Op op;
+      op.kind = Op::Kind::kDense;
+      op.in0 = cur;
+      op.out = out_val;
+      op.dense = dense;
+      op.label = dense->name();
+      push_op(std::move(op));
+      cur = out_val;
+    } else if (auto* res = dynamic_cast<ResidualBlock*>(&layer)) {
+      // Flattened so the skip connection is a real live range: the block
+      // input stays live across conv1/relu/conv2 until the final add.
+      const std::size_t x = cur;
+      const std::size_t mid = lower_conv(res->conv1(), x);
+      const std::size_t mid_act = new_value(s.values_[mid].shape, s.ops_.size());
+      Op relu_op;
+      relu_op.kind = Op::Kind::kRelu;
+      relu_op.in0 = mid;
+      relu_op.out = mid_act;
+      relu_op.label = "relu(residual)";
+      push_op(std::move(relu_op));
+      const std::size_t f_out = lower_conv(res->conv2(), mid_act);
+      const std::size_t out_val = new_value(s.values_[x].shape, s.ops_.size());
+      Op add_op;
+      add_op.kind = Op::Kind::kAddRelu;
+      add_op.in0 = x;
+      add_op.in1 = f_out;
+      add_op.out = out_val;
+      add_op.label = "add+relu(residual)";
+      push_op(std::move(add_op));
+      cur = out_val;
+    } else {
+      lower_fail("unsupported layer in serving path: " + layer.name());
+    }
+  }
+  s.output_value_ = cur;
+  s.values_[cur].external = true;
+
+  // -- Plan-time FP32 pass: capture every conv's input distribution and -----
+  // -- reference output (the accuracy envelope's ground truth). -------------
+  std::vector<Tensor<float>> vals(s.values_.size());
+  vals[0] = calib_input;
+  for (Op& op : s.ops_) {
+    vals[op.out].reshape(s.values_[op.out].shape);
+    if (op.kind == Op::Kind::kConvEngine) {
+      op.conv->forward_fp32(vals[op.in0].span(), vals[op.out].span(), batch);
+    } else {
+      const float* in1 = op.kind == Op::Kind::kAddRelu ? vals[op.in1].data() : nullptr;
+      s.execute_op(op, vals[op.in0].data(), in1, vals[op.out].data());
+    }
+  }
+
+  // -- Per-convolution engine selection. ------------------------------------
+  const std::size_t reuse_convs =
+      (!options.forced_engine && options.reuse != nullptr) ? options.reuse->convs.size() : 0;
+  if (options.reuse != nullptr && !options.forced_engine &&
+      options.reuse->batch != batch) {
+    lower_fail("reused plan was compiled for batch " + std::to_string(options.reuse->batch));
+  }
+  Tensor<float> actual;  // candidate output scratch
+  std::size_t conv_idx = 0;
+  for (std::size_t i = 0; i < s.ops_.size(); ++i) {
+    Op& op = s.ops_[i];
+    if (op.kind != Op::Kind::kConvEngine) continue;
+    const ConvDesc desc = op.conv->conv_desc(batch);
+    const std::string desc_str = desc.to_string();
+    const Tensor<float>& plan_in = vals[op.in0];
+    const Tensor<float>& ref_out = vals[op.out];
+
+    // Builds + calibrates one candidate; nullptr when make_conv_engine
+    // rejects the (kind, shape) pair — that is the eligibility filter.
+    const auto build = [&](EngineKind kind) -> std::unique_ptr<ConvEngine> {
+      std::unique_ptr<ConvEngine> e;
+      try {
+        e = make_conv_engine(kind, desc);
+      } catch (const std::invalid_argument&) {
+        return nullptr;
+      }
+      if (engine_is_quantized(kind)) {
+        e->calibrate(plan_in.span());
+        e->finalize_calibration();
+      }
+      e->set_filters(op.conv->weights(), op.conv->bias());
+      return e;
+    };
+
+    SessionPlan::ConvChoice choice;
+    choice.op_index = i;
+    choice.layer = op.label;
+    choice.desc = desc_str;
+    actual.reshape(s.values_[op.out].shape);
+
+    if (options.forced_engine) {
+      op.engine = build(*options.forced_engine);
+      if (op.engine == nullptr) {
+        lower_fail(std::string("forced engine ") + engine_token(*options.forced_engine) +
+                   " is not eligible for " + desc_str);
+      }
+      choice.engine = *options.forced_engine;
+    } else if (options.reuse != nullptr) {
+      if (conv_idx >= reuse_convs) lower_fail("reused plan has too few convolutions");
+      const SessionPlan::ConvChoice& rc = options.reuse->convs[conv_idx];
+      if (rc.desc != desc_str) {
+        lower_fail("reused plan mismatch at " + op.label + ": plan has [" + rc.desc +
+                   "], model needs [" + desc_str + "]");
+      }
+      op.engine = build(rc.engine);
+      if (op.engine == nullptr) {
+        lower_fail(std::string("reused plan engine ") + engine_token(rc.engine) +
+                   " is not eligible for " + desc_str);
+      }
+      choice.engine = rc.engine;
+      choice.seconds = rc.seconds;
+    } else {
+      std::optional<EngineKind> hint;
+      if (options.wisdom != nullptr) {
+        if (const auto token = options.wisdom->get_string(plan_wisdom_key(desc_str))) {
+          hint = engine_kind_from_string(*token);
+        }
+      }
+      if (hint) {
+        op.engine = build(*hint);  // unbuildable hint falls through to shoot-out
+        if (op.engine != nullptr) choice.engine = *hint;
+      }
+      if (op.engine == nullptr) {
+        // Measured shoot-out under the accuracy envelope.
+        const std::span<const EngineKind> cands =
+            options.candidates.empty() ? std::span<const EngineKind>(kDefaultCandidates)
+                                       : std::span<const EngineKind>(options.candidates);
+        std::unique_ptr<ConvEngine> best_engine;
+        SessionPlan::ConvChoice best, fallback;
+        std::unique_ptr<ConvEngine> fallback_engine;
+        fallback.snr_db = -1e300;
+        bool any_pass = false;
+        for (const EngineKind kind : cands) {
+          auto e = build(kind);
+          if (e == nullptr) continue;
+          e->run(plan_in.span(), actual.span(), s.pool_);
+          const double snr =
+              clamp_snr(quantization_error(ref_out.span(), actual.span()).signal_to_noise_db);
+          const double sec =
+              time_it([&] { e->run(plan_in.span(), actual.span(), s.pool_); },
+                      /*warmup=*/1, /*min_iters=*/2, /*max_iters=*/50,
+                      options.seconds_per_candidate)
+                  .median;
+          const bool meets = !engine_is_quantized(kind) || snr >= options.min_snr_db;
+          if (meets && (!any_pass || sec < best.seconds)) {
+            any_pass = true;
+            best.engine = kind;
+            best.snr_db = snr;
+            best.seconds = sec;
+            best_engine = std::move(e);
+          } else if (!meets && snr > fallback.snr_db) {
+            fallback.engine = kind;
+            fallback.snr_db = snr;
+            fallback.seconds = sec;
+            fallback_engine = std::move(e);
+          }
+        }
+        if (!any_pass && fallback_engine == nullptr) {
+          lower_fail("no engine candidate is eligible for " + desc_str);
+        }
+        if (any_pass) {
+          op.engine = std::move(best_engine);
+          choice.engine = best.engine;
+          choice.snr_db = best.snr_db;
+          choice.seconds = best.seconds;
+          choice.met_envelope = true;
+        } else {
+          op.engine = std::move(fallback_engine);
+          choice.engine = fallback.engine;
+          choice.snr_db = fallback.snr_db;
+          choice.seconds = fallback.seconds;
+          choice.met_envelope = false;
+        }
+      }
+    }
+
+    if (choice.snr_db == 0.0) {
+      // Forced / replayed / wisdom-hinted engines skip the shoot-out but
+      // still get one accuracy measurement so the plan record is honest.
+      op.engine->run(plan_in.span(), actual.span(), s.pool_);
+      choice.snr_db =
+          clamp_snr(quantization_error(ref_out.span(), actual.span()).signal_to_noise_db);
+      choice.met_envelope = !engine_is_quantized(choice.engine) ||
+                            choice.snr_db >= options.min_snr_db;
+    }
+    if (options.wisdom != nullptr) {
+      options.wisdom->put_string(plan_wisdom_key(desc_str), engine_token(choice.engine));
+    }
+    s.plan_.convs.push_back(std::move(choice));
+    ++conv_idx;
+  }
+  if (reuse_convs != 0 && conv_idx != reuse_convs) {
+    lower_fail("reused plan has more convolutions than the model");
+  }
+
+  // -- Arena planning over the non-external values. -------------------------
+  std::vector<ArenaRequest> requests;
+  std::vector<std::size_t> request_value;
+  for (std::size_t v = 0; v < s.values_.size(); ++v) {
+    const Value& val = s.values_[v];
+    if (val.external) continue;
+    requests.push_back({val.elems * sizeof(float), val.def_step, val.last_use});
+    request_value.push_back(v);
+  }
+  const ArenaPlan arena_plan = plan_arena(requests);
+  for (std::size_t j = 0; j < request_value.size(); ++j) {
+    s.values_[request_value[j]].offset_floats = arena_plan.offsets[j] / sizeof(float);
+  }
+  s.arena_.ensure(arena_plan.peak_bytes / sizeof(float));
+  s.plan_.arena_bytes = arena_plan.peak_bytes;
+  s.plan_.naive_bytes = arena_plan.naive_bytes;
+
+  // -- Pre-warm every lazily grown buffer so steady-state runs never --------
+  // -- allocate (engine workspaces, FP32 conv scratch, warmup output). ------
+  s.run(calib_input, s.warmup_out_);
+  s.run(calib_input, s.warmup_out_);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Run time
+
+const float* InferenceSession::value_in(std::size_t v, const Tensor<float>& input) const {
+  if (v == 0) return input.data();
+  return arena_.data() + values_[v].offset_floats;
+}
+
+float* InferenceSession::value_out(std::size_t v, Tensor<float>& output) {
+  if (v == output_value_) return output.data();
+  return arena_.data() + values_[v].offset_floats;
+}
+
+void InferenceSession::run(const Tensor<float>& input, Tensor<float>& output) {
+  if (input.shape() != values_[0].shape) {
+    throw std::invalid_argument("InferenceSession::run: input shape does not match the plan");
+  }
+  // reshape() only when needed: re-running into the same output tensor must
+  // not touch the heap (reshape copies the shape vector even when sizes
+  // already match).
+  if (output.shape() != values_[output_value_].shape) {
+    output.reshape(values_[output_value_].shape);
+  }
+  for (Op& op : ops_) {
+    ProfileSpan span(ProfileStage::kServe);
+    const float* in0 = value_in(op.in0, input);
+    const float* in1 = op.kind == Op::Kind::kAddRelu ? value_in(op.in1, input) : nullptr;
+    float* out = value_out(op.out, output);
+    execute_op(op, in0, in1, out);
+  }
+}
+
+void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, float* out) {
+  const Value& vi = values_[op.in0];
+  const Value& vo = values_[op.out];
+  switch (op.kind) {
+    case Op::Kind::kConvEngine: {
+      op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_);
+      break;
+    }
+    case Op::Kind::kConvFp32: {
+      // Mirrors ConvLayer::forward_fp32 computation exactly (bit-identical
+      // serving for the FP32 stem) with session-owned scratch and per-image
+      // im2col — serving has no backward pass to feed.
+      const std::size_t batch = plan_.batch;
+      const ConvDesc d = op.conv->conv_desc(batch);
+      const std::size_t rows = d.out_height() * d.out_width();
+      const std::size_t k = op.conv->out_channels();
+      const std::size_t patch = op.conv->in_channels() * d.kernel * d.kernel;
+      op.col.ensure(rows * patch);
+      op.wt.ensure(patch * k);
+      op.out_rows.ensure(rows * k);
+      const std::span<const float> weights = op.conv->weights();
+      const std::span<const float> bias = op.conv->bias();
+      float* wT = op.wt.data();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        for (std::size_t p = 0; p < patch; ++p) wT[p * k + kk] = weights[kk * patch + p];
+      }
+      for (std::size_t b = 0; b < batch; ++b) {
+        im2col_f32(d, {in0, vi.elems}, b, op.col.data());
+        fp32_gemm(op.col.data(), patch, wT, k, op.out_rows.data(), k, rows, patch, k);
+        const float* src_rows = op.out_rows.data();
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          float* dst = out + (b * k + kk) * rows;
+          const float bk = bias[kk];
+          for (std::size_t p = 0; p < rows; ++p) dst[p] = src_rows[p * k + kk] + bk;
+        }
+      }
+      break;
+    }
+    case Op::Kind::kRelu: {
+      for (std::size_t i = 0; i < vo.elems; ++i) {
+        out[i] = in0[i] > 0.0f ? in0[i] : 0.0f;
+      }
+      break;
+    }
+    case Op::Kind::kMaxPool: {
+      const std::size_t hw = op.hw;
+      const std::size_t oh = hw / 2;
+      for (std::size_t bc = 0; bc < plan_.batch * op.channels; ++bc) {
+        const float* src = in0 + bc * hw * hw;
+        float* dst = out + bc * oh * oh;
+        for (std::size_t y = 0; y < oh; ++y) {
+          for (std::size_t x = 0; x < oh; ++x) {
+            std::size_t best = (2 * y) * hw + 2 * x;
+            for (std::size_t dy = 0; dy < 2; ++dy) {
+              for (std::size_t dx = 0; dx < 2; ++dx) {
+                const std::size_t idx = (2 * y + dy) * hw + 2 * x + dx;
+                if (src[idx] > src[best]) best = idx;
+              }
+            }
+            dst[y * oh + x] = src[best];
+          }
+        }
+      }
+      break;
+    }
+    case Op::Kind::kDense: {
+      const std::size_t in_f = op.dense->in_features();
+      const std::size_t out_f = op.dense->out_features();
+      fp32_gemm(in0, in_f, op.dense->weights().data(), out_f, out, out_f, plan_.batch, in_f,
+                out_f);
+      const std::span<const float> bias = op.dense->bias();
+      for (std::size_t b = 0; b < plan_.batch; ++b) {
+        for (std::size_t o = 0; o < out_f; ++o) out[b * out_f + o] += bias[o];
+      }
+      break;
+    }
+    case Op::Kind::kAddRelu: {
+      for (std::size_t i = 0; i < vo.elems; ++i) {
+        out[i] = std::max(0.0f, in0[i] + in1[i]);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace lowino

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace lowino {
 
@@ -37,6 +38,20 @@ std::optional<WisdomEntry> WisdomStore::get_entry(const std::string& key) const 
   return it->second;
 }
 
+bool WisdomStore::put_string(const std::string& key, const std::string& value) {
+  if (key.find('\n') != std::string::npos || value.find('\n') != std::string::npos) {
+    return false;
+  }
+  strings_[key] = value;
+  return true;
+}
+
+std::optional<std::string> WisdomStore::get_string(const std::string& key) const {
+  const auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::string WisdomStore::serialize() const {
   std::ostringstream os;
   os << "# lowino wisdom v3: key = n_blk c_blk k_blk row_blk col_blk nt prefetch mode"
@@ -49,6 +64,11 @@ std::string WisdomStore::serialize() const {
        << ' ' << execution_mode_name(e.mode) << ' ' << e.staged_seconds << ' '
        << e.fused_seconds << ' ' << e.stages.input_transform << ' ' << e.stages.gemm << ' '
        << e.stages.output_transform << '\n';
+  }
+  // String entries ride in the same file, tagged "str" where a blocking line
+  // carries its first (always numeric) value — no ambiguity when parsing.
+  for (const auto& [key, value] : strings_) {
+    os << key << " = str " << value << '\n';
   }
   return os.str();
 }
@@ -95,7 +115,16 @@ WisdomStore WisdomStore::deserialize(const std::string& text) {
     const std::size_t eq = line.find(" = ");
     if (eq == std::string::npos) continue;
     const std::string key = line.substr(0, eq);
-    std::istringstream vals(line.substr(eq + 3));
+    // "key = str <value>" marks a free-form string entry; the value is the
+    // rest of the line verbatim (it may itself contain spaces and '=').
+    constexpr std::string_view kStrTag = "str ";
+    const std::string payload = line.substr(eq + 3);
+    if (payload.size() >= kStrTag.size() &&
+        std::string_view(payload).substr(0, kStrTag.size()) == kStrTag) {
+      store.strings_[key] = payload.substr(kStrTag.size());
+      continue;
+    }
+    std::istringstream vals(payload);
     WisdomEntry e;
     Int8GemmBlocking& b = e.blocking;
     std::size_t row = 0, col = 0;

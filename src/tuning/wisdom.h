@@ -39,6 +39,15 @@ class WisdomStore {
   std::optional<WisdomEntry> get_entry(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
 
+  /// Free-form string entries, serialized as "key = str <value>" lines in the
+  /// same file. Used by the serving planner to remember per-layer engine
+  /// decisions ("plan-engine <desc> -> lowino_f4") next to the GEMM blockings
+  /// they imply. Values must be single-line (no '\n'); a value containing a
+  /// newline is rejected (put_string returns false, nothing stored).
+  bool put_string(const std::string& key, const std::string& value);
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::size_t string_size() const { return strings_.size(); }
+
   /// Serializes to "key = n_blk c_blk k_blk row col nt pf mode staged_s
   /// fused_s it_s gemm_s ot_s" lines (v3; the five trailing seconds are the
   /// mode shoot-out record).
@@ -58,6 +67,7 @@ class WisdomStore {
 
  private:
   std::map<std::string, WisdomEntry> entries_;
+  std::map<std::string, std::string> strings_;
 };
 
 }  // namespace lowino

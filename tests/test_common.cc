@@ -276,5 +276,74 @@ TEST(Env, ExecutionModeTokenParsing) {
   EXPECT_EQ(mode, ExecutionMode::kFused) << "failed parse must not clobber the mode";
 }
 
+
+// --- RuntimeConfig override layer -------------------------------------------
+
+TEST(RuntimeConfig, OverrideBeatsEnvironmentAndClearsCleanly) {
+  constexpr const char* kVar = "LOWINO_TEST_CONFIG_LONG";
+  ScopedEnv env(kVar, "7");
+  EXPECT_EQ(config_long(kVar, 0), 7);
+
+  RuntimeConfig::set(kVar, "42");
+  EXPECT_EQ(config_long(kVar, 0), 42) << "programmatic override must beat env";
+  EXPECT_EQ(env_long(kVar, 0), 7) << "raw env reader must ignore overrides";
+
+  RuntimeConfig::clear(kVar);
+  EXPECT_EQ(config_long(kVar, 0), 7) << "clearing re-exposes the environment";
+}
+
+TEST(RuntimeConfig, StringAndFlagReadsHonourOverrides) {
+  constexpr const char* kStr = "LOWINO_TEST_CONFIG_STRING";
+  constexpr const char* kFlag = "LOWINO_TEST_CONFIG_FLAG";
+  ::unsetenv(kStr);
+  ::unsetenv(kFlag);
+  EXPECT_EQ(config_string(kStr, "dflt"), "dflt");
+  EXPECT_FALSE(config_flag(kFlag));
+
+  RuntimeConfig::set(kStr, "fused");
+  RuntimeConfig::set(kFlag, "yes");
+  EXPECT_EQ(config_string(kStr, "dflt"), "fused");
+  EXPECT_TRUE(config_flag(kFlag));
+  // Flag parsing matches env_flag: an explicit non-truthy override means off
+  // even against a true fallback.
+  RuntimeConfig::set(kFlag, "garbage");
+  EXPECT_FALSE(config_flag(kFlag, true));
+
+  RuntimeConfig::clear(kStr);
+  RuntimeConfig::clear(kFlag);
+  EXPECT_EQ(config_string(kStr, "dflt"), "dflt");
+  EXPECT_FALSE(config_flag(kFlag));
+}
+
+TEST(RuntimeConfig, GetReportsOverridesOnlyAndClearAllSweeps) {
+  constexpr const char* kVar = "LOWINO_TEST_CONFIG_GET";
+  ScopedEnv env(kVar, "env-value");
+  EXPECT_FALSE(RuntimeConfig::get(kVar).has_value())
+      << "get() must not fall through to the environment";
+  RuntimeConfig::set(kVar, "a");
+  RuntimeConfig::set("LOWINO_TEST_CONFIG_GET_2", "b");
+  EXPECT_EQ(RuntimeConfig::get(kVar), "a");
+  RuntimeConfig::clear_all();
+  EXPECT_FALSE(RuntimeConfig::get(kVar).has_value());
+  EXPECT_FALSE(RuntimeConfig::get("LOWINO_TEST_CONFIG_GET_2").has_value());
+}
+
+TEST(RuntimeConfig, ScopedOverrideRestoresPreviousState) {
+  constexpr const char* kVar = "LOWINO_TEST_CONFIG_SCOPED";
+  ::unsetenv(kVar);
+  {
+    ScopedRuntimeOverride outer(kVar, "outer");
+    EXPECT_EQ(config_string(kVar, ""), "outer");
+    {
+      ScopedRuntimeOverride inner(kVar, "inner");
+      EXPECT_EQ(config_string(kVar, ""), "inner");
+    }
+    EXPECT_EQ(config_string(kVar, ""), "outer") << "inner scope must restore outer value";
+  }
+  EXPECT_FALSE(RuntimeConfig::get(kVar).has_value())
+      << "outermost scope must restore the no-override state";
+  EXPECT_EQ(config_string(kVar, "dflt"), "dflt");
+}
+
 }  // namespace
 }  // namespace lowino

@@ -419,5 +419,171 @@ TEST(CalibrationStride, EnvOverrideParsing) {
   EXPECT_EQ(with_env("", 8), 1u);
 }
 
+// --- ConvEngine lifecycle state machine -------------------------------------
+
+struct LifecycleFixture {
+  ConvDesc desc;
+  std::vector<float> input, weights, bias;
+
+  LifecycleFixture() {
+    desc.batch = 1;
+    desc.in_channels = 4;
+    desc.out_channels = 4;
+    desc.height = desc.width = 8;
+    desc.kernel = 3;
+    desc.pad = 1;
+    Rng rng(99);
+    input.resize(desc.batch * desc.in_channels * desc.height * desc.width);
+    weights.resize(desc.out_channels * desc.in_channels * 9);
+    bias.resize(desc.out_channels);
+    for (float& v : input) v = rng.uniform(-1.0f, 1.0f);
+    for (float& v : weights) v = rng.normal() * 0.1f;
+  }
+
+  std::unique_ptr<ConvEngine> make(EngineKind kind) const {
+    return make_conv_engine(kind, desc);
+  }
+  std::vector<float> output() const {
+    return std::vector<float>(desc.batch * desc.out_channels * desc.out_height() *
+                              desc.out_width());
+  }
+};
+
+TEST(ConvEngineLifecycle, HappyPathAdvancesStates) {
+  const LifecycleFixture f;
+  auto e = f.make(EngineKind::kLoWinoF2);
+  EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kCalibrating);
+  e->calibrate(f.input);
+  e->calibrate(f.input);  // repeated sampling is part of the contract
+  EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kCalibrating);
+  e->finalize_calibration();
+  EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kFinalized);
+  e->set_filters(f.weights, f.bias);
+  EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kReady);
+  auto out = f.output();
+  e->run(f.input, out, nullptr);
+  e->run(f.input, out, nullptr);  // run is repeatable
+}
+
+TEST(ConvEngineLifecycle, CalibrateAfterFinalizeThrows) {
+  const LifecycleFixture f;
+  auto e = f.make(EngineKind::kLoWinoF2);
+  e->calibrate(f.input);
+  e->finalize_calibration();
+  EXPECT_THROW(e->calibrate(f.input), std::logic_error);
+  // ... including after the engine is fully ready.
+  e->set_filters(f.weights, f.bias);
+  EXPECT_THROW(e->calibrate(f.input), std::logic_error);
+}
+
+TEST(ConvEngineLifecycle, DoubleFinalizeThrows) {
+  const LifecycleFixture f;
+  auto e = f.make(EngineKind::kInt8Direct);
+  e->calibrate(f.input);
+  e->finalize_calibration();
+  EXPECT_THROW(e->finalize_calibration(), std::logic_error);
+}
+
+TEST(ConvEngineLifecycle, FinalizeWithoutSamplesThrowsOnQuantizedEngines) {
+  const LifecycleFixture f;
+  for (const EngineKind kind :
+       {EngineKind::kInt8Direct, EngineKind::kLoWinoF2, EngineKind::kDownscaleF2}) {
+    auto e = f.make(kind);
+    EXPECT_THROW(e->finalize_calibration(), std::logic_error) << engine_name(kind);
+  }
+}
+
+TEST(ConvEngineLifecycle, SetFiltersDuringCalibrationThrowsOnQuantizedEngines) {
+  const LifecycleFixture f;
+  // Never calibrated: no input scales exist.
+  auto fresh = f.make(EngineKind::kLoWinoF4);
+  EXPECT_THROW(fresh->set_filters(f.weights, f.bias), std::logic_error);
+  // Mid-calibration (samples taken, not finalized): scales not fixed yet.
+  auto mid = f.make(EngineKind::kLoWinoF4);
+  mid->calibrate(f.input);
+  EXPECT_THROW(mid->set_filters(f.weights, f.bias), std::logic_error);
+}
+
+TEST(ConvEngineLifecycle, RunBeforeFiltersThrows) {
+  const LifecycleFixture f;
+  auto out = f.output();
+  auto e = f.make(EngineKind::kLoWinoF2);
+  EXPECT_THROW(e->run(f.input, out, nullptr), std::logic_error);
+  e->calibrate(f.input);
+  e->finalize_calibration();
+  EXPECT_THROW(e->run(f.input, out, nullptr), std::logic_error);
+}
+
+TEST(ConvEngineLifecycle, Fp32EnginesSkipCalibrationImplicitly) {
+  const LifecycleFixture f;
+  for (const EngineKind kind :
+       {EngineKind::kFp32Direct, EngineKind::kFp32WinoF2, EngineKind::kFp32WinoF4}) {
+    auto e = f.make(kind);
+    e->set_filters(f.weights, f.bias);  // first call; state advances implicitly
+    EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kReady) << engine_name(kind);
+    auto out = f.output();
+    e->run(f.input, out, nullptr);
+  }
+  // But ordering bugs still surface on FP32 engines: run before filters and
+  // calibrate after finalization throw regardless of kind.
+  auto e = f.make(EngineKind::kFp32Direct);
+  auto out = f.output();
+  EXPECT_THROW(e->run(f.input, out, nullptr), std::logic_error);
+  e->set_filters(f.weights, f.bias);
+  EXPECT_THROW(e->calibrate(f.input), std::logic_error);
+  EXPECT_THROW(e->finalize_calibration(), std::logic_error);
+}
+
+TEST(ConvEngineLifecycle, WeightReloadAfterReadyIsAllowed) {
+  const LifecycleFixture f;
+  auto e = f.make(EngineKind::kLoWinoF2);
+  e->calibrate(f.input);
+  e->finalize_calibration();
+  e->set_filters(f.weights, f.bias);
+  auto out = f.output();
+  e->run(f.input, out, nullptr);
+  e->set_filters(f.weights, f.bias);  // reload
+  EXPECT_EQ(e->lifecycle(), ConvEngine::Lifecycle::kReady);
+  e->run(f.input, out, nullptr);
+}
+
+// --- Engine identifier parsing ----------------------------------------------
+
+TEST(EngineStrings, TokenAndNameRoundTripForEveryKind) {
+  for (const EngineKind kind : all_engine_kinds()) {
+    const auto from_token = engine_kind_from_string(engine_token(kind));
+    ASSERT_TRUE(from_token.has_value()) << engine_token(kind);
+    EXPECT_EQ(*from_token, kind);
+    const auto from_name = engine_kind_from_string(engine_name(kind));
+    ASSERT_TRUE(from_name.has_value()) << engine_name(kind);
+    EXPECT_EQ(*from_name, kind);
+  }
+}
+
+TEST(EngineStrings, TokensAreCaseAndSeparatorInsensitive) {
+  EXPECT_EQ(engine_kind_from_string("LoWino-F4"), EngineKind::kLoWinoF4);
+  EXPECT_EQ(engine_kind_from_string("LOWINO_F4"), EngineKind::kLoWinoF4);
+  EXPECT_EQ(engine_kind_from_string("int8-direct"), EngineKind::kInt8Direct);
+  EXPECT_EQ(engine_kind_from_string("Fp32-Wino-F2"), EngineKind::kFp32WinoF2);
+}
+
+TEST(EngineStrings, RejectsUnknownIdentifiers) {
+  EXPECT_FALSE(engine_kind_from_string("").has_value());
+  EXPECT_FALSE(engine_kind_from_string("lowino").has_value());
+  EXPECT_FALSE(engine_kind_from_string("lowino_f8").has_value());
+  EXPECT_FALSE(engine_kind_from_string("lowino_f4 ").has_value());  // no trailing junk
+  EXPECT_FALSE(engine_kind_from_string("banana").has_value());
+}
+
+TEST(EngineStrings, AllKindsListedExactlyOnce) {
+  const auto kinds = all_engine_kinds();
+  EXPECT_EQ(kinds.size(), 11u);
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(kinds[i], kinds[j]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lowino

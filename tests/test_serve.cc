@@ -1,0 +1,416 @@
+// Tests for the serving layer (src/serve): the liveness-based arena planner
+// (fuzzed), SessionPlan text round-trip, and InferenceSession — differential
+// bit-identity against SequentialModel::forward_engine, plan replay,
+// wisdom-backed selection, and the zero-allocation steady-state contract
+// (global operator new counting + the AlignedBuffer allocation counter).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "parallel/thread_pool.h"
+#include "profile/profiler.h"
+#include "serve/arena.h"
+#include "serve/session.h"
+#include "tuning/wisdom.h"
+
+// ---------------------------------------------------------------------------
+// Malloc-counting harness: replace the global allocation functions so the
+// steady-state test can assert InferenceSession::run touches the heap zero
+// times. Replacement is binary-wide; counting is a single relaxed atomic, so
+// the other tests are unaffected beyond a negligible constant cost.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace lowino {
+namespace {
+
+std::uint64_t heap_alloc_count() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+// --- Arena planner ----------------------------------------------------------
+
+bool time_overlap(const ArenaRequest& a, const ArenaRequest& b) {
+  return a.def_step <= b.last_use_step && b.def_step <= a.last_use_step;
+}
+
+TEST(ArenaPlanner, FuzzNoAliasedOverlapAndPeakBound) {
+  std::mt19937 rng(20260806);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t n = 1 + rng() % 40;
+    std::vector<ArenaRequest> reqs(n);
+    for (ArenaRequest& r : reqs) {
+      r.bytes = rng() % 20000;  // zero-byte requests included on purpose
+      const std::size_t a = rng() % 64, b = rng() % 64;
+      r.def_step = std::min(a, b);
+      r.last_use_step = std::max(a, b);
+    }
+    const ArenaPlan plan = plan_arena(reqs);
+    ASSERT_EQ(plan.offsets.size(), n);
+
+    std::size_t naive = 0;
+    for (const ArenaRequest& r : reqs) naive += round_up(r.bytes, kArenaAlignment);
+    EXPECT_EQ(plan.naive_bytes, naive);
+    EXPECT_LE(plan.peak_bytes, naive);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t sz_i = round_up(reqs[i].bytes, kArenaAlignment);
+      if (sz_i == 0) continue;
+      EXPECT_EQ(plan.offsets[i] % kArenaAlignment, 0u);
+      EXPECT_LE(plan.offsets[i] + sz_i, plan.peak_bytes);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t sz_j = round_up(reqs[j].bytes, kArenaAlignment);
+        if (sz_j == 0 || !time_overlap(reqs[i], reqs[j])) continue;
+        const bool disjoint = plan.offsets[i] + sz_i <= plan.offsets[j] ||
+                              plan.offsets[j] + sz_j <= plan.offsets[i];
+        ASSERT_TRUE(disjoint) << "iter " << iter << ": live requests " << i << " and " << j
+                              << " alias";
+      }
+    }
+  }
+}
+
+TEST(ArenaPlanner, DisjointLifetimesShareBytes) {
+  const ArenaRequest reqs[] = {{1000, 0, 1}, {1000, 2, 3}, {1000, 4, 5}};
+  const ArenaPlan plan = plan_arena(reqs);
+  EXPECT_EQ(plan.peak_bytes, round_up(1000, kArenaAlignment));
+  EXPECT_EQ(plan.naive_bytes, 3 * round_up(1000, kArenaAlignment));
+}
+
+TEST(ArenaPlanner, OverlappingLifetimesStack) {
+  const ArenaRequest reqs[] = {{64, 0, 2}, {64, 1, 3}, {64, 2, 4}};
+  const ArenaPlan plan = plan_arena(reqs);
+  // 0/1 and 1/2 overlap; 0 and 2 only touch at step 2 (inclusive) — all three
+  // are simultaneously live at step 2, so the peak is the full stack.
+  EXPECT_EQ(plan.peak_bytes, 3u * 64u);
+}
+
+// --- SessionPlan text format ------------------------------------------------
+
+SessionPlan sample_plan() {
+  SessionPlan p;
+  p.batch = 4;
+  p.arena_bytes = 65536;
+  p.naive_bytes = 131072;
+  SessionPlan::ConvChoice a;
+  a.op_index = 2;
+  a.layer = "conv3x3(64->64)";
+  a.desc = "B4 C64 K64 H16 W16 r3";
+  a.engine = EngineKind::kLoWinoF4;
+  a.snr_db = 41.5;
+  a.seconds = 1.25e-4;
+  a.met_envelope = true;
+  SessionPlan::ConvChoice b;
+  b.op_index = 5;
+  b.layer = "conv3x3(64->128)";
+  b.desc = "B4 C64 K128 H8 W8 r3";
+  b.engine = EngineKind::kInt8Direct;
+  b.snr_db = 17.0;
+  b.seconds = 9.5e-5;
+  b.met_envelope = false;
+  p.convs = {a, b};
+  return p;
+}
+
+TEST(SessionPlanFormat, SerializeDeserializeRoundTrip) {
+  const SessionPlan p = sample_plan();
+  const auto q = SessionPlan::deserialize(p.serialize());
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->batch, p.batch);
+  EXPECT_EQ(q->arena_bytes, p.arena_bytes);
+  EXPECT_EQ(q->naive_bytes, p.naive_bytes);
+  ASSERT_EQ(q->convs.size(), p.convs.size());
+  for (std::size_t i = 0; i < p.convs.size(); ++i) {
+    EXPECT_EQ(q->convs[i].op_index, p.convs[i].op_index);
+    EXPECT_EQ(q->convs[i].layer, p.convs[i].layer);
+    EXPECT_EQ(q->convs[i].desc, p.convs[i].desc);
+    EXPECT_EQ(q->convs[i].engine, p.convs[i].engine);
+    EXPECT_NEAR(q->convs[i].snr_db, p.convs[i].snr_db, 1e-12);
+    EXPECT_NEAR(q->convs[i].seconds, p.convs[i].seconds, 1e-12);
+    EXPECT_EQ(q->convs[i].met_envelope, p.convs[i].met_envelope);
+  }
+}
+
+TEST(SessionPlanFormat, StrictParserRejectsCorruptText) {
+  const std::string good = sample_plan().serialize();
+  EXPECT_TRUE(SessionPlan::deserialize(good).has_value());
+  // Whole-plan rejection on any malformed line.
+  EXPECT_FALSE(SessionPlan::deserialize("").has_value());
+  EXPECT_FALSE(SessionPlan::deserialize("batch = 0\narena = 1\nnaive = 1\n").has_value());
+  EXPECT_FALSE(SessionPlan::deserialize(good + "garbage line\n").has_value());
+  EXPECT_FALSE(
+      SessionPlan::deserialize(good + "conv = 1 not_an_engine 1 1 1 | l | d\n").has_value());
+  EXPECT_FALSE(SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 7 | l | d\n")
+                   .has_value());  // met flag must be 0/1
+  EXPECT_FALSE(SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 1 | only-one-bar\n")
+                   .has_value());
+  std::string no_batch = good;
+  no_batch.erase(no_batch.find("batch = 4"), 10);
+  EXPECT_FALSE(SessionPlan::deserialize(no_batch).has_value());
+}
+
+TEST(SessionPlanFormat, FileRoundTrip) {
+  const SessionPlan p = sample_plan();
+  const std::string path = ::testing::TempDir() + "lowino_session_plan_test.txt";
+  ASSERT_TRUE(p.save(path));
+  const auto q = SessionPlan::load(path);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->serialize(), p.serialize());
+  std::remove(path.c_str());
+}
+
+// --- InferenceSession -------------------------------------------------------
+
+Tensor<float> random_input(std::size_t batch, std::size_t hw, std::uint64_t seed) {
+  Tensor<float> t({batch, 1, hw, hw});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+/// Calibrates `model` for `kind` on `calib` and compiles a session from the
+/// same calibration batch, so both paths share identical quantization scales.
+InferenceSession forced_session(SequentialModel& model, const Tensor<float>& calib,
+                                EngineKind kind, ThreadPool* pool) {
+  PlanOptions options;
+  options.forced_engine = kind;
+  options.pool = pool;
+  return InferenceSession::compile(model, calib, options);
+}
+
+TEST(InferenceSession, BitIdenticalToForwardEngineMiniVgg) {
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(4, 16, 101);
+  const Tensor<float> input = random_input(4, 16, 202);
+  for (const EngineKind kind :
+       {EngineKind::kInt8Direct, EngineKind::kLoWinoF2, EngineKind::kLoWinoF4}) {
+    SequentialModel model = make_minivgg();
+    model.calibrate(calib, kind);
+    model.finalize_calibration(kind);
+    InferenceSession session = forced_session(model, calib, kind, &pool);
+    const Tensor<float>& ref = model.forward_engine(input, kind, &pool);
+    Tensor<float> out;
+    session.run(input, out);
+    ASSERT_EQ(out.shape(), ref.shape());
+    EXPECT_EQ(0, std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)))
+        << "engine " << engine_token(kind);
+  }
+}
+
+TEST(InferenceSession, BitIdenticalToForwardEngineMiniResNet) {
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 303);
+  const Tensor<float> input = random_input(2, 16, 404);
+  for (const EngineKind kind : {EngineKind::kInt8Direct, EngineKind::kLoWinoF4}) {
+    SequentialModel model = make_miniresnet();
+    model.calibrate(calib, kind);
+    model.finalize_calibration(kind);
+    InferenceSession session = forced_session(model, calib, kind, &pool);
+    const Tensor<float>& ref = model.forward_engine(input, kind, &pool);
+    Tensor<float> out;
+    session.run(input, out);
+    ASSERT_EQ(out.shape(), ref.shape());
+    EXPECT_EQ(0, std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)))
+        << "engine " << engine_token(kind);
+  }
+}
+
+TEST(InferenceSession, SteadyStateRunIsAllocationFree) {
+  SequentialModel model = make_miniresnet();
+  const Tensor<float> calib = random_input(2, 16, 505);
+  const Tensor<float> input = random_input(2, 16, 606);
+  ThreadPool& pool = ThreadPool::global();
+  InferenceSession session = forced_session(model, calib, EngineKind::kLoWinoF4, &pool);
+
+  Tensor<float> out;
+  session.run(input, out);  // warm the caller-owned output tensor
+  const std::uint64_t heap_before = heap_alloc_count();
+  const std::uint64_t aligned_before = aligned_buffer_alloc_count();
+  for (int i = 0; i < 5; ++i) session.run(input, out);
+  EXPECT_EQ(heap_alloc_count(), heap_before) << "operator new called on the serve path";
+  EXPECT_EQ(aligned_buffer_alloc_count(), aligned_before)
+      << "AlignedBuffer (re)allocated on the serve path";
+}
+
+TEST(InferenceSession, ArenaPeakAtMostNaiveOnZooModels) {
+  ThreadPool& pool = ThreadPool::global();
+  {
+    SequentialModel vgg = make_minivgg();
+    const Tensor<float> calib = random_input(2, 16, 707);
+    InferenceSession s = forced_session(vgg, calib, EngineKind::kLoWinoF2, &pool);
+    EXPECT_LE(s.plan().arena_bytes, s.plan().naive_bytes);
+    // A chain network reuses ping-pong slots: the arena must beat one-buffer-
+    // per-activation by a strict margin.
+    EXPECT_LT(s.plan().arena_bytes, s.plan().naive_bytes);
+  }
+  {
+    SequentialModel resnet = make_miniresnet();
+    const Tensor<float> calib = random_input(2, 16, 808);
+    InferenceSession s = forced_session(resnet, calib, EngineKind::kLoWinoF2, &pool);
+    EXPECT_LT(s.plan().arena_bytes, s.plan().naive_bytes);
+  }
+}
+
+TEST(InferenceSession, AutoSelectionMeetsEnvelopeAndRecordsPlan) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(2, 16, 909);
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.seconds_per_candidate = 0.005;
+  InferenceSession session = InferenceSession::compile(model, calib, options);
+  ASSERT_FALSE(session.plan().convs.empty());
+  for (const SessionPlan::ConvChoice& c : session.plan().convs) {
+    EXPECT_FALSE(c.layer.empty());
+    EXPECT_FALSE(c.desc.empty());
+    EXPECT_GT(c.seconds, 0.0);  // shoot-out actually measured
+  }
+  const Tensor<float> input = random_input(2, 16, 1010);
+  Tensor<float> out;
+  session.run(input, out);
+  ASSERT_EQ(out.rank(), 2u);
+  EXPECT_EQ(out.dim(0), 2u);
+}
+
+TEST(InferenceSession, PlanReplayServesIdentically) {
+  const Tensor<float> calib = random_input(2, 16, 111);
+  const Tensor<float> input = random_input(2, 16, 222);
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.seconds_per_candidate = 0.005;
+
+  SequentialModel model_a = make_minivgg();
+  InferenceSession first = InferenceSession::compile(model_a, calib, options);
+
+  const std::string path = ::testing::TempDir() + "lowino_plan_replay_test.txt";
+  ASSERT_TRUE(first.plan().save(path));
+  const auto loaded = SessionPlan::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  std::remove(path.c_str());
+
+  // Fresh model with the same seed => same weights; the replayed session
+  // must pick the same engines without measuring, and serve bit-identically.
+  SequentialModel model_b = make_minivgg();
+  PlanOptions replay;
+  replay.pool = options.pool;
+  replay.reuse = &*loaded;
+  InferenceSession second = InferenceSession::compile(model_b, calib, replay);
+  ASSERT_EQ(second.plan().convs.size(), first.plan().convs.size());
+  for (std::size_t i = 0; i < first.plan().convs.size(); ++i) {
+    EXPECT_EQ(second.plan().convs[i].engine, first.plan().convs[i].engine);
+  }
+
+  Tensor<float> out_a, out_b;
+  first.run(input, out_a);
+  second.run(input, out_b);
+  ASSERT_EQ(out_a.shape(), out_b.shape());
+  EXPECT_EQ(0, std::memcmp(out_a.data(), out_b.data(), out_a.size() * sizeof(float)));
+}
+
+TEST(InferenceSession, PlanReplayRejectsMismatchedModel) {
+  const Tensor<float> calib = random_input(2, 16, 333);
+  SequentialModel vgg = make_minivgg();
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.forced_engine = EngineKind::kLoWinoF2;
+  InferenceSession session = InferenceSession::compile(vgg, calib, options);
+
+  SessionPlan plan = session.plan();
+  SequentialModel resnet = make_miniresnet();
+  PlanOptions replay;
+  replay.pool = options.pool;
+  replay.reuse = &plan;
+  EXPECT_THROW(InferenceSession::compile(resnet, calib, replay), std::invalid_argument);
+
+  SessionPlan wrong_batch = plan;
+  wrong_batch.batch = 8;
+  replay.reuse = &wrong_batch;
+  EXPECT_THROW(InferenceSession::compile(vgg, calib, replay), std::invalid_argument);
+}
+
+TEST(InferenceSession, WisdomRecordsAndReplaysPerLayerChoices) {
+  const Tensor<float> calib = random_input(2, 16, 444);
+  WisdomStore wisdom;
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.seconds_per_candidate = 0.005;
+  options.wisdom = &wisdom;
+
+  SequentialModel model_a = make_minivgg();
+  InferenceSession first = InferenceSession::compile(model_a, calib, options);
+  EXPECT_EQ(wisdom.string_size(), first.plan().convs.size());
+
+  // The recorded entries survive the wisdom text format.
+  const WisdomStore reloaded = WisdomStore::deserialize(wisdom.serialize());
+  EXPECT_EQ(reloaded.string_size(), wisdom.string_size());
+
+  // A second compile consults wisdom: same engines, no shoot-out timing.
+  SequentialModel model_b = make_minivgg();
+  WisdomStore reloaded_mutable = reloaded;
+  PlanOptions consult = options;
+  consult.wisdom = &reloaded_mutable;
+  InferenceSession second = InferenceSession::compile(model_b, calib, consult);
+  ASSERT_EQ(second.plan().convs.size(), first.plan().convs.size());
+  for (std::size_t i = 0; i < first.plan().convs.size(); ++i) {
+    EXPECT_EQ(second.plan().convs[i].engine, first.plan().convs[i].engine);
+    EXPECT_EQ(second.plan().convs[i].seconds, 0.0);  // replayed, not measured
+  }
+}
+
+TEST(InferenceSession, RejectsWrongInputShapeAndBadModels) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(2, 16, 555);
+  InferenceSession session =
+      forced_session(model, calib, EngineKind::kInt8Direct, &ThreadPool::global());
+  const Tensor<float> wrong = random_input(4, 16, 556);
+  Tensor<float> out;
+  EXPECT_THROW(session.run(wrong, out), std::invalid_argument);
+
+  SequentialModel empty;
+  EXPECT_THROW(InferenceSession::compile(empty, calib, {}), std::invalid_argument);
+  Tensor<float> rank2({2, 16});
+  EXPECT_THROW(InferenceSession::compile(model, rank2, {}), std::invalid_argument);
+}
+
+TEST(InferenceSession, EmitsOneServeSpanPerOp) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(2, 16, 666);
+  InferenceSession session =
+      forced_session(model, calib, EngineKind::kLoWinoF2, &ThreadPool::global());
+  const Tensor<float> input = random_input(2, 16, 667);
+  Tensor<float> out;
+  session.run(input, out);  // warm before enabling (no serve spans recorded)
+
+  profiler_reset();
+  profiler_set_enabled(true);
+  session.run(input, out);
+  profiler_set_enabled(false);
+  const auto totals = profiler_stage_totals();
+  const auto& serve = totals[static_cast<std::size_t>(ProfileStage::kServe)];
+  EXPECT_EQ(serve.spans, session.op_count());
+  EXPECT_GT(serve.seconds, 0.0);
+  profiler_reset();
+}
+
+}  // namespace
+}  // namespace lowino

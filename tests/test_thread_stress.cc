@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
 #include "profile/profiler.h"
+#include "nn/model_zoo.h"
+#include "serve/session.h"
 #include "testing/oracle.h"
 #include "tuning/tuner.h"
 #include "winograd/transform.h"
@@ -181,6 +184,60 @@ TEST(ThreadStress, ProfiledConcurrentFusedConvolutionsAreBitIdentical) {
     ASSERT_EQ(results[i].size(), golden.size());
     EXPECT_EQ(results[i], golden) << "runner " << i;
   }
+}
+
+
+// Two InferenceSessions built from two independent models, each bound to its
+// own ThreadPool, serving concurrently from separate threads. The sessions
+// must be thread-compatible: every mutable buffer (engines, arena, scratch)
+// is session-owned, so concurrent runs share only immutable model weights.
+// Outputs must stay bitwise identical to a single-threaded reference run.
+TEST(ThreadStress, ConcurrentSessionsServeIndependently) {
+  auto make_input = [](std::uint64_t seed) {
+    Tensor<float> t({2, 1, 16, 16});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0f, 1.0f);
+    return t;
+  };
+  const Tensor<float> calib = make_input(11);
+  const Tensor<float> input = make_input(22);
+
+  SequentialModel vgg = make_minivgg();
+  SequentialModel resnet = make_miniresnet();
+  vgg.calibrate(calib, EngineKind::kLoWinoF2);
+  vgg.finalize_calibration(EngineKind::kLoWinoF2);
+  resnet.calibrate(calib, EngineKind::kLoWinoF4);
+  resnet.finalize_calibration(EngineKind::kLoWinoF4);
+
+  ThreadPool pool_a(2), pool_b(2), pool_ref(2);
+  PlanOptions opt_a, opt_b;
+  opt_a.forced_engine = EngineKind::kLoWinoF2;
+  opt_a.pool = &pool_a;
+  opt_b.forced_engine = EngineKind::kLoWinoF4;
+  opt_b.pool = &pool_b;
+  InferenceSession sess_a = InferenceSession::compile(vgg, calib, opt_a);
+  InferenceSession sess_b = InferenceSession::compile(resnet, calib, opt_b);
+
+  // Single-threaded goldens from the layer-sequential path on a third pool.
+  const Tensor<float> golden_a = vgg.forward_engine(input, EngineKind::kLoWinoF2, &pool_ref);
+  const Tensor<float> golden_b =
+      resnet.forward_engine(input, EngineKind::kLoWinoF4, &pool_ref);
+
+  constexpr int kIterations = 6;
+  Tensor<float> out_a, out_b;
+  std::thread runner_a([&] {
+    for (int i = 0; i < kIterations; ++i) sess_a.run(input, out_a);
+  });
+  std::thread runner_b([&] {
+    for (int i = 0; i < kIterations; ++i) sess_b.run(input, out_b);
+  });
+  runner_a.join();
+  runner_b.join();
+
+  ASSERT_EQ(out_a.size(), golden_a.size());
+  ASSERT_EQ(out_b.size(), golden_b.size());
+  EXPECT_EQ(0, std::memcmp(out_a.data(), golden_a.data(), out_a.size() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(out_b.data(), golden_b.data(), out_b.size() * sizeof(float)));
 }
 
 }  // namespace

@@ -286,5 +286,46 @@ TEST(Tuner, WisdomKeyDistinguishesLayersAndTileSizes) {
   EXPECT_NE(wisdom_key(a, 2), wisdom_key(a, 4));
 }
 
+
+// --- Wisdom string entries (serve-plan engine hints) -------------------------
+
+TEST(Wisdom, StringEntriesRoundTripThroughText) {
+  WisdomStore store;
+  EXPECT_FALSE(store.get_string("plan-engine x").has_value());
+  EXPECT_TRUE(store.put_string("plan-engine B4 C64 K64 H16 W16 r3", "lowino_f4"));
+  EXPECT_TRUE(store.put_string("plan-engine B4 C64 K128 H8 W8 r3", "int8_direct"));
+  EXPECT_EQ(store.string_size(), 2u);
+  EXPECT_EQ(store.get_string("plan-engine B4 C64 K64 H16 W16 r3"), "lowino_f4");
+
+  // Overwrite is last-writer-wins, like numeric entries.
+  EXPECT_TRUE(store.put_string("plan-engine B4 C64 K64 H16 W16 r3", "lowino_f2"));
+  EXPECT_EQ(store.string_size(), 2u);
+  EXPECT_EQ(store.get_string("plan-engine B4 C64 K64 H16 W16 r3"), "lowino_f2");
+
+  const std::string text = store.serialize();
+  const WisdomStore loaded = WisdomStore::deserialize(text);
+  EXPECT_EQ(loaded.string_size(), 2u);
+  EXPECT_EQ(loaded.get_string("plan-engine B4 C64 K64 H16 W16 r3"), "lowino_f2");
+  EXPECT_EQ(loaded.get_string("plan-engine B4 C64 K128 H8 W8 r3"), "int8_direct");
+}
+
+TEST(Wisdom, StringAndBlockingEntriesCoexistInOneFile) {
+  WisdomStore store;
+  store.put("conv3 f4", Int8GemmBlocking{});
+  ASSERT_TRUE(store.put_string("plan-engine conv3", "lowino_f6"));
+  const WisdomStore loaded = WisdomStore::deserialize(store.serialize());
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.string_size(), 1u);
+  EXPECT_TRUE(loaded.get("conv3 f4").has_value());
+  EXPECT_EQ(loaded.get_string("plan-engine conv3"), "lowino_f6");
+}
+
+TEST(Wisdom, StringEntriesRejectNewlines) {
+  WisdomStore store;
+  EXPECT_FALSE(store.put_string("bad\nkey", "value"));
+  EXPECT_FALSE(store.put_string("key", "bad\nvalue"));
+  EXPECT_EQ(store.string_size(), 0u);
+}
+
 }  // namespace
 }  // namespace lowino
