@@ -82,12 +82,27 @@ int bench_main() {
     latency_only.min_snr_db = 0.0;
     InferenceSession fast_session = InferenceSession::compile(spec.model, calib, latency_only);
 
+    // The post-op fusion A/B: the same envelope plan compiled with the
+    // LOWINO_FUSE_POSTOPS kill-switch off (element-wise ReLU / add+relu
+    // passes stay separate ops, no in-place residual arena reuse).
+    std::size_t unfused_arena = 0, unfused_ops = 0;
+    double unfused_sec = 0.0;
+    {
+      ScopedRuntimeOverride off("LOWINO_FUSE_POSTOPS", "0");
+      InferenceSession unfused = InferenceSession::compile(spec.model, calib, options);
+      Tensor<float> scratch;
+      unfused_sec = bench::measure([&] { unfused.run(input, scratch); });
+      unfused_arena = unfused.plan().arena_bytes;
+      unfused_ops = unfused.op_count();
+    }
+
     Tensor<float> out;
     const double envelope_sec = bench::measure([&] { session.run(input, out); });
     const double fast_sec = bench::measure([&] { fast_session.run(input, out); });
     char label[64];
     std::snprintf(label, sizeof label, "session (envelope %.0f dB)", options.min_snr_db);
     rows.emplace_back(label, envelope_sec);
+    rows.emplace_back("session (post-op fusion OFF)", unfused_sec);
     rows.emplace_back("session (latency-only plan)", fast_sec);
 
     for (const auto& [name, sec] : rows) {
@@ -95,6 +110,14 @@ int bench_main() {
     }
     std::printf("\nbest single engine: %s; latency-only session speedup over it: %.2fx\n",
                 best_name, best_single / fast_sec);
+    std::printf("post-op fusion: ops %zu -> %zu, arena %zu -> %zu bytes (%.0f%%), "
+                "fused speedup %.2fx\n",
+                unfused_ops, session.op_count(), unfused_arena, session.plan().arena_bytes,
+                unfused_arena != 0
+                    ? 100.0 * static_cast<double>(session.plan().arena_bytes) /
+                          static_cast<double>(unfused_arena)
+                    : 0.0,
+                envelope_sec != 0.0 ? unfused_sec / envelope_sec : 0.0);
     std::printf("%s\n", session.plan().summary().c_str());
   }
   return 0;

@@ -170,7 +170,7 @@ void DownscaleWinoConv::execute_nchw(std::span<const float> input, std::span<flo
                     filters_.comp.data(), z_layout_, z_buf_.data(), blocking_, pool);
   OutputTransformContext out_ctx{&desc_,    &geo_,       &at_plan_,
                                  z_layout_, out_layout_, filters_.bias.data(),
-                                 false,     canonical};
+                                 false,     nullptr,     canonical};
   run_output_transform(out_ctx, z_buf_.data(), scales_, out_blocked_.span(), pool);
 
   unpack_blocked_to_nchw(out_blocked_.span(), desc_.batch, desc_.out_channels,

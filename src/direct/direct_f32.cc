@@ -102,7 +102,7 @@ void Im2colConvF32::set_filters(std::span<const float> weights, std::span<const 
 }
 
 void Im2colConvF32::execute_nchw(std::span<const float> input, std::span<float> output,
-                                 ThreadPool* pool, bool relu) {
+                                 ThreadPool* pool, const PostOps& post) {
   const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
   const std::size_t rows = OH * OW;
   const std::size_t K = desc_.out_channels;
@@ -112,13 +112,15 @@ void Im2colConvF32::execute_nchw(std::span<const float> input, std::span<float> 
     im2col_f32(desc_, input, b, col_.data());
     fp32_gemm(col_.data(), patch_, wT_.data(), k_pad_, out_scratch_.data(), k_pad_, rows,
               patch_, k_pad_, pool);
-    // Transpose rows x K back to K x OH x OW with bias/ReLU.
+    // Transpose rows x K back to K x OH x OW with the bias/+sum/ReLU epilogue.
     for (std::size_t k = 0; k < K; ++k) {
       float* dst = output.data() + ((b * K + k) * rows);
+      const float* res = post.sum != nullptr ? post.sum + (b * K + k) * rows : nullptr;
       const float bk = bias_[k];
       for (std::size_t p = 0; p < rows; ++p) {
-        const float v = out_scratch_[p * k_pad_ + k] + bk;
-        dst[p] = relu ? std::max(0.0f, v) : v;
+        float v = out_scratch_[p * k_pad_ + k] + bk;
+        if (res != nullptr) v += res[p];
+        dst[p] = post.relu ? std::max(0.0f, v) : v;
       }
     }
   }

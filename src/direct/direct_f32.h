@@ -11,6 +11,7 @@
 
 #include "common/aligned_buffer.h"
 #include "tensor/conv_desc.h"
+#include "tensor/post_ops.h"
 
 namespace lowino {
 
@@ -30,8 +31,10 @@ class Im2colConvF32 {
 
   /// `weights`: K x C x r x r row-major; `bias` optional (length K).
   void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+  /// `post` fuses the residual +sum / ReLU epilogue into the bias store loop
+  /// (see tensor/post_ops.h).
   void execute_nchw(std::span<const float> input, std::span<float> output,
-                    ThreadPool* pool = nullptr, bool relu = false);
+                    ThreadPool* pool = nullptr, const PostOps& post = {});
 
   const ConvDesc& desc() const { return desc_; }
 

@@ -114,7 +114,7 @@ void Int8DirectConv::pack_weights() {
 }
 
 void Int8DirectConv::execute_nchw(std::span<const float> input, std::span<float> output,
-                                  ThreadPool* pool, bool relu) {
+                                  ThreadPool* pool, const PostOps& post) {
   assert(filters_set_ && input_scales_set_);
   const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
   const std::size_t rows = OH * OW;
@@ -127,11 +127,13 @@ void Int8DirectConv::execute_nchw(std::span<const float> input, std::span<float>
                      k_pad_, rows, patch_pad_, k_pad_, blocking_, pool);
     for (std::size_t k = 0; k < K; ++k) {
       float* dst = output.data() + (b * K + k) * rows;
+      const float* res = post.sum != nullptr ? post.sum + (b * K + k) * rows : nullptr;
       const float dq = w_dequant_[k];
       const float bk = bias_[k];
       for (std::size_t p = 0; p < rows; ++p) {
-        const float v = static_cast<float>(acc_[p * k_pad_ + k]) * dq + bk;
-        dst[p] = relu ? std::max(0.0f, v) : v;
+        float v = static_cast<float>(acc_[p * k_pad_ + k]) * dq + bk;
+        if (res != nullptr) v += res[p];
+        dst[p] = post.relu ? std::max(0.0f, v) : v;
       }
     }
   }

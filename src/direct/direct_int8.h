@@ -16,6 +16,7 @@
 #include "quant/histogram.h"
 #include "quant/quantize.h"
 #include "tensor/conv_desc.h"
+#include "tensor/post_ops.h"
 
 namespace lowino {
 
@@ -33,8 +34,10 @@ class Int8DirectConv {
 
   void set_filters(std::span<const float> weights, std::span<const float> bias = {});
 
+  /// `post` fuses the residual +sum / ReLU epilogue into the dequant store
+  /// loop (see tensor/post_ops.h).
   void execute_nchw(std::span<const float> input, std::span<float> output,
-                    ThreadPool* pool = nullptr, bool relu = false);
+                    ThreadPool* pool = nullptr, const PostOps& post = {});
 
   const ConvDesc& desc() const { return desc_; }
   float input_scale() const { return input_params_.scale; }

@@ -169,7 +169,7 @@ std::size_t LoWinoConvolution::workspace_bytes(ExecutionMode mode,
 }
 
 void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<float> output,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool, const PostOps& post) {
   if (!ready()) {
     throw std::logic_error("LoWinoConvolution: set_filters + calibration required");
   }
@@ -185,7 +185,7 @@ void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<
                                v_layout_, config_.blocking.nt_store, canonical_tm_};
   OutputTransformContext out_ctx{&desc_,      &geo_,       &at_plan_,
                                  z_layout_,   out_layout_, filters_.bias.data(),
-                                 config_.fuse_relu, canonical_tm_};
+                                 config_.fuse_relu || post.relu, post.sum, canonical_tm_};
 
   if (mode == ExecutionMode::kFused) {
     const FusedGeometry fg =
@@ -220,12 +220,12 @@ void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<
 }
 
 void LoWinoConvolution::execute_nchw(std::span<const float> input, std::span<float> output,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, const PostOps& post) {
   in_blocked_scratch_.ensure(in_layout_.size());
   out_blocked_scratch_.ensure(out_layout_.size());
   pack_nchw_to_blocked(input, desc_.batch, desc_.in_channels, desc_.height, desc_.width,
                        in_blocked_scratch_.span(), pool);
-  execute_blocked(in_blocked_scratch_.span(), out_blocked_scratch_.span(), pool);
+  execute_blocked(in_blocked_scratch_.span(), out_blocked_scratch_.span(), pool, post);
   unpack_blocked_to_nchw(out_blocked_scratch_.span(), desc_.batch, desc_.out_channels,
                          desc_.out_height(), desc_.out_width(), output, pool);
 }

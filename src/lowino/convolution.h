@@ -25,6 +25,7 @@
 #include "lowino/output_transform.h"
 #include "lowino/scales.h"
 #include "tensor/conv_desc.h"
+#include "tensor/post_ops.h"
 #include "winograd/transform.h"
 
 namespace lowino {
@@ -64,12 +65,16 @@ class LoWinoConvolution {
   bool ready() const { return filters_set_ && input_scales_set_; }
 
   /// Runs the convolution on an NCHW input, writing an NCHW output.
+  /// `post` is the optional fused epilogue (residual +sum, ReLU) applied
+  /// inside the de-quant/output-transform pass — see tensor/post_ops.h.
   void execute_nchw(std::span<const float> input, std::span<float> output,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr, const PostOps& post = {});
 
-  /// Runs on pre-blocked activations (B x [C/64] x H x W x 64).
+  /// Runs on pre-blocked activations (B x [C/64] x H x W x 64). The residual
+  /// of `post.sum` stays NCHW regardless (it is gathered plane-strided by the
+  /// output transform).
   void execute_blocked(std::span<const float> input, std::span<float> output,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr, const PostOps& post = {});
 
   BlockedActLayout input_layout() const { return in_layout_; }
   BlockedActLayout output_layout() const { return out_layout_; }

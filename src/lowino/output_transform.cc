@@ -54,13 +54,37 @@ void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t
                       s.ybuf.data() + i * m * 16, 16);
       }
     }
-    // 3. Bias/ReLU + store the valid region.
+    // 3. Bias / +sum / ReLU epilogue + store the valid region.
     const float* bias16 = ctx.bias != nullptr ? ctx.bias + k_base : nullptr;
+    // Lanes >= K are blocked-layout channel padding: the NCHW residual has no
+    // such lanes, so they take the sum-free path (their values never reach the
+    // unpacked output anyway).
+    const std::size_t out_k = desc.out_channels;
+    const std::size_t sum_lanes =
+        ctx.sum_nchw != nullptr && out_k > k_base
+            ? std::min<std::size_t>(16, out_k - k_base)
+            : 0;
+    const std::size_t plane = desc.out_height() * desc.out_width();
+    const float* res_group =
+        sum_lanes > 0 ? ctx.sum_nchw + (b * out_k + k_base) * plane : nullptr;
     for (std::size_t i = 0; i < valid_h; ++i) {
       for (std::size_t j = 0; j < valid_w; ++j) {
         const float* y = s.ybuf.data() + (i * m + j) * 16;
         float* dst = out_blocked + ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
-        if (bias16 != nullptr && ctx.relu) {
+        if (sum_lanes > 0) {
+          // Plane-strided residual gather: lane l of this pixel lives at
+          // channel k_base + l of the NCHW residual image.
+          const float* res = res_group + (oh0 + i) * desc.out_width() + (ow0 + j);
+          for (std::size_t l = 0; l < sum_lanes; ++l) {
+            float v = bias16 != nullptr ? y[l] + bias16[l] : y[l];
+            v += res[l * plane];
+            dst[l] = ctx.relu ? std::max(0.0f, v) : v;
+          }
+          for (std::size_t l = sum_lanes; l < 16; ++l) {
+            const float v = bias16 != nullptr ? y[l] + bias16[l] : y[l];
+            dst[l] = ctx.relu ? std::max(0.0f, v) : v;
+          }
+        } else if (bias16 != nullptr && ctx.relu) {
           for (int l = 0; l < 16; ++l) dst[l] = std::max(0.0f, y[l] + bias16[l]);
         } else if (bias16 != nullptr) {
           for (int l = 0; l < 16; ++l) dst[l] = y[l] + bias16[l];

@@ -4,8 +4,9 @@
 // this stage reads purely sequential memory:
 //   1. de-quantize the T x 16 lanes with the per-(t, k) table (Eq. 6),
 //   2. apply Y = A^T . Z . A with the codelet plan,
-//   3. add bias (and optionally ReLU) and store the valid m x m region into
-//      the blocked output image.
+//   3. apply the fused epilogue (bias, optional residual +sum, optional ReLU
+//      — see tensor/post_ops.h) and store the valid m x m region into the
+//      blocked output image.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +49,12 @@ struct OutputTransformContext {
   BlockedActLayout out_layout;
   const float* bias = nullptr;  ///< [K64], may be null
   bool relu = false;
+  /// Residual source for the fused "+sum" epilogue, or nullptr. NCHW with the
+  /// convolution's (unpadded) output shape B x K x OH x OW — the output
+  /// transform reads it with a plane-strided 16-lane gather per output pixel,
+  /// skipping the >= K padding lanes of the blocked layout. Applied after
+  /// bias, before ReLU (see tensor/post_ops.h for the bit-exactness argument).
+  const float* sum_nchw = nullptr;
   /// See InputTransformContext::hand_codelets.
   bool hand_codelets = false;
 };

@@ -103,6 +103,21 @@ bool engine_is_quantized(EngineKind kind) {
   }
 }
 
+bool engine_supports_post_ops(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFp32Direct:
+    case EngineKind::kInt8Direct:
+    case EngineKind::kLoWinoF2:
+    case EngineKind::kLoWinoF4:
+    case EngineKind::kLoWinoF6:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool post_op_fusion_enabled() { return config_flag("LOWINO_FUSE_POSTOPS", true); }
+
 // ---------------------------------------------------------------------------
 // Lifecycle state machine (the non-virtual public API).
 
@@ -155,6 +170,29 @@ void ConvEngine::run(std::span<const float> input, std::span<float> output,
   do_run(input, output, pool);
 }
 
+void ConvEngine::run(std::span<const float> input, std::span<float> output,
+                     ThreadPool* pool, const PostOps& post) {
+  if (state_ != Lifecycle::kReady) {
+    misuse("run() before set_filters()");
+  }
+  if (post.none()) {
+    do_run(input, output, pool);
+    return;
+  }
+  if (!supports_post_ops()) {
+    misuse("run() with a fused PostOps epilogue on an engine that does not "
+           "support post-ops — check supports_post_ops() and fall back to "
+           "unfused execution");
+  }
+  do_run_post(input, output, pool, post);
+}
+
+void ConvEngine::do_run_post(std::span<const float>, std::span<float>, ThreadPool*,
+                             const PostOps&) {
+  misuse("do_run_post() not implemented despite engine_supports_post_ops() — "
+         "the capability table and the engine wrapper disagree");
+}
+
 namespace {
 
 /// CRTP-free small wrappers; each translates the protected do_* interface
@@ -173,6 +211,10 @@ class Fp32DirectEngine final : public ConvEngine {
   }
   void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
+  }
+  void do_run_post(std::span<const float> in, std::span<float> out, ThreadPool* pool,
+                   const PostOps& post) override {
+    conv_.execute_nchw(in, out, pool, post);
   }
 
  private:
@@ -214,6 +256,10 @@ class Int8DirectEngine final : public ConvEngine {
   void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
   }
+  void do_run_post(std::span<const float> in, std::span<float> out, ThreadPool* pool,
+                   const PostOps& post) override {
+    conv_.execute_nchw(in, out, pool, post);
+  }
 
  private:
   Int8DirectConv conv_;
@@ -238,6 +284,10 @@ class LoWinoEngine final : public ConvEngine {
   }
   void do_run(std::span<const float> in, std::span<float> out, ThreadPool* pool) override {
     conv_.execute_nchw(in, out, pool);
+  }
+  void do_run_post(std::span<const float> in, std::span<float> out, ThreadPool* pool,
+                   const PostOps& post) override {
+    conv_.execute_nchw(in, out, pool, post);
   }
 
  private:

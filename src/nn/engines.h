@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "tensor/conv_desc.h"
+#include "tensor/post_ops.h"
 
 namespace lowino {
 
@@ -47,6 +48,20 @@ std::optional<EngineKind> engine_kind_from_string(std::string_view name);
 std::span<const EngineKind> all_engine_kinds();
 
 bool engine_is_quantized(EngineKind kind);
+
+/// True when `kind` executes a fused PostOps epilogue (residual +sum, ReLU)
+/// inside its single output pass: the FP32/INT8 direct engines and every
+/// LoWino variant. The baseline engines (FP32 Winograd, down-scaling,
+/// up-casting, vendor) decline — the compiler falls back to unfused
+/// element-wise ops for them. Static companion of
+/// ConvEngine::supports_post_ops() so planners can ask before construction.
+bool engine_supports_post_ops(EngineKind kind);
+
+/// The LOWINO_FUSE_POSTOPS kill-switch (env or RuntimeConfig override,
+/// default on). When off, the session compiler and the layer runtime keep the
+/// separate element-wise bias/ReLU/sum passes — the A/B lever for measuring
+/// the fusion win.
+bool post_op_fusion_enabled();
 
 /// Below this many Winograd tiles, calibration samples every tile: a strided
 /// sweep over e.g. a 4-tile CIFAR tail would feed the KL histograms from a
@@ -94,6 +109,15 @@ class ConvEngine {
   void finalize_calibration();
   void set_filters(std::span<const float> weights, std::span<const float> bias);
   void run(std::span<const float> input, std::span<float> output, ThreadPool* pool);
+  /// Runs with a fused PostOps epilogue. An empty `post` is identical to the
+  /// overload above; a non-empty one on an engine whose supports_post_ops()
+  /// is false throws std::logic_error — callers must consult the capability
+  /// and fall back to unfused execution plus element-wise passes themselves.
+  void run(std::span<const float> input, std::span<float> output, ThreadPool* pool,
+           const PostOps& post);
+
+  /// See engine_supports_post_ops().
+  bool supports_post_ops() const { return engine_supports_post_ops(kind()); }
 
   Lifecycle lifecycle() const { return state_; }
   virtual EngineKind kind() const = 0;
@@ -105,6 +129,10 @@ class ConvEngine {
                               std::span<const float> bias) = 0;
   virtual void do_run(std::span<const float> input, std::span<float> output,
                       ThreadPool* pool) = 0;
+  /// Only dispatched when supports_post_ops() and `post` is non-empty; the
+  /// default (for declining engines) is unreachable through the public run().
+  virtual void do_run_post(std::span<const float> input, std::span<float> output,
+                           ThreadPool* pool, const PostOps& post);
 
  private:
   [[noreturn]] void misuse(const char* what) const;

@@ -49,9 +49,20 @@ const Tensor<float>& SequentialModel::forward_engine(const Tensor<float>& input,
   }
   const Tensor<float>* src = &input;
   std::size_t which = 0;
+  const bool fuse = post_op_fusion_enabled();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Tensor<float>& dst = engine_act_[which];
-    layers_[i]->forward_engine(*src, dst, kind, pool);
+    auto* conv = fuse ? dynamic_cast<ConvLayer*>(layers_[i].get()) : nullptr;
+    if (conv != nullptr && i + 1 < layers_.size() &&
+        dynamic_cast<ReluLayer*>(layers_[i + 1].get()) != nullptr) {
+      // conv→relu collapses into the convolution's fused output pass — the
+      // same epilogue the session compiler plans, and bit-identical to the
+      // two-op sequence, so this path and session.run stay comparable.
+      conv->forward_engine_fused(*src, dst, kind, pool, PostOps{.relu = true});
+      ++i;
+    } else {
+      layers_[i]->forward_engine(*src, dst, kind, pool);
+    }
     src = &dst;
     which ^= 1;
   }

@@ -187,27 +187,50 @@ void ConvLayer::finalize_calibration(EngineKind kind) {
 
 void ConvLayer::forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
                                ThreadPool* pool) {
+  forward_engine_fused(in, out, kind, pool, PostOps{});
+}
+
+void ConvLayer::forward_engine_fused(const Tensor<float>& in, Tensor<float>& out,
+                                     EngineKind kind, ThreadPool* pool, const PostOps& post) {
+  const bool fuse = !post.none() && quantizable_ && engine_supports_post_ops(kind);
   if (!quantizable_) {
     forward(in, out, /*train=*/false);
-    return;
-  }
-  const std::size_t batch = in.dim(0);
-  const ConvDesc d = desc_for_batch(batch);
-  out.reshape({batch, k_, d.out_height(), d.out_width()});
-  EngineSlot& slot = engines_[{kind, batch}];
-  if (slot.engine == nullptr) {
-    if (engine_is_quantized(kind)) {
-      throw std::logic_error(name() + ": engine not calibrated for this batch size (" +
-                             std::to_string(batch) + ") — run the calibration pass first");
+  } else {
+    const std::size_t batch = in.dim(0);
+    const ConvDesc d = desc_for_batch(batch);
+    out.reshape({batch, k_, d.out_height(), d.out_width()});
+    EngineSlot& slot = engines_[{kind, batch}];
+    if (slot.engine == nullptr) {
+      if (engine_is_quantized(kind)) {
+        throw std::logic_error(name() + ": engine not calibrated for this batch size (" +
+                               std::to_string(batch) + ") — run the calibration pass first");
+      }
+      slot.engine = make_conv_engine(kind, d);  // FP32 engines need no calibration
     }
-    slot.engine = make_conv_engine(kind, d);  // FP32 engines need no calibration
+    if (slot.weights_version != weights_version_) {
+      slot.engine->set_filters({weights_.data(), weights_.size()},
+                               {bias_.data(), bias_.size()});
+      slot.weights_version = weights_version_;
+    }
+    if (fuse) {
+      slot.engine->run(in.span(), out.span(), pool, post);
+      return;
+    }
+    slot.engine->run(in.span(), out.span(), pool);
   }
-  if (slot.weights_version != weights_version_) {
-    slot.engine->set_filters({weights_.data(), weights_.size()},
-                             {bias_.data(), bias_.size()});
-    slot.weights_version = weights_version_;
+  if (post.none()) return;
+  // Unfused fallback: the same sum-then-ReLU epilogue applied after the plain
+  // run — the per-element float op sequence matches the fused engine path, so
+  // the two routes stay bit-identical.
+  float* o = out.data();
+  const std::size_t n = out.size();
+  if (post.sum != nullptr) {
+    const float* res = post.sum;
+    for (std::size_t i = 0; i < n; ++i) o[i] += res[i];
   }
-  slot.engine->run(in.span(), out.span(), pool);
+  if (post.relu) {
+    for (std::size_t i = 0; i < n; ++i) o[i] = std::max(0.0f, o[i]);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +410,17 @@ void ResidualBlock::finalize_calibration(EngineKind kind) {
 
 void ResidualBlock::forward_engine(const Tensor<float>& in, Tensor<float>& out,
                                    EngineKind kind, ThreadPool* pool) {
+  if (post_op_fusion_enabled()) {
+    // The block collapses to two convolutions: conv1 with a fused ReLU, conv2
+    // with the skip-add + ReLU folded into its output pass. Engines without
+    // post-op support fall back inside forward_engine_fused (bit-identical),
+    // so this path is unconditional once the kill-switch allows fusion.
+    conv1_.forward_engine_fused(in, mid_act_, kind, pool, PostOps{.relu = true});
+    out.reshape(in.shape());
+    conv2_.forward_engine_fused(mid_act_, out, kind, pool,
+                                PostOps{.relu = true, .sum = in.data()});
+    return;
+  }
   conv1_.forward_engine(in, mid_, kind, pool);
   relu_mid_.forward(mid_, mid_act_, /*train=*/false);
   conv2_.forward_engine(mid_act_, f_out_, kind, pool);

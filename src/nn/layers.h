@@ -60,6 +60,14 @@ class ConvLayer : public Layer {
   void forward_engine(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
                       ThreadPool* pool) override;
 
+  /// forward_engine with a fused PostOps epilogue. When the layer is not
+  /// quantizable or `kind` lacks post-op support, runs the plain path and
+  /// applies the element-wise epilogue afterwards — bit-identical either way
+  /// (see tensor/post_ops.h), so callers may fuse opportunistically without
+  /// changing results.
+  void forward_engine_fused(const Tensor<float>& in, Tensor<float>& out, EngineKind kind,
+                            ThreadPool* pool, const PostOps& post);
+
   /// Span-based FP32 forward (the compute core of forward(), and the serving
   /// path for non-quantizable layers). All scratch lives in member buffers —
   /// allocation-free once the buffers are warm. Not reentrant: concurrent

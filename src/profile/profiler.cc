@@ -22,6 +22,7 @@ const char* profile_stage_name(ProfileStage stage) {
     case ProfileStage::kCalibration: return "calibration";
     case ProfileStage::kTunerTrial: return "tuner trial";
     case ProfileStage::kServe: return "serve op";
+    case ProfileStage::kPostOps: return "post-op pass";
   }
   return "?";
 }

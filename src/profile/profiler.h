@@ -52,12 +52,13 @@ enum class ProfileStage : std::uint8_t {
   kFilterPack = 0,  ///< offline filter transform + quantization + packing
   kInputTransform,  ///< input transform + quantization (incl. the V scatter)
   kGemm,            ///< batched INT8 GEMM (incl. the Z scatter)
-  kOutputTransform, ///< de-quantization + output transform + bias/ReLU
+  kOutputTransform, ///< de-quant + output transform incl. any fused epilogue
   kCalibration,     ///< Winograd-domain statistics collection
   kTunerTrial,      ///< one auto-tuner candidate measurement
   kServe,           ///< one serving op inside InferenceSession::run
+  kPostOps,         ///< a standalone (unfused) element-wise ReLU/sum pass
 };
-inline constexpr std::size_t kProfileStageCount = 7;
+inline constexpr std::size_t kProfileStageCount = 8;
 
 const char* profile_stage_name(ProfileStage stage);
 

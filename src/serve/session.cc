@@ -26,8 +26,40 @@ constexpr EngineKind kDefaultCandidates[] = {
     EngineKind::kLoWinoF6,
 };
 
-std::string plan_wisdom_key(const std::string& desc_str) {
-  return "plan-engine " + desc_str;
+/// Plan-file / wisdom token for a fused epilogue ("none" never serializes —
+/// unfused conv lines stay byte-identical to the v1 format).
+const char* post_ops_token(bool fuse_relu, bool fuse_sum) {
+  if (fuse_sum && fuse_relu) return "sum+relu";
+  if (fuse_sum) return "sum";
+  if (fuse_relu) return "relu";
+  return "none";
+}
+
+/// Parses a "post=<token>" conv-line field. False on anything malformed.
+bool parse_post_token(const std::string& field, bool& fuse_relu, bool& fuse_sum) {
+  if (field.rfind("post=", 0) != 0) return false;
+  const std::string tok = field.substr(5);
+  for (const bool relu : {false, true}) {
+    for (const bool sum : {false, true}) {
+      if (tok == post_ops_token(relu, sum)) {
+        fuse_relu = relu;
+        fuse_sum = sum;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string plan_wisdom_key(const std::string& desc_str, bool fuse_relu, bool fuse_sum) {
+  std::string key = "plan-engine " + desc_str;
+  // Fused and unfused instances of the same shape are different planning
+  // problems (the epilogue changes the measured latency ranking); unfused
+  // keys stay unchanged so existing wisdom files keep hitting.
+  if (fuse_relu || fuse_sum) {
+    key += std::string(" post=") + post_ops_token(fuse_relu, fuse_sum);
+  }
+  return key;
 }
 
 /// SNR values are clamped before they enter a plan record: an FP32 candidate
@@ -48,6 +80,9 @@ std::string SessionPlan::summary() const {
     os << "  op " << c.op_index << ": " << engine_token(c.engine) << "  " << c.layer << " ["
        << c.desc << "]  snr " << c.snr_db << " dB";
     if (c.seconds > 0.0) os << ", " << c.seconds * 1e3 << " ms";
+    if (c.fuse_relu || c.fuse_sum) {
+      os << "  (fused " << post_ops_token(c.fuse_relu, c.fuse_sum) << ')';
+    }
     if (!c.met_envelope) os << "  (below accuracy envelope; best-effort pick)";
     os << '\n';
   }
@@ -62,15 +97,20 @@ std::string SessionPlan::summary() const {
 
 std::string SessionPlan::serialize() const {
   std::ostringstream os;
-  os << "# lowino-plan v1: conv = op_index engine snr_db seconds met | layer | desc\n";
+  os << "# lowino-plan v2: conv = op_index engine snr_db seconds met [post=ops] | layer | "
+        "desc\n";
   os.precision(9);
   os << "batch = " << batch << '\n';
   os << "arena = " << arena_bytes << '\n';
   os << "naive = " << naive_bytes << '\n';
   for (const ConvChoice& c : convs) {
     os << "conv = " << c.op_index << ' ' << engine_token(c.engine) << ' ' << c.snr_db << ' '
-       << c.seconds << ' ' << (c.met_envelope ? 1 : 0) << " | " << c.layer << " | " << c.desc
-       << '\n';
+       << c.seconds << ' ' << (c.met_envelope ? 1 : 0);
+    // Unfused lines omit the token and stay byte-identical to the v1 format.
+    if (c.fuse_relu || c.fuse_sum) {
+      os << " post=" << post_ops_token(c.fuse_relu, c.fuse_sum);
+    }
+    os << " | " << c.layer << " | " << c.desc << '\n';
   }
   return os.str();
 }
@@ -105,8 +145,15 @@ std::optional<SessionPlan> SessionPlan::deserialize(const std::string& text) {
       int met = -1;
       std::string extra;
       if (!(head >> idx >> token >> c.snr_db >> c.seconds >> met) || idx < 0 ||
-          (met != 0 && met != 1) || (head >> extra)) {
+          (met != 0 && met != 1)) {
         return std::nullopt;
+      }
+      // Optional v2 "post=" token; anything else trailing is corruption.
+      std::string post_field;
+      if (head >> post_field) {
+        if (!parse_post_token(post_field, c.fuse_relu, c.fuse_sum) || (head >> extra)) {
+          return std::nullopt;
+        }
       }
       const std::optional<EngineKind> kind = engine_kind_from_string(token);
       if (!kind) return std::nullopt;
@@ -274,6 +321,118 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
   s.output_value_ = cur;
   s.values_[cur].external = true;
 
+  // -- Post-op fusion pass: fold conv->relu and conv->add+relu chains into --
+  // -- the convolution's single output pass (the PostOps epilogue). ---------
+  // A chain fuses when (a) the kill-switch is on, (b) the conv's output has
+  // exactly one consumer and it is the immediately following element-wise op,
+  // and (c) the engine that will execute the conv can carry the epilogue —
+  // kConvFp32 runs session-owned code (always can); kConvEngine consults
+  // engine_supports_post_ops for the forced/replayed kind or requires at
+  // least one supporting shoot-out candidate (the selection loop then skips
+  // declining candidates for fused ops — the graceful fallback). Fusion
+  // deletes the element-wise pass *and* orphans its input value, shortening
+  // live ranges so the arena planner's peak drops (asserted in test_serve).
+  if (post_op_fusion_enabled()) {
+    const std::span<const EngineKind> cands =
+        options.candidates.empty() ? std::span<const EngineKind>(kDefaultCandidates)
+                                   : std::span<const EngineKind>(options.candidates);
+    const auto engine_conv_can_fuse = [&](std::size_t conv_ordinal) {
+      if (options.forced_engine) return engine_supports_post_ops(*options.forced_engine);
+      if (options.reuse != nullptr) {
+        return conv_ordinal < options.reuse->convs.size() &&
+               engine_supports_post_ops(options.reuse->convs[conv_ordinal].engine);
+      }
+      return std::any_of(cands.begin(), cands.end(), engine_supports_post_ops);
+    };
+
+    std::vector<std::size_t> uses(s.values_.size(), 0);
+    for (const Op& op : s.ops_) {
+      ++uses[op.in0];
+      if (op.kind == Op::Kind::kAddRelu) ++uses[op.in1];
+    }
+
+    std::vector<Op> fused;
+    fused.reserve(s.ops_.size());
+    std::size_t conv_ordinal = 0;  // kConvEngine count, for reuse-plan lookup
+    for (std::size_t i = 0; i < s.ops_.size(); ++i) {
+      Op op = std::move(s.ops_[i]);
+      const bool is_conv =
+          op.kind == Op::Kind::kConvEngine || op.kind == Op::Kind::kConvFp32;
+      const bool can_fuse =
+          is_conv && (op.kind == Op::Kind::kConvFp32 || engine_conv_can_fuse(conv_ordinal));
+      if (op.kind == Op::Kind::kConvEngine) ++conv_ordinal;
+      if (can_fuse && i + 1 < s.ops_.size() && uses[op.out] == 1) {
+        const Op& next = s.ops_[i + 1];
+        if (next.kind == Op::Kind::kRelu && next.in0 == op.out) {
+          op.fuse_relu = true;
+          op.out = next.out;
+          op.label += "+relu";
+          ++i;  // the relu pass is gone
+        } else if (next.kind == Op::Kind::kAddRelu &&
+                   (next.in0 == op.out || next.in1 == op.out)) {
+          // The residual (the *other* add input) is defined before this conv
+          // (ops are in topological order), so reading it from the epilogue
+          // is safe.
+          op.fuse_relu = true;
+          op.fuse_sum = true;
+          op.in1 = next.in0 == op.out ? next.in1 : next.in0;
+          op.out = next.out;
+          op.label += "+sum+relu";
+          ++i;  // the add+relu pass is gone
+        }
+      }
+      fused.push_back(std::move(op));
+    }
+    s.ops_ = std::move(fused);
+  }
+
+  // -- Recompute liveness over the (possibly fused) op list. Values orphaned
+  // -- by fusion (a swallowed element-wise op's former input) get no arena
+  // -- request at all. ------------------------------------------------------
+  std::vector<bool> value_live(s.values_.size(), false);
+  value_live[0] = true;
+  for (std::size_t step = 0; step < s.ops_.size(); ++step) {
+    const Op& op = s.ops_[step];
+    s.values_[op.out].def_step = step;
+    s.values_[op.out].last_use = step;
+    value_live[op.out] = true;
+    s.values_[op.in0].last_use = step;
+    value_live[op.in0] = true;
+    if (op.kind == Op::Kind::kAddRelu || op.fuse_sum) {
+      s.values_[op.in1].last_use = step;
+      value_live[op.in1] = true;
+    }
+  }
+
+  // -- In-place residual reuse: a fused conv's output shares its residual's
+  // -- arena slot when the conv is the residual's final consumer. Safe for
+  // -- every post-op-capable engine: the direct engines read each residual
+  // -- element in the same scalar iteration that overwrites it, and the
+  // -- Winograd engines read the residual inside the output transform, with
+  // -- the fork-join barrier before the blocked->NCHW unpack that writes the
+  // -- buffer. This is what turns fusion into an arena *peak* win — the
+  // -- residual pattern otherwise needs conv-input, residual and output live
+  // -- at once, fused or not. -----------------------------------------------
+  std::vector<std::pair<std::size_t, std::size_t>> alias_pairs;  // (out, slot root)
+  std::vector<bool> value_aliased(s.values_.size(), false);
+  {
+    std::vector<std::size_t> slot_root(s.values_.size());
+    for (std::size_t v = 0; v < slot_root.size(); ++v) slot_root[v] = v;
+    for (std::size_t step = 0; step < s.ops_.size(); ++step) {
+      const Op& op = s.ops_[step];
+      if (!op.fuse_sum) continue;
+      const std::size_t res = op.in1, out = op.out;
+      if (s.values_[res].external || s.values_[out].external) continue;
+      if (res == op.in0 || s.values_[res].elems != s.values_[out].elems) continue;
+      if (s.values_[res].last_use != step) continue;  // residual read again later
+      const std::size_t root = slot_root[res];
+      slot_root[out] = root;
+      value_aliased[out] = true;
+      s.values_[root].last_use = std::max(s.values_[root].last_use, s.values_[out].last_use);
+      alias_pairs.emplace_back(out, root);
+    }
+  }
+
   // -- Plan-time FP32 pass: capture every conv's input distribution and -----
   // -- reference output (the accuracy envelope's ground truth). -------------
   std::vector<Tensor<float>> vals(s.values_.size());
@@ -282,8 +441,19 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     vals[op.out].reshape(s.values_[op.out].shape);
     if (op.kind == Op::Kind::kConvEngine) {
       op.conv->forward_fp32(vals[op.in0].span(), vals[op.out].span(), batch);
+      // The fused reference includes the epilogue (identical float op
+      // sequence to the engines' in-register version, hence bit-comparable).
+      const std::span<float> out = vals[op.out].span();
+      if (op.fuse_sum) {
+        const float* res = vals[op.in1].data();
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] += res[i];
+      }
+      if (op.fuse_relu) {
+        for (float& v : out) v = std::max(0.0f, v);
+      }
     } else {
-      const float* in1 = op.kind == Op::Kind::kAddRelu ? vals[op.in1].data() : nullptr;
+      const float* in1 =
+          op.kind == Op::Kind::kAddRelu || op.fuse_sum ? vals[op.in1].data() : nullptr;
       s.execute_op(op, vals[op.in0].data(), in1, vals[op.out].data());
     }
   }
@@ -304,6 +474,9 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     const std::string desc_str = desc.to_string();
     const Tensor<float>& plan_in = vals[op.in0];
     const Tensor<float>& ref_out = vals[op.out];
+    // Fused ops are measured fused: the epilogue changes both the latency
+    // ranking and the reference the SNR compares against.
+    const PostOps post{op.fuse_relu, op.fuse_sum ? vals[op.in1].data() : nullptr};
 
     // Builds + calibrates one candidate; nullptr when make_conv_engine
     // rejects the (kind, shape) pair — that is the eligibility filter.
@@ -352,10 +525,14 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     } else {
       std::optional<EngineKind> hint;
       if (options.wisdom != nullptr) {
-        if (const auto token = options.wisdom->get_string(plan_wisdom_key(desc_str))) {
+        if (const auto token = options.wisdom->get_string(
+                plan_wisdom_key(desc_str, op.fuse_relu, op.fuse_sum))) {
           hint = engine_kind_from_string(*token);
         }
       }
+      // A hinted engine that cannot carry this op's fused epilogue is as
+      // unusable as an unbuildable one: fall through to the shoot-out.
+      if (hint && !post.none() && !engine_supports_post_ops(*hint)) hint.reset();
       if (hint) {
         op.engine = build(*hint);  // unbuildable hint falls through to shoot-out
         if (op.engine != nullptr) choice.engine = *hint;
@@ -371,13 +548,16 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
         fallback.snr_db = -1e300;
         bool any_pass = false;
         for (const EngineKind kind : cands) {
+          // Fused ops restrict the shoot-out to post-op-capable engines (the
+          // fusion pass guaranteed at least one candidate qualifies).
+          if (!post.none() && !engine_supports_post_ops(kind)) continue;
           auto e = build(kind);
           if (e == nullptr) continue;
-          e->run(plan_in.span(), actual.span(), s.pool_);
+          e->run(plan_in.span(), actual.span(), s.pool_, post);
           const double snr =
               clamp_snr(quantization_error(ref_out.span(), actual.span()).signal_to_noise_db);
           const double sec =
-              time_it([&] { e->run(plan_in.span(), actual.span(), s.pool_); },
+              time_it([&] { e->run(plan_in.span(), actual.span(), s.pool_, post); },
                       /*warmup=*/1, /*min_iters=*/2, /*max_iters=*/50,
                       options.seconds_per_candidate)
                   .median;
@@ -417,14 +597,17 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     if (choice.snr_db == 0.0) {
       // Forced / replayed / wisdom-hinted engines skip the shoot-out but
       // still get one accuracy measurement so the plan record is honest.
-      op.engine->run(plan_in.span(), actual.span(), s.pool_);
+      op.engine->run(plan_in.span(), actual.span(), s.pool_, post);
       choice.snr_db =
           clamp_snr(quantization_error(ref_out.span(), actual.span()).signal_to_noise_db);
       choice.met_envelope = !engine_is_quantized(choice.engine) ||
                             choice.snr_db >= options.min_snr_db;
     }
+    choice.fuse_relu = op.fuse_relu;
+    choice.fuse_sum = op.fuse_sum;
     if (options.wisdom != nullptr) {
-      options.wisdom->put_string(plan_wisdom_key(desc_str), engine_token(choice.engine));
+      options.wisdom->put_string(plan_wisdom_key(desc_str, op.fuse_relu, op.fuse_sum),
+                                 engine_token(choice.engine));
     }
     s.plan_.convs.push_back(std::move(choice));
     ++conv_idx;
@@ -438,13 +621,18 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
   std::vector<std::size_t> request_value;
   for (std::size_t v = 0; v < s.values_.size(); ++v) {
     const Value& val = s.values_[v];
-    if (val.external) continue;
+    if (val.external || !value_live[v] || value_aliased[v]) continue;
     requests.push_back({val.elems * sizeof(float), val.def_step, val.last_use});
     request_value.push_back(v);
   }
   const ArenaPlan arena_plan = plan_arena(requests);
   for (std::size_t j = 0; j < request_value.size(); ++j) {
     s.values_[request_value[j]].offset_floats = arena_plan.offsets[j] / sizeof(float);
+  }
+  // Aliased outputs inherit their slot root's offset (pairs are in op order,
+  // so a root's offset is always final by the time a dependent reads it).
+  for (const auto& [out, root] : alias_pairs) {
+    s.values_[out].offset_floats = s.values_[root].offset_floats;
   }
   s.arena_.ensure(arena_plan.peak_bytes / sizeof(float));
   s.plan_.arena_bytes = arena_plan.peak_bytes;
@@ -483,7 +671,9 @@ void InferenceSession::run(const Tensor<float>& input, Tensor<float>& output) {
   for (Op& op : ops_) {
     ProfileSpan span(ProfileStage::kServe);
     const float* in0 = value_in(op.in0, input);
-    const float* in1 = op.kind == Op::Kind::kAddRelu ? value_in(op.in1, input) : nullptr;
+    const float* in1 = op.kind == Op::Kind::kAddRelu || op.fuse_sum
+                           ? value_in(op.in1, input)
+                           : nullptr;
     float* out = value_out(op.out, output);
     execute_op(op, in0, in1, out);
   }
@@ -494,7 +684,14 @@ void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, fl
   const Value& vo = values_[op.out];
   switch (op.kind) {
     case Op::Kind::kConvEngine: {
-      op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_);
+      if (op.fuse_relu || op.fuse_sum) {
+        // Fused epilogue: the element-wise pass rides inside the engine's
+        // output pass (attributed to its output-transform / store stage).
+        const PostOps post{op.fuse_relu, op.fuse_sum ? in1 : nullptr};
+        op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_, post);
+      } else {
+        op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_);
+      }
       break;
     }
     case Op::Kind::kConvFp32: {
@@ -521,13 +718,21 @@ void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, fl
         const float* src_rows = op.out_rows.data();
         for (std::size_t kk = 0; kk < k; ++kk) {
           float* dst = out + (b * k + kk) * rows;
+          const float* res = op.fuse_sum ? in1 + (b * k + kk) * rows : nullptr;
           const float bk = bias[kk];
-          for (std::size_t p = 0; p < rows; ++p) dst[p] = src_rows[p * k + kk] + bk;
+          for (std::size_t p = 0; p < rows; ++p) {
+            float v = src_rows[p * k + kk] + bk;
+            if (res != nullptr) v += res[p];
+            dst[p] = op.fuse_relu ? std::max(0.0f, v) : v;
+          }
         }
       }
       break;
     }
     case Op::Kind::kRelu: {
+      // A standalone (unfused) element-wise pass: visible as its own profile
+      // stage so traces show these passes disappearing under fusion.
+      ProfileSpan pspan(ProfileStage::kPostOps);
       for (std::size_t i = 0; i < vo.elems; ++i) {
         out[i] = in0[i] > 0.0f ? in0[i] : 0.0f;
       }
@@ -566,6 +771,7 @@ void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, fl
       break;
     }
     case Op::Kind::kAddRelu: {
+      ProfileSpan pspan(ProfileStage::kPostOps);
       for (std::size_t i = 0; i < vo.elems; ++i) {
         out[i] = std::max(0.0f, in0[i] + in1[i]);
       }

@@ -6,6 +6,11 @@
 //   * lowers the SequentialModel to a flat op list (convolutions, ReLU,
 //     maxpool, dense, residual add — residual blocks are flattened so the
 //     skip connection becomes a real multi-buffer live range);
+//   * runs the post-op fusion pass: conv->relu and conv->add+relu chains
+//     collapse into the convolution's single output pass (PostOps epilogue)
+//     when the eligible engines support it, killing the element-wise passes
+//     and shortening live ranges so the arena peak drops. Gated by the
+//     LOWINO_FUSE_POSTOPS kill-switch (default on; set 0 to A/B);
 //   * runs one FP32 pass over the calibration batch, capturing every
 //     convolution's input distribution and reference output;
 //   * picks an engine per quantizable convolution: a measured shoot-out
@@ -88,6 +93,13 @@ struct SessionPlan {
     double snr_db = 0.0;       ///< measured vs FP32 reference (0 on replay)
     double seconds = 0.0;      ///< plan-time median latency (0 on replay)
     bool met_envelope = true;  ///< false: best-effort pick below min_snr_db
+    // Post-op fusion outcome: the element-wise ops the compiler folded into
+    // this convolution's output pass (serialized as a "post=" token).
+    // Informational on replay — fusion is re-decided from the model
+    // structure, the engine capability and the LOWINO_FUSE_POSTOPS switch,
+    // which is safe because fused and unfused execution are bit-identical.
+    bool fuse_relu = false;
+    bool fuse_sum = false;
   };
 
   std::size_t batch = 0;
@@ -98,9 +110,12 @@ struct SessionPlan {
   /// Human-readable multi-line report (engine per layer, arena savings).
   std::string summary() const;
 
-  /// Plain-text format ("# lowino-plan v1" header). Strict parser: any
-  /// malformed line rejects the whole plan (nullopt) — a corrupt plan file
-  /// must not silently serve with default engines.
+  /// Plain-text format ("# lowino-plan v2" header; conv lines carry an
+  /// optional "post=relu|sum|sum+relu|none" head token recording fused
+  /// epilogues — absent means unfused, so v1 files still load). Strict
+  /// parser: any malformed line (including a corrupt post token) rejects the
+  /// whole plan (nullopt) — a corrupt plan file must not silently serve with
+  /// default engines.
   std::string serialize() const;
   static std::optional<SessionPlan> deserialize(const std::string& text);
   bool save(const std::string& path) const;
@@ -137,8 +152,12 @@ class InferenceSession {
     enum class Kind { kConvEngine, kConvFp32, kRelu, kMaxPool, kDense, kAddRelu };
     Kind kind = Kind::kRelu;
     std::size_t in0 = 0;   ///< value id
-    std::size_t in1 = 0;   ///< second input (kAddRelu only)
+    std::size_t in1 = 0;   ///< second input (kAddRelu; residual when fuse_sum)
     std::size_t out = 0;   ///< output value id
+    // Fused epilogue of a conv op (set by the compiler's post-op fusion pass
+    // when a kRelu / kAddRelu successor was folded into the output pass).
+    bool fuse_relu = false;
+    bool fuse_sum = false;  ///< residual value id rides in in1
     ConvLayer* conv = nullptr;    ///< kConvEngine / kConvFp32
     DenseLayer* dense = nullptr;  ///< kDense
     std::size_t channels = 0;     ///< kMaxPool

@@ -1,0 +1,39 @@
+// Fused convolution epilogue description (euler's has_bias/has_relu/has_sum
+// flag style, see elx_conv_wino_lp).
+//
+// A convolution engine that advertises post-op support applies the epilogue
+//
+//   out = relu? . (conv(in) + bias + sum)
+//
+// inside its single output pass — for LoWino that is the de-quantization +
+// output-transform stage, for the direct engines the accumulator store loop.
+// The stage order is fixed: bias, then the residual sum, then ReLU. Bias is
+// not carried here because it already rides with the packed filters
+// (set_filters / PackedFilters) and was fused into the output pass from the
+// start; PostOps adds the two stages that used to be separate element-wise
+// passes over the activation tensor.
+//
+// Fusing is bit-exact by construction: the unfused path stores y = conv + bias
+// to memory and a later pass computes max(0, y + res). Float stores/loads are
+// value-preserving and the epilogue contains no multiplies (so no FMA
+// contraction), hence max(0, (conv + bias) + res) evaluated in registers
+// performs the identical float operation sequence. The build does not enable
+// -ffast-math, so compilers may not reassociate either.
+#pragma once
+
+#include <cstddef>
+
+namespace lowino {
+
+struct PostOps {
+  bool relu = false;
+  /// Residual source for the "+sum" stage, or nullptr. NCHW, with exactly the
+  /// convolution's output shape (B x K x OH x OW). Applied before ReLU. May
+  /// alias the output tensor (in-place sum): every element is read before the
+  /// corresponding store.
+  const float* sum = nullptr;
+
+  bool none() const { return !relu && sum == nullptr; }
+};
+
+}  // namespace lowino

@@ -19,6 +19,7 @@
 #include "direct/direct_int8.h"
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
+#include "tensor/post_ops.h"
 #include "testing/envelope.h"
 #include "testing/oracle.h"
 
@@ -32,7 +33,7 @@ namespace {
 double with_margin(double v) { return v * 1.0001 + 1e-6; }
 
 struct CaseData {
-  std::vector<float> input, weights, bias;
+  std::vector<float> input, weights, bias, residual;
 };
 
 CaseData make_data(const FuzzCase& fc) {
@@ -46,6 +47,10 @@ CaseData make_data(const FuzzCase& fc) {
   if (fc.with_bias) {
     data.bias.resize(d.out_channels);
     for (float& v : data.bias) v = rng.uniform(-0.5f, 0.5f);
+  }
+  if (fc.sum) {
+    data.residual.resize(d.batch * d.out_channels * d.out_height() * d.out_width());
+    for (float& v : data.residual) v = rng.uniform(-1.0f, 1.0f);
   }
   return data;
 }
@@ -152,6 +157,7 @@ FuzzCase generate_case(std::uint64_t seed) {
   fc.threads = 1 + rng.next_below(4);
   fc.relu = rng.next_below(2) == 0;
   fc.with_bias = rng.next_below(2) == 0;
+  fc.sum = rng.next_below(3) == 0;
   fc.per_tensor_scales = rng.next_below(4) == 0;
 
   // Occasionally break the descriptor on purpose: the harness then asserts
@@ -179,6 +185,7 @@ std::string describe(const FuzzCase& fc) {
   s += " t" + std::to_string(fc.threads);
   s += fc.relu ? " relu" : "";
   s += fc.with_bias ? " bias" : "";
+  s += fc.sum ? " sum" : "";
   s += fc.per_tensor_scales ? " per-tensor" : " per-position";
   if (!fc.desc.is_valid()) s += " degenerate";
   s += " seed=" + std::to_string(fc.seed);
@@ -208,7 +215,30 @@ CaseResult run_case(const FuzzCase& fc) {
     ref_relu = ref_plain;
     for (double& v : ref_relu) v = std::max(v, 0.0);
   }
-  const std::vector<double>& ref_post = fc.relu ? ref_relu : ref_plain;
+  // relu-only reference, for engines without fused-sum support.
+  const std::vector<double>& ref_nosum = fc.relu ? ref_relu : ref_plain;
+  // Full post-op reference (bias -> +sum -> relu) for post-op engines.
+  std::vector<double> ref_full;
+  if (fc.sum) {
+    ref_full = ref_plain;
+    for (std::size_t i = 0; i < ref_full.size(); ++i) {
+      ref_full[i] += static_cast<double>(data.residual[i]);
+      if (fc.relu) ref_full[i] = std::max(ref_full[i], 0.0);
+    }
+  }
+  const std::vector<double>& ref_post = fc.sum ? ref_full : ref_nosum;
+  const PostOps post{fc.relu, fc.sum ? data.residual.data() : nullptr};
+
+  // The fused +sum adds one extra float rounding per element; widen the
+  // pre-sum envelope by an ulp of the post-sum magnitude.
+  const auto with_sum_slack = [&](std::vector<double> bound) {
+    if (!fc.sum) return bound;
+    double mag = 1.0;
+    for (const double v : ref_post) mag = std::max(mag, std::abs(v));
+    const double slack = std::ldexp(mag, -22);
+    for (double& b : bound) b += slack;
+    return bound;
+  };
 
   const SpatialFilterStats sstats = spatial_filter_stats(d, data.weights);
   const double dmax = abs_max_f64(data.input);
@@ -227,18 +257,50 @@ CaseResult run_case(const FuzzCase& fc) {
     }
   };
 
+  // Fused-epilogue bit-identity referee (the tentpole's contract): run the
+  // same engine unfused, apply the element-wise sum-then-relu passes the
+  // fused path absorbed, and require exact bit equality with the fused
+  // output (see tensor/post_ops.h for why this must hold).
+  const auto check_fused_bits = [&](const char* engine, std::span<const float> fused,
+                                    std::vector<float>& plain) {
+    ++result.engines_checked;
+    if (!result.ok) return;
+    if (fc.sum) {
+      for (std::size_t i = 0; i < plain.size(); ++i) plain[i] += data.residual[i];
+    }
+    if (fc.relu) {
+      for (float& v : plain) v = std::max(0.0f, v);
+    }
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      if (fused[i] != plain[i]) {
+        result.ok = false;
+        result.failure = std::string(engine) +
+                         ": fused epilogue differs from unfused engine-then-"
+                         "elementwise at element " +
+                         std::to_string(i) + ": " + std::to_string(fused[i]) + " vs " +
+                         std::to_string(plain[i]);
+        return;
+      }
+    }
+  };
+
   try {
     // --- FP32 engines ------------------------------------------------------
     const std::vector<double> fp32_direct_bound =
         fp32_budget(d, dmax, sstats, bias, /*amplification=*/1.0);
     direct_conv_f32_reference(d, data.input, data.weights, bias, out, fc.relu, &pool);
-    check("fp32-reference", ref_post, fp32_direct_bound);
+    check("fp32-reference", ref_nosum, fp32_direct_bound);
 
     {
       Im2colConvF32 conv(d);
       conv.set_filters(data.weights, bias);
-      conv.execute_nchw(data.input, out, &pool, fc.relu);
-      check("fp32-im2col", ref_post, fp32_direct_bound);
+      conv.execute_nchw(data.input, out, &pool, post);
+      check("fp32-im2col", ref_post, with_sum_slack(fp32_direct_bound));
+      if (!post.none()) {
+        std::vector<float> plain(out.size());
+        conv.execute_nchw(data.input, plain, &pool);
+        check_fused_bits("fp32-im2col", out, plain);
+      }
     }
 
     const TransformMatrices& tm = engine_transform(fc.m, d.kernel);
@@ -264,13 +326,13 @@ CaseResult run_case(const FuzzCase& fc) {
       if (fc.per_tensor_scales) std::fill(taus.begin(), taus.end(), tau_uniform);
       const TransformedFilterStats fstats =
           transformed_filter_stats(d, fc.m, data.weights);
-      const std::vector<double> lw_bound = lowino_budget(d, tm, taus, fstats);
+      const std::vector<double> lw_bound = with_sum_slack(lowino_budget(d, tm, taus, fstats));
 
-      const auto run_lowino = [&](ExecutionMode mode, std::vector<float>& dst) {
+      const auto run_lowino = [&](ExecutionMode mode, std::vector<float>& dst,
+                                  const PostOps& p) {
         LoWinoConfig cfg;
         cfg.m = fc.m;
         cfg.execution_mode = mode;
-        cfg.fuse_relu = fc.relu;
         cfg.input_scales = fc.per_tensor_scales ? ScaleGranularity::kPerTensor
                                                 : ScaleGranularity::kPerPosition;
         LoWinoConvolution conv(d, cfg);
@@ -281,13 +343,13 @@ CaseResult run_case(const FuzzCase& fc) {
           conv.set_input_thresholds(taus_f);
         }
         conv.set_filters(data.weights, bias);
-        conv.execute_nchw(data.input, dst, &pool);
+        conv.execute_nchw(data.input, dst, &pool, p);
       };
 
       std::vector<float> out_fused(out.size());
-      run_lowino(ExecutionMode::kStaged, out);
+      run_lowino(ExecutionMode::kStaged, out, post);
       check("lowino-staged", ref_post, lw_bound);
-      run_lowino(ExecutionMode::kFused, out_fused);
+      run_lowino(ExecutionMode::kFused, out_fused, post);
       std::swap(out, out_fused);
       check("lowino-fused", ref_post, lw_bound);
       std::swap(out, out_fused);
@@ -302,8 +364,14 @@ CaseResult run_case(const FuzzCase& fc) {
                          std::to_string(out_fused[i]);
       }
 
+      if (!post.none() && result.ok) {
+        std::vector<float> plain(out.size());
+        run_lowino(ExecutionMode::kStaged, plain, PostOps{});
+        check_fused_bits("lowino-staged", out, plain);
+      }
+
       if (fc.mode == ExecutionMode::kAuto) {
-        run_lowino(ExecutionMode::kAuto, out);
+        run_lowino(ExecutionMode::kAuto, out, post);
         check("lowino-auto", ref_post, lw_bound);
       }
     }
@@ -313,8 +381,14 @@ CaseResult run_case(const FuzzCase& fc) {
       Int8DirectConv conv(d);
       conv.set_input_threshold(static_cast<float>(tau_d));
       conv.set_filters(data.weights, bias);
-      conv.execute_nchw(data.input, out, &pool, fc.relu);
-      check("int8-direct", ref_post, spatial_int8_budget(d, tau_d, dmax, sstats));
+      conv.execute_nchw(data.input, out, &pool, post);
+      check("int8-direct", ref_post,
+            with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
+      if (!post.none()) {
+        std::vector<float> plain(out.size());
+        conv.execute_nchw(data.input, plain, &pool);
+        check_fused_bits("int8-direct", out, plain);
+      }
     }
     {
       DownscaleWinoConv conv(d, fc.m);
@@ -356,6 +430,7 @@ FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts) {
       [](FuzzCase& c) { return std::exchange(c.threads, 1) != 1; },
       [](FuzzCase& c) { return std::exchange(c.desc.batch, 1) != 1; },
       [](FuzzCase& c) { return std::exchange(c.relu, false); },
+      [](FuzzCase& c) { return std::exchange(c.sum, false); },
       [](FuzzCase& c) { return std::exchange(c.with_bias, false); },
       [](FuzzCase& c) { return std::exchange(c.per_tensor_scales, false); },
       [](FuzzCase& c) {

@@ -30,6 +30,7 @@ struct FuzzCase {
   std::size_t threads = 1;
   bool relu = false;
   bool with_bias = true;
+  bool sum = false;  ///< fused residual "+sum" epilogue (post-op engines)
   bool per_tensor_scales = false;  ///< LoWino input-scale granularity
 };
 
@@ -56,9 +57,13 @@ struct CaseResult {
 };
 
 /// Runs every applicable engine on the case and checks the envelopes.
-/// Never throws for a conforming stack; engine exceptions are reported as
-/// failures. Degenerate cases instead assert that every engine constructor
-/// throws std::invalid_argument without allocating workspace memory.
+/// Post-op-capable engines (FP32/INT8 direct, LoWino) run with the fused
+/// relu/+sum epilogue of the case and are additionally checked bit-identical
+/// against the same engine run unfused followed by the element-wise
+/// sum-then-relu reference. Never throws for a conforming stack; engine
+/// exceptions are reported as failures. Degenerate cases instead assert that
+/// every engine constructor throws std::invalid_argument without allocating
+/// workspace memory.
 CaseResult run_case(const FuzzCase& fc);
 
 /// Greedily shrinks a failing case (smaller shape, fewer features) while it

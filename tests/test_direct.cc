@@ -113,7 +113,7 @@ TEST(Im2colConv, FusedReluMatchesReference) {
   Im2colConvF32 conv(d);
   conv.set_filters(p.weights, p.bias);
   std::vector<float> out(p.ref.size());
-  conv.execute_nchw(p.input, out, nullptr, /*relu=*/true);
+  conv.execute_nchw(p.input, out, nullptr, PostOps{.relu = true});
   for (std::size_t i = 0; i < out.size(); ++i) ASSERT_NEAR(out[i], p.ref[i], 1e-3f);
 }
 

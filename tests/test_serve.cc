@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "nn/model_zoo.h"
 #include "parallel/thread_pool.h"
@@ -390,6 +391,159 @@ TEST(InferenceSession, RejectsWrongInputShapeAndBadModels) {
   EXPECT_THROW(InferenceSession::compile(empty, calib, {}), std::invalid_argument);
   Tensor<float> rank2({2, 16});
   EXPECT_THROW(InferenceSession::compile(model, rank2, {}), std::invalid_argument);
+}
+
+// --- Post-op fusion ---------------------------------------------------------
+
+TEST(SessionPlanFormat, PostOpsTokenRoundTrip) {
+  SessionPlan p = sample_plan();
+  p.convs[0].fuse_relu = true;
+  p.convs[1].fuse_relu = true;
+  p.convs[1].fuse_sum = true;
+  const std::string text = p.serialize();
+  EXPECT_NE(text.find(" post=relu |"), std::string::npos);
+  EXPECT_NE(text.find(" post=sum+relu |"), std::string::npos);
+  const auto q = SessionPlan::deserialize(text);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->convs.size(), 2u);
+  EXPECT_TRUE(q->convs[0].fuse_relu);
+  EXPECT_FALSE(q->convs[0].fuse_sum);
+  EXPECT_TRUE(q->convs[1].fuse_relu);
+  EXPECT_TRUE(q->convs[1].fuse_sum);
+  EXPECT_EQ(q->serialize(), text);
+}
+
+TEST(SessionPlanFormat, UnfusedLinesStayV1Compatible) {
+  // No fused epilogue => no post token, so a v1-era conv line parses and
+  // yields unfused choices (old plan files keep loading).
+  const std::string text = sample_plan().serialize();
+  // Only the format header mentions post=; no conv line carries a token.
+  EXPECT_EQ(text.find("post=", text.find('\n')), std::string::npos);
+  const std::string v1_line = "conv = 3 lowino_f2 25.5 0.0001 1 | conv3x3(64->64) | d\n";
+  const auto q = SessionPlan::deserialize(text + v1_line);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->convs.size(), 3u);
+  EXPECT_FALSE(q->convs[2].fuse_relu);
+  EXPECT_FALSE(q->convs[2].fuse_sum);
+}
+
+TEST(SessionPlanFormat, RejectsCorruptPostToken) {
+  const std::string good = sample_plan().serialize();
+  EXPECT_FALSE(SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 1 post=banana | l | d\n")
+                   .has_value());
+  EXPECT_FALSE(SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 1 post= | l | d\n")
+                   .has_value());
+  // A stray field that is not a post token is corruption, not an engine hint.
+  EXPECT_FALSE(SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 1 relu | l | d\n")
+                   .has_value());
+  // Extra trailing junk after a valid token is still rejected.
+  EXPECT_FALSE(
+      SessionPlan::deserialize(good + "conv = 1 lowino_f4 1 1 1 post=relu junk | l | d\n")
+          .has_value());
+}
+
+TEST(InferenceSession, PostOpFusionShrinksOpListAndArena) {
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 1111);
+  const Tensor<float> input = random_input(2, 16, 1212);
+
+  SequentialModel fused_model = make_miniresnet();
+  InferenceSession fused = forced_session(fused_model, calib, EngineKind::kLoWinoF4, &pool);
+
+  SequentialModel plain_model = make_miniresnet();
+  Tensor<float> out_fused, out_plain;
+  {
+    ScopedRuntimeOverride off("LOWINO_FUSE_POSTOPS", "0");
+    InferenceSession plain = forced_session(plain_model, calib, EngineKind::kLoWinoF4, &pool);
+
+    // Fusion swallows the stem relu plus each residual block's relu and
+    // add+relu: strictly fewer ops and a strictly smaller arena peak (the
+    // swallowed element-wise outputs drop out of the live-range set).
+    EXPECT_LT(fused.op_count(), plain.op_count());
+    EXPECT_LT(fused.plan().arena_bytes, plain.plan().arena_bytes);
+
+    for (const SessionPlan::ConvChoice& c : plain.plan().convs) {
+      EXPECT_FALSE(c.fuse_relu);
+      EXPECT_FALSE(c.fuse_sum);
+    }
+    plain.run(input, out_plain);
+  }
+  // MiniResNet records both fusion shapes: conv->relu and conv->add+relu.
+  bool saw_relu_only = false, saw_sum_relu = false;
+  for (const SessionPlan::ConvChoice& c : fused.plan().convs) {
+    saw_relu_only |= c.fuse_relu && !c.fuse_sum;
+    saw_sum_relu |= c.fuse_relu && c.fuse_sum;
+  }
+  EXPECT_TRUE(saw_relu_only);
+  EXPECT_TRUE(saw_sum_relu);
+  EXPECT_NE(fused.plan().serialize().find("post=sum+relu"), std::string::npos);
+
+  // The kill-switch is an A/B lever, not a semantics switch: fused and
+  // unfused serving are bit-identical.
+  fused.run(input, out_fused);
+  ASSERT_EQ(out_fused.shape(), out_plain.shape());
+  EXPECT_EQ(0, std::memcmp(out_fused.data(), out_plain.data(),
+                           out_fused.size() * sizeof(float)));
+}
+
+TEST(InferenceSession, FusedPlanReplaysUnderKillSwitchBitIdentically) {
+  // Plan tokens are informational: a fused plan file must load and replay in
+  // a fusion-off process (engines applied per conv ordinal, epilogues run as
+  // separate passes) and serve the exact same bits.
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 1515);
+  const Tensor<float> input = random_input(2, 16, 1616);
+
+  SequentialModel model_a = make_miniresnet();
+  InferenceSession fused = forced_session(model_a, calib, EngineKind::kLoWinoF4, &pool);
+  const std::string text = fused.plan().serialize();
+  ASSERT_NE(text.find("post=sum+relu"), std::string::npos);
+  const auto loaded = SessionPlan::deserialize(text);
+  ASSERT_TRUE(loaded.has_value());
+
+  Tensor<float> out_fused, out_replayed;
+  fused.run(input, out_fused);
+  {
+    ScopedRuntimeOverride off("LOWINO_FUSE_POSTOPS", "0");
+    SequentialModel model_b = make_miniresnet();
+    PlanOptions replay;
+    replay.pool = &pool;
+    replay.reuse = &*loaded;
+    InferenceSession unfused = InferenceSession::compile(model_b, calib, replay);
+    for (const SessionPlan::ConvChoice& c : unfused.plan().convs) {
+      EXPECT_FALSE(c.fuse_relu);
+      EXPECT_FALSE(c.fuse_sum);
+    }
+    unfused.run(input, out_replayed);
+  }
+  ASSERT_EQ(out_fused.shape(), out_replayed.shape());
+  EXPECT_EQ(0, std::memcmp(out_fused.data(), out_replayed.data(),
+                           out_fused.size() * sizeof(float)));
+}
+
+TEST(InferenceSession, FusedRunStaysAllocationFreeAndBitIdenticalToForwardEngine) {
+  // forward_engine routes through the same fused epilogues (ConvLayer::
+  // forward_engine_fused), so the differential holds with fusion on for an
+  // engine with post-op support and for one without (graceful fallback).
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 1313);
+  const Tensor<float> input = random_input(2, 16, 1414);
+  for (const EngineKind kind : {EngineKind::kInt8Direct, EngineKind::kFp32WinoF4}) {
+    SequentialModel model = make_miniresnet();
+    model.calibrate(calib, kind);
+    model.finalize_calibration(kind);
+    InferenceSession session = forced_session(model, calib, kind, &pool);
+    const Tensor<float>& ref = model.forward_engine(input, kind, &pool);
+    Tensor<float> out;
+    session.run(input, out);
+    ASSERT_EQ(out.shape(), ref.shape());
+    EXPECT_EQ(0, std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)))
+        << "engine " << engine_token(kind);
+    const std::uint64_t heap_before = heap_alloc_count();
+    for (int i = 0; i < 3; ++i) session.run(input, out);
+    EXPECT_EQ(heap_alloc_count(), heap_before)
+        << "fused serve path allocated (engine " << engine_token(kind) << ')';
+  }
 }
 
 TEST(InferenceSession, EmitsOneServeSpanPerOp) {
