@@ -33,6 +33,7 @@ DownscaleWinoConv::DownscaleWinoConv(const ConvDesc& desc, std::size_t m,
     : desc_(desc) {
   desc.validate();
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
+  if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
   geo_ = WinogradGeometry(desc_, m);
   if (m == 2 && desc.kernel == 3) {
     tm_ = &canonical_f23();

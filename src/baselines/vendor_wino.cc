@@ -23,6 +23,7 @@ VendorWinoF23::VendorWinoF23(const ConvDesc& desc, std::size_t cache_budget_byte
     : desc_(desc) {
   desc.validate();
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
+  if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
   if (desc.kernel != 3) throw std::invalid_argument("VendorWinoF23: r = 3 only");
   geo_ = WinogradGeometry(desc_, 2);
   tm_ = &canonical_f23();

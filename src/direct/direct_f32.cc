@@ -13,7 +13,8 @@ void direct_conv_f32_reference(const ConvDesc& desc, std::span<const float> inpu
                                std::span<const float> weights, std::span<const float> bias,
                                std::span<float> output, bool relu, ThreadPool* pool) {
   const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
-  const std::size_t H = desc.height, W = desc.width, r = desc.kernel, pad = desc.pad;
+  const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
+  const std::size_t pad = desc.height_pad(), pad_w = desc.width_pad();
   const std::size_t OH = desc.out_height(), OW = desc.out_width();
   assert(input.size() >= B * C * H * W);
   assert(weights.size() >= K * C * r * r);
@@ -33,7 +34,7 @@ void direct_conv_f32_reference(const ConvDesc& desc, std::span<const float> inpu
               if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
               for (std::size_t j = 0; j < r; ++j) {
                 const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                                          static_cast<std::ptrdiff_t>(pad);
+                                          static_cast<std::ptrdiff_t>(pad_w);
                 if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
                 acc += input[((b * C + c) * H + ih) * W + iw] *
                        weights[((k * C + c) * r + i) * r + j];
@@ -56,7 +57,7 @@ void direct_conv_f32_reference(const ConvDesc& desc, std::span<const float> inpu
 void im2col_f32(const ConvDesc& desc, std::span<const float> input, std::size_t b,
                 float* col) {
   const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
-  const std::size_t r = desc.kernel, pad = desc.pad;
+  const std::size_t r = desc.kernel, pad = desc.height_pad(), pad_w = desc.width_pad();
   const std::size_t OH = desc.out_height(), OW = desc.out_width();
   const std::size_t patch = C * r * r;
   for (std::size_t oh = 0; oh < OH; ++oh) {
@@ -69,7 +70,7 @@ void im2col_f32(const ConvDesc& desc, std::span<const float> input, std::size_t 
                                     static_cast<std::ptrdiff_t>(pad);
           for (std::size_t j = 0; j < r; ++j) {
             const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                                      static_cast<std::ptrdiff_t>(pad);
+                                      static_cast<std::ptrdiff_t>(pad_w);
             const bool oob = ih < 0 || ih >= static_cast<std::ptrdiff_t>(H) || iw < 0 ||
                              iw >= static_cast<std::ptrdiff_t>(W);
             row[idx++] = oob ? 0.0f : input[((b * C + c) * H + ih) * W + iw];

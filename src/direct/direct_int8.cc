@@ -17,7 +17,7 @@ namespace {
 void im2col_quantized(const ConvDesc& desc, std::span<const float> input, std::size_t b,
                       float scale, std::size_t patch_pad, std::uint8_t* col) {
   const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
-  const std::size_t r = desc.kernel, pad = desc.pad;
+  const std::size_t r = desc.kernel, pad = desc.height_pad(), pad_w = desc.width_pad();
   const std::size_t OH = desc.out_height(), OW = desc.out_width();
   for (std::size_t oh = 0; oh < OH; ++oh) {
     for (std::size_t ow = 0; ow < OW; ++ow) {
@@ -29,7 +29,7 @@ void im2col_quantized(const ConvDesc& desc, std::span<const float> input, std::s
                                     static_cast<std::ptrdiff_t>(pad);
           for (std::size_t j = 0; j < r; ++j) {
             const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                                      static_cast<std::ptrdiff_t>(pad);
+                                      static_cast<std::ptrdiff_t>(pad_w);
             const bool oob = ih < 0 || ih >= static_cast<std::ptrdiff_t>(H) || iw < 0 ||
                              iw >= static_cast<std::ptrdiff_t>(W);
             if (oob) {

@@ -51,6 +51,9 @@ LoWinoConvolution::LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& c
   if (desc.stride != 1) {
     throw std::invalid_argument("LoWino supports unit stride only");
   }
+  if (!desc.symmetric_padding()) {
+    throw std::invalid_argument("LoWino supports symmetric padding only");
+  }
   if (desc.kernel < 2) {
     throw std::invalid_argument("LoWino needs r >= 2 (use direct conv for 1x1)");
   }

@@ -1,0 +1,458 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/thread_pool.h"
+
+namespace lowino {
+namespace {
+
+/// a + b without signed overflow; saturates to kNoDeadline.
+Nanos sat_add(Nanos a, Nanos b) {
+  if (b > 0 && a > std::numeric_limits<Nanos>::max() - b) return kNoDeadline;
+  return a + b;
+}
+
+/// Absolute deadline of a request admitted at `now` with a relative SLO
+/// budget (kNoDeadline budget: never expires; negative budgets clamp to 0,
+/// i.e. already expired).
+Nanos slo_deadline(Nanos now, Nanos slo_ns) {
+  if (slo_ns == kNoDeadline) return kNoDeadline;
+  return sat_add(now, std::max<Nanos>(slo_ns, 0));
+}
+
+}  // namespace
+
+const char* serve_result_name(ServeResult r) {
+  switch (r) {
+    case ServeResult::kOk: return "ok";
+    case ServeResult::kQueueFull: return "queue-full";
+    case ServeResult::kExpired: return "expired";
+    case ServeResult::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Clocks
+
+Nanos RealClock::now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RealClock& RealClock::instance() {
+  static RealClock clock;
+  return clock;
+}
+
+// ---------------------------------------------------------------------------
+// Batcher
+
+Batcher::Batcher(const BatcherOptions& options) : options_(options) {
+  if (options_.max_batch < 1) {
+    throw std::invalid_argument("Batcher: max_batch must be >= 1");
+  }
+  if (options_.linger_ns < 0) {
+    throw std::invalid_argument("Batcher: linger_ns must be >= 0");
+  }
+  if (options_.capacity < options_.max_batch) {
+    throw std::invalid_argument("Batcher: capacity must be >= max_batch");
+  }
+  queue_.reserve(options_.capacity);
+}
+
+bool Batcher::admit(std::uint32_t ticket, Nanos now, Nanos deadline) {
+  if (queue_.size() >= options_.capacity) return false;
+  queue_.push_back(Pending{ticket, now, deadline});
+  return true;
+}
+
+std::size_t Batcher::expire(Nanos now, std::vector<std::uint32_t>& expired) {
+  std::size_t kept = 0;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].deadline_ns <= now) {
+      expired.push_back(queue_[i].ticket);
+      ++removed;
+    } else {
+      queue_[kept++] = queue_[i];
+    }
+  }
+  queue_.resize(kept);
+  return removed;
+}
+
+bool Batcher::ready(Nanos now) const {
+  if (queue_.empty()) return false;
+  if (queue_.size() >= options_.max_batch) return true;
+  return sat_add(queue_.front().enqueue_ns, options_.linger_ns) <= now;
+}
+
+std::size_t Batcher::pop(std::vector<std::uint32_t>& batch) {
+  const std::size_t n = std::min(queue_.size(), options_.max_batch);
+  for (std::size_t i = 0; i < n; ++i) batch.push_back(queue_[i].ticket);
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+Nanos Batcher::next_event() const {
+  Nanos event = kNoDeadline;
+  if (!queue_.empty()) {
+    event = sat_add(queue_.front().enqueue_ns, options_.linger_ns);
+    for (const Pending& p : queue_) event = std::min(event, p.deadline_ns);
+  }
+  return event;
+}
+
+Nanos Batcher::oldest_enqueue() const {
+  return queue_.empty() ? kNoDeadline : queue_.front().enqueue_ns;
+}
+
+// ---------------------------------------------------------------------------
+// ServerCore
+
+ServerCore::ServerCore(const BatcherOptions& options)
+    : slots_(options.capacity), batcher_(options) {
+  free_.reserve(slots_.size());
+  // Descending so ticket 0 is handed out first (stable, readable tests).
+  for (std::size_t i = slots_.size(); i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+std::uint32_t ServerCore::submit(const float* input, float* output, Nanos now,
+                                 Nanos deadline) {
+  if (draining_) return kNoTicket;
+  if (free_.empty()) {
+    ++stats_.rejected_full;
+    return kNoTicket;
+  }
+  const std::uint32_t ticket = free_.back();
+  if (!batcher_.admit(ticket, now, deadline)) {
+    ++stats_.rejected_full;
+    return kNoTicket;
+  }
+  free_.pop_back();
+  Slot& slot = slots_[ticket];
+  slot.input = input;
+  slot.output = output;
+  slot.enqueue_ns = now;
+  slot.state = SlotState::kQueued;
+  ++stats_.submitted;
+  return ticket;
+}
+
+SlotState ServerCore::state(std::uint32_t ticket) const {
+  return slots_[ticket].state;
+}
+
+void ServerCore::release(std::uint32_t ticket) {
+  Slot& slot = slots_[ticket];
+  assert(slot.state == SlotState::kDone || slot.state == SlotState::kExpired);
+  slot.state = SlotState::kFree;
+  slot.input = nullptr;
+  slot.output = nullptr;
+  free_.push_back(ticket);
+}
+
+std::size_t ServerCore::expire(Nanos now, std::vector<std::uint32_t>& expired) {
+  const std::size_t base = expired.size();
+  const std::size_t n = batcher_.expire(now, expired);
+  for (std::size_t i = base; i < expired.size(); ++i) {
+    slots_[expired[i]].state = SlotState::kExpired;
+    ++stats_.rejected_expired;
+  }
+  return n;
+}
+
+bool ServerCore::ready(Nanos now) const {
+  if (draining_) return batcher_.pending() > 0;
+  return batcher_.ready(now);
+}
+
+std::size_t ServerCore::close_batch(Nanos now, std::vector<std::uint32_t>& batch) {
+  const std::size_t base = batch.size();
+  const std::size_t n = batcher_.pop(batch);
+  if (n == 0) return 0;
+  for (std::size_t i = base; i < batch.size(); ++i) {
+    Slot& slot = slots_[batch[i]];
+    assert(slot.state == SlotState::kQueued);
+    slot.state = SlotState::kRunning;
+    stats_.queue_ns_sum += static_cast<std::uint64_t>(now - slot.enqueue_ns);
+  }
+  running_ += n;
+  ++stats_.batches;
+  stats_.batched_requests += n;
+  if (n >= batcher_.options().max_batch) {
+    ++stats_.closed_full;
+  } else {
+    ++stats_.closed_linger;
+  }
+  return n;
+}
+
+void ServerCore::complete(std::span<const std::uint32_t> batch) {
+  for (const std::uint32_t ticket : batch) {
+    Slot& slot = slots_[ticket];
+    assert(slot.state == SlotState::kRunning);
+    slot.state = SlotState::kDone;
+  }
+  assert(running_ >= batch.size());
+  running_ -= batch.size();
+  stats_.served += batch.size();
+}
+
+const float* ServerCore::slot_input(std::uint32_t ticket) const {
+  return slots_[ticket].input;
+}
+
+float* ServerCore::slot_output(std::uint32_t ticket) const {
+  return slots_[ticket].output;
+}
+
+// ---------------------------------------------------------------------------
+// ManualServer
+
+ManualServer::ManualServer(const BatcherOptions& options, VirtualClock* clock,
+                           BatchRunner runner)
+    : core_(options), clock_(clock), runner_(std::move(runner)) {
+  if (clock_ == nullptr) throw std::invalid_argument("ManualServer: null clock");
+  if (!runner_) throw std::invalid_argument("ManualServer: null runner");
+}
+
+std::uint32_t ManualServer::submit(std::span<const float> input, std::span<float> output,
+                                   Nanos slo_ns) {
+  const Nanos now = clock_->now();
+  return core_.submit(input.data(), output.data(), now, slo_deadline(now, slo_ns));
+}
+
+ManualServer::StepOutcome ManualServer::step() {
+  StepOutcome outcome;
+  const Nanos now = clock_->now();
+  core_.expire(now, outcome.expired);
+  if (core_.ready(now)) {
+    core_.close_batch(now, outcome.batch);
+    if (!outcome.batch.empty()) {
+      runner_(outcome.batch, core_);
+      core_.complete(outcome.batch);
+    }
+  }
+  return outcome;
+}
+
+std::size_t ManualServer::drain() {
+  core_.begin_drain();
+  std::size_t steps = 0;
+  while (!core_.idle()) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+// ---------------------------------------------------------------------------
+// BatchingServer
+
+namespace {
+
+BatcherOptions resolve_batcher_options(const ServerOptions& o) {
+  BatcherOptions b;
+  b.max_batch = o.max_batch;
+  b.linger_ns = o.linger_ns;
+  b.capacity = o.queue_capacity != 0
+                   ? o.queue_capacity
+                   : std::max<std::size_t>(o.num_workers, 1) * o.max_batch * 4;
+  b.capacity = std::max(b.capacity, b.max_batch);
+  return b;
+}
+
+/// Replicates the calibration input's images cyclically into a max_batch
+/// tensor. Replication changes no per-channel value distribution, so KL
+/// calibration at the server batch matches calibration on the original
+/// input (every op in the network is per-image independent).
+Tensor<float> replicate_calibration(const Tensor<float>& calib, std::size_t batch) {
+  if (calib.shape().size() != 4) {
+    throw std::invalid_argument("BatchingServer: calibration input must be rank-4 NCHW");
+  }
+  const std::size_t src_batch = calib.dim(0);
+  const std::size_t image = calib.size() / src_batch;
+  Tensor<float> out({batch, calib.dim(1), calib.dim(2), calib.dim(3)});
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::memcpy(out.data() + b * image, calib.data() + (b % src_batch) * image,
+                image * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+VirtualClock& BatchingServer::clock() const {
+  return options_.clock != nullptr ? *options_.clock : RealClock::instance();
+}
+
+BatchingServer::BatchingServer(SequentialModel& model, const Tensor<float>& calib_input,
+                               const ServerOptions& options)
+    : options_(options), core_(resolve_batcher_options(options)) {
+  if (options_.num_workers < 1) {
+    throw std::invalid_argument("BatchingServer: num_workers must be >= 1");
+  }
+  const Tensor<float> calib = replicate_calibration(calib_input, options_.max_batch);
+  input_elems_ = calib.size() / options_.max_batch;
+
+  workers_ = std::vector<Worker>(options_.num_workers);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w].pool = std::make_unique<ThreadPool>(options_.threads_per_worker);
+  }
+  // Worker 0 plans (shoot-out / wisdom / forced engine per the caller's
+  // options); every other worker replays the resulting immutable plan, so
+  // the fleet serves identical engine choices without re-measuring.
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    PlanOptions plan = options_.plan;
+    plan.pool = workers_[w].pool.get();
+    if (w > 0) plan.reuse = &plan_;
+    workers_[w].session.emplace(InferenceSession::compile(model, calib, plan));
+    if (w == 0) plan_ = workers_[w].session->plan();
+  }
+  // Pre-warm each worker against its own gather/scatter tensors: the first
+  // run shapes `out`, and afterwards the hot path never allocates.
+  for (Worker& w : workers_) {
+    w.in.reshape(calib.shape());
+    std::fill(w.in.data(), w.in.data() + w.in.size(), 0.0f);
+    w.session->run(w.in, w.out);
+  }
+  output_elems_ = workers_.front().out.size() / options_.max_batch;
+
+  slot_sync_ = std::make_unique<SlotSync[]>(core_.capacity());
+  expired_scratch_.reserve(core_.capacity());
+  start();
+}
+
+BatchingServer::~BatchingServer() { stop(); }
+
+void BatchingServer::start() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (accepting_) return;
+    stopping_ = false;
+    core_.end_drain();
+    accepting_ = true;
+  }
+  for (Worker& w : workers_) {
+    w.thread = std::thread([this, &w] { worker_loop(w); });
+  }
+}
+
+void BatchingServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!accepting_ && !stopping_) {
+      if (workers_.empty() || !workers_.front().thread.joinable()) return;
+    }
+    accepting_ = false;
+    stopping_ = true;
+    core_.begin_drain();
+    work_cv_.notify_all();
+  }
+  for (Worker& w : workers_) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+bool BatchingServer::running() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return accepting_;
+}
+
+ServeStats BatchingServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return core_.stats();
+}
+
+ServeResult BatchingServer::serve(std::span<const float> image, std::span<float> output,
+                                  Nanos slo_ns) {
+  if (image.size() != input_elems_ || output.size() != output_elems_) {
+    throw std::invalid_argument("BatchingServer::serve: span sizes must be (" +
+                                std::to_string(input_elems_) + ", " +
+                                std::to_string(output_elems_) + ")");
+  }
+  const Nanos slo = slo_ns == kUseDefaultSlo ? options_.default_slo_ns : slo_ns;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!accepting_) return ServeResult::kShutdown;
+  const Nanos now = clock().now();
+  const std::uint32_t ticket =
+      core_.submit(image.data(), output.data(), now, slo_deadline(now, slo));
+  if (ticket == ServerCore::kNoTicket) return ServeResult::kQueueFull;
+  work_cv_.notify_one();
+  SlotSync& sync = slot_sync_[ticket];
+  sync.cv.wait(lk, [&] {
+    const SlotState s = core_.state(ticket);
+    return s == SlotState::kDone || s == SlotState::kExpired;
+  });
+  const ServeResult result = core_.state(ticket) == SlotState::kDone
+                                 ? ServeResult::kOk
+                                 : ServeResult::kExpired;
+  core_.release(ticket);
+  return result;
+}
+
+void BatchingServer::worker_loop(Worker& worker) {
+  std::vector<std::uint32_t> batch;
+  batch.reserve(options_.max_batch);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Wait for a closeable batch, expiring overdue SLOs as deadlines pass.
+    for (;;) {
+      const Nanos now = clock().now();
+      expired_scratch_.clear();
+      core_.expire(now, expired_scratch_);
+      for (const std::uint32_t t : expired_scratch_) slot_sync_[t].cv.notify_one();
+      if (core_.ready(now)) break;
+      if (stopping_ && core_.pending() == 0) return;
+      const Nanos event = core_.next_event();
+      if (event == kNoDeadline) {
+        work_cv_.wait(lk);
+      } else if (event > now) {
+        work_cv_.wait_for(lk, std::chrono::nanoseconds(event - now));
+      }
+      // event <= now: a deadline is already due — loop to expire/close.
+    }
+    batch.clear();
+    core_.close_batch(clock().now(), batch);
+    if (batch.empty()) continue;
+    // More work may already be closeable (e.g. a burst larger than one
+    // batch): hand it to another idle worker before going busy.
+    if (core_.pending() > 0) work_cv_.notify_one();
+    lk.unlock();
+    run_batch(worker, batch);
+    lk.lock();
+    core_.complete(batch);
+    for (const std::uint32_t t : batch) slot_sync_[t].cv.notify_one();
+  }
+}
+
+void BatchingServer::run_batch(Worker& worker, std::span<const std::uint32_t> batch) {
+  // Lock-free by contract: a kRunning slot's bindings are immutable until
+  // complete(), and the mutex acquire that closed the batch ordered them.
+  // Lanes beyond batch.size() keep stale data — every op is per-image
+  // independent, so extra lanes cost compute but never leak into results.
+  float* gather = worker.in.data();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(gather + i * input_elems_, core_.slot_input(batch[i]),
+                input_elems_ * sizeof(float));
+  }
+  worker.session->run(worker.in, worker.out);
+  const float* scatter = worker.out.data();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(core_.slot_output(batch[i]), scatter + i * output_elems_,
+                output_elems_ * sizeof(float));
+  }
+}
+
+}  // namespace lowino

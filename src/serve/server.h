@@ -1,0 +1,372 @@
+// BatchingServer: the dynamic-batching serving front end over
+// InferenceSession — single-image requests are coalesced into batches and
+// executed by pre-warmed worker sessions compiled from one shared plan.
+//
+// The concurrency design is testable-first and layered:
+//
+//   * Batcher — the pure batch-formation policy. A FIFO admission queue over
+//     opaque tickets with explicit timestamps on every call: a batch closes
+//     when it is full (max_batch) or the oldest request has waited out the
+//     linger budget; queued requests whose SLO deadline passes are expired
+//     before they ever reach a batch. No clock, no threads, no allocation
+//     after construction — every decision is a deterministic function of
+//     (queue contents, `now`).
+//
+//   * ServerCore — the slot machine tying tickets to requests. A fixed pool
+//     of slots holds the caller's input/output pointers (callers block in
+//     serve(), so zero-copy pointers stay valid) and a per-slot state
+//     (Free -> Queued -> Running -> Done / Expired -> Free). All methods
+//     take explicit timestamps and do no locking: the threaded server calls
+//     them under its mutex, tests call them directly.
+//
+//   * ManualServer — the deterministic executor for tests: ServerCore driven
+//     by an injected VirtualClock and an inline batch-runner callback. One
+//     step() performs exactly one worker iteration (expire, then close and
+//     run at most one batch), so batch formation, linger expiry, SLO
+//     rejection and shutdown drain are unit-testable without threads or
+//     sleeps.
+//
+//   * BatchingServer — the real thing: N worker threads, each owning a
+//     ThreadPool and an InferenceSession compiled from the same immutable
+//     SessionPlan (worker 0 plans; the rest replay via PlanOptions::reuse).
+//     Blocking serve() with per-request SLO; stop() drains in-flight and
+//     queued work before joining. The worker hot path performs zero heap
+//     allocations in steady state (asserted under the operator-new counter
+//     in tests/test_server_stress.cc).
+//
+// Clock injection: the threaded server reads its VirtualClock only for
+// timestamps (admission, deadlines). Timed condition-variable waits convert
+// clock deltas to real waits, so a FakeClock paired with the *threaded*
+// server will never advance a linger deadline on its own — deterministic
+// time-driven tests belong on ManualServer; the threaded server is for real
+// clocks and the TSan stress suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/session.h"
+#include "tensor/tensor.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+/// All serving timestamps/durations are signed nanosecond counts.
+using Nanos = std::int64_t;
+inline constexpr Nanos kNoDeadline = std::numeric_limits<Nanos>::max();
+
+/// Injectable time source. Implementations must be monotone non-decreasing.
+class VirtualClock {
+ public:
+  virtual ~VirtualClock() = default;
+  virtual Nanos now() = 0;
+};
+
+/// std::chrono::steady_clock. Thread-safe, shared via instance().
+class RealClock final : public VirtualClock {
+ public:
+  Nanos now() override;
+  static RealClock& instance();
+};
+
+/// Manually advanced clock for deterministic tests. Not thread-safe — it
+/// pairs with ManualServer, which runs on the test's thread.
+class FakeClock final : public VirtualClock {
+ public:
+  explicit FakeClock(Nanos start = 0) : now_(start) {}
+  Nanos now() override { return now_; }
+  void set(Nanos t) { now_ = t; }
+  void advance(Nanos delta) { now_ += delta; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+/// Outcome of one serve() call.
+enum class ServeResult {
+  kOk,         ///< output span holds the request's result
+  kQueueFull,  ///< admission queue at capacity; request never enqueued
+  kExpired,    ///< SLO deadline passed while the request was still queued
+  kShutdown,   ///< server not running (or stopping); request never enqueued
+};
+const char* serve_result_name(ServeResult r);
+
+struct BatcherOptions {
+  std::size_t max_batch = 4;   ///< close a batch at this many requests
+  Nanos linger_ns = 1000000;   ///< max wait of the oldest queued request
+  std::size_t capacity = 64;   ///< admission queue bound (>= max_batch)
+};
+
+/// Cumulative serving counters (ServerCore fills them; the threaded server
+/// snapshots under its lock).
+struct ServeStats {
+  std::uint64_t submitted = 0;         ///< admitted into the queue
+  std::uint64_t served = 0;            ///< completed with a result
+  std::uint64_t rejected_full = 0;     ///< bounced: queue at capacity
+  std::uint64_t rejected_expired = 0;  ///< bounced: SLO passed while queued
+  std::uint64_t batches = 0;           ///< batches closed
+  std::uint64_t batched_requests = 0;  ///< sum of closed batch sizes
+  std::uint64_t closed_full = 0;       ///< batches closed because full
+  std::uint64_t closed_linger = 0;     ///< batches closed by linger expiry
+  std::uint64_t queue_ns_sum = 0;      ///< admission -> batch close, served only
+
+  double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / batches;
+  }
+};
+
+/// Deterministic FIFO batch-formation policy. See the file comment. All
+/// methods are O(pending) worst case and never allocate after construction.
+class Batcher {
+ public:
+  explicit Batcher(const BatcherOptions& options);
+
+  /// Enqueues a ticket observed at `now` with an absolute deadline (queued
+  /// requests whose deadline passes are expired, never batched). Returns
+  /// false when the queue is at capacity.
+  bool admit(std::uint32_t ticket, Nanos now, Nanos deadline = kNoDeadline);
+
+  /// Removes every queued ticket whose deadline is <= now, appending them to
+  /// `expired` in FIFO order. Returns the number removed.
+  std::size_t expire(Nanos now, std::vector<std::uint32_t>& expired);
+
+  /// True when a batch should close at `now`: the queue holds a full batch,
+  /// or the oldest request has lingered for linger_ns.
+  bool ready(Nanos now) const;
+
+  /// Appends up to max_batch tickets (FIFO) to `batch`; returns the count.
+  /// Callers decide *when* via ready() — pop() itself is unconditional so a
+  /// draining server can close partial batches immediately.
+  std::size_t pop(std::vector<std::uint32_t>& batch);
+
+  /// Earliest future instant at which a decision can change without a new
+  /// admission: min over the oldest request's linger expiry and every queued
+  /// deadline. kNoDeadline when the queue is empty or nothing is pending.
+  Nanos next_event() const;
+
+  std::size_t pending() const { return queue_.size(); }
+  Nanos oldest_enqueue() const;  ///< kNoDeadline when empty
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::uint32_t ticket = 0;
+    Nanos enqueue_ns = 0;
+    Nanos deadline_ns = kNoDeadline;
+  };
+  BatcherOptions options_;
+  std::vector<Pending> queue_;  ///< FIFO; reserved to capacity, never grows
+};
+
+/// Request slot states. Transitions (all driven by ServerCore):
+/// Free -submit-> Queued -close_batch-> Running -complete-> Done -release->
+/// Free, with Queued -expire-> Expired -release-> Free.
+enum class SlotState : std::uint8_t { kFree, kQueued, kRunning, kDone, kExpired };
+
+/// Ticket-to-request binding + lifecycle + stats over a Batcher. Explicitly
+/// clocked and lock-free by design (synchronization belongs to the caller);
+/// see the file comment.
+class ServerCore {
+ public:
+  static constexpr std::uint32_t kNoTicket = std::numeric_limits<std::uint32_t>::max();
+
+  explicit ServerCore(const BatcherOptions& options);
+
+  // -- client side ----------------------------------------------------------
+  /// Binds (input, output) to a free slot and enqueues it. Returns the slot
+  /// ticket, or kNoTicket when the queue is at capacity (stats count the
+  /// rejection). The pointers must stay valid until release().
+  std::uint32_t submit(const float* input, float* output, Nanos now,
+                       Nanos deadline = kNoDeadline);
+  SlotState state(std::uint32_t ticket) const;
+  /// Frees a kDone/kExpired slot for reuse.
+  void release(std::uint32_t ticket);
+
+  // -- scheduler side -------------------------------------------------------
+  /// Expires queued requests whose deadline passed; their slots become
+  /// kExpired and their tickets are appended to `expired` (the threaded
+  /// server then wakes those clients). Returns the number expired.
+  std::size_t expire(Nanos now, std::vector<std::uint32_t>& expired);
+  /// True when a worker should close a batch now (full / linger; during a
+  /// drain: whenever anything is pending).
+  bool ready(Nanos now) const;
+  Nanos next_event() const { return batcher_.next_event(); }
+  /// Closes a batch: pops up to max_batch tickets into `batch`, marks them
+  /// kRunning and updates stats against `now`. Returns the batch size.
+  std::size_t close_batch(Nanos now, std::vector<std::uint32_t>& batch);
+  /// Marks a closed batch's slots kDone (clients may collect + release).
+  void complete(std::span<const std::uint32_t> batch);
+
+  const float* slot_input(std::uint32_t ticket) const;
+  float* slot_output(std::uint32_t ticket) const;
+
+  /// Drain mode: no new admissions (submit returns kNoTicket), ready()
+  /// becomes pending() > 0 so partial batches close immediately.
+  void begin_drain() { draining_ = true; }
+  void end_drain() { draining_ = false; }
+  bool draining() const { return draining_; }
+  /// True when nothing is queued and nothing is running.
+  bool idle() const { return batcher_.pending() == 0 && running_ == 0; }
+
+  std::size_t pending() const { return batcher_.pending(); }
+  std::size_t running() const { return running_; }
+  std::size_t capacity() const { return slots_.size(); }
+  const ServeStats& stats() const { return stats_; }
+  const BatcherOptions& options() const { return batcher_.options(); }
+
+ private:
+  struct Slot {
+    const float* input = nullptr;
+    float* output = nullptr;
+    Nanos enqueue_ns = 0;
+    SlotState state = SlotState::kFree;
+  };
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  ///< free-list (stack), reserved
+  Batcher batcher_;
+  ServeStats stats_;
+  std::size_t running_ = 0;  ///< slots in kRunning
+  bool draining_ = false;
+};
+
+/// Deterministic single-worker executor for tests (see file comment). The
+/// runner is invoked inline from step() with the closed batch's tickets;
+/// it reads slot_input() and writes slot_output() through the core.
+class ManualServer {
+ public:
+  using BatchRunner =
+      std::function<void(std::span<const std::uint32_t>, ServerCore&)>;
+
+  ManualServer(const BatcherOptions& options, VirtualClock* clock, BatchRunner runner);
+
+  /// Submits at clock->now() with a *relative* SLO budget (kNoDeadline: no
+  /// SLO). Returns ServerCore::kNoTicket when the queue is full or draining.
+  std::uint32_t submit(std::span<const float> input, std::span<float> output,
+                       Nanos slo_ns = kNoDeadline);
+
+  struct StepOutcome {
+    std::vector<std::uint32_t> expired;  ///< tickets SLO-expired this step
+    std::vector<std::uint32_t> batch;    ///< batch run this step (maybe empty)
+  };
+  /// One worker iteration at clock->now(): expire, then close + run at most
+  /// one batch (during a drain, partial batches close immediately).
+  StepOutcome step();
+
+  /// Runs steps until the core is idle (shutdown drain). Returns steps run.
+  std::size_t drain();
+
+  SlotState state(std::uint32_t ticket) const { return core_.state(ticket); }
+  void release(std::uint32_t ticket) { core_.release(ticket); }
+  ServerCore& core() { return core_; }
+
+ private:
+  ServerCore core_;
+  VirtualClock* clock_;
+  BatchRunner runner_;
+};
+
+/// Options for the threaded BatchingServer.
+struct ServerOptions {
+  std::size_t max_batch = 4;
+  Nanos linger_ns = 1000000;  ///< 1 ms
+  /// Default *relative* SLO budget applied when serve() is called with
+  /// kUseDefaultSlo. kNoDeadline: requests never expire.
+  Nanos default_slo_ns = kNoDeadline;
+  std::size_t num_workers = 1;
+  /// ThreadPool size of each worker's session (intra-op parallelism).
+  std::size_t threads_per_worker = 1;
+  /// Admission queue bound; 0 derives num_workers * max_batch * 4.
+  std::size_t queue_capacity = 0;
+  /// Timestamp source; null uses RealClock::instance(). See the file comment
+  /// for the FakeClock caveat with the threaded server.
+  VirtualClock* clock = nullptr;
+  /// Planning options for worker 0's compile (pool is overridden per worker;
+  /// workers 1..N-1 replay worker 0's plan via PlanOptions::reuse).
+  PlanOptions plan;
+};
+
+/// The threaded dynamic-batching server. See the file comment.
+class BatchingServer {
+ public:
+  /// Sentinel for serve(): apply ServerOptions::default_slo_ns.
+  static constexpr Nanos kUseDefaultSlo = -1;
+
+  /// Compiles one session per worker (worker 0 measures, the rest replay its
+  /// plan) from `calib_input` replicated to max_batch images, pre-warms
+  /// every worker, and starts the worker threads. The model must outlive the
+  /// server and must not be mutated while it is running.
+  BatchingServer(SequentialModel& model, const Tensor<float>& calib_input,
+                 const ServerOptions& options);
+  ~BatchingServer();  ///< stop()s (draining) if still running
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Serves one image synchronously: blocks until the request's batch has
+  /// run (kOk), its SLO expired while queued (kExpired), or it never entered
+  /// the queue (kQueueFull / kShutdown). `image` must hold input_elems()
+  /// floats and `output` output_elems() floats; both spans must stay valid
+  /// for the duration of the call (they are read/written in place — no
+  /// copies through intermediate queues). Thread-safe; any number of client
+  /// threads may call concurrently.
+  ServeResult serve(std::span<const float> image, std::span<float> output,
+                    Nanos slo_ns = kUseDefaultSlo);
+
+  /// Restarts worker threads after stop(). No-op when running.
+  void start();
+  /// Drains (queued and in-flight requests complete; new serve() calls get
+  /// kShutdown) and joins the workers. No-op when stopped.
+  void stop();
+  bool running() const;
+
+  ServeStats stats() const;  ///< snapshot
+  const SessionPlan& plan() const { return plan_; }
+  std::size_t input_elems() const { return input_elems_; }
+  std::size_t output_elems() const { return output_elems_; }
+  std::size_t max_batch() const { return options_.max_batch; }
+  std::size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::unique_ptr<ThreadPool> pool;
+    std::optional<InferenceSession> session;
+    Tensor<float> in;   ///< gather target, shape (max_batch, C, H, W)
+    Tensor<float> out;  ///< scatter source, shape (max_batch, ...)
+    std::thread thread;
+  };
+  struct SlotSync {
+    std::condition_variable cv;  ///< client waits for kDone/kExpired
+  };
+
+  VirtualClock& clock() const;
+  void worker_loop(Worker& worker);
+  /// Gather -> session.run -> scatter, called without the lock held (slot
+  /// bindings of a kRunning batch are immutable until complete()).
+  void run_batch(Worker& worker, std::span<const std::uint32_t> batch);
+
+  ServerOptions options_;
+  SessionPlan plan_;
+  std::size_t input_elems_ = 0;
+  std::size_t output_elems_ = 0;
+  std::vector<Worker> workers_;
+  std::unique_ptr<SlotSync[]> slot_sync_;  ///< one per ServerCore slot
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for admissions / stop
+  ServerCore core_;                  ///< guarded by mu_
+  std::vector<std::uint32_t> expired_scratch_;  ///< guarded by mu_, reserved
+  bool accepting_ = false;  ///< serve() admits only when true
+  bool stopping_ = false;   ///< workers exit once the queue drains
+};
+
+}  // namespace lowino

@@ -17,29 +17,40 @@ inline constexpr std::size_t kPhi = 4;
 inline constexpr std::size_t kChanBlock = kPhi * kSigma;
 
 /// Describes one 2D convolution layer: B x C x H x W input, K filters of
-/// r x r, unit stride, symmetric zero padding.
+/// r x r, zero padding (optionally different along width), arbitrary stride.
+/// The Winograd engines only accept unit stride and symmetric padding; the
+/// direct engines accept the full space.
 struct ConvDesc {
+  /// Sentinel for pad_w: width padding follows the height padding.
+  static constexpr std::size_t kPadLikeHeight = static_cast<std::size_t>(-1);
+
   std::size_t batch = 1;        ///< B
   std::size_t in_channels = 1;  ///< C
   std::size_t out_channels = 1; ///< K
   std::size_t height = 1;       ///< H
   std::size_t width = 1;        ///< W
   std::size_t kernel = 3;       ///< r
-  std::size_t pad = 1;          ///< symmetric zero padding
+  std::size_t pad = 1;          ///< zero padding along height (both sides)
+  std::size_t pad_w = kPadLikeHeight;  ///< zero padding along width; sentinel = pad
   std::size_t stride = 1;       ///< only 1 is Winograd-compatible
+
+  std::size_t height_pad() const { return pad; }
+  std::size_t width_pad() const { return pad_w == kPadLikeHeight ? pad : pad_w; }
+  /// True when both axes use the same padding (the Winograd engines' domain).
+  bool symmetric_padding() const { return width_pad() == pad; }
 
   /// out_height()/out_width() are only meaningful for descriptors that pass
   /// validate(): `height + 2*pad - kernel` is size_t arithmetic and silently
   /// wraps to a huge value when kernel > height + 2*pad (and stride = 0
   /// divides by zero). Every engine constructor validates first.
   std::size_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
-  std::size_t out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
+  std::size_t out_width() const { return (width + 2 * width_pad() - kernel) / stride + 1; }
 
   /// Nothrow structural check; the conditions validate() enforces.
   bool is_valid() const {
     return kernel >= 1 && stride >= 1 && batch >= 1 && in_channels >= 1 &&
-           out_channels >= 1 && pad < kernel && kernel <= height + 2 * pad &&
-           kernel <= width + 2 * pad;
+           out_channels >= 1 && pad < kernel && width_pad() < kernel &&
+           kernel <= height + 2 * pad && kernel <= width + 2 * width_pad();
   }
 
   /// Rejects degenerate shapes before any size arithmetic can wrap. Called
@@ -53,9 +64,10 @@ struct ConvDesc {
     if (stride < 1) fail("stride must be >= 1");
     if (batch < 1) fail("batch must be >= 1");
     if (in_channels < 1 || out_channels < 1) fail("channels must be >= 1");
-    if (pad >= kernel) fail("pad must be < kernel");
+    if (pad >= kernel) fail("height pad must be < kernel");
+    if (width_pad() >= kernel) fail("width pad must be < kernel");
     if (kernel > height + 2 * pad) fail("kernel exceeds padded height");
-    if (kernel > width + 2 * pad) fail("kernel exceeds padded width");
+    if (kernel > width + 2 * width_pad()) fail("kernel exceeds padded width");
   }
 
   /// Channels rounded up to the 64-channel block of the blocked layouts.
@@ -69,10 +81,17 @@ struct ConvDesc {
            static_cast<double>(out_width()) * static_cast<double>(kernel * kernel);
   }
 
+  /// Stride and width-pad tokens are appended only when they differ from the
+  /// historical defaults (unit stride, symmetric pad): this string doubles as
+  /// a tuner/wisdom cache key and a plan-file field, and the classic shapes
+  /// must keep their exact pre-existing spelling.
   std::string to_string() const {
-    return "B" + std::to_string(batch) + " C" + std::to_string(in_channels) + " K" +
-           std::to_string(out_channels) + " H" + std::to_string(height) + " W" +
-           std::to_string(width) + " r" + std::to_string(kernel);
+    std::string s = "B" + std::to_string(batch) + " C" + std::to_string(in_channels) +
+                    " K" + std::to_string(out_channels) + " H" + std::to_string(height) +
+                    " W" + std::to_string(width) + " r" + std::to_string(kernel);
+    if (!symmetric_padding()) s += " pw" + std::to_string(width_pad());
+    if (stride != 1) s += " s" + std::to_string(stride);
+    return s;
   }
 };
 

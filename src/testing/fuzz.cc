@@ -137,6 +137,18 @@ FuzzCase generate_case(std::uint64_t seed) {
   d.height = d.kernel + rng.next_below(16);
   d.width = d.kernel + rng.next_below(16);
   d.stride = 1;
+  // Widened shape dimensions: strongly non-square inputs, stride 2 and
+  // asymmetric width padding. Only the direct engines claim the latter two —
+  // run_case() checks them numerically and asserts the Winograd engines
+  // reject the descriptor cleanly.
+  if (rng.next_below(6) == 0) {
+    (rng.next_below(2) == 0 ? d.height : d.width) += 16 + rng.next_below(17);
+  }
+  if (rng.next_below(6) == 0) d.stride = 2;
+  if (rng.next_below(6) == 0) {
+    // Any width pad < kernel that differs from the height pad.
+    d.pad_w = (d.pad + 1 + rng.next_below(d.kernel - 1)) % d.kernel;
+  }
   while (d.direct_macs() > 2.0e7) {
     if (d.in_channels > 8) {
       d.in_channels /= 2;
@@ -166,19 +178,20 @@ FuzzCase generate_case(std::uint64_t seed) {
   // Mutate last — the cost clamp above calls direct_macs(), which itself
   // evaluates out_height() and would wrap on a degenerate shape.
   if (rng.next_below(12) == 0) {
-    switch (rng.next_below(5)) {
+    switch (rng.next_below(6)) {
       case 0: d.pad = 0; d.height = d.kernel - 1; break;  // kernel > h + 2p
-      case 1: d.pad = 0; d.width = d.kernel - 1; break;   // kernel > w + 2p
+      case 1: d.pad = 0; d.pad_w = 0; d.width = d.kernel - 1; break;  // kernel > w + 2p
       case 2: d.pad = d.kernel + rng.next_below(2); break;  // pad >= kernel
       case 3: (rng.next_below(2) == 0 ? d.in_channels : d.out_channels) = 0; break;
       case 4: d.stride = 0; break;  // division by zero in out_height()
+      case 5: d.pad_w = d.kernel + rng.next_below(2); break;  // width pad >= kernel
     }
   }
   return fc;
 }
 
 std::string describe(const FuzzCase& fc) {
-  std::string s = fc.desc.to_string();
+  std::string s = fc.desc.to_string();  // carries pw/s tokens when widened
   s += " p" + std::to_string(fc.desc.pad);
   s += " m" + std::to_string(fc.m);
   s += std::string(" ") + execution_mode_name(fc.mode);
@@ -284,8 +297,13 @@ CaseResult run_case(const FuzzCase& fc) {
     }
   };
 
+  // The Winograd family only claims unit stride and symmetric padding; for
+  // the widened shapes the direct engines are checked numerically and the
+  // Winograd constructors must reject the descriptor cleanly.
+  const bool winograd_ok = d.stride == 1 && d.symmetric_padding();
+
   try {
-    // --- FP32 engines ------------------------------------------------------
+    // --- Direct engines (full stride/padding support) ----------------------
     const std::vector<double> fp32_direct_bound =
         fp32_budget(d, dmax, sstats, bias, /*amplification=*/1.0);
     direct_conv_f32_reference(d, data.input, data.weights, bias, out, fc.relu, &pool);
@@ -301,6 +319,52 @@ CaseResult run_case(const FuzzCase& fc) {
         conv.execute_nchw(data.input, plain, &pool);
         check_fused_bits("fp32-im2col", out, plain);
       }
+    }
+
+    {
+      Int8DirectConv conv(d);
+      conv.set_input_threshold(static_cast<float>(tau_d));
+      conv.set_filters(data.weights, bias);
+      conv.execute_nchw(data.input, out, &pool, post);
+      check("int8-direct", ref_post,
+            with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
+      if (!post.none()) {
+        std::vector<float> plain(out.size());
+        conv.execute_nchw(data.input, plain, &pool);
+        check_fused_bits("int8-direct", out, plain);
+      }
+    }
+
+    if (!winograd_ok) {
+      // Unsupported-shape contract: the same clean std::invalid_argument
+      // rejection the degenerate path demands, from every Winograd engine.
+      const auto expect_reject = [&](const char* engine, auto&& construct) {
+        ++result.engines_checked;
+        if (!result.ok) return;
+        try {
+          construct();
+          result.ok = false;
+          result.failure =
+              std::string(engine) + ": accepted a stride/padding it does not support";
+        } catch (const std::invalid_argument&) {
+          // The required rejection.
+        } catch (const std::exception& e) {
+          result.ok = false;
+          result.failure =
+              std::string(engine) + ": rejected with the wrong exception: " + e.what();
+        }
+      };
+      expect_reject("fp32-winograd", [&] { [[maybe_unused]] Fp32WinoConv c(d, fc.m); });
+      expect_reject("lowino", [&] {
+        LoWinoConfig cfg;
+        cfg.m = fc.m;
+        [[maybe_unused]] LoWinoConvolution c(d, cfg);
+      });
+      expect_reject("downscale-winograd",
+                    [&] { [[maybe_unused]] DownscaleWinoConv c(d, fc.m); });
+      expect_reject("upcast-winograd", [&] { [[maybe_unused]] UpcastWinoConv c(d); });
+      expect_reject("vendor-winograd", [&] { [[maybe_unused]] VendorWinoF23 c(d); });
+      return result;
     }
 
     const TransformMatrices& tm = engine_transform(fc.m, d.kernel);
@@ -376,20 +440,7 @@ CaseResult run_case(const FuzzCase& fc) {
       }
     }
 
-    // --- Spatially quantized engines --------------------------------------
-    {
-      Int8DirectConv conv(d);
-      conv.set_input_threshold(static_cast<float>(tau_d));
-      conv.set_filters(data.weights, bias);
-      conv.execute_nchw(data.input, out, &pool, post);
-      check("int8-direct", ref_post,
-            with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
-      if (!post.none()) {
-        std::vector<float> plain(out.size());
-        conv.execute_nchw(data.input, plain, &pool);
-        check_fused_bits("int8-direct", out, plain);
-      }
-    }
+    // --- Spatially quantized Winograd baselines ----------------------------
     {
       DownscaleWinoConv conv(d, fc.m);
       conv.set_input_threshold(static_cast<float>(tau_d));
@@ -457,6 +508,12 @@ FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts) {
         return true;
       },
       [](FuzzCase& c) { return std::exchange(c.desc.pad, 0) != 0; },
+      [](FuzzCase& c) { return std::exchange(c.desc.stride, 1) != 1; },
+      [](FuzzCase& c) {
+        if (c.desc.symmetric_padding()) return false;
+        c.desc.pad_w = ConvDesc::kPadLikeHeight;
+        return true;
+      },
   };
 
   std::size_t attempts = 0;

@@ -34,12 +34,14 @@ struct FuzzCase {
   bool per_tensor_scales = false;  ///< LoWino input-scale granularity
 };
 
-/// Draws a case from `seed`: N/C/K/H/W, stride-1 pads, ReLU/bias on-off,
-/// F(2/4/6) (r = 5 occasionally), staged/fused/auto, 1..4 threads. The shape
-/// is cost-clamped so a full engine sweep stays in the low tens of
-/// milliseconds. Roughly 1 in 12 cases is deliberately degenerate (kernel
-/// larger than the padded input, pad >= kernel, zero channels, stride 0);
-/// run_case() then asserts clean rejection instead of numeric conformance.
+/// Draws a case from `seed`: N/C/K/H/W, pads, ReLU/bias on-off, F(2/4/6)
+/// (r = 5 occasionally), staged/fused/auto, 1..4 threads — plus the widened
+/// dimensions: strongly non-square inputs (~1/6), stride 2 (~1/6) and
+/// asymmetric width padding (~1/6). The shape is cost-clamped so a full
+/// engine sweep stays in the low tens of milliseconds. Roughly 1 in 12 cases
+/// is deliberately degenerate (kernel larger than the padded input,
+/// pad >= kernel on either axis, zero channels, stride 0); run_case() then
+/// asserts clean rejection instead of numeric conformance.
 FuzzCase generate_case(std::uint64_t seed);
 
 /// Human-readable one-line description ("B1 C17 K5 H9 W12 r3 p1 m4 fused t2
@@ -60,10 +62,12 @@ struct CaseResult {
 /// Post-op-capable engines (FP32/INT8 direct, LoWino) run with the fused
 /// relu/+sum epilogue of the case and are additionally checked bit-identical
 /// against the same engine run unfused followed by the element-wise
-/// sum-then-relu reference. Never throws for a conforming stack; engine
-/// exceptions are reported as failures. Degenerate cases instead assert that
-/// every engine constructor throws std::invalid_argument without allocating
-/// workspace memory.
+/// sum-then-relu reference. Cases with stride != 1 or asymmetric padding run
+/// the direct engines numerically and assert every Winograd engine rejects
+/// the descriptor with std::invalid_argument (they claim no support). Never
+/// throws for a conforming stack; engine exceptions are reported as failures.
+/// Degenerate cases instead assert that every engine constructor throws
+/// std::invalid_argument without allocating workspace memory.
 CaseResult run_case(const FuzzCase& fc);
 
 /// Greedily shrinks a failing case (smaller shape, fewer features) while it

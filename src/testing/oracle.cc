@@ -30,7 +30,7 @@ std::vector<double> direct_conv_f64(const ConvDesc& desc, std::span<const float>
               for (std::size_t j = 0; j < r; ++j) {
                 const std::ptrdiff_t iw =
                     static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                    static_cast<std::ptrdiff_t>(desc.pad);
+                    static_cast<std::ptrdiff_t>(desc.width_pad());
                 if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
                 acc += static_cast<double>(
                            input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
@@ -71,7 +71,7 @@ std::vector<std::int64_t> direct_conv_i64(const ConvDesc& desc,
               for (std::size_t j = 0; j < r; ++j) {
                 const std::ptrdiff_t iw =
                     static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                    static_cast<std::ptrdiff_t>(desc.pad);
+                    static_cast<std::ptrdiff_t>(desc.width_pad());
                 if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
                 acc += static_cast<std::int64_t>(
                            input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +

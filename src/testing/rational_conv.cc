@@ -58,7 +58,7 @@ std::vector<Rational> rational_direct_conv(const ConvDesc& desc,
               for (std::size_t j = 0; j < r; ++j) {
                 const std::ptrdiff_t iw =
                     static_cast<std::ptrdiff_t>(ow * desc.stride + j) -
-                    static_cast<std::ptrdiff_t>(desc.pad);
+                    static_cast<std::ptrdiff_t>(desc.width_pad());
                 if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
                 acc += input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
                              static_cast<std::size_t>(iw)] *

@@ -1,0 +1,523 @@
+// Tests for the dynamic-batching serving front end (src/serve/server.h).
+//
+// The deterministic half drives the Batcher / ServerCore / ManualServer
+// layers with an injected FakeClock — batch formation, linger expiry, SLO
+// rejection, FIFO fairness and shutdown drain are exercised without threads
+// or sleeps. The differential half is the serving-correctness contract:
+// batched execution (including partial batches with stale lanes) must be
+// bit-identical per request to a serial batch-1 session on the same inputs,
+// across MiniVGG and MiniResNet and every batch size 1..max — first through
+// the deterministic ManualServer, then through the real threaded
+// BatchingServer under concurrent clients.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "nn/model_zoo.h"
+#include "parallel/thread_pool.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace lowino {
+namespace {
+
+Tensor<float> random_input(std::size_t batch, std::size_t hw, std::uint64_t seed) {
+  Tensor<float> t({batch, 1, hw, hw});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+constexpr Nanos kMs = 1000000;
+
+BatcherOptions batcher_options(std::size_t max_batch, Nanos linger_ns,
+                               std::size_t capacity) {
+  BatcherOptions o;
+  o.max_batch = max_batch;
+  o.linger_ns = linger_ns;
+  o.capacity = capacity;
+  return o;
+}
+
+// --- Batcher: the pure policy ----------------------------------------------
+
+TEST(Batcher, FullBatchClosesImmediately) {
+  Batcher b(batcher_options(4, 10 * kMs, 16));
+  for (std::uint32_t t = 0; t < 3; ++t) EXPECT_TRUE(b.admit(t, /*now=*/100));
+  EXPECT_FALSE(b.ready(100)) << "3 of 4 queued, linger not expired";
+  EXPECT_TRUE(b.admit(3, 100));
+  EXPECT_TRUE(b.ready(100)) << "a full batch closes regardless of linger";
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(b.pop(batch), 4u);
+  EXPECT_EQ(batch, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(Batcher, LingerDeadlineClosesPartialBatch) {
+  Batcher b(batcher_options(4, 5 * kMs, 16));
+  ASSERT_TRUE(b.admit(7, /*now=*/1000));
+  EXPECT_FALSE(b.ready(1000));
+  EXPECT_FALSE(b.ready(1000 + 5 * kMs - 1));
+  EXPECT_TRUE(b.ready(1000 + 5 * kMs)) << "oldest request lingered out";
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(b.pop(batch), 1u);
+  EXPECT_EQ(batch.front(), 7u);
+}
+
+TEST(Batcher, LingerTracksOldestRequest) {
+  Batcher b(batcher_options(4, 5 * kMs, 16));
+  ASSERT_TRUE(b.admit(0, 0));
+  ASSERT_TRUE(b.admit(1, 4 * kMs));
+  // The *oldest* admission drives the close, not the newest.
+  EXPECT_TRUE(b.ready(5 * kMs));
+  EXPECT_EQ(b.next_event(), 5 * kMs);
+}
+
+TEST(Batcher, SloDeadlineExpiresQueuedRequests) {
+  Batcher b(batcher_options(4, 100 * kMs, 16));
+  ASSERT_TRUE(b.admit(0, 0, /*deadline=*/10 * kMs));
+  ASSERT_TRUE(b.admit(1, 0, /*deadline=*/kNoDeadline));
+  ASSERT_TRUE(b.admit(2, 0, /*deadline=*/3 * kMs));
+  EXPECT_EQ(b.next_event(), 3 * kMs) << "earliest deadline wins over linger";
+  std::vector<std::uint32_t> expired;
+  EXPECT_EQ(b.expire(3 * kMs - 1, expired), 0u);
+  EXPECT_EQ(b.expire(10 * kMs, expired), 2u) << "both due deadlines expire at once";
+  EXPECT_EQ(expired, (std::vector<std::uint32_t>{0, 2})) << "FIFO order";
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(b.pop(batch), 1u);
+  EXPECT_EQ(batch.front(), 1u) << "expired tickets never reach a batch";
+}
+
+TEST(Batcher, CapacityBoundsAdmissions) {
+  Batcher b(batcher_options(2, kMs, 3));
+  EXPECT_TRUE(b.admit(0, 0));
+  EXPECT_TRUE(b.admit(1, 0));
+  EXPECT_TRUE(b.admit(2, 0));
+  EXPECT_FALSE(b.admit(3, 0)) << "queue at capacity";
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(b.pop(batch), 2u) << "pop is bounded by max_batch, not capacity";
+  EXPECT_TRUE(b.admit(3, 0)) << "capacity freed by the pop";
+}
+
+TEST(Batcher, FifoAcrossMultipleBatches) {
+  Batcher b(batcher_options(3, kMs, 16));
+  for (std::uint32_t t = 0; t < 8; ++t) ASSERT_TRUE(b.admit(t, t));
+  std::vector<std::uint32_t> batch;
+  b.pop(batch);
+  EXPECT_EQ(batch, (std::vector<std::uint32_t>{0, 1, 2}));
+  batch.clear();
+  b.pop(batch);
+  EXPECT_EQ(batch, (std::vector<std::uint32_t>{3, 4, 5}));
+  batch.clear();
+  EXPECT_EQ(b.pop(batch), 2u);
+  EXPECT_EQ(batch, (std::vector<std::uint32_t>{6, 7}));
+}
+
+TEST(Batcher, RejectsDegenerateOptions) {
+  EXPECT_THROW(Batcher(batcher_options(0, kMs, 4)), std::invalid_argument);
+  EXPECT_THROW(Batcher(batcher_options(4, kMs, 2)), std::invalid_argument);
+  EXPECT_THROW(Batcher(batcher_options(2, -1, 4)), std::invalid_argument);
+}
+
+// --- ServerCore: slots + lifecycle -----------------------------------------
+
+TEST(ServerCore, SlotLifecycleAndReuse) {
+  ServerCore core(batcher_options(2, kMs, 4));
+  float in[1] = {1.0f}, out[1] = {0.0f};
+  const std::uint32_t t = core.submit(in, out, /*now=*/0);
+  ASSERT_NE(t, ServerCore::kNoTicket);
+  EXPECT_EQ(core.state(t), SlotState::kQueued);
+  EXPECT_EQ(core.slot_input(t), in);
+  EXPECT_EQ(core.slot_output(t), out);
+
+  std::vector<std::uint32_t> batch;
+  ASSERT_TRUE(core.ready(2 * kMs)) << "linger expired";
+  EXPECT_EQ(core.close_batch(2 * kMs, batch), 1u);
+  EXPECT_EQ(core.state(t), SlotState::kRunning);
+  EXPECT_EQ(core.running(), 1u);
+  core.complete(batch);
+  EXPECT_EQ(core.state(t), SlotState::kDone);
+  EXPECT_TRUE(core.idle());
+  core.release(t);
+  EXPECT_EQ(core.state(t), SlotState::kFree);
+
+  EXPECT_EQ(core.submit(in, out, 0), t) << "released slot is reused";
+  EXPECT_EQ(core.stats().submitted, 2u);
+  EXPECT_EQ(core.stats().served, 1u);
+  EXPECT_EQ(core.stats().closed_linger, 1u);
+  EXPECT_EQ(core.stats().queue_ns_sum, static_cast<std::uint64_t>(2 * kMs));
+}
+
+TEST(ServerCore, QueueFullAndExpiryAreCountedSeparately) {
+  ServerCore core(batcher_options(2, kMs, 2));
+  float in[1], out[1];
+  ASSERT_NE(core.submit(in, out, 0, /*deadline=*/5), ServerCore::kNoTicket);
+  ASSERT_NE(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_EQ(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_EQ(core.stats().rejected_full, 1u);
+
+  std::vector<std::uint32_t> expired;
+  EXPECT_EQ(core.expire(10, expired), 1u);
+  EXPECT_EQ(core.state(expired.front()), SlotState::kExpired);
+  EXPECT_EQ(core.stats().rejected_expired, 1u);
+  core.release(expired.front());
+  EXPECT_NE(core.submit(in, out, 20), ServerCore::kNoTicket)
+      << "expired slot is reusable after release";
+}
+
+TEST(ServerCore, DrainClosesPartialBatchesAndBlocksAdmission) {
+  ServerCore core(batcher_options(4, 100 * kMs, 8));
+  float in[1], out[1];
+  ASSERT_NE(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_FALSE(core.ready(0)) << "partial batch, linger pending";
+  core.begin_drain();
+  EXPECT_TRUE(core.ready(0)) << "drain closes partial batches immediately";
+  EXPECT_EQ(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_EQ(core.stats().submitted, 1u) << "drain-time submit is not an admission";
+}
+
+// --- ManualServer: the deterministic executor -------------------------------
+
+/// Runner that records batch compositions and "serves" each request by
+/// writing input[0] + 100 to its output.
+struct RecordingRunner {
+  std::vector<std::vector<std::uint32_t>> batches;
+
+  ManualServer::BatchRunner fn() {
+    return [this](std::span<const std::uint32_t> tickets, ServerCore& core) {
+      batches.emplace_back(tickets.begin(), tickets.end());
+      for (const std::uint32_t t : tickets) {
+        core.slot_output(t)[0] = core.slot_input(t)[0] + 100.0f;
+      }
+    };
+  }
+};
+
+TEST(ManualServer, FullBatchCloseServesAllRequests) {
+  FakeClock clock;
+  RecordingRunner runner;
+  ManualServer server(batcher_options(3, 10 * kMs, 8), &clock, runner.fn());
+  float in[4], out[4];
+  std::uint32_t tickets[4];
+  for (int i = 0; i < 4; ++i) {
+    in[i] = static_cast<float>(i);
+    tickets[i] = server.submit({&in[i], 1}, {&out[i], 1});
+    ASSERT_NE(tickets[i], ServerCore::kNoTicket);
+  }
+  const ManualServer::StepOutcome o = server.step();
+  EXPECT_TRUE(o.expired.empty());
+  EXPECT_EQ(o.batch.size(), 3u) << "full batch closes; 4th request stays queued";
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.state(tickets[i]), SlotState::kDone);
+    EXPECT_EQ(out[i], in[i] + 100.0f);
+  }
+  EXPECT_EQ(server.state(tickets[3]), SlotState::kQueued);
+  EXPECT_EQ(server.core().stats().closed_full, 1u);
+}
+
+TEST(ManualServer, LingerExpiryClosesPartialBatch) {
+  FakeClock clock;
+  RecordingRunner runner;
+  ManualServer server(batcher_options(4, 5 * kMs, 8), &clock, runner.fn());
+  float in[2] = {1.0f, 2.0f}, out[2] = {};
+  server.submit({&in[0], 1}, {&out[0], 1});
+  clock.advance(2 * kMs);
+  server.submit({&in[1], 1}, {&out[1], 1});
+
+  EXPECT_TRUE(server.step().batch.empty()) << "linger budget not exhausted";
+  clock.advance(3 * kMs - 1);
+  EXPECT_TRUE(server.step().batch.empty()) << "one tick early";
+  clock.advance(1);
+  const ManualServer::StepOutcome o = server.step();
+  EXPECT_EQ(o.batch.size(), 2u) << "oldest request's linger expired; both ride";
+  EXPECT_EQ(out[0], 101.0f);
+  EXPECT_EQ(out[1], 102.0f);
+  EXPECT_EQ(server.core().stats().closed_linger, 1u);
+}
+
+TEST(ManualServer, SloExpiredRequestsAreRejectedNotServed) {
+  FakeClock clock;
+  RecordingRunner runner;
+  ManualServer server(batcher_options(4, 20 * kMs, 8), &clock, runner.fn());
+  float in[3] = {1, 2, 3}, out[3] = {-1, -1, -1};
+  const std::uint32_t t0 = server.submit({&in[0], 1}, {&out[0], 1}, /*slo=*/5 * kMs);
+  const std::uint32_t t1 = server.submit({&in[1], 1}, {&out[1], 1} /* no SLO */);
+  const std::uint32_t t2 = server.submit({&in[2], 1}, {&out[2], 1}, /*slo=*/8 * kMs);
+
+  clock.advance(10 * kMs);
+  const ManualServer::StepOutcome o = server.step();
+  EXPECT_EQ(o.expired, (std::vector<std::uint32_t>{t0, t2}));
+  EXPECT_EQ(server.state(t0), SlotState::kExpired);
+  EXPECT_EQ(server.state(t2), SlotState::kExpired);
+  EXPECT_EQ(out[0], -1.0f) << "an expired request's output is never written";
+  EXPECT_EQ(out[2], -1.0f);
+
+  clock.advance(10 * kMs);  // the survivor lingers out
+  EXPECT_EQ(server.step().batch, (std::vector<std::uint32_t>{t1}));
+  EXPECT_EQ(server.state(t1), SlotState::kDone);
+  EXPECT_EQ(out[1], 102.0f);
+  EXPECT_EQ(server.core().stats().rejected_expired, 2u);
+}
+
+TEST(ManualServer, ShutdownDrainsInFlightRequestsInOrder) {
+  FakeClock clock;
+  RecordingRunner runner;
+  ManualServer server(batcher_options(4, 100 * kMs, 16), &clock, runner.fn());
+  float in[10], out[10];
+  std::uint32_t tickets[10];
+  for (int i = 0; i < 10; ++i) {
+    in[i] = static_cast<float>(i);
+    tickets[i] = server.submit({&in[i], 1}, {&out[i], 1});
+    ASSERT_NE(tickets[i], ServerCore::kNoTicket);
+  }
+  // Drain must serve everything queued — without waiting for linger — and
+  // preserve FIFO batch order.
+  server.drain();
+  ASSERT_EQ(runner.batches.size(), 3u);
+  EXPECT_EQ(runner.batches[0].size(), 4u);
+  EXPECT_EQ(runner.batches[1].size(), 4u);
+  EXPECT_EQ(runner.batches[2].size(), 2u) << "final partial batch closes in drain";
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(server.state(tickets[i]), SlotState::kDone);
+    EXPECT_EQ(out[i], in[i] + 100.0f);
+    server.release(tickets[i]);
+  }
+  std::vector<std::uint32_t> flat;
+  for (const auto& b : runner.batches) flat.insert(flat.end(), b.begin(), b.end());
+  EXPECT_EQ(flat, (std::vector<std::uint32_t>(tickets, tickets + 10))) << "FIFO";
+  EXPECT_EQ(server.submit({&in[0], 1}, {&out[0], 1}), ServerCore::kNoTicket)
+      << "drained server admits nothing";
+}
+
+// --- Differential: batched serving is bit-identical to serial run -----------
+//
+// The serving construction promises each client the *same bits* a dedicated
+// batch-1 session would have produced. Two ingredients make this hold and
+// both are pinned here: calibration must not depend on the batch dimension
+// (single-image calibration replicated to the session batch + the
+// LOWINO_CALIB_STRIDE=1 override, neutralizing the tile-count-dependent
+// calibration stride), and every op must be per-image independent (so stale
+// data in unused lanes of a partial batch cannot bleed into live lanes).
+
+/// Mirrors BatchingServer::run_batch over a caller-owned batched session:
+/// gather ticket inputs into lanes 0..n-1, run, scatter lanes back. Lanes
+/// n.. keep whatever the previous batch left there — deliberately, to prove
+/// stale lanes are harmless.
+class SessionRunner {
+ public:
+  SessionRunner(InferenceSession& session, std::size_t max_batch, std::size_t in_elems)
+      : session_(session), max_batch_(max_batch), in_elems_(in_elems) {
+    in_.reshape({max_batch_, 1, 16, 16});
+    std::fill(in_.data(), in_.data() + in_.size(), 0.0f);
+    session_.run(in_, out_);
+    out_elems_ = out_.size() / max_batch_;
+  }
+
+  std::size_t out_elems() const { return out_elems_; }
+
+  ManualServer::BatchRunner fn() {
+    return [this](std::span<const std::uint32_t> tickets, ServerCore& core) {
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        std::memcpy(in_.data() + i * in_elems_, core.slot_input(tickets[i]),
+                    in_elems_ * sizeof(float));
+      }
+      session_.run(in_, out_);
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        std::memcpy(core.slot_output(tickets[i]), out_.data() + i * out_elems_,
+                    out_elems_ * sizeof(float));
+      }
+    };
+  }
+
+ private:
+  InferenceSession& session_;
+  std::size_t max_batch_, in_elems_, out_elems_ = 0;
+  Tensor<float> in_, out_;
+};
+
+void check_batched_vs_serial(SequentialModel&& model, const char* model_name) {
+  // Pin the calibration tile stride: it depends on the *total* tile count,
+  // which scales with batch — the one knob that would legitimately make a
+  // batch-4 session quantize differently from a batch-1 session.
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  ThreadPool& pool = ThreadPool::global();
+  constexpr std::size_t kMaxBatch = 4, kHw = 16;
+  const Tensor<float> calib1 = random_input(1, kHw, 4242);
+  Tensor<float> calibB({kMaxBatch, 1, kHw, kHw});
+  for (std::size_t b = 0; b < kMaxBatch; ++b) {
+    std::memcpy(calibB.data() + b * calib1.size(), calib1.data(),
+                calib1.size() * sizeof(float));
+  }
+  const std::size_t in_elems = calib1.size();
+
+  for (const EngineKind kind : {EngineKind::kInt8Direct, EngineKind::kLoWinoF4}) {
+    PlanOptions options;
+    options.forced_engine = kind;
+    options.pool = &pool;
+    InferenceSession serial = InferenceSession::compile(model, calib1, options);
+    InferenceSession batched = InferenceSession::compile(model, calibB, options);
+
+    SessionRunner runner(batched, kMaxBatch, in_elems);
+    FakeClock clock;
+    ManualServer server(batcher_options(kMaxBatch, 10 * kMs, 16), &clock, runner.fn());
+
+    std::uint64_t seed = 1;
+    for (std::size_t k = 1; k <= kMaxBatch; ++k) {  // every batch size
+      std::vector<Tensor<float>> inputs;
+      std::vector<std::vector<float>> outputs(k);
+      std::vector<std::uint32_t> tickets(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        inputs.push_back(random_input(1, kHw, 1000 * seed++ + i));
+        outputs[i].assign(runner.out_elems(), -1.0f);
+        tickets[i] = server.submit(inputs[i].span(), outputs[i]);
+        ASSERT_NE(tickets[i], ServerCore::kNoTicket);
+      }
+      clock.advance(10 * kMs);  // k < max closes via linger, k == max via full
+      const ManualServer::StepOutcome o = server.step();
+      ASSERT_EQ(o.batch.size(), k);
+
+      Tensor<float> ref;
+      for (std::size_t i = 0; i < k; ++i) {
+        serial.run(inputs[i], ref);
+        ASSERT_EQ(ref.size(), outputs[i].size());
+        EXPECT_EQ(0, std::memcmp(outputs[i].data(), ref.data(),
+                                 ref.size() * sizeof(float)))
+            << model_name << " engine " << engine_token(kind) << " batch size " << k
+            << " request " << i << ": batched bits differ from serial run";
+        server.release(tickets[i]);
+      }
+    }
+  }
+}
+
+TEST(ServerDifferential, BatchedBitIdenticalToSerialMiniVgg) {
+  check_batched_vs_serial(make_minivgg(), "minivgg");
+}
+
+TEST(ServerDifferential, BatchedBitIdenticalToSerialMiniResNet) {
+  check_batched_vs_serial(make_miniresnet(), "miniresnet");
+}
+
+// The threaded server end to end: concurrent clients, real clock, both
+// workers replaying one plan — every response must still be bit-identical to
+// the serial session, whatever batches the scheduler formed.
+TEST(ServerDifferential, ThreadedServerMatchesSerialUnderConcurrency) {
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  constexpr std::size_t kClients = 8, kPerClient = 4, kHw = 16;
+  SequentialModel model = make_miniresnet();
+  const Tensor<float> calib = random_input(1, kHw, 99);
+
+  ThreadPool pool(1);
+  PlanOptions serial_options;
+  serial_options.forced_engine = EngineKind::kLoWinoF4;
+  serial_options.pool = &pool;
+  InferenceSession serial = InferenceSession::compile(model, calib, serial_options);
+
+  // Precompute the serial reference bits for every request.
+  std::vector<Tensor<float>> inputs;
+  std::vector<std::vector<float>> refs;
+  Tensor<float> ref_out;
+  for (std::size_t i = 0; i < kClients * kPerClient; ++i) {
+    inputs.push_back(random_input(1, kHw, 777 + i));
+    serial.run(inputs.back(), ref_out);
+    refs.emplace_back(ref_out.data(), ref_out.data() + ref_out.size());
+  }
+
+  ServerOptions options;
+  options.max_batch = 4;
+  options.linger_ns = kMs / 5;
+  options.num_workers = 2;
+  options.threads_per_worker = 1;
+  options.plan.forced_engine = EngineKind::kLoWinoF4;
+  BatchingServer server(model, calib, options);
+  ASSERT_EQ(server.input_elems(), calib.size());
+  ASSERT_EQ(server.output_elems(), refs.front().size());
+
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<float> out(server.output_elems());
+      for (std::size_t r = 0; r < kPerClient; ++r) {
+        const std::size_t i = c * kPerClient + r;
+        const ServeResult res = server.serve(inputs[i].span(), out);
+        if (res != ServeResult::kOk ||
+            std::memcmp(out.data(), refs[i].data(), out.size() * sizeof(float)) != 0) {
+          ++mismatches[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  }
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.served, kClients * kPerClient);
+  EXPECT_EQ(stats.rejected_full + stats.rejected_expired, 0u);
+  EXPECT_GE(stats.batches, (kClients * kPerClient) / options.max_batch);
+  EXPECT_EQ(stats.batched_requests, stats.served);
+}
+
+// --- BatchingServer lifecycle ----------------------------------------------
+
+TEST(BatchingServer, StopDrainsAndRejectsThenRestarts) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 11);
+  ServerOptions options;
+  options.max_batch = 2;
+  options.linger_ns = kMs;
+  options.plan.forced_engine = EngineKind::kInt8Direct;
+  BatchingServer server(model, calib, options);
+  EXPECT_TRUE(server.running());
+
+  std::vector<float> in(server.input_elems(), 0.5f), out(server.output_elems());
+  EXPECT_EQ(server.serve(in, out), ServeResult::kOk);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.serve(in, out), ServeResult::kShutdown);
+  server.stop();  // idempotent
+
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.serve(in, out), ServeResult::kOk);
+  EXPECT_EQ(server.stats().served, 2u);
+}
+
+TEST(BatchingServer, ServeValidatesSpanSizes) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 12);
+  ServerOptions options;
+  options.max_batch = 2;
+  options.plan.forced_engine = EngineKind::kInt8Direct;
+  BatchingServer server(model, calib, options);
+  std::vector<float> in(server.input_elems() + 1), out(server.output_elems());
+  EXPECT_THROW(server.serve(in, out), std::invalid_argument);
+  std::vector<float> in2(server.input_elems()), out2(server.output_elems() - 1);
+  EXPECT_THROW(server.serve(in2, out2), std::invalid_argument);
+}
+
+TEST(BatchingServer, PlanIsSharedAcrossWorkers) {
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 13);
+  ServerOptions options;
+  options.max_batch = 2;
+  options.num_workers = 2;
+  options.plan.forced_engine = EngineKind::kLoWinoF2;
+  BatchingServer server(model, calib, options);
+  EXPECT_EQ(server.plan().batch, options.max_batch);
+  for (const SessionPlan::ConvChoice& c : server.plan().convs) {
+    EXPECT_EQ(c.engine, EngineKind::kLoWinoF2);
+  }
+  EXPECT_EQ(server.num_workers(), 2u);
+}
+
+}  // namespace
+}  // namespace lowino
