@@ -96,6 +96,22 @@ int bench_main() {
       unfused_ops = unfused.op_count();
     }
 
+    // The u8 hand-off A/B: replay the *same* plan (identical engine choices)
+    // with the LOWINO_U8_HANDOFF kill-switch off — the dtype tokens are
+    // ignored, every inter-layer edge stays FP32, so the only delta is the
+    // activation traffic (4x the bytes on the hand-off segments).
+    std::size_t f32_arena = 0;
+    double f32_sec = 0.0;
+    {
+      ScopedRuntimeOverride off("LOWINO_U8_HANDOFF", "0");
+      PlanOptions replay = options;
+      replay.reuse = &session.plan();
+      InferenceSession all_f32 = InferenceSession::compile(spec.model, calib, replay);
+      Tensor<float> scratch;
+      f32_sec = bench::measure([&] { all_f32.run(input, scratch); });
+      f32_arena = all_f32.plan().arena_bytes;
+    }
+
     Tensor<float> out;
     const double envelope_sec = bench::measure([&] { session.run(input, out); });
     const double fast_sec = bench::measure([&] { fast_session.run(input, out); });
@@ -103,6 +119,7 @@ int bench_main() {
     std::snprintf(label, sizeof label, "session (envelope %.0f dB)", options.min_snr_db);
     rows.emplace_back(label, envelope_sec);
     rows.emplace_back("session (post-op fusion OFF)", unfused_sec);
+    rows.emplace_back("session (u8 hand-off OFF)", f32_sec);
     rows.emplace_back("session (latency-only plan)", fast_sec);
 
     for (const auto& [name, sec] : rows) {
@@ -118,6 +135,17 @@ int bench_main() {
                           static_cast<double>(unfused_arena)
                     : 0.0,
                 envelope_sec != 0.0 ? unfused_sec / envelope_sec : 0.0);
+    std::size_t u8_edges = 0;
+    for (const SessionPlan::ConvChoice& c : session.plan().convs) {
+      u8_edges += (c.in_dtype == DType::kU8) + (c.out_dtype == DType::kU8);
+    }
+    std::printf("u8 hand-off: %zu conv edge(s), arena %zu -> %zu bytes (%.0f%%), "
+                "speedup over all-FP32 %.2fx\n",
+                u8_edges, f32_arena, session.plan().arena_bytes,
+                f32_arena != 0 ? 100.0 * static_cast<double>(session.plan().arena_bytes) /
+                                     static_cast<double>(f32_arena)
+                               : 0.0,
+                envelope_sec != 0.0 ? f32_sec / envelope_sec : 0.0);
     std::printf("%s\n", session.plan().summary().c_str());
   }
   return 0;

@@ -39,6 +39,23 @@ class Int8DirectConv {
   void execute_nchw(std::span<const float> input, std::span<float> output,
                     ThreadPool* pool = nullptr, const PostOps& post = {});
 
+  /// Serving u8 hand-off (tensor/dtype.h). set_input_u8 ADOPTS the hand-off
+  /// quantization as the engine's spatial input scale — the producer's bytes
+  /// already are round_ne(scale * x) + 128, exactly what im2col would have
+  /// produced — and re-packs the weights so the dequant table matches.
+  /// set_output_u8 appends the requant stage (bias -> sum -> relu -> requant
+  /// with qp.scale) to the store loop. Only execute_typed honors either.
+  void set_input_u8(const QuantParams& qp);
+  void set_output_u8(const QuantParams& qp);
+  bool input_is_u8() const { return in_u8_; }
+  bool output_is_u8() const { return out_u8_; }
+
+  /// Runs on NCHW buffers typed per the configured hand-off dtypes (u8 after
+  /// set_input_u8 / set_output_u8, FP32 otherwise); `post.sum_u8` may supply
+  /// a u8 residual with either configuration.
+  void execute_typed(const void* input, void* output, ThreadPool* pool = nullptr,
+                     const PostOps& post = {});
+
   const ConvDesc& desc() const { return desc_; }
   float input_scale() const { return input_params_.scale; }
 
@@ -63,7 +80,13 @@ class Int8DirectConv {
   AlignedBuffer<std::int32_t> acc_;       ///< GEMM result
   Int8GemmBlocking blocking_;
 
+  bool in_u8_ = false;
+  bool out_u8_ = false;
+  QuantParams out_u8_qp_;
+
   void pack_weights();
+  void execute_impl(const void* input, void* output, bool in_u8, bool out_u8,
+                    ThreadPool* pool, const PostOps& post);
 };
 
 }  // namespace lowino

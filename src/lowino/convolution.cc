@@ -173,11 +173,19 @@ std::size_t LoWinoConvolution::workspace_bytes(ExecutionMode mode,
 
 void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<float> output,
                                         ThreadPool* pool, const PostOps& post) {
+  assert(input.size() >= in_layout_.size());
+  assert(output.size() >= out_layout_.size());
+  // The span API is FP32-by-contract regardless of any u8 hand-off
+  // configuration — calibration/tuning/testing flows keep their semantics.
+  execute_blocked_impl(input.data(), output.data(), DType::kF32, DType::kF32, pool, post);
+}
+
+void LoWinoConvolution::execute_blocked_impl(const void* input, void* output, DType in_dtype,
+                                             DType out_dtype, ThreadPool* pool,
+                                             const PostOps& post) {
   if (!ready()) {
     throw std::logic_error("LoWinoConvolution: set_filters + calibration required");
   }
-  assert(input.size() >= in_layout_.size());
-  assert(output.size() >= out_layout_.size());
 
   const std::size_t num_threads = pool != nullptr ? pool->num_threads() : 1;
   const ExecutionMode mode = resolve_execution_mode(num_threads);
@@ -186,9 +194,15 @@ void LoWinoConvolution::execute_blocked(std::span<const float> input, std::span<
 
   InputTransformContext in_ctx{&desc_,     &geo_,     &bt_plan_,     in_layout_,
                                v_layout_, config_.blocking.nt_store, canonical_tm_};
+  in_ctx.in_dtype = in_dtype;
+  in_ctx.in_dequant = in_u8_qp_.inv_scale;
   OutputTransformContext out_ctx{&desc_,      &geo_,       &at_plan_,
                                  z_layout_,   out_layout_, filters_.bias.data(),
                                  config_.fuse_relu || post.relu, post.sum, canonical_tm_};
+  out_ctx.out_dtype = out_dtype;
+  out_ctx.requant_scale = out_u8_qp_.scale;
+  out_ctx.sum_u8_nchw = post.sum_u8;
+  out_ctx.sum_u8_dequant = post.sum_u8_inv_scale;
 
   if (mode == ExecutionMode::kFused) {
     const FusedGeometry fg =
@@ -231,6 +245,52 @@ void LoWinoConvolution::execute_nchw(std::span<const float> input, std::span<flo
   execute_blocked(in_blocked_scratch_.span(), out_blocked_scratch_.span(), pool, post);
   unpack_blocked_to_nchw(out_blocked_scratch_.span(), desc_.batch, desc_.out_channels,
                          desc_.out_height(), desc_.out_width(), output, pool);
+}
+
+void LoWinoConvolution::execute_nchw_typed(const void* input, void* output, ThreadPool* pool,
+                                           const PostOps& post) {
+  const std::size_t in_elems = desc_.batch * desc_.in_channels * desc_.height * desc_.width;
+  const std::size_t out_elems =
+      desc_.batch * desc_.out_channels * desc_.out_height() * desc_.out_width();
+
+  const void* in_blocked = nullptr;
+  if (in_u8_) {
+    in_blocked_u8_.ensure(in_layout_.size());
+    pack_nchw_u8_to_blocked(
+        std::span<const std::uint8_t>(static_cast<const std::uint8_t*>(input), in_elems),
+        desc_.batch, desc_.in_channels, desc_.height, desc_.width, in_blocked_u8_.span(),
+        pool);
+    in_blocked = in_blocked_u8_.data();
+  } else {
+    in_blocked_scratch_.ensure(in_layout_.size());
+    pack_nchw_to_blocked(std::span<const float>(static_cast<const float*>(input), in_elems),
+                         desc_.batch, desc_.in_channels, desc_.height, desc_.width,
+                         in_blocked_scratch_.span(), pool);
+    in_blocked = in_blocked_scratch_.data();
+  }
+
+  void* out_blocked = nullptr;
+  if (out_u8_) {
+    out_blocked_u8_.ensure(out_layout_.size());
+    out_blocked = out_blocked_u8_.data();
+  } else {
+    out_blocked_scratch_.ensure(out_layout_.size());
+    out_blocked = out_blocked_scratch_.data();
+  }
+
+  execute_blocked_impl(in_blocked, out_blocked, in_u8_ ? DType::kU8 : DType::kF32,
+                       out_u8_ ? DType::kU8 : DType::kF32, pool, post);
+
+  if (out_u8_) {
+    unpack_blocked_u8_to_nchw(
+        out_blocked_u8_.span(), desc_.batch, desc_.out_channels, desc_.out_height(),
+        desc_.out_width(),
+        std::span<std::uint8_t>(static_cast<std::uint8_t*>(output), out_elems), pool);
+  } else {
+    unpack_blocked_to_nchw(out_blocked_scratch_.span(), desc_.batch, desc_.out_channels,
+                           desc_.out_height(), desc_.out_width(),
+                           std::span<float>(static_cast<float*>(output), out_elems), pool);
+  }
 }
 
 }  // namespace lowino

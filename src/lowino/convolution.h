@@ -76,6 +76,30 @@ class LoWinoConvolution {
   void execute_blocked(std::span<const float> input, std::span<float> output,
                        ThreadPool* pool = nullptr, const PostOps& post = {});
 
+  /// Serving u8 hand-off configuration (tensor/dtype.h). After set_input_u8,
+  /// execute_nchw_typed reads u8 bytes (q = round_ne(qp.scale * x) + 128) and
+  /// the tile gather de-quantizes them on the fly with qp.inv_scale; after
+  /// set_output_u8 the output epilogue gains the trailing requant stage
+  /// (bias -> sum -> relu -> requant with qp.scale). Only execute_nchw_typed
+  /// honors the configuration — the span-based FP32 entry points above are
+  /// unaffected, so calibration/tuning flows stay unchanged.
+  void set_input_u8(const QuantParams& qp) {
+    in_u8_ = true;
+    in_u8_qp_ = qp;
+  }
+  void set_output_u8(const QuantParams& qp) {
+    out_u8_ = true;
+    out_u8_qp_ = qp;
+  }
+  bool input_is_u8() const { return in_u8_; }
+  bool output_is_u8() const { return out_u8_; }
+
+  /// Runs on NCHW buffers whose element types follow the configured hand-off
+  /// dtypes (u8 after set_input_u8 / set_output_u8, FP32 otherwise).
+  /// `post.sum_u8` may supply a u8 residual with either configuration.
+  void execute_nchw_typed(const void* input, void* output, ThreadPool* pool = nullptr,
+                          const PostOps& post = {});
+
   BlockedActLayout input_layout() const { return in_layout_; }
   BlockedActLayout output_layout() const { return out_layout_; }
 
@@ -113,6 +137,8 @@ class LoWinoConvolution {
 
  private:
   void maybe_build_dequant();
+  void execute_blocked_impl(const void* input, void* output, DType in_dtype, DType out_dtype,
+                            ThreadPool* pool, const PostOps& post);
 
   ConvDesc desc_;
   LoWinoConfig config_;
@@ -137,6 +163,12 @@ class LoWinoConvolution {
   AlignedBuffer<std::int32_t> z_buf_;
   AlignedBuffer<float> in_blocked_scratch_;
   AlignedBuffer<float> out_blocked_scratch_;
+  AlignedBuffer<std::uint8_t> in_blocked_u8_;
+  AlignedBuffer<std::uint8_t> out_blocked_u8_;
+  bool in_u8_ = false;
+  bool out_u8_ = false;
+  QuantParams in_u8_qp_;
+  QuantParams out_u8_qp_;
   FusedWorkspace fused_ws_;
   Int8GemmScratch gemm_scratch_;
   StageTimes stage_times_;

@@ -46,8 +46,8 @@ void FusedWorkspace::ensure(std::size_t num_threads, const WinogradGeometry& geo
 void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext& out_ctx,
                const PackedFilterLayout& ul, const std::int8_t* u, const std::int32_t* comp,
                const Int8GemmBlocking& blocking, const FusedGeometry& fg,
-               std::span<const float> in_blocked, const WinogradScales& scales,
-               std::span<float> out_blocked, FusedWorkspace& ws, ThreadPool* pool) {
+               const void* in_blocked, const WinogradScales& scales, void* out_blocked,
+               FusedWorkspace& ws, ThreadPool* pool) {
   const WinogradGeometry& geo = *in_ctx.geo;
   const std::size_t t_elems = geo.t_elems;
   const std::size_t n_blk = blocking.n_blk;
@@ -81,7 +81,7 @@ void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext
         ProfileSpan span(ProfileStage::kInputTransform);
         for (std::size_t r = 0; r < rows; ++r) {
           for (std::size_t cb64 = 0; cb64 < c_blocks64; ++cb64) {
-            transform_quantize_tile(in_ctx, in_blocked.data(), tile0 + r, cb64, scale_of_t,
+            transform_quantize_tile(in_ctx, in_blocked, tile0 + r, cb64, scale_of_t,
                                     a.in_scratch);
             const std::size_t c = cb64 * kChanBlock;
             const std::size_t cb = c / c_blk;
@@ -113,7 +113,7 @@ void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext
             const std::int32_t* z_tile =
                 a.z_panel.data() + (((k64 - k64_begin) * n_blk + r) * t_elems) * kChanBlock;
             output_transform_tile(out_ctx, z_tile, tile0 + r, k64, scales, a.out_scratch,
-                                  out_blocked.data());
+                                  out_blocked);
           }
         }
       }

@@ -86,10 +86,23 @@ class FusedWorkspace {
 /// blocked input, writing the blocked output. `ws` must have been ensure()d
 /// for the pool's thread count. `in_ctx.v_layout`/`in_ctx.nt_store` and
 /// `out_ctx.z_layout` are ignored (the fused path owns its panel layouts).
+/// `in_blocked`/`out_blocked` point at in_ctx.in_dtype / out_ctx.out_dtype
+/// elements (FP32 or u8 hand-off bytes).
 void run_fused(const InputTransformContext& in_ctx, const OutputTransformContext& out_ctx,
                const PackedFilterLayout& ul, const std::int8_t* u, const std::int32_t* comp,
                const Int8GemmBlocking& blocking, const FusedGeometry& fg,
-               std::span<const float> in_blocked, const WinogradScales& scales,
-               std::span<float> out_blocked, FusedWorkspace& ws, ThreadPool* pool);
+               const void* in_blocked, const WinogradScales& scales, void* out_blocked,
+               FusedWorkspace& ws, ThreadPool* pool);
+
+inline void run_fused(const InputTransformContext& in_ctx,
+                      const OutputTransformContext& out_ctx, const PackedFilterLayout& ul,
+                      const std::int8_t* u, const std::int32_t* comp,
+                      const Int8GemmBlocking& blocking, const FusedGeometry& fg,
+                      std::span<const float> in_blocked, const WinogradScales& scales,
+                      std::span<float> out_blocked, FusedWorkspace& ws, ThreadPool* pool) {
+  run_fused(in_ctx, out_ctx, ul, u, comp, blocking, fg,
+            static_cast<const void*>(in_blocked.data()), scales,
+            static_cast<void*>(out_blocked.data()), ws, pool);
+}
 
 }  // namespace lowino

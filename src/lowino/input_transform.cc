@@ -52,6 +52,50 @@ void gather_tile_group(const InputTransformContext& ctx, const float* in, std::s
   }
 }
 
+/// u8 hand-off gather: identical walk, de-quantizing bytes on the fly as
+/// (q - 128) * ctx.in_dequant. The halo stays memset-0 — byte 128 (quantized
+/// zero, also the pack padding byte) de-quantizes to exactly 0.0f, so padding
+/// semantics match the FP32 gather bit-for-bit.
+void gather_tile_group_u8(const InputTransformContext& ctx, const std::uint8_t* in,
+                          std::size_t tile, std::size_t chan_block, std::size_t group,
+                          float* d) {
+  const ConvDesc& desc = *ctx.desc;
+  const WinogradGeometry& geo = *ctx.geo;
+  const std::size_t alpha = geo.alpha;
+  const std::size_t b = tile / geo.tiles_per_image;
+  const std::size_t rem = tile % geo.tiles_per_image;
+  const std::size_t th = rem / geo.tiles_w;
+  const std::size_t tw = rem % geo.tiles_w;
+  const std::ptrdiff_t ih0 =
+      static_cast<std::ptrdiff_t>(th * geo.m) - static_cast<std::ptrdiff_t>(desc.pad);
+  const std::ptrdiff_t iw0 =
+      static_cast<std::ptrdiff_t>(tw * geo.m) - static_cast<std::ptrdiff_t>(desc.pad);
+  const float inv = ctx.in_dequant;
+
+  for (std::size_t i = 0; i < alpha; ++i) {
+    const std::ptrdiff_t ih = ih0 + static_cast<std::ptrdiff_t>(i);
+    if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(desc.height)) {
+      std::memset(d + i * alpha * 16, 0, alpha * 16 * sizeof(float));
+      continue;
+    }
+    for (std::size_t j = 0; j < alpha; ++j) {
+      const std::ptrdiff_t iw = iw0 + static_cast<std::ptrdiff_t>(j);
+      float* dst = d + (i * alpha + j) * 16;
+      if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(desc.width)) {
+        std::memset(dst, 0, 16 * sizeof(float));
+      } else {
+        const std::uint8_t* src =
+            in + ctx.in_layout.offset(b, chan_block, static_cast<std::size_t>(ih),
+                                      static_cast<std::size_t>(iw)) +
+            group * 16;
+        for (std::size_t l = 0; l < 16; ++l) {
+          dst[l] = static_cast<float>(static_cast<std::int32_t>(src[l]) - 128) * inv;
+        }
+      }
+    }
+  }
+}
+
 /// 2D transform of one gathered 16-lane group: V = B^T d B via a column pass
 /// followed by a row pass of the 1D codelet plan (Section 4.2.4: the same
 /// generated codelet is reused column-wise then row-wise).
@@ -91,12 +135,18 @@ void transform_tile_fp32(const InputTransformContext& ctx, std::span<const float
   }
 }
 
-void transform_quantize_tile(const InputTransformContext& ctx, const float* in_blocked,
+void transform_quantize_tile(const InputTransformContext& ctx, const void* in_blocked,
                              std::size_t tile, std::size_t chan_block,
                              const float* scale_of_t, InputTransformScratch& s) {
   const std::size_t t_elems = ctx.geo->t_elems;
   for (std::size_t g = 0; g < kPhi; ++g) {
-    gather_tile_group(ctx, in_blocked, tile, chan_block, g, s.d.data());
+    if (ctx.in_dtype == DType::kU8) {
+      gather_tile_group_u8(ctx, static_cast<const std::uint8_t*>(in_blocked), tile,
+                           chan_block, g, s.d.data());
+    } else {
+      gather_tile_group(ctx, static_cast<const float*>(in_blocked), tile, chan_block, g,
+                        s.d.data());
+    }
     transform_group(ctx, s);
     for (std::size_t t = 0; t < t_elems; ++t) {
       quantize16_u8(s.v.data() + t * 16, scale_of_t[t],
@@ -105,7 +155,7 @@ void transform_quantize_tile(const InputTransformContext& ctx, const float* in_b
   }
 }
 
-void run_input_transform(const InputTransformContext& ctx, std::span<const float> in_blocked,
+void run_input_transform(const InputTransformContext& ctx, const void* in_blocked,
                          const WinogradScales& scales, std::uint8_t* v, ThreadPool* pool) {
   const WinogradGeometry& geo = *ctx.geo;
   const std::size_t c_blocks64 = ctx.in_layout.chan_blocks;
@@ -130,7 +180,7 @@ void run_input_transform(const InputTransformContext& ctx, std::span<const float
     for (std::size_t job = range.begin; job < range.end; ++job) {
       const std::size_t tile = job / c_blocks64;
       const std::size_t cb = job % c_blocks64;
-      transform_quantize_tile(ctx, in_blocked.data(), tile, cb, scale_of_t, s);
+      transform_quantize_tile(ctx, in_blocked, tile, cb, scale_of_t, s);
       // Scatter complete cache lines into [N/Nblk][C/Cblk][T][Nblk][Cblk].
       for (std::size_t t = 0; t < t_elems; ++t) {
         std::uint8_t* dst = v + ctx.v_layout.offset(tile, t, cb * kChanBlock);

@@ -16,6 +16,7 @@
 #include "common/aligned_buffer.h"
 #include "lowino/scales.h"
 #include "tensor/conv_desc.h"
+#include "tensor/dtype.h"
 #include "tensor/layout.h"
 #include "winograd/codelet_plan.h"
 
@@ -54,12 +55,26 @@ struct InputTransformContext {
   /// built from the *canonical* F(2,3)/F(4,3) matrices — the codelets
   /// hard-code those coefficients (generated matrices differ in row signs).
   bool hand_codelets = false;
+  /// Element type of the blocked input. kU8 means the serving u8 hand-off:
+  /// the gather de-quantizes bytes on the fly as (q - 128) * in_dequant into
+  /// the FP32 tile (the zero-filled halo is unchanged — 128 de-quantizes to
+  /// exactly 0), and everything downstream is identical to the FP32 path.
+  DType in_dtype = DType::kF32;
+  float in_dequant = 1.0f;  ///< inv_scale of the u8 input hand-off
 };
 
-/// Transforms + quantizes the whole blocked input into `v`.
-void run_input_transform(const InputTransformContext& ctx, std::span<const float> in_blocked,
+/// Transforms + quantizes the whole blocked input into `v`. `in_blocked`
+/// points at ctx.in_dtype elements (FP32 floats or u8 hand-off bytes).
+void run_input_transform(const InputTransformContext& ctx, const void* in_blocked,
                          const WinogradScales& scales, std::uint8_t* v,
                          ThreadPool* pool = nullptr);
+
+inline void run_input_transform(const InputTransformContext& ctx,
+                                std::span<const float> in_blocked,
+                                const WinogradScales& scales, std::uint8_t* v,
+                                ThreadPool* pool = nullptr) {
+  run_input_transform(ctx, static_cast<const void*>(in_blocked.data()), scales, v, pool);
+}
 
 /// Block-level body shared by the staged and fused drivers: transforms one
 /// (tile, 64-channel-block) pair and quantizes it into `s.staging`
@@ -67,7 +82,7 @@ void run_input_transform(const InputTransformContext& ctx, std::span<const float
 /// per-position input scales (length T). The caller scatters the staging tile
 /// into its destination layout; the computation is identical either way, so
 /// the two drivers produce bit-identical V bytes.
-void transform_quantize_tile(const InputTransformContext& ctx, const float* in_blocked,
+void transform_quantize_tile(const InputTransformContext& ctx, const void* in_blocked,
                              std::size_t tile, std::size_t chan_block,
                              const float* scale_of_t, InputTransformScratch& s);
 

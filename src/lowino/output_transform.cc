@@ -13,7 +13,7 @@ namespace lowino {
 
 void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t* z_tile,
                            std::size_t tile, std::size_t kb, const WinogradScales& scales,
-                           OutputTransformScratch& s, float* out_blocked) {
+                           OutputTransformScratch& s, void* out_blocked) {
   const ConvDesc& desc = *ctx.desc;
   const WinogradGeometry& geo = *ctx.geo;
   const std::size_t alpha = geo.alpha;
@@ -60,24 +60,64 @@ void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t
     // such lanes, so they take the sum-free path (their values never reach the
     // unpacked output anyway).
     const std::size_t out_k = desc.out_channels;
+    const bool has_sum = ctx.sum_nchw != nullptr || ctx.sum_u8_nchw != nullptr;
     const std::size_t sum_lanes =
-        ctx.sum_nchw != nullptr && out_k > k_base
-            ? std::min<std::size_t>(16, out_k - k_base)
-            : 0;
+        has_sum && out_k > k_base ? std::min<std::size_t>(16, out_k - k_base) : 0;
     const std::size_t plane = desc.out_height() * desc.out_width();
-    const float* res_group =
-        sum_lanes > 0 ? ctx.sum_nchw + (b * out_k + k_base) * plane : nullptr;
+    const float* res_group = ctx.sum_nchw != nullptr && sum_lanes > 0
+                                 ? ctx.sum_nchw + (b * out_k + k_base) * plane
+                                 : nullptr;
+    const std::uint8_t* res8_group = ctx.sum_u8_nchw != nullptr && sum_lanes > 0
+                                         ? ctx.sum_u8_nchw + (b * out_k + k_base) * plane
+                                         : nullptr;
+
+    if (ctx.out_dtype == DType::kU8) {
+      // Requant epilogue: bias -> sum -> relu in FP32 registers, then the
+      // same quantize16_u8 kernel as the input transform stores the bytes.
+      // Channel-padding lanes (>= out_k) are requantized too — they never
+      // reach the unpacked NCHW output.
+      std::uint8_t* out8 = static_cast<std::uint8_t*>(out_blocked);
+      alignas(64) float vbuf[16];
+      for (std::size_t i = 0; i < valid_h; ++i) {
+        for (std::size_t j = 0; j < valid_w; ++j) {
+          const float* y = s.ybuf.data() + (i * m + j) * 16;
+          std::uint8_t* dst =
+              out8 + ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
+          const std::size_t pix = (oh0 + i) * desc.out_width() + (ow0 + j);
+          for (std::size_t l = 0; l < 16; ++l) {
+            float v = bias16 != nullptr ? y[l] + bias16[l] : y[l];
+            if (l < sum_lanes) {
+              v += res_group != nullptr
+                       ? res_group[pix + l * plane]
+                       : static_cast<float>(
+                             static_cast<std::int32_t>(res8_group[pix + l * plane]) - 128) *
+                             ctx.sum_u8_dequant;
+            }
+            vbuf[l] = ctx.relu ? std::max(0.0f, v) : v;
+          }
+          quantize16_u8(vbuf, ctx.requant_scale, dst);
+        }
+      }
+      continue;
+    }
+
+    float* outf = static_cast<float*>(out_blocked);
     for (std::size_t i = 0; i < valid_h; ++i) {
       for (std::size_t j = 0; j < valid_w; ++j) {
         const float* y = s.ybuf.data() + (i * m + j) * 16;
-        float* dst = out_blocked + ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
+        float* dst = outf + ctx.out_layout.offset(b, kb, oh0 + i, ow0 + j) + g * 16;
         if (sum_lanes > 0) {
           // Plane-strided residual gather: lane l of this pixel lives at
           // channel k_base + l of the NCHW residual image.
-          const float* res = res_group + (oh0 + i) * desc.out_width() + (ow0 + j);
+          const std::size_t pix = (oh0 + i) * desc.out_width() + (ow0 + j);
+          const float* res = res_group != nullptr ? res_group + pix : nullptr;
+          const std::uint8_t* res8 = res8_group != nullptr ? res8_group + pix : nullptr;
           for (std::size_t l = 0; l < sum_lanes; ++l) {
             float v = bias16 != nullptr ? y[l] + bias16[l] : y[l];
-            v += res[l * plane];
+            v += res != nullptr
+                     ? res[l * plane]
+                     : static_cast<float>(static_cast<std::int32_t>(res8[l * plane]) - 128) *
+                           ctx.sum_u8_dequant;
             dst[l] = ctx.relu ? std::max(0.0f, v) : v;
           }
           for (std::size_t l = sum_lanes; l < 16; ++l) {
@@ -99,7 +139,7 @@ void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t
 }
 
 void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
-                          const WinogradScales& scales, std::span<float> out_blocked,
+                          const WinogradScales& scales, void* out_blocked,
                           ThreadPool* pool) {
   const WinogradGeometry& geo = *ctx.geo;
   const std::size_t k_blocks64 = ctx.out_layout.chan_blocks;
@@ -115,7 +155,7 @@ void run_output_transform(const OutputTransformContext& ctx, const std::int32_t*
       const std::size_t tile = job / k_blocks64;
       const std::size_t kb = job % k_blocks64;
       const std::int32_t* z_tile = z + ctx.z_layout.offset(tile, 0, kb * kChanBlock);
-      output_transform_tile(ctx, z_tile, tile, kb, scales, s, out_blocked.data());
+      output_transform_tile(ctx, z_tile, tile, kb, scales, s, out_blocked);
     }
   };
 

@@ -16,6 +16,7 @@
 #include "lowino/engine_config.h"
 #include "lowino/scales.h"
 #include "tensor/conv_desc.h"
+#include "tensor/dtype.h"
 #include "tensor/layout.h"
 #include "winograd/codelet_plan.h"
 
@@ -57,11 +58,29 @@ struct OutputTransformContext {
   const float* sum_nchw = nullptr;
   /// See InputTransformContext::hand_codelets.
   bool hand_codelets = false;
+  /// Element type of the blocked output. kU8 appends the requant stage to the
+  /// epilogue — q = saturate_u8(round_ne(requant_scale * v) + 128) — AFTER
+  /// bias, sum and ReLU, i.e. the epilogue order is bias -> sum -> relu ->
+  /// requant (DESIGN.md decision 13). The FP32 store path is untouched.
+  DType out_dtype = DType::kF32;
+  float requant_scale = 1.0f;
+  /// u8 residual for the fused "+sum" epilogue (serving hand-off), or
+  /// nullptr. Same NCHW walk as sum_nchw; bytes de-quantize on the fly as
+  /// (q - 128) * sum_u8_dequant. At most one of sum_nchw / sum_u8_nchw.
+  const std::uint8_t* sum_u8_nchw = nullptr;
+  float sum_u8_dequant = 1.0f;
 };
 
+/// `out_blocked` points at ctx.out_dtype elements (FP32 or u8 hand-off bytes).
 void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
-                          const WinogradScales& scales, std::span<float> out_blocked,
+                          const WinogradScales& scales, void* out_blocked,
                           ThreadPool* pool = nullptr);
+
+inline void run_output_transform(const OutputTransformContext& ctx, const std::int32_t* z,
+                                 const WinogradScales& scales, std::span<float> out_blocked,
+                                 ThreadPool* pool = nullptr) {
+  run_output_transform(ctx, z, scales, static_cast<void*>(out_blocked.data()), pool);
+}
 
 /// Block-level body shared by the staged and fused drivers: de-quantizes one
 /// tile's T x 64 INT32 block (`z_tile`, contiguous position-major as produced
@@ -71,6 +90,6 @@ void run_output_transform(const OutputTransformContext& ctx, const std::int32_t*
 /// float operation sequence in both drivers => bit-identical outputs.
 void output_transform_tile(const OutputTransformContext& ctx, const std::int32_t* z_tile,
                            std::size_t tile, std::size_t kb, const WinogradScales& scales,
-                           OutputTransformScratch& s, float* out_blocked);
+                           OutputTransformScratch& s, void* out_blocked);
 
 }  // namespace lowino

@@ -118,6 +118,20 @@ bool engine_supports_post_ops(EngineKind kind) {
 
 bool post_op_fusion_enabled() { return config_flag("LOWINO_FUSE_POSTOPS", true); }
 
+bool engine_supports_u8_handoff(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kInt8Direct:
+    case EngineKind::kLoWinoF2:
+    case EngineKind::kLoWinoF4:
+    case EngineKind::kLoWinoF6:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool u8_handoff_enabled() { return config_flag("LOWINO_U8_HANDOFF", true); }
+
 // ---------------------------------------------------------------------------
 // Lifecycle state machine (the non-virtual public API).
 
@@ -193,6 +207,63 @@ void ConvEngine::do_run_post(std::span<const float>, std::span<float>, ThreadPoo
          "the capability table and the engine wrapper disagree");
 }
 
+void ConvEngine::set_input_u8(const QuantParams& qp) {
+  if (!supports_u8_handoff()) {
+    misuse("set_input_u8() on an engine without u8 hand-off support — check "
+           "supports_u8_handoff() before configuring dtypes");
+  }
+  if (state_ == Lifecycle::kCalibrating) {
+    misuse("set_input_u8() before finalize_calibration() — the hand-off "
+           "quantization composes with the engine's calibrated scales");
+  }
+  do_set_input_u8(qp);
+  in_dtype_ = DType::kU8;
+}
+
+void ConvEngine::set_output_u8(const QuantParams& qp) {
+  if (!supports_u8_handoff()) {
+    misuse("set_output_u8() on an engine without u8 hand-off support — check "
+           "supports_u8_handoff() before configuring dtypes");
+  }
+  if (state_ == Lifecycle::kCalibrating) {
+    misuse("set_output_u8() before finalize_calibration() — the hand-off "
+           "quantization composes with the engine's calibrated scales");
+  }
+  do_set_output_u8(qp);
+  out_dtype_ = DType::kU8;
+}
+
+void ConvEngine::run_typed(const void* input, void* output, ThreadPool* pool,
+                           const PostOps& post) {
+  if (state_ != Lifecycle::kReady) {
+    misuse("run_typed() before set_filters()");
+  }
+  if (!supports_u8_handoff()) {
+    misuse("run_typed() on an engine without u8 hand-off support — use the "
+           "span-typed run() instead");
+  }
+  if (!post.none() && !supports_post_ops()) {
+    misuse("run_typed() with a fused PostOps epilogue on an engine that does "
+           "not support post-ops");
+  }
+  do_run_typed(input, output, pool, post);
+}
+
+void ConvEngine::do_set_input_u8(const QuantParams&) {
+  misuse("do_set_input_u8() not implemented despite engine_supports_u8_handoff() "
+         "— the capability table and the engine wrapper disagree");
+}
+
+void ConvEngine::do_set_output_u8(const QuantParams&) {
+  misuse("do_set_output_u8() not implemented despite engine_supports_u8_handoff() "
+         "— the capability table and the engine wrapper disagree");
+}
+
+void ConvEngine::do_run_typed(const void*, void*, ThreadPool*, const PostOps&) {
+  misuse("do_run_typed() not implemented despite engine_supports_u8_handoff() — "
+         "the capability table and the engine wrapper disagree");
+}
+
 namespace {
 
 /// CRTP-free small wrappers; each translates the protected do_* interface
@@ -260,6 +331,12 @@ class Int8DirectEngine final : public ConvEngine {
                    const PostOps& post) override {
     conv_.execute_nchw(in, out, pool, post);
   }
+  void do_set_input_u8(const QuantParams& qp) override { conv_.set_input_u8(qp); }
+  void do_set_output_u8(const QuantParams& qp) override { conv_.set_output_u8(qp); }
+  void do_run_typed(const void* in, void* out, ThreadPool* pool,
+                    const PostOps& post) override {
+    conv_.execute_typed(in, out, pool, post);
+  }
 
  private:
   Int8DirectConv conv_;
@@ -288,6 +365,12 @@ class LoWinoEngine final : public ConvEngine {
   void do_run_post(std::span<const float> in, std::span<float> out, ThreadPool* pool,
                    const PostOps& post) override {
     conv_.execute_nchw(in, out, pool, post);
+  }
+  void do_set_input_u8(const QuantParams& qp) override { conv_.set_input_u8(qp); }
+  void do_set_output_u8(const QuantParams& qp) override { conv_.set_output_u8(qp); }
+  void do_run_typed(const void* in, void* out, ThreadPool* pool,
+                    const PostOps& post) override {
+    conv_.execute_nchw_typed(in, out, pool, post);
   }
 
  private:

@@ -9,7 +9,9 @@
 #include <string>
 #include <string_view>
 
+#include "quant/quantize.h"
 #include "tensor/conv_desc.h"
+#include "tensor/dtype.h"
 #include "tensor/post_ops.h"
 
 namespace lowino {
@@ -62,6 +64,21 @@ bool engine_supports_post_ops(EngineKind kind);
 /// separate element-wise bias/ReLU/sum passes — the A/B lever for measuring
 /// the fusion win.
 bool post_op_fusion_enabled();
+
+/// True when `kind` can take part in the serving u8 activation hand-off:
+/// accept pre-quantized u8 input (set_input_u8), emit requantized u8 output
+/// (set_output_u8), and read a u8 fused residual. The INT8 direct engine and
+/// the LoWino family qualify; everything else (including the FP32 engines,
+/// whose arithmetic has no quantized form) declines. Static companion of
+/// ConvEngine::supports_u8_handoff() so planners can ask before construction.
+bool engine_supports_u8_handoff(EngineKind kind);
+
+/// The LOWINO_U8_HANDOFF kill-switch (env or RuntimeConfig override, default
+/// on). When off, the session compiler assigns FP32 to every activation edge
+/// and replayed plans ignore their recorded dtype tokens — the A/B lever for
+/// measuring the hand-off win, and the escape hatch if a deployment ever
+/// needs bit-exact FP32 inter-layer semantics back.
+bool u8_handoff_enabled();
 
 /// Below this many Winograd tiles, calibration samples every tile: a strided
 /// sweep over e.g. a 4-tile CIFAR tail would feed the KL histograms from a
@@ -119,6 +136,29 @@ class ConvEngine {
   /// See engine_supports_post_ops().
   bool supports_post_ops() const { return engine_supports_post_ops(kind()); }
 
+  /// See engine_supports_u8_handoff().
+  bool supports_u8_handoff() const { return engine_supports_u8_handoff(kind()); }
+
+  /// Configures the u8 activation hand-off (tensor/dtype.h). set_input_u8
+  /// declares that run_typed() will receive pre-quantized u8 input bytes
+  /// (q = round_ne(qp.scale * x) + 128); set_output_u8 that it must emit
+  /// requantized u8 output with qp.scale. Legal only on engines whose
+  /// supports_u8_handoff() is true and only after finalize_calibration()
+  /// (the hand-off composes with — or replaces — the engine's own calibrated
+  /// input quantization); misuse throws std::logic_error.
+  void set_input_u8(const QuantParams& qp);
+  void set_output_u8(const QuantParams& qp);
+  DType input_dtype() const { return in_dtype_; }
+  DType output_dtype() const { return out_dtype_; }
+
+  /// Runs honoring the configured hand-off dtypes: `input`/`output` point at
+  /// input_dtype()/output_dtype() elements. With both dtypes FP32 and no
+  /// post.sum_u8 this computes exactly what run() computes. Only legal on
+  /// engines whose supports_u8_handoff() is true — FP32-only engines keep the
+  /// span-typed run() as their sole entry point.
+  void run_typed(const void* input, void* output, ThreadPool* pool,
+                 const PostOps& post = {});
+
   Lifecycle lifecycle() const { return state_; }
   virtual EngineKind kind() const = 0;
 
@@ -133,12 +173,20 @@ class ConvEngine {
   /// default (for declining engines) is unreachable through the public run().
   virtual void do_run_post(std::span<const float> input, std::span<float> output,
                            ThreadPool* pool, const PostOps& post);
+  /// Only dispatched when supports_u8_handoff(); the defaults throw — a
+  /// capable wrapper must implement all three.
+  virtual void do_set_input_u8(const QuantParams& qp);
+  virtual void do_set_output_u8(const QuantParams& qp);
+  virtual void do_run_typed(const void* input, void* output, ThreadPool* pool,
+                            const PostOps& post);
 
  private:
   [[noreturn]] void misuse(const char* what) const;
 
   Lifecycle state_ = Lifecycle::kCalibrating;
   bool saw_calibration_ = false;
+  DType in_dtype_ = DType::kF32;
+  DType out_dtype_ = DType::kF32;
 };
 
 /// Factory. Throws std::invalid_argument for incompatible (kind, desc) pairs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace lowino {
 
@@ -11,6 +12,11 @@ void Histogram::collect(std::span<const float> values) {
   if (bin_width_ == 0.0f) {
     if (batch_max == 0.0f) return;  // defer range selection until real data arrives
     bin_width_ = 1.25f * batch_max / static_cast<float>(counts_.size());
+    // A sub-normal batch_max (u8-ReLU layers can emit near-degenerate
+    // tensors) underflows the division to a sub-normal width whose inverse
+    // below is +inf — and size_t(inf) is UB. Floor at the smallest normal
+    // float; everything still lands in bin 0, which is what KL wants here.
+    bin_width_ = std::max(bin_width_, std::numeric_limits<float>::min());
   }
   // Grow the range by doubling the bin width (merging bins pairwise) until
   // the batch maximum fits. Keeps the histogram batching-order independent.

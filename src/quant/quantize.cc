@@ -11,7 +11,11 @@ QuantParams QuantParams::from_threshold(float tau, int bits) {
   // Degenerate all-zero tensors calibrate to tau == 0; scale 1 keeps them
   // exactly representable (everything quantizes to 0).
   const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
-  const float scale = tau > 0.0f ? qmax / tau : 1.0f;
+  float scale = tau > 0.0f ? qmax / tau : 1.0f;
+  // Sub-normal tau (e.g. a tensor whose only non-zero is ~1e-40) overflows
+  // qmax/tau to +inf, whose inverse is 0 and whose products are NaN. Treat it
+  // like the all-zero case: scale 1 quantizes the (negligible) values to 0.
+  if (!std::isfinite(scale)) scale = 1.0f;
   return from_scale(scale);
 }
 
@@ -48,6 +52,14 @@ void dequantize_i32(std::span<const std::int32_t> src, float inv_scale, std::spa
   assert(dst.size() >= src.size());
   for (std::size_t i = 0; i < src.size(); ++i) {
     dst[i] = static_cast<float>(src[i]) * inv_scale;
+  }
+}
+
+void dequantize_u8_shift128(std::span<const std::uint8_t> src, float inv_scale,
+                            std::span<float> dst) {
+  assert(dst.size() >= src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(static_cast<std::int32_t>(src[i]) - 128) * inv_scale;
   }
 }
 

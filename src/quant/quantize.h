@@ -34,6 +34,12 @@ void quantize_u8_shift128(std::span<const float> src, float scale,
 /// De-quantizes INT32 accumulator values: dst = src * inv_scale.
 void dequantize_i32(std::span<const std::int32_t> src, float inv_scale, std::span<float> dst);
 
+/// De-quantizes UINT8 values carrying the +128 zero-point shift (the u8
+/// activation hand-off encoding): dst = (src - 128) * inv_scale. Inverse of
+/// quantize_u8_shift128 up to the rounding step.
+void dequantize_u8_shift128(std::span<const std::uint8_t> src, float inv_scale,
+                            std::span<float> dst);
+
 /// Round-trip quantization error measures (testing / Figure 9 utilities).
 struct QuantError {
   double mse = 0.0;

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "tensor/dtype.h"
+
 namespace lowino {
 
 /// One value to place: `bytes` of storage, live over the inclusive step
@@ -35,6 +37,16 @@ struct ArenaPlan {
 /// Alignment of every planned offset (cache line, and what AlignedBuffer
 /// guarantees for the arena base — so every value pointer is 64B-aligned).
 inline constexpr std::size_t kArenaAlignment = 64;
+
+/// True when two values may share one arena slot in place (the fused-residual
+/// alias: the consumer reads every residual element before overwriting it).
+/// The byte footprints must match exactly — equal element counts with mixed
+/// element widths (e.g. a u8 residual aliased by an FP32 output) would let
+/// the wider value overrun the narrower slot.
+inline bool arena_slots_compatible(std::size_t elems_a, DType dtype_a, std::size_t elems_b,
+                                   DType dtype_b) {
+  return elems_a * dtype_bytes(dtype_a) == elems_b * dtype_bytes(dtype_b);
+}
 
 /// Plans offsets greedily: requests are placed largest-first, each at the
 /// lowest 64B-aligned offset where it fits below, between or above the

@@ -10,6 +10,8 @@
 #include "gemm/fp32_gemm.h"
 #include "parallel/thread_pool.h"
 #include "profile/profiler.h"
+#include "quant/calibration.h"
+#include "quant/histogram.h"
 #include "quant/quantize.h"
 
 namespace lowino {
@@ -51,6 +53,21 @@ bool parse_post_token(const std::string& field, bool& fuse_relu, bool& fuse_sum)
   return false;
 }
 
+/// Parses a "dtype=<in>:<out>" conv-line field. False on anything malformed
+/// (missing colon, unknown dtype token, trailing garbage after the pair).
+bool parse_dtype_token(const std::string& field, DType& in_dtype, DType& out_dtype) {
+  if (field.rfind("dtype=", 0) != 0) return false;
+  const std::string tok = field.substr(6);
+  const std::size_t colon = tok.find(':');
+  if (colon == std::string::npos) return false;
+  const std::optional<DType> in = dtype_from_string(tok.substr(0, colon));
+  const std::optional<DType> out = dtype_from_string(tok.substr(colon + 1));
+  if (!in || !out) return false;
+  in_dtype = *in;
+  out_dtype = *out;
+  return true;
+}
+
 std::string plan_wisdom_key(const std::string& desc_str, bool fuse_relu, bool fuse_sum) {
   std::string key = "plan-engine " + desc_str;
   // Fused and unfused instances of the same shape are different planning
@@ -67,6 +84,45 @@ std::string plan_wisdom_key(const std::string& desc_str, bool fuse_relu, bool fu
 /// +inf dB, which would not round-trip through the text format.
 double clamp_snr(double snr_db) { return std::min(snr_db, 999.0); }
 
+/// Hand-off quantization for one u8 activation edge, chosen deterministically
+/// from the plan-time FP32 reference tensor: the KL-calibrated scale first,
+/// falling back to the plain abs-max scale when KL over-clips below the
+/// envelope. `met` reports whether the chosen scale reaches `min_snr_db` —
+/// compile demotes the edge to FP32 on a miss; replay keeps the plan's
+/// recorded dtype (the procedure is deterministic for a given calibration
+/// input, so a replayed session is bit-identical to the session it came from).
+struct EdgeCalib {
+  QuantParams qp;
+  double snr_db = 0.0;
+  bool met = false;
+};
+
+EdgeCalib calibrate_edge(std::span<const float> ref, double min_snr_db) {
+  Histogram hist;
+  hist.collect(ref);
+  std::vector<std::uint8_t> q(ref.size());
+  std::vector<float> dq(ref.size());
+  const auto snr_of = [&](const QuantParams& qp) {
+    quantize_u8_shift128(ref, qp.scale, q);
+    dequantize_u8_shift128(q, qp.inv_scale, dq);
+    return clamp_snr(quantization_error(ref, dq).signal_to_noise_db);
+  };
+  EdgeCalib ec;
+  ec.qp = calibrate_params(hist);
+  ec.snr_db = snr_of(ec.qp);
+  ec.met = ec.snr_db >= min_snr_db;
+  if (!ec.met) {
+    const QuantParams full = QuantParams::from_threshold(hist.max_abs_seen());
+    const double full_snr = snr_of(full);
+    if (full_snr > ec.snr_db) {
+      ec.qp = full;
+      ec.snr_db = full_snr;
+      ec.met = full_snr >= min_snr_db;
+    }
+  }
+  return ec;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -76,6 +132,7 @@ std::string SessionPlan::summary() const {
   std::ostringstream os;
   os << "inference session plan: batch " << batch << ", " << convs.size()
      << " planned convolution(s)\n";
+  std::size_t u8_edges = 0;
   for (const ConvChoice& c : convs) {
     os << "  op " << c.op_index << ": " << engine_token(c.engine) << "  " << c.layer << " ["
        << c.desc << "]  snr " << c.snr_db << " dB";
@@ -83,9 +140,14 @@ std::string SessionPlan::summary() const {
     if (c.fuse_relu || c.fuse_sum) {
       os << "  (fused " << post_ops_token(c.fuse_relu, c.fuse_sum) << ')';
     }
+    if (c.in_dtype != DType::kF32 || c.out_dtype != DType::kF32) {
+      os << "  (dtype " << dtype_token(c.in_dtype) << ':' << dtype_token(c.out_dtype) << ')';
+      u8_edges += (c.in_dtype == DType::kU8 ? 1 : 0) + (c.out_dtype == DType::kU8 ? 1 : 0);
+    }
     if (!c.met_envelope) os << "  (below accuracy envelope; best-effort pick)";
     os << '\n';
   }
+  if (u8_edges > 0) os << "  u8 hand-off: " << u8_edges << " conv edge(s)\n";
   const double saved =
       naive_bytes == 0
           ? 0.0
@@ -97,8 +159,8 @@ std::string SessionPlan::summary() const {
 
 std::string SessionPlan::serialize() const {
   std::ostringstream os;
-  os << "# lowino-plan v2: conv = op_index engine snr_db seconds met [post=ops] | layer | "
-        "desc\n";
+  os << "# lowino-plan v3: conv = op_index engine snr_db seconds met [post=ops] "
+        "[dtype=in:out] | layer | desc\n";
   os.precision(9);
   os << "batch = " << batch << '\n';
   os << "arena = " << arena_bytes << '\n';
@@ -109,6 +171,10 @@ std::string SessionPlan::serialize() const {
     // Unfused lines omit the token and stay byte-identical to the v1 format.
     if (c.fuse_relu || c.fuse_sum) {
       os << " post=" << post_ops_token(c.fuse_relu, c.fuse_sum);
+    }
+    // All-FP32 lines omit the dtype token and stay v2-byte-identical.
+    if (c.in_dtype != DType::kF32 || c.out_dtype != DType::kF32) {
+      os << " dtype=" << dtype_token(c.in_dtype) << ':' << dtype_token(c.out_dtype);
     }
     os << " | " << c.layer << " | " << c.desc << '\n';
   }
@@ -148,11 +214,18 @@ std::optional<SessionPlan> SessionPlan::deserialize(const std::string& text) {
           (met != 0 && met != 1)) {
         return std::nullopt;
       }
-      // Optional v2 "post=" token; anything else trailing is corruption.
-      std::string post_field;
-      if (head >> post_field) {
-        if (!parse_post_token(post_field, c.fuse_relu, c.fuse_sum) || (head >> extra)) {
-          return std::nullopt;
+      // Optional v2 "post=" token, then optional v3 "dtype=" token (in that
+      // order); anything else trailing is corruption.
+      std::string field;
+      if (head >> field) {
+        if (field.rfind("post=", 0) == 0) {
+          if (!parse_post_token(field, c.fuse_relu, c.fuse_sum)) return std::nullopt;
+          if (!(head >> field)) field.clear();
+        }
+        if (!field.empty()) {
+          if (!parse_dtype_token(field, c.in_dtype, c.out_dtype) || (head >> extra)) {
+            return std::nullopt;
+          }
         }
       }
       const std::optional<EngineKind> kind = engine_kind_from_string(token);
@@ -404,35 +477,6 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     }
   }
 
-  // -- In-place residual reuse: a fused conv's output shares its residual's
-  // -- arena slot when the conv is the residual's final consumer. Safe for
-  // -- every post-op-capable engine: the direct engines read each residual
-  // -- element in the same scalar iteration that overwrites it, and the
-  // -- Winograd engines read the residual inside the output transform, with
-  // -- the fork-join barrier before the blocked->NCHW unpack that writes the
-  // -- buffer. This is what turns fusion into an arena *peak* win — the
-  // -- residual pattern otherwise needs conv-input, residual and output live
-  // -- at once, fused or not. -----------------------------------------------
-  std::vector<std::pair<std::size_t, std::size_t>> alias_pairs;  // (out, slot root)
-  std::vector<bool> value_aliased(s.values_.size(), false);
-  {
-    std::vector<std::size_t> slot_root(s.values_.size());
-    for (std::size_t v = 0; v < slot_root.size(); ++v) slot_root[v] = v;
-    for (std::size_t step = 0; step < s.ops_.size(); ++step) {
-      const Op& op = s.ops_[step];
-      if (!op.fuse_sum) continue;
-      const std::size_t res = op.in1, out = op.out;
-      if (s.values_[res].external || s.values_[out].external) continue;
-      if (res == op.in0 || s.values_[res].elems != s.values_[out].elems) continue;
-      if (s.values_[res].last_use != step) continue;  // residual read again later
-      const std::size_t root = slot_root[res];
-      slot_root[out] = root;
-      value_aliased[out] = true;
-      s.values_[root].last_use = std::max(s.values_[root].last_use, s.values_[out].last_use);
-      alias_pairs.emplace_back(out, root);
-    }
-  }
-
   // -- Plan-time FP32 pass: capture every conv's input distribution and -----
   // -- reference output (the accuracy envelope's ground truth). -------------
   std::vector<Tensor<float>> vals(s.values_.size());
@@ -616,25 +660,234 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
     lower_fail("reused plan has more convolutions than the model");
   }
 
-  // -- Arena planning over the non-external values. -------------------------
+  // -- Type-assignment pass: pick the u8 activation hand-off per edge. ------
+  // Fixpoint over the value graph: a value is a u8 candidate when its
+  // producer can emit u8 (a hand-off-capable conv engine, or a ReLU/maxpool
+  // whose own input is u8 — both passthroughs are exact on the +128 encoding
+  // because quantization is monotone with q(0) = 128) and every consumer can
+  // read u8 (a capable conv's input or fused residual, or a coupled
+  // passthrough). Each surviving conv-output edge is then KL-calibrated
+  // against the plan-time FP32 reference and must meet the same
+  // options.min_snr_db envelope as engine selection; a miss demotes the edge
+  // to FP32 and re-runs the fixpoint (demotion cascades through passthrough
+  // coupling). Passthrough outputs inherit their input's QuantParams, so a
+  // whole passthrough segment shares one scale and the byte-domain
+  // ReLU/maxpool stay exact. Replay skips the SNR gate: the plan's recorded
+  // dtype tokens are authoritative and only validated for structural
+  // consistency. See DESIGN.md decision 13.
+  const bool replay_dtypes = options.reuse != nullptr && !options.forced_engine;
+  if (u8_handoff_enabled()) {
+    std::vector<char> want(s.values_.size(), 0);
+    if (replay_dtypes) {
+      // Reconstruct from the plan: conv outputs take their recorded token;
+      // passthrough outputs inherit (ops are in topological order).
+      std::size_t ordinal = 0;
+      for (const Op& op : s.ops_) {
+        if (op.kind == Op::Kind::kConvEngine) {
+          if (options.reuse->convs[ordinal++].out_dtype == DType::kU8) want[op.out] = 1;
+        } else if (op.kind == Op::Kind::kRelu || op.kind == Op::Kind::kMaxPool) {
+          want[op.out] = want[op.in0];
+        }
+      }
+      if (want[s.output_value_] != 0) {
+        lower_fail("reused plan assigns u8 to the external output value");
+      }
+      // Validate: recorded input dtypes match the reconstruction and u8
+      // edges only touch hand-off-capable consumers.
+      ordinal = 0;
+      for (const Op& op : s.ops_) {
+        const bool u8_in = want[op.in0] != 0;
+        const bool u8_res = op.fuse_sum && want[op.in1] != 0;
+        switch (op.kind) {
+          case Op::Kind::kConvEngine: {
+            const SessionPlan::ConvChoice& rc = options.reuse->convs[ordinal++];
+            if (rc.in_dtype != (u8_in ? DType::kU8 : DType::kF32)) {
+              lower_fail("reused plan dtype mismatch at " + op.label);
+            }
+            if ((u8_in || want[op.out] != 0 || u8_res) && !op.engine->supports_u8_handoff()) {
+              lower_fail("reused plan assigns u8 hand-off to incapable engine " +
+                         std::string(engine_token(rc.engine)) + " at " + op.label);
+            }
+            break;
+          }
+          case Op::Kind::kConvFp32:
+            if (u8_in || u8_res) lower_fail("reused plan feeds u8 to an FP32 conv");
+            break;
+          case Op::Kind::kDense:
+            if (u8_in) lower_fail("reused plan feeds u8 to a dense layer");
+            break;
+          case Op::Kind::kAddRelu:
+            if (u8_in || want[op.in1] != 0) {
+              lower_fail("reused plan feeds u8 to an unfused add");
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      // Hand-off scales re-derive deterministically from the calibration
+      // input (same procedure as compile, gate outcome ignored), so a
+      // replayed session is bit-identical to the one that produced the plan.
+      for (const Op& op : s.ops_) {
+        if (op.kind == Op::Kind::kConvEngine && want[op.out] != 0) {
+          s.values_[op.out].qp = calibrate_edge(vals[op.out].span(), options.min_snr_db).qp;
+        }
+      }
+    } else {
+      // Seed: capable conv outputs, plus passthrough outputs (conditional on
+      // their input — the fixpoint resolves the coupling).
+      for (const Op& op : s.ops_) {
+        if (s.values_[op.out].external) continue;
+        if (op.kind == Op::Kind::kConvEngine && op.engine->supports_u8_handoff()) {
+          want[op.out] = 1;
+        } else if (op.kind == Op::Kind::kRelu || op.kind == Op::Kind::kMaxPool) {
+          want[op.out] = 1;
+        }
+      }
+      const auto run_fixpoint = [&] {
+        bool changed = true;
+        const auto demote = [&](std::size_t v) {
+          if (want[v] != 0) {
+            want[v] = 0;
+            changed = true;
+          }
+        };
+        while (changed) {
+          changed = false;
+          for (const Op& op : s.ops_) {
+            switch (op.kind) {
+              case Op::Kind::kConvEngine:
+                if (!op.engine->supports_u8_handoff()) {
+                  demote(op.in0);
+                  if (op.fuse_sum) demote(op.in1);
+                }
+                break;
+              case Op::Kind::kConvFp32:
+                demote(op.in0);
+                if (op.fuse_sum) demote(op.in1);
+                break;
+              case Op::Kind::kRelu:
+              case Op::Kind::kMaxPool:
+                // Byte-domain passthrough is all-or-nothing: input and
+                // output share the dtype (and the scale).
+                if (want[op.in0] != want[op.out]) {
+                  demote(op.in0);
+                  demote(op.out);
+                }
+                break;
+              case Op::Kind::kDense:
+                demote(op.in0);
+                break;
+              case Op::Kind::kAddRelu:
+                demote(op.in0);
+                demote(op.in1);
+                break;
+            }
+          }
+        }
+      };
+      // SNR-gate each surviving conv-output edge; a demotion re-runs the
+      // fixpoint (monotone, so this terminates).
+      std::vector<char> gated(s.values_.size(), 0);
+      bool stable = false;
+      while (!stable) {
+        run_fixpoint();
+        stable = true;
+        for (const Op& op : s.ops_) {
+          if (op.kind != Op::Kind::kConvEngine || want[op.out] == 0 || gated[op.out] != 0) {
+            continue;
+          }
+          const EdgeCalib ec = calibrate_edge(vals[op.out].span(), options.min_snr_db);
+          if (!ec.met) {
+            want[op.out] = 0;
+            stable = false;
+            break;
+          }
+          gated[op.out] = 1;
+          s.values_[op.out].qp = ec.qp;
+        }
+      }
+    }
+    // Commit: value dtypes, passthrough scale propagation (topological, so a
+    // consumer conv always reads a finalized qp), engine configuration, plan
+    // record.
+    for (std::size_t v = 0; v < s.values_.size(); ++v) {
+      if (want[v] != 0) s.values_[v].dtype = DType::kU8;
+    }
+    std::size_t ordinal = 0;
+    for (Op& op : s.ops_) {
+      if (op.kind == Op::Kind::kRelu || op.kind == Op::Kind::kMaxPool) {
+        if (want[op.out] != 0) s.values_[op.out].qp = s.values_[op.in0].qp;
+        continue;
+      }
+      if (op.kind != Op::Kind::kConvEngine) continue;
+      SessionPlan::ConvChoice& choice = s.plan_.convs[ordinal++];
+      if (want[op.in0] != 0) {
+        op.engine->set_input_u8(s.values_[op.in0].qp);
+        choice.in_dtype = DType::kU8;
+      }
+      if (want[op.out] != 0) {
+        op.engine->set_output_u8(s.values_[op.out].qp);
+        choice.out_dtype = DType::kU8;
+      }
+    }
+  }
+
+  // -- In-place residual reuse: a fused conv's output shares its residual's
+  // -- arena slot when the conv is the residual's final consumer. Safe for
+  // -- every post-op-capable engine: the direct engines read each residual
+  // -- element in the same scalar iteration that overwrites it, and the
+  // -- Winograd engines read the residual inside the output transform, with
+  // -- the fork-join barrier before the blocked->NCHW unpack that writes the
+  // -- buffer. This is what turns fusion into an arena *peak* win — the
+  // -- residual pattern otherwise needs conv-input, residual and output live
+  // -- at once, fused or not. Sharing requires equal byte footprints
+  // -- (arena_slots_compatible): with mixed u8/FP32 dtypes an equal element
+  // -- count no longer implies equal size, and an FP32 output aliasing a u8
+  // -- residual's slot would overrun it. ------------------------------------
+  std::vector<std::pair<std::size_t, std::size_t>> alias_pairs;  // (out, slot root)
+  std::vector<bool> value_aliased(s.values_.size(), false);
+  {
+    std::vector<std::size_t> slot_root(s.values_.size());
+    for (std::size_t v = 0; v < slot_root.size(); ++v) slot_root[v] = v;
+    for (std::size_t step = 0; step < s.ops_.size(); ++step) {
+      const Op& op = s.ops_[step];
+      if (!op.fuse_sum) continue;
+      const std::size_t res = op.in1, out = op.out;
+      if (s.values_[res].external || s.values_[out].external) continue;
+      if (res == op.in0 ||
+          !arena_slots_compatible(s.values_[res].elems, s.values_[res].dtype,
+                                  s.values_[out].elems, s.values_[out].dtype)) {
+        continue;
+      }
+      if (s.values_[res].last_use != step) continue;  // residual read again later
+      const std::size_t root = slot_root[res];
+      slot_root[out] = root;
+      value_aliased[out] = true;
+      s.values_[root].last_use = std::max(s.values_[root].last_use, s.values_[out].last_use);
+      alias_pairs.emplace_back(out, root);
+    }
+  }
+
+  // -- Arena planning over the non-external values (slots sized per dtype). -
   std::vector<ArenaRequest> requests;
   std::vector<std::size_t> request_value;
   for (std::size_t v = 0; v < s.values_.size(); ++v) {
     const Value& val = s.values_[v];
     if (val.external || !value_live[v] || value_aliased[v]) continue;
-    requests.push_back({val.elems * sizeof(float), val.def_step, val.last_use});
+    requests.push_back({val.bytes(), val.def_step, val.last_use});
     request_value.push_back(v);
   }
   const ArenaPlan arena_plan = plan_arena(requests);
   for (std::size_t j = 0; j < request_value.size(); ++j) {
-    s.values_[request_value[j]].offset_floats = arena_plan.offsets[j] / sizeof(float);
+    s.values_[request_value[j]].offset_bytes = arena_plan.offsets[j];
   }
   // Aliased outputs inherit their slot root's offset (pairs are in op order,
   // so a root's offset is always final by the time a dependent reads it).
   for (const auto& [out, root] : alias_pairs) {
-    s.values_[out].offset_floats = s.values_[root].offset_floats;
+    s.values_[out].offset_bytes = s.values_[root].offset_bytes;
   }
-  s.arena_.ensure(arena_plan.peak_bytes / sizeof(float));
+  s.arena_.ensure(arena_plan.peak_bytes);
   s.plan_.arena_bytes = arena_plan.peak_bytes;
   s.plan_.naive_bytes = arena_plan.naive_bytes;
 
@@ -648,14 +901,14 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
 // ---------------------------------------------------------------------------
 // Run time
 
-const float* InferenceSession::value_in(std::size_t v, const Tensor<float>& input) const {
+const void* InferenceSession::value_in(std::size_t v, const Tensor<float>& input) const {
   if (v == 0) return input.data();
-  return arena_.data() + values_[v].offset_floats;
+  return arena_.data() + values_[v].offset_bytes;
 }
 
-float* InferenceSession::value_out(std::size_t v, Tensor<float>& output) {
+void* InferenceSession::value_out(std::size_t v, Tensor<float>& output) {
   if (v == output_value_) return output.data();
-  return arena_.data() + values_[v].offset_floats;
+  return arena_.data() + values_[v].offset_bytes;
 }
 
 void InferenceSession::run(const Tensor<float>& input, Tensor<float>& output) {
@@ -670,27 +923,42 @@ void InferenceSession::run(const Tensor<float>& input, Tensor<float>& output) {
   }
   for (Op& op : ops_) {
     ProfileSpan span(ProfileStage::kServe);
-    const float* in0 = value_in(op.in0, input);
-    const float* in1 = op.kind == Op::Kind::kAddRelu || op.fuse_sum
-                           ? value_in(op.in1, input)
-                           : nullptr;
-    float* out = value_out(op.out, output);
+    const void* in0 = value_in(op.in0, input);
+    const void* in1 = op.kind == Op::Kind::kAddRelu || op.fuse_sum
+                          ? value_in(op.in1, input)
+                          : nullptr;
+    void* out = value_out(op.out, output);
     execute_op(op, in0, in1, out);
   }
 }
 
-void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, float* out) {
+void InferenceSession::execute_op(Op& op, const void* in0, const void* in1, void* out) {
   const Value& vi = values_[op.in0];
   const Value& vo = values_[op.out];
   switch (op.kind) {
     case Op::Kind::kConvEngine: {
-      if (op.fuse_relu || op.fuse_sum) {
+      PostOps post;
+      post.relu = op.fuse_relu;
+      if (op.fuse_sum) {
+        if (values_[op.in1].dtype == DType::kU8) {
+          post.sum_u8 = static_cast<const std::uint8_t*>(in1);
+          post.sum_u8_inv_scale = values_[op.in1].qp.inv_scale;
+        } else {
+          post.sum = static_cast<const float*>(in1);
+        }
+      }
+      if (vi.dtype == DType::kU8 || vo.dtype == DType::kU8 || post.sum_u8 != nullptr) {
+        // u8 hand-off on any edge: the typed entry point reads/writes the
+        // arena buffers with the dtypes the compiler configured.
+        op.engine->run_typed(in0, out, pool_, post);
+      } else if (!post.none()) {
         // Fused epilogue: the element-wise pass rides inside the engine's
         // output pass (attributed to its output-transform / store stage).
-        const PostOps post{op.fuse_relu, op.fuse_sum ? in1 : nullptr};
-        op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_, post);
+        op.engine->run({static_cast<const float*>(in0), vi.elems},
+                       {static_cast<float*>(out), vo.elems}, pool_, post);
       } else {
-        op.engine->run({in0, vi.elems}, {out, vo.elems}, pool_);
+        op.engine->run({static_cast<const float*>(in0), vi.elems},
+                       {static_cast<float*>(out), vo.elems}, pool_);
       }
       break;
     }
@@ -712,13 +980,16 @@ void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, fl
       for (std::size_t kk = 0; kk < k; ++kk) {
         for (std::size_t p = 0; p < patch; ++p) wT[p * k + kk] = weights[kk * patch + p];
       }
+      const float* fin0 = static_cast<const float*>(in0);
+      const float* fin1 = static_cast<const float*>(in1);
+      float* fout = static_cast<float*>(out);
       for (std::size_t b = 0; b < batch; ++b) {
-        im2col_f32(d, {in0, vi.elems}, b, op.col.data());
+        im2col_f32(d, {fin0, vi.elems}, b, op.col.data());
         fp32_gemm(op.col.data(), patch, wT, k, op.out_rows.data(), k, rows, patch, k);
         const float* src_rows = op.out_rows.data();
         for (std::size_t kk = 0; kk < k; ++kk) {
-          float* dst = out + (b * k + kk) * rows;
-          const float* res = op.fuse_sum ? in1 + (b * k + kk) * rows : nullptr;
+          float* dst = fout + (b * k + kk) * rows;
+          const float* res = op.fuse_sum ? fin1 + (b * k + kk) * rows : nullptr;
           const float bk = bias[kk];
           for (std::size_t p = 0; p < rows; ++p) {
             float v = src_rows[p * k + kk] + bk;
@@ -733,47 +1004,73 @@ void InferenceSession::execute_op(Op& op, const float* in0, const float* in1, fl
       // A standalone (unfused) element-wise pass: visible as its own profile
       // stage so traces show these passes disappearing under fusion.
       ProfileSpan pspan(ProfileStage::kPostOps);
-      for (std::size_t i = 0; i < vo.elems; ++i) {
-        out[i] = in0[i] > 0.0f ? in0[i] : 0.0f;
+      if (vo.dtype == DType::kU8) {
+        // Byte-domain passthrough: quantization is monotone with q(0) = 128,
+        // so max(q, 128) IS the quantized ReLU — exact, no dequant round trip.
+        const std::uint8_t* src = static_cast<const std::uint8_t*>(in0);
+        std::uint8_t* dst = static_cast<std::uint8_t*>(out);
+        for (std::size_t i = 0; i < vo.elems; ++i) {
+          dst[i] = src[i] > 128 ? src[i] : std::uint8_t{128};
+        }
+      } else {
+        const float* src = static_cast<const float*>(in0);
+        float* dst = static_cast<float*>(out);
+        for (std::size_t i = 0; i < vo.elems; ++i) {
+          dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+        }
       }
       break;
     }
     case Op::Kind::kMaxPool: {
       const std::size_t hw = op.hw;
       const std::size_t oh = hw / 2;
-      for (std::size_t bc = 0; bc < plan_.batch * op.channels; ++bc) {
-        const float* src = in0 + bc * hw * hw;
-        float* dst = out + bc * oh * oh;
-        for (std::size_t y = 0; y < oh; ++y) {
-          for (std::size_t x = 0; x < oh; ++x) {
-            std::size_t best = (2 * y) * hw + 2 * x;
-            for (std::size_t dy = 0; dy < 2; ++dy) {
-              for (std::size_t dx = 0; dx < 2; ++dx) {
-                const std::size_t idx = (2 * y + dy) * hw + 2 * x + dx;
-                if (src[idx] > src[best]) best = idx;
+      // Byte-domain maxpool is exact for the same monotonicity reason as the
+      // byte-domain ReLU: max commutes with quantization under one scale.
+      const auto pool2x2 = [&](const auto* src_all, auto* dst_all) {
+        for (std::size_t bc = 0; bc < plan_.batch * op.channels; ++bc) {
+          const auto* src = src_all + bc * hw * hw;
+          auto* dst = dst_all + bc * oh * oh;
+          for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < oh; ++x) {
+              std::size_t best = (2 * y) * hw + 2 * x;
+              for (std::size_t dy = 0; dy < 2; ++dy) {
+                for (std::size_t dx = 0; dx < 2; ++dx) {
+                  const std::size_t idx = (2 * y + dy) * hw + 2 * x + dx;
+                  if (src[idx] > src[best]) best = idx;
+                }
               }
+              dst[y * oh + x] = src[best];
             }
-            dst[y * oh + x] = src[best];
           }
         }
+      };
+      if (vo.dtype == DType::kU8) {
+        pool2x2(static_cast<const std::uint8_t*>(in0), static_cast<std::uint8_t*>(out));
+      } else {
+        pool2x2(static_cast<const float*>(in0), static_cast<float*>(out));
       }
       break;
     }
     case Op::Kind::kDense: {
       const std::size_t in_f = op.dense->in_features();
       const std::size_t out_f = op.dense->out_features();
-      fp32_gemm(in0, in_f, op.dense->weights().data(), out_f, out, out_f, plan_.batch, in_f,
-                out_f);
+      const float* fin0 = static_cast<const float*>(in0);
+      float* fout = static_cast<float*>(out);
+      fp32_gemm(fin0, in_f, op.dense->weights().data(), out_f, fout, out_f, plan_.batch,
+                in_f, out_f);
       const std::span<const float> bias = op.dense->bias();
       for (std::size_t b = 0; b < plan_.batch; ++b) {
-        for (std::size_t o = 0; o < out_f; ++o) out[b * out_f + o] += bias[o];
+        for (std::size_t o = 0; o < out_f; ++o) fout[b * out_f + o] += bias[o];
       }
       break;
     }
     case Op::Kind::kAddRelu: {
       ProfileSpan pspan(ProfileStage::kPostOps);
+      const float* a = static_cast<const float*>(in0);
+      const float* b = static_cast<const float*>(in1);
+      float* dst = static_cast<float*>(out);
       for (std::size_t i = 0; i < vo.elems; ++i) {
-        out[i] = std::max(0.0f, in0[i] + in1[i]);
+        dst[i] = std::max(0.0f, a[i] + b[i]);
       }
       break;
     }

@@ -44,7 +44,9 @@
 
 #include "common/aligned_buffer.h"
 #include "nn/graph.h"
+#include "quant/quantize.h"
 #include "serve/arena.h"
+#include "tensor/dtype.h"
 #include "tensor/tensor.h"
 #include "tuning/wisdom.h"
 
@@ -100,6 +102,13 @@ struct SessionPlan {
     // which is safe because fused and unfused execution are bit-identical.
     bool fuse_relu = false;
     bool fuse_sum = false;
+    // u8 activation hand-off outcome of the type-assignment pass (serialized
+    // as a "dtype=in:out" token, omitted when both are FP32 so all-FP32 conv
+    // lines stay byte-identical to the v2 format). On replay the tokens are
+    // authoritative: the compiler reconstructs the per-value dtypes from them
+    // instead of re-running the SNR-gated assignment.
+    DType in_dtype = DType::kF32;
+    DType out_dtype = DType::kF32;
   };
 
   std::size_t batch = 0;
@@ -110,12 +119,14 @@ struct SessionPlan {
   /// Human-readable multi-line report (engine per layer, arena savings).
   std::string summary() const;
 
-  /// Plain-text format ("# lowino-plan v2" header; conv lines carry an
+  /// Plain-text format ("# lowino-plan v3" header; conv lines carry an
   /// optional "post=relu|sum|sum+relu|none" head token recording fused
-  /// epilogues — absent means unfused, so v1 files still load). Strict
-  /// parser: any malformed line (including a corrupt post token) rejects the
-  /// whole plan (nullopt) — a corrupt plan file must not silently serve with
-  /// default engines.
+  /// epilogues and an optional "dtype=<in>:<out>" token recording u8
+  /// hand-off dtypes — both absent means unfused / all-FP32, so v1 and v2
+  /// files still load). Strict parser: any malformed line (including a
+  /// corrupt post or dtype token) rejects the whole plan (nullopt) — a
+  /// corrupt plan file must not silently serve with default engines or
+  /// dtypes.
   std::string serialize() const;
   static std::optional<SessionPlan> deserialize(const std::string& text);
   bool save(const std::string& path) const;
@@ -170,24 +181,29 @@ class InferenceSession {
   };
 
   /// One lowered value (activation). Values 0 and `output_value_` live in
-  /// the caller's tensors; everything else lives in the arena.
+  /// the caller's tensors; everything else lives in the arena. The dtype is
+  /// assigned by the compile-time type-assignment pass (FP32 by default; u8
+  /// on hand-off edges, with `qp` recording the hand-off quantization).
   struct Value {
     std::vector<std::size_t> shape;
     std::size_t elems = 0;
     std::size_t def_step = 0;
     std::size_t last_use = 0;
-    std::size_t offset_floats = 0;  ///< arena offset (64B-aligned bytes / 4)
+    std::size_t offset_bytes = 0;  ///< arena offset (64B-aligned)
     bool external = false;
+    DType dtype = DType::kF32;
+    QuantParams qp;  ///< hand-off quantization (meaningful when dtype == kU8)
+    std::size_t bytes() const { return elems * dtype_bytes(dtype); }
   };
 
-  void execute_op(Op& op, const float* in0, const float* in1, float* out);
-  const float* value_in(std::size_t v, const Tensor<float>& input) const;
-  float* value_out(std::size_t v, Tensor<float>& output);
+  void execute_op(Op& op, const void* in0, const void* in1, void* out);
+  const void* value_in(std::size_t v, const Tensor<float>& input) const;
+  void* value_out(std::size_t v, Tensor<float>& output);
 
   std::vector<Op> ops_;
   std::vector<Value> values_;
   std::size_t output_value_ = 0;
-  AlignedBuffer<float> arena_;
+  AlignedBuffer<std::uint8_t> arena_;
   Tensor<float> warmup_out_;  ///< compile-time warmup target
   ThreadPool* pool_ = nullptr;
   SessionPlan plan_;

@@ -1,0 +1,40 @@
+// Activation hand-off element types for the serving pipeline.
+//
+// The session compiler assigns one DType per activation edge: kF32 is the
+// default (every engine consumes/produces FP32 NCHW), kU8 is the quantized
+// hand-off (euler's UserTypes = {u8, fp32} scheme) where a producer engine
+// requantizes into u8 bytes with the +128 zero-point shift of Section 4.2.1
+// and the consumer reads them back without an FP32 round trip. The byte
+// encoding is always q = saturate_u8(round_ne(scale * x) + 128), i.e. the
+// same representation the LoWino Winograd-domain quantizer uses, so padding
+// bytes are 128 (quantized zero) and de-quantization is (q - 128) * inv_scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lowino {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kU8 = 1,
+};
+
+inline constexpr std::size_t dtype_bytes(DType t) {
+  return t == DType::kU8 ? 1 : 4;
+}
+
+/// Stable token used by SessionPlan v3 `dtype=` fields.
+inline constexpr const char* dtype_token(DType t) {
+  return t == DType::kU8 ? "u8" : "f32";
+}
+
+inline std::optional<DType> dtype_from_string(std::string_view s) {
+  if (s == "f32") return DType::kF32;
+  if (s == "u8") return DType::kU8;
+  return std::nullopt;
+}
+
+}  // namespace lowino

@@ -19,11 +19,10 @@ void for_batch(std::size_t n, ThreadPool* pool, Fn&& fn) {
   }
 }
 
-}  // namespace
-
-void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::size_t channels,
-                          std::size_t height, std::size_t width, std::span<float> dst,
-                          ThreadPool* pool) {
+template <typename T>
+void pack_nchw_to_blocked_impl(std::span<const T> src, std::size_t batch, std::size_t channels,
+                               std::size_t height, std::size_t width, std::span<T> dst,
+                               T pad_value, ThreadPool* pool) {
   const BlockedActLayout layout(batch, channels, height, width);
   assert(src.size() >= batch * channels * height * width);
   assert(dst.size() >= layout.size());
@@ -31,20 +30,21 @@ void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::si
   for_batch(batch * layout.chan_blocks, pool, [&](std::size_t job) {
     const std::size_t b = job / layout.chan_blocks;
     const std::size_t cb = job % layout.chan_blocks;
-    float* out_base = dst.data() + layout.offset(b, cb, 0, 0);
+    T* out_base = dst.data() + layout.offset(b, cb, 0, 0);
     for (std::size_t p = 0; p < hw; ++p) {
-      float* out = out_base + p * kChanBlock;
+      T* out = out_base + p * kChanBlock;
       for (std::size_t ci = 0; ci < kChanBlock; ++ci) {
         const std::size_t c = cb * kChanBlock + ci;
-        out[ci] = c < channels ? src[(b * channels + c) * hw + p] : 0.0f;
+        out[ci] = c < channels ? src[(b * channels + c) * hw + p] : pad_value;
       }
     }
   });
 }
 
-void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::size_t channels,
-                            std::size_t height, std::size_t width, std::span<float> dst,
-                            ThreadPool* pool) {
+template <typename T>
+void unpack_blocked_to_nchw_impl(std::span<const T> src, std::size_t batch, std::size_t channels,
+                                 std::size_t height, std::size_t width, std::span<T> dst,
+                                 ThreadPool* pool) {
   const BlockedActLayout layout(batch, channels, height, width);
   assert(src.size() >= layout.size());
   assert(dst.size() >= batch * channels * height * width);
@@ -52,16 +52,44 @@ void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::
   for_batch(batch * layout.chan_blocks, pool, [&](std::size_t job) {
     const std::size_t b = job / layout.chan_blocks;
     const std::size_t cb = job % layout.chan_blocks;
-    const float* in_base = src.data() + layout.offset(b, cb, 0, 0);
+    const T* in_base = src.data() + layout.offset(b, cb, 0, 0);
     const std::size_t c_limit =
         channels > cb * kChanBlock ? std::min(kChanBlock, channels - cb * kChanBlock) : 0;
     for (std::size_t p = 0; p < hw; ++p) {
-      const float* in = in_base + p * kChanBlock;
+      const T* in = in_base + p * kChanBlock;
       for (std::size_t ci = 0; ci < c_limit; ++ci) {
         dst[(b * channels + cb * kChanBlock + ci) * hw + p] = in[ci];
       }
     }
   });
+}
+
+}  // namespace
+
+void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::size_t channels,
+                          std::size_t height, std::size_t width, std::span<float> dst,
+                          ThreadPool* pool) {
+  pack_nchw_to_blocked_impl<float>(src, batch, channels, height, width, dst, 0.0f, pool);
+}
+
+void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::size_t channels,
+                            std::size_t height, std::size_t width, std::span<float> dst,
+                            ThreadPool* pool) {
+  unpack_blocked_to_nchw_impl<float>(src, batch, channels, height, width, dst, pool);
+}
+
+void pack_nchw_u8_to_blocked(std::span<const std::uint8_t> src, std::size_t batch,
+                             std::size_t channels, std::size_t height, std::size_t width,
+                             std::span<std::uint8_t> dst, ThreadPool* pool) {
+  // Padding byte 128 == quantized zero of the +128 zero-point encoding.
+  pack_nchw_to_blocked_impl<std::uint8_t>(src, batch, channels, height, width, dst,
+                                          std::uint8_t{128}, pool);
+}
+
+void unpack_blocked_u8_to_nchw(std::span<const std::uint8_t> src, std::size_t batch,
+                               std::size_t channels, std::size_t height, std::size_t width,
+                               std::span<std::uint8_t> dst, ThreadPool* pool) {
+  unpack_blocked_to_nchw_impl<std::uint8_t>(src, batch, channels, height, width, dst, pool);
 }
 
 }  // namespace lowino

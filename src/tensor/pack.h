@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "tensor/conv_desc.h"
@@ -21,5 +22,16 @@ void pack_nchw_to_blocked(std::span<const float> src, std::size_t batch, std::si
 void unpack_blocked_to_nchw(std::span<const float> src, std::size_t batch, std::size_t channels,
                             std::size_t height, std::size_t width, std::span<float> dst,
                             ThreadPool* pool = nullptr);
+
+/// u8 hand-off variants (tensor/dtype.h): same layouts over quantized bytes.
+/// Padding channels are filled with 128, the quantized zero of the +128
+/// zero-point encoding, so they de-quantize to exactly 0.
+void pack_nchw_u8_to_blocked(std::span<const std::uint8_t> src, std::size_t batch,
+                             std::size_t channels, std::size_t height, std::size_t width,
+                             std::span<std::uint8_t> dst, ThreadPool* pool = nullptr);
+
+void unpack_blocked_u8_to_nchw(std::span<const std::uint8_t> src, std::size_t batch,
+                               std::size_t channels, std::size_t height, std::size_t width,
+                               std::span<std::uint8_t> dst, ThreadPool* pool = nullptr);
 
 }  // namespace lowino

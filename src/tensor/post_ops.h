@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace lowino {
 
@@ -33,7 +34,16 @@ struct PostOps {
   /// corresponding store.
   const float* sum = nullptr;
 
-  bool none() const { return !relu && sum == nullptr; }
+  /// u8 residual source (serving u8 hand-off), or nullptr. Same NCHW shape as
+  /// `sum`; bytes carry the +128 zero-point encoding and are de-quantized on
+  /// the fly as (q - 128) * sum_u8_inv_scale before the add. At most one of
+  /// `sum` / `sum_u8` may be set. Only engines with u8 hand-off support
+  /// (ConvEngine::supports_u8_handoff) accept a u8 residual.
+  const std::uint8_t* sum_u8 = nullptr;
+  float sum_u8_inv_scale = 1.0f;
+
+  bool none() const { return !relu && sum == nullptr && sum_u8 == nullptr; }
+  bool has_sum() const { return sum != nullptr || sum_u8 != nullptr; }
 };
 
 }  // namespace lowino

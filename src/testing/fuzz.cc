@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <span>
 #include <string>
@@ -19,6 +20,7 @@
 #include "direct/direct_int8.h"
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
+#include "quant/quantize.h"
 #include "tensor/post_ops.h"
 #include "testing/envelope.h"
 #include "testing/oracle.h"
@@ -171,6 +173,12 @@ FuzzCase generate_case(std::uint64_t seed) {
   fc.with_bias = rng.next_below(2) == 0;
   fc.sum = rng.next_below(3) == 0;
   fc.per_tensor_scales = rng.next_below(4) == 0;
+  // Per-edge hand-off dtypes: ~1/3 per activation edge, and a byte-typed
+  // residual half the time one exists. Any drawn edge adds the typed
+  // execution pass (INT8 direct + LoWino staged/fused) to the case.
+  fc.in_u8 = rng.next_below(3) == 0;
+  fc.out_u8 = rng.next_below(3) == 0;
+  fc.sum_u8 = fc.sum && rng.next_below(2) == 0;
 
   // Occasionally break the descriptor on purpose: the harness then asserts
   // every engine rejects it cleanly (std::invalid_argument, no allocation)
@@ -200,6 +208,9 @@ std::string describe(const FuzzCase& fc) {
   s += fc.with_bias ? " bias" : "";
   s += fc.sum ? " sum" : "";
   s += fc.per_tensor_scales ? " per-tensor" : " per-position";
+  s += fc.in_u8 ? " u8in" : "";
+  s += fc.out_u8 ? " u8out" : "";
+  s += fc.sum_u8 ? " u8sum" : "";
   if (!fc.desc.is_valid()) s += " degenerate";
   s += " seed=" + std::to_string(fc.seed);
   return s;
@@ -256,6 +267,78 @@ CaseResult run_case(const FuzzCase& fc) {
   const SpatialFilterStats sstats = spatial_filter_stats(d, data.weights);
   const double dmax = abs_max_f64(data.input);
   const double tau_d = with_margin(dmax);
+
+  // --- Per-edge u8 hand-off state (the typed execution paths) --------------
+  // The harness quantizes the drawn edges itself and re-derives the oracle
+  // reference from the *dequantized* bytes, so edge quantization error
+  // cancels exactly and the per-scheme envelopes apply unchanged — only a u8
+  // output adds half a requant step (the engine rounds its own FP32 result).
+  const bool typed = fc.in_u8 || fc.out_u8 || fc.sum_u8;
+  QuantParams in_qp, sum_qp;
+  std::vector<std::uint8_t> in_bytes, sum_bytes;
+  std::vector<float> in_deq, sum_deq;
+  std::vector<double> ref_typed;
+  double dmax_typed = dmax;
+  if (typed) {
+    in_qp = QuantParams::from_threshold(static_cast<float>(tau_d));
+    if (fc.in_u8) {
+      in_bytes.resize(data.input.size());
+      quantize_u8_shift128(data.input, in_qp.scale, in_bytes);
+      in_deq.resize(data.input.size());
+      dequantize_u8_shift128(in_bytes, in_qp.inv_scale, in_deq);
+      dmax_typed = abs_max_f64(in_deq);
+    }
+    if (fc.sum_u8) {
+      sum_qp = QuantParams::from_threshold(
+          static_cast<float>(with_margin(abs_max_f64(data.residual))));
+      sum_bytes.resize(data.residual.size());
+      quantize_u8_shift128(data.residual, sum_qp.scale, sum_bytes);
+      sum_deq.resize(data.residual.size());
+      dequantize_u8_shift128(sum_bytes, sum_qp.inv_scale, sum_deq);
+    }
+    ref_typed = fc.in_u8 ? direct_conv_f64(d, in_deq, data.weights, bias, /*relu=*/false)
+                         : ref_plain;
+    if (fc.sum) {
+      const std::vector<float>& res = fc.sum_u8 ? sum_deq : data.residual;
+      for (std::size_t i = 0; i < ref_typed.size(); ++i) {
+        ref_typed[i] += static_cast<double>(res[i]);
+      }
+    }
+    if (fc.relu) {
+      for (double& v : ref_typed) v = std::max(v, 0.0);
+    }
+  }
+  PostOps typed_post;
+  typed_post.relu = fc.relu;
+  if (fc.sum) {
+    if (fc.sum_u8) {
+      typed_post.sum_u8 = sum_bytes.data();
+      typed_post.sum_u8_inv_scale = sum_qp.inv_scale;
+    } else {
+      typed_post.sum = data.residual.data();
+    }
+  }
+  const auto typed_sum_slack = [&](std::vector<double>& bound) {
+    if (!fc.sum) return;
+    double mag = 1.0;
+    for (const double v : ref_typed) mag = std::max(mag, std::abs(v));
+    const double slack = std::ldexp(mag, -22);
+    for (double& b : bound) b += slack;
+  };
+  // Requant bound/scale: picks an output threshold covering reference +
+  // envelope (so saturation is impossible), then widens the bound by half a
+  // dequantized step — the round-to-nearest-even error of the requant stage.
+  const auto typed_requant = [&](std::vector<double>& bound) {
+    double mag = 0.0;
+    for (const double v : ref_typed) mag = std::max(mag, std::abs(v));
+    double bmax = 0.0;
+    for (const double b : bound) bmax = std::max(bmax, b);
+    const QuantParams qp =
+        QuantParams::from_threshold(static_cast<float>(with_margin(mag + bmax)));
+    const double half_step = 0.5 * static_cast<double>(qp.inv_scale);
+    for (double& b : bound) b += with_margin(half_step);
+    return qp;
+  };
 
   ThreadPool pool(fc.threads);
   std::vector<float> out(ref_plain.size());
@@ -333,6 +416,30 @@ CaseResult run_case(const FuzzCase& fc) {
         conv.execute_nchw(data.input, plain, &pool);
         check_fused_bits("int8-direct", out, plain);
       }
+    }
+
+    // --- INT8 direct, typed (u8 hand-off edges) ----------------------------
+    if (typed) {
+      Int8DirectConv conv(d);
+      conv.set_input_threshold(static_cast<float>(tau_d));
+      conv.set_filters(data.weights, bias);
+      // set_input_u8 adopts the same 127/tau_d scale the threshold implies,
+      // so the spatial INT8 envelope carries over unchanged.
+      if (fc.in_u8) conv.set_input_u8(in_qp);
+      std::vector<double> bound = spatial_int8_budget(d, tau_d, dmax_typed, sstats);
+      typed_sum_slack(bound);
+      const void* in_ptr = fc.in_u8 ? static_cast<const void*>(in_bytes.data())
+                                    : static_cast<const void*>(data.input.data());
+      if (fc.out_u8) {
+        const QuantParams out_qp = typed_requant(bound);
+        conv.set_output_u8(out_qp);
+        std::vector<std::uint8_t> o8(out.size());
+        conv.execute_typed(in_ptr, o8.data(), &pool, typed_post);
+        dequantize_u8_shift128(o8, out_qp.inv_scale, out);
+      } else {
+        conv.execute_typed(in_ptr, out.data(), &pool, typed_post);
+      }
+      check("int8-direct-typed", ref_typed, bound);
     }
 
     if (!winograd_ok) {
@@ -438,6 +545,69 @@ CaseResult run_case(const FuzzCase& fc) {
         run_lowino(ExecutionMode::kAuto, out, post);
         check("lowino-auto", ref_post, lw_bound);
       }
+
+      // --- LoWino, typed (u8 hand-off edges) -------------------------------
+      if (typed && result.ok) {
+        // The Winograd-domain thresholds must cover the values the engine
+        // actually transforms — the *dequantized* input when the edge is u8 —
+        // or V-domain clipping would void the envelope.
+        std::vector<double> taus_t = taus;
+        double tau_uniform_t = tau_uniform;
+        if (fc.in_u8) {
+          const std::vector<double> v_absmax_t =
+              transformed_input_absmax(d, fc.m, in_deq);
+          tau_uniform_t = 0.0;
+          for (std::size_t t = 0; t < taus_t.size(); ++t) {
+            taus_t[t] = with_margin(v_absmax_t[t]);
+            tau_uniform_t = std::max(tau_uniform_t, taus_t[t]);
+          }
+          if (fc.per_tensor_scales) std::fill(taus_t.begin(), taus_t.end(), tau_uniform_t);
+        }
+        std::vector<double> bound = lowino_budget(d, tm, taus_t, fstats);
+        typed_sum_slack(bound);
+        QuantParams out_qp;
+        if (fc.out_u8) out_qp = typed_requant(bound);
+
+        const auto run_typed = [&](ExecutionMode mode, void* dst) {
+          LoWinoConfig cfg;
+          cfg.m = fc.m;
+          cfg.execution_mode = mode;
+          cfg.input_scales = fc.per_tensor_scales ? ScaleGranularity::kPerTensor
+                                                  : ScaleGranularity::kPerPosition;
+          LoWinoConvolution conv(d, cfg);
+          if (fc.per_tensor_scales) {
+            conv.set_uniform_input_threshold(static_cast<float>(tau_uniform_t));
+          } else {
+            std::vector<float> taus_f(taus_t.begin(), taus_t.end());
+            conv.set_input_thresholds(taus_f);
+          }
+          conv.set_filters(data.weights, bias);
+          if (fc.in_u8) conv.set_input_u8(in_qp);
+          if (fc.out_u8) conv.set_output_u8(out_qp);
+          const void* in_ptr = fc.in_u8 ? static_cast<const void*>(in_bytes.data())
+                                        : static_cast<const void*>(data.input.data());
+          conv.execute_nchw_typed(in_ptr, dst, &pool, typed_post);
+        };
+
+        const std::size_t out_sz = out.size() * (fc.out_u8 ? 1 : sizeof(float));
+        std::vector<std::uint8_t> t_staged(out_sz), t_fused(out_sz);
+        run_typed(ExecutionMode::kStaged, t_staged.data());
+        run_typed(ExecutionMode::kFused, t_fused.data());
+        ++result.engines_checked;
+        if (result.ok && t_staged != t_fused) {
+          std::size_t i = 0;
+          while (i < out_sz && t_staged[i] == t_fused[i]) ++i;
+          result.ok = false;
+          result.failure =
+              "lowino-typed staged/fused byte mismatch at byte " + std::to_string(i);
+        }
+        if (fc.out_u8) {
+          dequantize_u8_shift128(t_staged, out_qp.inv_scale, out);
+        } else {
+          std::memcpy(out.data(), t_staged.data(), out_sz);
+        }
+        check("lowino-typed", ref_typed, bound);
+      }
     }
 
     // --- Spatially quantized Winograd baselines ----------------------------
@@ -481,8 +651,14 @@ FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts) {
       [](FuzzCase& c) { return std::exchange(c.threads, 1) != 1; },
       [](FuzzCase& c) { return std::exchange(c.desc.batch, 1) != 1; },
       [](FuzzCase& c) { return std::exchange(c.relu, false); },
-      [](FuzzCase& c) { return std::exchange(c.sum, false); },
+      [](FuzzCase& c) {
+        c.sum_u8 = false;  // sum_u8 implies sum; clear both together
+        return std::exchange(c.sum, false);
+      },
       [](FuzzCase& c) { return std::exchange(c.with_bias, false); },
+      [](FuzzCase& c) { return std::exchange(c.in_u8, false); },
+      [](FuzzCase& c) { return std::exchange(c.out_u8, false); },
+      [](FuzzCase& c) { return std::exchange(c.sum_u8, false); },
       [](FuzzCase& c) { return std::exchange(c.per_tensor_scales, false); },
       [](FuzzCase& c) {
         return std::exchange(c.mode, ExecutionMode::kStaged) != ExecutionMode::kStaged;

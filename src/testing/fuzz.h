@@ -32,6 +32,14 @@ struct FuzzCase {
   bool with_bias = true;
   bool sum = false;  ///< fused residual "+sum" epilogue (post-op engines)
   bool per_tensor_scales = false;  ///< LoWino input-scale granularity
+  // Per-edge hand-off dtypes (tensor/dtype.h): when any is set, run_case()
+  // additionally runs the u8-capable engines (INT8 direct, LoWino) through
+  // their typed entry points with pre-quantized u8 activations on the drawn
+  // edges and checks the dequantized result against the oracle within the
+  // same per-scheme envelope (widened by half a requant step on u8 outputs).
+  bool in_u8 = false;   ///< input edge carries u8 bytes
+  bool out_u8 = false;  ///< output edge requantizes to u8
+  bool sum_u8 = false;  ///< residual edge carries u8 bytes (implies sum)
 };
 
 /// Draws a case from `seed`: N/C/K/H/W, pads, ReLU/bias on-off, F(2/4/6)
@@ -62,7 +70,12 @@ struct CaseResult {
 /// Post-op-capable engines (FP32/INT8 direct, LoWino) run with the fused
 /// relu/+sum epilogue of the case and are additionally checked bit-identical
 /// against the same engine run unfused followed by the element-wise
-/// sum-then-relu reference. Cases with stride != 1 or asymmetric padding run
+/// sum-then-relu reference. Cases with any per-edge u8 dtype drawn
+/// (in_u8/out_u8/sum_u8) also run the typed execution paths: the harness
+/// quantizes the drawn edges to u8 itself, re-derives the oracle reference
+/// from the dequantized values (so edge quantization error cancels exactly)
+/// and checks the per-scheme envelope on the result, with LoWino staged and
+/// fused typed runs required bit-identical. Cases with stride != 1 or asymmetric padding run
 /// the direct engines numerically and assert every Winograd engine rejects
 /// the descriptor with std::invalid_argument (they claim no support). Never
 /// throws for a conforming stack; engine exceptions are reported as failures.

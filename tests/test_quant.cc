@@ -1,7 +1,9 @@
 // Tests for linear quantization, histograms and KL calibration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -56,6 +58,63 @@ TEST(Quantize, U8Shift128MatchesSignedPlus128) {
   quantize_u8_shift128(src, scale, u);
   for (std::size_t i = 0; i < src.size(); ++i) {
     ASSERT_EQ(static_cast<int>(u[i]), static_cast<int>(q[i]) + 128);
+  }
+}
+
+TEST(Quantize, U8OffsetOrderingMatchesExactOracle) {
+  // The zero-point audit behind the u8 hand-off: the +128 shift must happen
+  // in the *integer* domain after round-to-nearest-even, and the two clamp
+  // orderings must agree for every rounded value r:
+  //   clamp(r, -128, 127) + 128 == clamp(r + 128, 0, 255).
+  // A power-of-two scale makes every product below exact, so the sweep hits
+  // the tie cases (x.5) and both saturation boundaries with a double-free
+  // exact oracle (nearbyintf under the default FE_TONEAREST mode is RNE).
+  const float scale = 16.0f;
+  std::vector<float> src;
+  for (int r = -140; r <= 140; ++r) {
+    for (const float frac : {0.0f, -0.5f, 0.5f, -0.25f, 0.25f}) {
+      src.push_back((static_cast<float>(r) + frac) / scale);
+    }
+  }
+  std::vector<std::uint8_t> u(src.size());
+  quantize_u8_shift128(src, scale, u);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float prod = src[i] * scale;  // exact by construction
+    const int r = static_cast<int>(std::nearbyintf(prod));
+    const int signed_then_shift = std::clamp(r, -128, 127) + 128;
+    const int shift_then_clamp = std::clamp(r + 128, 0, 255);
+    ASSERT_EQ(signed_then_shift, shift_then_clamp) << "orderings diverge at r=" << r;
+    ASSERT_EQ(static_cast<int>(u[i]), shift_then_clamp) << "value " << src[i];
+  }
+}
+
+TEST(Quantize, U8DoubleQuantizationIsIdempotent) {
+  // Requantizing an already-quantized tensor with the same scale must be the
+  // identity for every byte value — the serving hand-off depends on it (one
+  // QuantParams is shared along a whole u8 segment, e.g. across a relu or
+  // maxpool passthrough).
+  Rng rng(21);
+  std::vector<std::uint8_t> q(256);
+  for (int i = 0; i < 256; ++i) q[i] = static_cast<std::uint8_t>(i);
+  for (int rep = 0; rep < 50; ++rep) {
+    const QuantParams p = QuantParams::from_threshold(rng.uniform(1e-3f, 100.0f));
+    std::vector<float> deq(256);
+    dequantize_u8_shift128(q, p.inv_scale, deq);
+    std::vector<std::uint8_t> q2(256);
+    quantize_u8_shift128(deq, p.scale, q2);
+    ASSERT_EQ(q, q2) << "scale " << p.scale;
+  }
+}
+
+TEST(Quantize, PaddingByteDequantizesToExactZero) {
+  // 128 is the quantized zero: every pad byte the engines inject (im2col
+  // borders, blocked-layout channel padding) must dequantize to exactly 0.0f
+  // at any scale, or padding would leak signal into the accumulators.
+  const std::vector<std::uint8_t> pad = {128};
+  std::vector<float> out(1);
+  for (const float scale : {0.03125f, 1.0f, 63.5f, 12345.0f}) {
+    dequantize_u8_shift128(pad, 1.0f / scale, out);
+    EXPECT_EQ(out[0], 0.0f) << "scale " << scale;
   }
 }
 
@@ -187,6 +246,63 @@ TEST(Calibration, FewBinsShortCircuits) {
   h.collect(batch);
   const CalibrationResult r = calibrate_kl(h, 128);
   EXPECT_FLOAT_EQ(r.tau, h.edge(63));
+}
+
+TEST(Calibration, AllZeroInputsYieldIdentityScaleAndQuantizedZero) {
+  // Degenerate calibration input: a layer that only ever saw zeros. The
+  // histogram defers its range forever, calibrate_params falls back to
+  // scale 1, and the whole tensor quantizes to the zero byte (128).
+  Histogram h;
+  const std::vector<float> zeros(1024, 0.0f);
+  for (int i = 0; i < 4; ++i) h.collect(zeros);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(calibrate_kl(h).tau, 0.0f);
+  const QuantParams p = calibrate_params(h);
+  ASSERT_TRUE(std::isfinite(p.scale));
+  ASSERT_TRUE(std::isfinite(p.inv_scale));
+  std::vector<std::uint8_t> q(zeros.size());
+  quantize_u8_shift128(zeros, p.scale, q);
+  for (const std::uint8_t b : q) ASSERT_EQ(b, 128);
+}
+
+TEST(Calibration, SingleRepeatedValueSurvivesRoundTrip) {
+  // A single-value distribution collapses the histogram to one occupied bin;
+  // the calibrated scale must stay finite and keep that value within half a
+  // quantization step.
+  Histogram h;
+  const std::vector<float> batch(512, 0.75f);
+  h.collect(batch);
+  const QuantParams p = calibrate_params(h);
+  ASSERT_TRUE(std::isfinite(p.scale));
+  ASSERT_GT(p.scale, 0.0f);
+  std::vector<std::uint8_t> q(batch.size());
+  quantize_u8_shift128(batch, p.scale, q);
+  std::vector<float> back(batch.size());
+  dequantize_u8_shift128(q, p.inv_scale, back);
+  for (const float v : back) ASSERT_NEAR(v, 0.75f, 0.5f * p.inv_scale + 1e-6f);
+}
+
+TEST(Calibration, DenormalOnlyInputsYieldFiniteParams) {
+  // A tensor whose only non-zeros are sub-normal used to produce a zero
+  // histogram bin width (infinite bin indices) and an infinite scale whose
+  // inverse is 0 — every product downstream became NaN. The bin width is now
+  // floored at the smallest normal float and from_threshold guards the
+  // overflow, so the values quantize to 128 (zero) harmlessly.
+  Histogram h;
+  const std::vector<float> tiny(256, 1e-42f);
+  h.collect(tiny);
+  EXPECT_TRUE(std::isfinite(h.bin_width()));
+  EXPECT_GT(h.bin_width(), 0.0f);
+  const CalibrationResult r = calibrate_kl(h);
+  EXPECT_TRUE(std::isfinite(r.tau));
+  const QuantParams p = QuantParams::from_threshold(r.tau);
+  ASSERT_TRUE(std::isfinite(p.scale));
+  ASSERT_TRUE(std::isfinite(p.inv_scale));
+  std::vector<std::uint8_t> q(tiny.size());
+  quantize_u8_shift128(tiny, p.scale, q);
+  std::vector<float> back(tiny.size());
+  dequantize_u8_shift128(q, p.inv_scale, back);
+  for (const float v : back) ASSERT_TRUE(std::isfinite(v));
 }
 
 TEST(Calibration, CalibratedScaleBeatsMaxAbsOnDistributionBody) {

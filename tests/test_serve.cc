@@ -11,6 +11,7 @@
 #include <cstring>
 #include <new>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "common/aligned_buffer.h"
@@ -19,6 +20,7 @@
 #include "nn/model_zoo.h"
 #include "parallel/thread_pool.h"
 #include "profile/profiler.h"
+#include "quant/quantize.h"
 #include "serve/arena.h"
 #include "serve/session.h"
 #include "tuning/wisdom.h"
@@ -214,6 +216,9 @@ InferenceSession forced_session(SequentialModel& model, const Tensor<float>& cal
 }
 
 TEST(InferenceSession, BitIdenticalToForwardEngineMiniVgg) {
+  // forward_engine hands FP32 between layers; the u8 hand-off deliberately
+  // changes that, so the bit-identity contract is pinned to hand-off-off.
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   ThreadPool& pool = ThreadPool::global();
   const Tensor<float> calib = random_input(4, 16, 101);
   const Tensor<float> input = random_input(4, 16, 202);
@@ -233,6 +238,7 @@ TEST(InferenceSession, BitIdenticalToForwardEngineMiniVgg) {
 }
 
 TEST(InferenceSession, BitIdenticalToForwardEngineMiniResNet) {
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   ThreadPool& pool = ThreadPool::global();
   const Tensor<float> calib = random_input(2, 16, 303);
   const Tensor<float> input = random_input(2, 16, 404);
@@ -456,6 +462,10 @@ TEST(SessionPlanFormat, RejectsCorruptPostToken) {
 }
 
 TEST(InferenceSession, PostOpFusionShrinksOpListAndArena) {
+  // Hand-off scales are calibrated on the fused op structure (a fused conv's
+  // output is the post-epilogue value), so the fused-vs-unfused bit-compare
+  // below only holds with the u8 hand-off off.
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   ThreadPool& pool = ThreadPool::global();
   const Tensor<float> calib = random_input(2, 16, 1111);
   const Tensor<float> input = random_input(2, 16, 1212);
@@ -502,7 +512,10 @@ TEST(InferenceSession, PostOpFusionShrinksOpListAndArena) {
 TEST(InferenceSession, FusedPlanReplaysUnderKillSwitchBitIdentically) {
   // Plan tokens are informational: a fused plan file must load and replay in
   // a fusion-off process (engines applied per conv ordinal, epilogues run as
-  // separate passes) and serve the exact same bits.
+  // separate passes) and serve the exact same bits. The dtype tokens are the
+  // exception — they assume the fused op structure — so the two kill-switches
+  // compose: fusion-off replay requires hand-off-off too.
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   ThreadPool& pool = ThreadPool::global();
   const Tensor<float> calib = random_input(2, 16, 1515);
   const Tensor<float> input = random_input(2, 16, 1616);
@@ -538,6 +551,7 @@ TEST(InferenceSession, FusedRunStaysAllocationFreeAndBitIdenticalToForwardEngine
   // forward_engine routes through the same fused epilogues (ConvLayer::
   // forward_engine_fused), so the differential holds with fusion on for an
   // engine with post-op support and for one without (graceful fallback).
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   ThreadPool& pool = ThreadPool::global();
   const Tensor<float> calib = random_input(2, 16, 1313);
   const Tensor<float> input = random_input(2, 16, 1414);
@@ -557,6 +571,225 @@ TEST(InferenceSession, FusedRunStaysAllocationFreeAndBitIdenticalToForwardEngine
     EXPECT_EQ(heap_alloc_count(), heap_before)
         << "fused serve path allocated (engine " << engine_token(kind) << ')';
   }
+}
+
+// --- u8 activation hand-off -------------------------------------------------
+
+TEST(ArenaPlanner, SlotCompatibilityChecksByteFootprint) {
+  // The fused-residual in-place alias may only pair values whose byte
+  // footprints match exactly — equal element counts with mixed element widths
+  // would let the wider value overrun the narrower slot.
+  EXPECT_TRUE(arena_slots_compatible(1024, DType::kF32, 1024, DType::kF32));
+  EXPECT_TRUE(arena_slots_compatible(1024, DType::kU8, 1024, DType::kU8));
+  EXPECT_FALSE(arena_slots_compatible(1024, DType::kU8, 1024, DType::kF32));
+  EXPECT_FALSE(arena_slots_compatible(1024, DType::kF32, 1024, DType::kU8));
+  // Equal byte footprints across widths are still one slot.
+  EXPECT_TRUE(arena_slots_compatible(4096, DType::kU8, 1024, DType::kF32));
+}
+
+TEST(SessionPlanFormat, DtypeTokenRoundTrip) {
+  SessionPlan p = sample_plan();
+  p.convs[0].out_dtype = DType::kU8;
+  p.convs[1].fuse_relu = true;
+  p.convs[1].fuse_sum = true;
+  p.convs[1].in_dtype = DType::kU8;
+  p.convs[1].out_dtype = DType::kU8;
+  const std::string text = p.serialize();
+  EXPECT_NE(text.find(" dtype=f32:u8 |"), std::string::npos);
+  EXPECT_NE(text.find(" post=sum+relu dtype=u8:u8 |"), std::string::npos);
+  const auto q = SessionPlan::deserialize(text);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->convs.size(), 2u);
+  EXPECT_EQ(q->convs[0].in_dtype, DType::kF32);
+  EXPECT_EQ(q->convs[0].out_dtype, DType::kU8);
+  EXPECT_EQ(q->convs[1].in_dtype, DType::kU8);
+  EXPECT_EQ(q->convs[1].out_dtype, DType::kU8);
+  EXPECT_EQ(q->serialize(), text);
+}
+
+TEST(SessionPlanFormat, AllF32LinesStayV2Compatible) {
+  // No u8 edge => no dtype token: all-FP32 conv lines are byte-identical to
+  // the v2 format, so v2-era plan files keep loading (as all-FP32 plans).
+  const std::string text = sample_plan().serialize();
+  EXPECT_EQ(text.find("dtype=", text.find('\n')), std::string::npos);
+  const std::string v2_line =
+      "conv = 3 lowino_f2 25.5 0.0001 1 post=relu | conv3x3(64->64) | d\n";
+  const auto q = SessionPlan::deserialize(text + v2_line);
+  ASSERT_TRUE(q.has_value());
+  ASSERT_EQ(q->convs.size(), 3u);
+  EXPECT_EQ(q->convs[2].in_dtype, DType::kF32);
+  EXPECT_EQ(q->convs[2].out_dtype, DType::kF32);
+}
+
+TEST(SessionPlanFormat, RejectsCorruptDtypeToken) {
+  const std::string good = sample_plan().serialize();
+  for (const char* bad : {
+           "conv = 1 lowino_f4 1 1 1 dtype=u9:f32 | l | d\n",   // unknown dtype
+           "conv = 1 lowino_f4 1 1 1 dtype=u8 | l | d\n",       // missing out half
+           "conv = 1 lowino_f4 1 1 1 dtype=u8:f32:u8 | l | d\n",
+           "conv = 1 lowino_f4 1 1 1 dtype= | l | d\n",
+           "conv = 1 lowino_f4 1 1 1 dtype=:u8 | l | d\n",
+           "conv = 1 lowino_f4 1 1 1 dtype=u8:u8 junk | l | d\n",
+           "conv = 1 lowino_f4 1 1 1 dtype=u8:u8 post=relu | l | d\n",  // wrong order
+       }) {
+    EXPECT_FALSE(SessionPlan::deserialize(good + bad).has_value()) << bad;
+  }
+}
+
+TEST(SessionPlanFormat, FuzzV3RoundTripAndDtypeCorruption) {
+  std::mt19937 rng(20260808);
+  const EngineKind kinds[] = {EngineKind::kInt8Direct, EngineKind::kLoWinoF2,
+                              EngineKind::kLoWinoF4, EngineKind::kLoWinoF6};
+  for (int iter = 0; iter < 200; ++iter) {
+    SessionPlan p;
+    p.batch = 1 + rng() % 8;
+    p.arena_bytes = rng() % 100000;
+    p.naive_bytes = p.arena_bytes + rng() % 100000;
+    const std::size_t n = rng() % 6;
+    for (std::size_t i = 0; i < n; ++i) {
+      SessionPlan::ConvChoice c;
+      c.op_index = rng() % 32;
+      c.layer = "layer" + std::to_string(i);
+      c.desc = "B1 C8 K8 H8 W8 r3";
+      c.engine = kinds[rng() % 4];
+      c.snr_db = static_cast<double>(rng() % 1000) / 10.0;
+      c.seconds = static_cast<double>(rng() % 1000) * 1e-6;
+      c.met_envelope = rng() % 2 == 0;
+      c.fuse_relu = rng() % 2 == 0;
+      c.fuse_sum = c.fuse_relu && rng() % 2 == 0;
+      c.in_dtype = rng() % 2 == 0 ? DType::kU8 : DType::kF32;
+      c.out_dtype = rng() % 2 == 0 ? DType::kU8 : DType::kF32;
+      p.convs.push_back(c);
+    }
+    const std::string text = p.serialize();
+    const auto q = SessionPlan::deserialize(text);
+    ASSERT_TRUE(q.has_value()) << text;
+    EXPECT_EQ(q->serialize(), text);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(q->convs[i].in_dtype, p.convs[i].in_dtype);
+      EXPECT_EQ(q->convs[i].out_dtype, p.convs[i].out_dtype);
+      EXPECT_EQ(q->convs[i].fuse_relu, p.convs[i].fuse_relu);
+      EXPECT_EQ(q->convs[i].fuse_sum, p.convs[i].fuse_sum);
+    }
+    // Single-character corruption inside a dtype token must either reject the
+    // whole plan or leave the text unchanged after a round trip — it must
+    // never silently parse to different dtypes.
+    const std::size_t at = text.find("dtype=", text.find('\n'));
+    if (at != std::string::npos) {
+      std::string corrupt = text;
+      corrupt[at + 6 + rng() % 6] = "xq9#!"[rng() % 5];
+      const auto r = SessionPlan::deserialize(corrupt);
+      if (r.has_value()) EXPECT_EQ(r->serialize(), corrupt);
+    }
+  }
+}
+
+TEST(InferenceSession, U8HandoffAssignsEdgesAndStaysInEnvelope) {
+  // Pin hand-off ON so the test also passes in the CI kill-switch rerun
+  // (LOWINO_U8_HANDOFF=0 in the environment; programmatic overrides beat it).
+  ScopedRuntimeOverride u8_on("LOWINO_U8_HANDOFF", "1");
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 2021);
+  const Tensor<float> input = random_input(2, 16, 2122);
+
+  SequentialModel model = make_miniresnet();
+  InferenceSession session = forced_session(model, calib, EngineKind::kLoWinoF4, &pool);
+
+  // The type-assignment pass must find u8 edges on MiniResNet (conv chains
+  // joined by relu/maxpool passthroughs) and record them in the plan.
+  std::size_t u8_outs = 0, u8_ins = 0;
+  for (const SessionPlan::ConvChoice& c : session.plan().convs) {
+    u8_outs += c.out_dtype == DType::kU8;
+    u8_ins += c.in_dtype == DType::kU8;
+  }
+  EXPECT_GT(u8_outs, 0u);
+  EXPECT_GT(u8_ins, 0u);
+  const std::string text = session.plan().serialize();
+  EXPECT_NE(text.find("dtype=", text.find('\n')), std::string::npos);
+  EXPECT_NE(session.plan().summary().find("u8 hand-off"), std::string::npos);
+
+  // Whole-network accuracy: the u8-served output must clear the same SNR
+  // floor the per-edge gate enforces, measured against hand-off-off serving.
+  Tensor<float> out_u8;
+  session.run(input, out_u8);
+  Tensor<float> out_f32;
+  {
+    ScopedRuntimeOverride off("LOWINO_U8_HANDOFF", "0");
+    SequentialModel model_f = make_miniresnet();
+    InferenceSession plain = forced_session(model_f, calib, EngineKind::kLoWinoF4, &pool);
+    for (const SessionPlan::ConvChoice& c : plain.plan().convs) {
+      EXPECT_EQ(c.in_dtype, DType::kF32);
+      EXPECT_EQ(c.out_dtype, DType::kF32);
+    }
+    const std::string off_text = plain.plan().serialize();
+    EXPECT_EQ(off_text.find("dtype=", off_text.find('\n')), std::string::npos);
+    plain.run(input, out_f32);
+  }
+  ASSERT_EQ(out_u8.shape(), out_f32.shape());
+  const QuantError e =
+      quantization_error(std::span<const float>(out_f32.data(), out_f32.size()),
+                         std::span<const float>(out_u8.data(), out_u8.size()));
+  EXPECT_GE(e.signal_to_noise_db, 20.0);
+}
+
+TEST(InferenceSession, U8PlanReplayServesBitIdentically) {
+  ScopedRuntimeOverride u8_on("LOWINO_U8_HANDOFF", "1");
+  ThreadPool& pool = ThreadPool::global();
+  const Tensor<float> calib = random_input(2, 16, 2323);
+  const Tensor<float> input = random_input(2, 16, 2424);
+
+  SequentialModel model_a = make_miniresnet();
+  InferenceSession first = forced_session(model_a, calib, EngineKind::kLoWinoF4, &pool);
+  const std::string text = first.plan().serialize();
+  ASSERT_NE(text.find("dtype=", text.find('\n')), std::string::npos);
+  const auto loaded = SessionPlan::deserialize(text);
+  ASSERT_TRUE(loaded.has_value());
+
+  // Replay reconstructs the per-value dtypes from the tokens (authoritative)
+  // and re-derives the hand-off scales deterministically, so a fresh model
+  // with the same weights must serve the exact same bytes.
+  SequentialModel model_b = make_miniresnet();
+  PlanOptions replay;
+  replay.pool = &pool;
+  replay.reuse = &*loaded;
+  InferenceSession second = InferenceSession::compile(model_b, calib, replay);
+  ASSERT_EQ(second.plan().convs.size(), first.plan().convs.size());
+  for (std::size_t i = 0; i < first.plan().convs.size(); ++i) {
+    EXPECT_EQ(second.plan().convs[i].engine, first.plan().convs[i].engine);
+    EXPECT_EQ(second.plan().convs[i].in_dtype, first.plan().convs[i].in_dtype);
+    EXPECT_EQ(second.plan().convs[i].out_dtype, first.plan().convs[i].out_dtype);
+  }
+
+  Tensor<float> out_a, out_b;
+  first.run(input, out_a);
+  second.run(input, out_b);
+  ASSERT_EQ(out_a.shape(), out_b.shape());
+  EXPECT_EQ(0, std::memcmp(out_a.data(), out_b.data(), out_a.size() * sizeof(float)));
+}
+
+TEST(InferenceSession, U8ServeStaysAllocationFree) {
+  // The zero-allocation steady-state contract holds with u8 edges live (the
+  // u8 blocked-layout scratch is pre-warmed at compile time like the rest).
+  ScopedRuntimeOverride u8_on("LOWINO_U8_HANDOFF", "1");
+  SequentialModel model = make_miniresnet();
+  const Tensor<float> calib = random_input(2, 16, 2525);
+  const Tensor<float> input = random_input(2, 16, 2626);
+  ThreadPool& pool = ThreadPool::global();
+  InferenceSession session = forced_session(model, calib, EngineKind::kLoWinoF4, &pool);
+  std::size_t u8_edges = 0;
+  for (const SessionPlan::ConvChoice& c : session.plan().convs) {
+    u8_edges += c.out_dtype == DType::kU8;
+  }
+  ASSERT_GT(u8_edges, 0u);
+
+  Tensor<float> out;
+  session.run(input, out);  // warm the caller-owned output tensor
+  const std::uint64_t heap_before = heap_alloc_count();
+  const std::uint64_t aligned_before = aligned_buffer_alloc_count();
+  for (int i = 0; i < 5; ++i) session.run(input, out);
+  EXPECT_EQ(heap_alloc_count(), heap_before) << "operator new called on the u8 serve path";
+  EXPECT_EQ(aligned_buffer_alloc_count(), aligned_before)
+      << "AlignedBuffer (re)allocated on the u8 serve path";
 }
 
 TEST(InferenceSession, EmitsOneServeSpanPerOp) {

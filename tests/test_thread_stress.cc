@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "lowino/convolution.h"
 #include "parallel/thread_pool.h"
@@ -193,6 +194,9 @@ TEST(ThreadStress, ProfiledConcurrentFusedConvolutionsAreBitIdentical) {
 // is session-owned, so concurrent runs share only immutable model weights.
 // Outputs must stay bitwise identical to a single-threaded reference run.
 TEST(ThreadStress, ConcurrentSessionsServeIndependently) {
+  // Golden comes from forward_engine (FP32 inter-layer hand-off), so pin the
+  // u8 hand-off off for the bit-compare.
+  ScopedRuntimeOverride u8_off("LOWINO_U8_HANDOFF", "0");
   auto make_input = [](std::uint64_t seed) {
     Tensor<float> t({2, 1, 16, 16});
     Rng rng(seed);
