@@ -21,18 +21,28 @@
 //                              concurrency; powers of two up to this)
 //      LOWINO_BENCH_HW         input height/width (default 32)
 //      LOWINO_BENCH_SERVE_BATCH max batch per worker (default 4)
+//      LOWINO_BENCH_SERVE_FAULT engine-execute fault rate in [0,1]; when
+//                              > 0 the sweep is replaced by a fault soak
+//                              (see run_fault_soak below) whose exit code
+//                              is the verdict — non-zero on any violation
+//      LOWINO_BENCH_SERVE_SEED fault-soak decision seed (default 42)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/env.h"
+#include "common/fault.h"
 #include "nn/model_zoo.h"
+#include "parallel/thread_pool.h"
 #include "serve/server.h"
+#include "serve/session.h"
 
 namespace lowino {
 namespace {
@@ -134,6 +144,144 @@ void print_cell(const char* mode, std::size_t workers, const char* loop,
       static_cast<unsigned long long>(r.bounced));
 }
 
+/// Fault soak: randomized engine-execute faults while concurrent clients
+/// hammer a two-worker fleet, with every response checked against a serial
+/// batch-1 reference. The verdict is the exit code: 0 iff every response was
+/// either bit-exact kOk or a clean failure that left the caller's buffer
+/// untouched, the ticket accounting balanced (no lost or duplicated
+/// responses), the soak actually injected faults, and the fleet served
+/// correct bits again once the faults cleared. One greppable line:
+///
+///   serve-mt: model=MiniResNet mode=partitioned workers=2 loop=fault-soak \
+///       rate=0.0100 injected=37 ok=512 failed=29 bounced=3 wrong=0 \
+///       restarts=1 workers_lost=0 verdict=PASS
+int run_fault_soak(double rate, std::size_t hw, double window_s,
+                   std::size_t max_batch) {
+  // Bit-compare against batch-1 serial references: pin the calibration
+  // stride (batch-count dependent otherwise), exactly like the differential
+  // tests, and force one engine so the serial plan matches the server's.
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  const auto seed = static_cast<std::uint64_t>(env_long("LOWINO_BENCH_SERVE_SEED", 42));
+  constexpr std::size_t kInputs = 8, kClients = 8;
+
+  SequentialModel model = make_miniresnet(hw);
+  const Tensor<float> calib = random_input(hw, 42);
+
+  ThreadPool pool(1);
+  PlanOptions serial_options;
+  serial_options.forced_engine = EngineKind::kLoWinoF4;
+  serial_options.pool = &pool;
+  InferenceSession serial = InferenceSession::compile(model, calib, serial_options);
+
+  std::vector<Tensor<float>> inputs;
+  std::vector<std::vector<float>> refs;
+  Tensor<float> ref_out;
+  for (std::size_t i = 0; i < kInputs; ++i) {
+    inputs.push_back(random_input(hw, 4300 + i));
+    serial.run(inputs[i], ref_out);
+    refs.emplace_back(ref_out.data(), ref_out.data() + ref_out.size());
+  }
+
+  ServerOptions o;
+  o.max_batch = max_batch;
+  o.num_workers = 2;
+  o.threads_per_worker = 1;
+  o.linger_ns = 200000;
+  o.queue_capacity = 64;
+  o.plan.forced_engine = EngineKind::kLoWinoF4;
+  BatchingServer server(model, calib, o);
+
+  std::atomic<std::uint64_t> ok{0}, failed{0}, bounced{0}, wrong{0};
+  std::uint64_t injected = 0;
+  {
+    ScopedFaultPlan fault_plan;
+    fault_plan.fail_rate(FaultSite::kEngineExecute, rate, seed);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<float> out(server.output_elems());
+        for (std::uint64_t r = 0; !stop.load(std::memory_order_relaxed); ++r) {
+          const std::size_t i = (c + r) % kInputs;
+          std::fill(out.begin(), out.end(), -1.0f);
+          switch (server.serve(inputs[i].span(), out)) {
+            case ServeResult::kOk:
+              ok.fetch_add(1);
+              if (std::memcmp(out.data(), refs[i].data(),
+                              out.size() * sizeof(float)) != 0) {
+                wrong.fetch_add(1);
+              }
+              break;
+            case ServeResult::kFailed: {
+              failed.fetch_add(1);
+              bool untouched = true;
+              for (const float v : out) untouched = untouched && v == -1.0f;
+              if (!untouched) wrong.fetch_add(1);
+              break;
+            }
+            case ServeResult::kWorkerLost:
+            case ServeResult::kShutdown:
+            case ServeResult::kQueueFull:
+              bounced.fetch_add(1);
+              break;
+            case ServeResult::kExpired:
+              wrong.fetch_add(1);  // no SLO was set
+              break;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(window_s));
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : clients) t.join();
+    injected = fault_injected_count(FaultSite::kEngineExecute);
+    // Quiesce before the plan scope closes: a worker may be mid-rebuild and
+    // therefore still inside fault checks.
+    server.stop();
+  }
+
+  const ServeStats stats = server.stats();
+  const ServerHealth mid_health = server.health();
+
+  // Faults cleared: the fleet must resurrect and serve correct bits again.
+  bool recovered = false;
+  server.start();
+  {
+    std::vector<float> out(server.output_elems(), -1.0f);
+    recovered = server.serve(inputs[0].span(), out) == ServeResult::kOk &&
+                std::memcmp(out.data(), refs[0].data(),
+                            out.size() * sizeof(float)) == 0 &&
+                server.health().workers_live == server.health().workers;
+  }
+  server.stop();
+
+  const bool pass = wrong.load() == 0 && injected > 0 && ok.load() > 0 &&
+                    stats.served == ok.load() && stats.failed == failed.load() &&
+                    recovered;
+  std::printf(
+      "serve-mt: model=MiniResNet mode=partitioned workers=2 loop=fault-soak "
+      "rate=%.4f injected=%llu ok=%llu failed=%llu bounced=%llu wrong=%llu "
+      "restarts=%llu workers_lost=%llu recovered=%d verdict=%s\n",
+      rate, static_cast<unsigned long long>(injected),
+      static_cast<unsigned long long>(ok.load()),
+      static_cast<unsigned long long>(failed.load()),
+      static_cast<unsigned long long>(bounced.load()),
+      static_cast<unsigned long long>(wrong.load()),
+      static_cast<unsigned long long>(mid_health.restarts),
+      static_cast<unsigned long long>(mid_health.workers_lost),
+      recovered ? 1 : 0, pass ? "PASS" : "FAIL");
+  if (stats.served != ok.load() || stats.failed != failed.load()) {
+    std::printf("fault-soak: ticket accounting mismatch: stats.served=%llu "
+                "client_ok=%llu stats.failed=%llu client_failed=%llu\n",
+                static_cast<unsigned long long>(stats.served),
+                static_cast<unsigned long long>(ok.load()),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(failed.load()));
+  }
+  return pass ? 0 : 1;
+}
+
 int bench_main() {
   const std::size_t hw = static_cast<std::size_t>(env_long("LOWINO_BENCH_HW", 32));
   const double window_s =
@@ -143,6 +291,26 @@ int bench_main() {
   const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t max_workers = static_cast<std::size_t>(
       env_long("LOWINO_BENCH_SERVE_MAXW", static_cast<long>(hardware)));
+
+  // Fault-soak mode replaces the sweep entirely; its verdict is the exit code.
+  const std::string fault_rate_str = env_string("LOWINO_BENCH_SERVE_FAULT", "");
+  if (!fault_rate_str.empty()) {
+    double rate = 0.0;
+    try {
+      std::size_t used = 0;
+      rate = std::stod(fault_rate_str, &used);
+      if (used != fault_rate_str.size() || !(rate >= 0.0) || rate > 1.0) {
+        std::fprintf(stderr, "bad LOWINO_BENCH_SERVE_FAULT (want rate in [0,1]): %s\n",
+                     fault_rate_str.c_str());
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad LOWINO_BENCH_SERVE_FAULT (want rate in [0,1]): %s\n",
+                   fault_rate_str.c_str());
+      return 2;
+    }
+    if (rate > 0.0) return run_fault_soak(rate, hw, window_s, max_batch);
+  }
 
   SequentialModel model = make_miniresnet(hw);
   const Tensor<float> calib = random_input(hw, 42);

@@ -15,6 +15,8 @@
 #include <span>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace lowino {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
@@ -71,8 +73,12 @@ class AlignedBuffer {
 
   ~AlignedBuffer() { release(); }
 
-  /// Re-allocates for `count` elements; contents are uninitialized.
+  /// Re-allocates for `count` elements; contents are uninitialized. A
+  /// fault point (arena-alloc) sits on the grow path so allocation failure
+  /// at plan/rebuild time is injectable; steady-state ensure() calls never
+  /// reach it.
   void reset(std::size_t count) {
+    maybe_inject_fault(FaultSite::kArenaAlloc);
     release();
     size_ = count;
     if (count == 0) return;

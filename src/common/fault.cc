@@ -1,0 +1,325 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <vector>
+
+#include "common/env.h"
+
+namespace lowino {
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSessionRun: return "session-run";
+    case FaultSite::kEngineExecute: return "engine-execute";
+    case FaultSite::kPlanLoad: return "plan-load";
+    case FaultSite::kArenaAlloc: return "arena-alloc";
+    case FaultSite::kWorkerStart: return "worker-start";
+  }
+  return "?";
+}
+
+std::optional<FaultSite> fault_site_from_name(std::string_view name) {
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    if (name == fault_site_name(site)) return site;
+  }
+  return std::nullopt;
+}
+
+FaultInjectedError::FaultInjectedError(FaultSite site)
+    : std::runtime_error(std::string("injected fault at ") + fault_site_name(site)),
+      site_(site) {}
+
+namespace fault_detail {
+namespace {
+
+enum class ArmMode : std::uint8_t { kOff, kRate, kNext, kCalls };
+
+/// Per-site arm. `checked`/`injected` are written from fault points on any
+/// thread; the configuration fields are written only while (re)arming, which
+/// happens under g_plan_mu with g_fault_enabled off.
+struct SiteArm {
+  ArmMode mode = ArmMode::kOff;
+  std::uint64_t rate_cutoff = 0;  ///< kRate: fail iff hash < cutoff
+  std::uint64_t seed = 0;
+  std::atomic<std::int64_t> remaining{0};  ///< kNext: budget of failing checks
+  std::vector<std::uint64_t> indices;      ///< kCalls: sorted failing indices
+  std::atomic<std::uint64_t> checked{0};
+  std::atomic<std::uint64_t> injected{0};
+
+  void reset() {
+    mode = ArmMode::kOff;
+    rate_cutoff = 0;
+    seed = 0;
+    remaining.store(0, std::memory_order_relaxed);
+    indices.clear();
+    checked.store(0, std::memory_order_relaxed);
+    injected.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct Plan {
+  std::array<SiteArm, kFaultSiteCount> sites;
+};
+
+Plan& plan() {
+  static Plan p;
+  return p;
+}
+
+std::mutex& plan_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+SiteArm& arm(FaultSite site) { return plan().sites[static_cast<std::size_t>(site)]; }
+
+/// splitmix64 — the per-check decision hash for kRate (deterministic in the
+/// check index, independent of which thread performs the check).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Quiesces checks, mutates the plan via `fn`, re-enables iff `enable`.
+/// Checks racing the flip either see enabled=false (no-op) or complete
+/// against the old plan before the store below (mutators only run from the
+/// arming thread in tests/benches, where no checks are concurrently inside
+/// the slow path by construction of those tests).
+template <typename Fn>
+void with_plan_locked(bool enable, Fn&& fn) {
+  std::lock_guard<std::mutex> lk(plan_mu());
+  g_fault_enabled.store(false, std::memory_order_relaxed);
+  fn(plan());
+  g_fault_enabled.store(enable, std::memory_order_relaxed);
+}
+
+struct ParsedArm {
+  FaultSite site = FaultSite::kSessionRun;
+  double rate = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// "site:rate:seed[,site:rate:seed...]" -> arms. nullopt on any bad field.
+std::optional<std::vector<ParsedArm>> parse_spec(std::string_view spec) {
+  std::vector<ParsedArm> arms;
+  // A trailing comma would silently drop its (empty) entry below — reject.
+  if (!spec.empty() && spec.back() == ',') return std::nullopt;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t c1 = entry.find(':');
+    if (c1 == std::string_view::npos) return std::nullopt;
+    const std::size_t c2 = entry.find(':', c1 + 1);
+    if (c2 == std::string_view::npos) return std::nullopt;
+    ParsedArm a;
+    const auto site = fault_site_from_name(entry.substr(0, c1));
+    if (!site) return std::nullopt;
+    a.site = *site;
+    try {
+      std::size_t used = 0;
+      const std::string rate_str(entry.substr(c1 + 1, c2 - c1 - 1));
+      a.rate = std::stod(rate_str, &used);
+      if (used != rate_str.size() || !(a.rate >= 0.0) || a.rate > 1.0) return std::nullopt;
+      const std::string seed_str(entry.substr(c2 + 1));
+      a.seed = std::stoull(seed_str, &used);
+      if (used != seed_str.size()) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    arms.push_back(a);
+  }
+  return arms;
+}
+
+std::uint64_t rate_to_cutoff(double rate) {
+  if (rate >= 1.0) return ~0ULL;
+  // rate * 2^64 without overflowing double->u64 conversion at the top end.
+  return static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+}
+
+}  // namespace
+
+void check_and_throw(FaultSite site) {
+  SiteArm& a = arm(site);
+  const std::uint64_t index = a.checked.fetch_add(1, std::memory_order_relaxed);
+  bool fail = false;
+  switch (a.mode) {
+    case ArmMode::kOff:
+      break;
+    case ArmMode::kRate:
+      fail = a.rate_cutoff == ~0ULL ||
+             mix(a.seed ^ (static_cast<std::uint64_t>(site) << 56) ^ index) < a.rate_cutoff;
+      break;
+    case ArmMode::kNext:
+      fail = a.remaining.fetch_sub(1, std::memory_order_relaxed) > 0;
+      break;
+    case ArmMode::kCalls:
+      fail = std::binary_search(a.indices.begin(), a.indices.end(), index);
+      break;
+  }
+  if (fail) {
+    a.injected.fetch_add(1, std::memory_order_relaxed);
+    throw FaultInjectedError(site);
+  }
+}
+
+}  // namespace fault_detail
+
+std::uint64_t fault_checked_count(FaultSite site) {
+  return fault_detail::arm(site).checked.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fault_injected_count(FaultSite site) {
+  return fault_detail::arm(site).injected.load(std::memory_order_relaxed);
+}
+
+bool fault_spec_valid(std::string_view spec) {
+  return spec.empty() || fault_detail::parse_spec(spec).has_value();
+}
+
+bool fault_arm_spec(std::string_view spec) {
+  if (spec.empty()) {
+    fault_disarm();
+    return true;
+  }
+  const auto arms = fault_detail::parse_spec(spec);
+  if (!arms) return false;
+  fault_detail::with_plan_locked(true, [&](fault_detail::Plan& p) {
+    for (auto& s : p.sites) s.reset();
+    for (const auto& a : *arms) {
+      auto& s = p.sites[static_cast<std::size_t>(a.site)];
+      s.mode = fault_detail::ArmMode::kRate;
+      s.rate_cutoff = fault_detail::rate_to_cutoff(a.rate);
+      s.seed = a.seed;
+    }
+  });
+  return true;
+}
+
+void fault_disarm() {
+  fault_detail::with_plan_locked(false, [](fault_detail::Plan& p) {
+    for (auto& s : p.sites) s.reset();
+  });
+}
+
+bool fault_apply_env() {
+  // Latched: the spec is read once per distinct value; a ScopedRuntimeOverride
+  // followed by another fault_apply_env() re-applies.
+  static std::mutex mu;
+  static std::string applied;
+  static bool seen = false;
+  std::lock_guard<std::mutex> lk(mu);
+  const std::string spec = config_string("LOWINO_FAULT", "");
+  if (!seen || spec != applied) {
+    seen = true;
+    applied = spec;
+    fault_arm_spec(spec);
+  }
+  return fault_injection_enabled();
+}
+
+// ---------------------------------------------------------------------------
+// ScopedFaultPlan
+//
+// The previous plan's configuration is snapshotted on construction and
+// restored on destruction. Counters always restart from zero for the scope.
+
+namespace {
+
+struct PlanSnapshot {
+  struct Site {
+    fault_detail::ArmMode mode;
+    std::uint64_t rate_cutoff, seed;
+    std::int64_t remaining;
+    std::vector<std::uint64_t> indices;
+  };
+  std::array<Site, kFaultSiteCount> sites;
+  bool enabled = false;
+};
+
+// One nesting level per live ScopedFaultPlan; plans are scoped and rare, a
+// simple vector-stack under the plan mutex is plenty.
+std::vector<PlanSnapshot>& snapshot_stack() {
+  static std::vector<PlanSnapshot> stack;
+  return stack;
+}
+
+}  // namespace
+
+ScopedFaultPlan::ScopedFaultPlan() {
+  PlanSnapshot snap;
+  snap.enabled = fault_injection_enabled();
+  fault_detail::with_plan_locked(true, [&](fault_detail::Plan& p) {
+    for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+      auto& a = p.sites[s];
+      snap.sites[s] = {a.mode, a.rate_cutoff, a.seed,
+                       a.remaining.load(std::memory_order_relaxed), a.indices};
+      a.reset();
+    }
+    snapshot_stack().push_back(std::move(snap));
+  });
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  PlanSnapshot snap;
+  bool enable = false;
+  fault_detail::with_plan_locked(false, [&](fault_detail::Plan& p) {
+    snap = std::move(snapshot_stack().back());
+    snapshot_stack().pop_back();
+    for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+      auto& a = p.sites[s];
+      a.reset();
+      a.mode = snap.sites[s].mode;
+      a.rate_cutoff = snap.sites[s].rate_cutoff;
+      a.seed = snap.sites[s].seed;
+      a.remaining.store(snap.sites[s].remaining, std::memory_order_relaxed);
+      a.indices = std::move(snap.sites[s].indices);
+    }
+    enable = snap.enabled;
+  });
+  // with_plan_locked stored `false`; re-enable if the outer plan was live.
+  if (enable) fault_detail::g_fault_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ScopedFaultPlan::fail_rate(FaultSite site, double rate, std::uint64_t seed) {
+  if (!(rate >= 0.0) || rate > 1.0) {
+    throw std::invalid_argument("ScopedFaultPlan: rate must be in [0, 1]");
+  }
+  fault_detail::with_plan_locked(true, [&](fault_detail::Plan& p) {
+    auto& a = p.sites[static_cast<std::size_t>(site)];
+    a.reset();
+    a.mode = fault_detail::ArmMode::kRate;
+    a.rate_cutoff = fault_detail::rate_to_cutoff(rate);
+    a.seed = seed;
+  });
+}
+
+void ScopedFaultPlan::fail_next(FaultSite site, std::uint64_t n) {
+  fault_detail::with_plan_locked(true, [&](fault_detail::Plan& p) {
+    auto& a = p.sites[static_cast<std::size_t>(site)];
+    a.reset();
+    a.mode = fault_detail::ArmMode::kNext;
+    a.remaining.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  });
+}
+
+void ScopedFaultPlan::fail_calls(FaultSite site,
+                                 std::initializer_list<std::uint64_t> indices) {
+  fault_detail::with_plan_locked(true, [&](fault_detail::Plan& p) {
+    auto& a = p.sites[static_cast<std::size_t>(site)];
+    a.reset();
+    a.mode = fault_detail::ArmMode::kCalls;
+    a.indices.assign(indices.begin(), indices.end());
+    std::sort(a.indices.begin(), a.indices.end());
+  });
+}
+
+}  // namespace lowino

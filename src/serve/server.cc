@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/fault.h"
 #include "parallel/thread_pool.h"
 
 namespace lowino {
@@ -34,6 +35,8 @@ const char* serve_result_name(ServeResult r) {
     case ServeResult::kQueueFull: return "queue-full";
     case ServeResult::kExpired: return "expired";
     case ServeResult::kShutdown: return "shutdown";
+    case ServeResult::kFailed: return "failed";
+    case ServeResult::kWorkerLost: return "worker-lost";
   }
   return "?";
 }
@@ -65,13 +68,34 @@ Batcher::Batcher(const BatcherOptions& options) : options_(options) {
   if (options_.capacity < options_.max_batch) {
     throw std::invalid_argument("Batcher: capacity must be >= max_batch");
   }
+  if (options_.shed_high != 0) {
+    if (options_.shed_high > options_.capacity) {
+      throw std::invalid_argument("Batcher: shed_high must be <= capacity");
+    }
+    shed_low_ = options_.shed_low != 0 ? options_.shed_low : options_.shed_high / 2;
+    if (shed_low_ >= options_.shed_high) {
+      throw std::invalid_argument("Batcher: shed_low must be < shed_high");
+    }
+  }
   queue_.reserve(options_.capacity);
 }
 
-bool Batcher::admit(std::uint32_t ticket, Nanos now, Nanos deadline) {
-  if (queue_.size() >= options_.capacity) return false;
+Batcher::Admit Batcher::admit(std::uint32_t ticket, Nanos now, Nanos deadline) {
+  if (queue_.size() >= options_.capacity) return Admit::kFull;
+  if (options_.shed_high != 0) {
+    // Hysteresis: engage at shed_high, disengage only once the queue has
+    // drained to shed_low — admissions in between follow the current state,
+    // so the server alternates between whole accepted and whole shed bursts
+    // instead of flapping per request.
+    if (queue_.size() >= options_.shed_high) shedding_ = true;
+    if (shedding_) return Admit::kShed;
+  }
   queue_.push_back(Pending{ticket, now, deadline});
-  return true;
+  return Admit::kAdmitted;
+}
+
+void Batcher::update_shed_after_removal() {
+  if (shedding_ && queue_.size() <= shed_low_) shedding_ = false;
 }
 
 std::size_t Batcher::expire(Nanos now, std::vector<std::uint32_t>& expired) {
@@ -86,6 +110,7 @@ std::size_t Batcher::expire(Nanos now, std::vector<std::uint32_t>& expired) {
     }
   }
   queue_.resize(kept);
+  update_shed_after_removal();
   return removed;
 }
 
@@ -99,6 +124,15 @@ std::size_t Batcher::pop(std::vector<std::uint32_t>& batch) {
   const std::size_t n = std::min(queue_.size(), options_.max_batch);
   for (std::size_t i = 0; i < n; ++i) batch.push_back(queue_[i].ticket);
   queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  update_shed_after_removal();
+  return n;
+}
+
+std::size_t Batcher::clear(std::vector<std::uint32_t>& out) {
+  const std::size_t n = queue_.size();
+  for (const Pending& p : queue_) out.push_back(p.ticket);
+  queue_.clear();
+  update_shed_after_removal();
   return n;
 }
 
@@ -135,9 +169,15 @@ std::uint32_t ServerCore::submit(const float* input, float* output, Nanos now,
     return kNoTicket;
   }
   const std::uint32_t ticket = free_.back();
-  if (!batcher_.admit(ticket, now, deadline)) {
-    ++stats_.rejected_full;
-    return kNoTicket;
+  switch (batcher_.admit(ticket, now, deadline)) {
+    case Batcher::Admit::kFull:
+      ++stats_.rejected_full;
+      return kNoTicket;
+    case Batcher::Admit::kShed:
+      ++stats_.rejected_shed;
+      return kNoTicket;
+    case Batcher::Admit::kAdmitted:
+      break;
   }
   free_.pop_back();
   Slot& slot = slots_[ticket];
@@ -145,6 +185,7 @@ std::uint32_t ServerCore::submit(const float* input, float* output, Nanos now,
   slot.output = output;
   slot.enqueue_ns = now;
   slot.state = SlotState::kQueued;
+  slot.worker_lost = false;
   ++stats_.submitted;
   return ticket;
 }
@@ -155,10 +196,12 @@ SlotState ServerCore::state(std::uint32_t ticket) const {
 
 void ServerCore::release(std::uint32_t ticket) {
   Slot& slot = slots_[ticket];
-  assert(slot.state == SlotState::kDone || slot.state == SlotState::kExpired);
+  assert(slot.state == SlotState::kDone || slot.state == SlotState::kExpired ||
+         slot.state == SlotState::kFailed);
   slot.state = SlotState::kFree;
   slot.input = nullptr;
   slot.output = nullptr;
+  slot.worker_lost = false;
   free_.push_back(ticket);
 }
 
@@ -209,6 +252,47 @@ void ServerCore::complete(std::span<const std::uint32_t> batch) {
   stats_.served += batch.size();
 }
 
+void ServerCore::complete_one(std::uint32_t ticket) {
+  Slot& slot = slots_[ticket];
+  assert(slot.state == SlotState::kRunning);
+  slot.state = SlotState::kDone;
+  assert(running_ >= 1);
+  --running_;
+  ++stats_.served;
+}
+
+void ServerCore::fail(std::uint32_t ticket, bool lost) {
+  Slot& slot = slots_[ticket];
+  assert(slot.state == SlotState::kRunning);
+  slot.state = SlotState::kFailed;
+  slot.worker_lost = lost;
+  assert(running_ >= 1);
+  --running_;
+  if (lost) {
+    ++stats_.worker_lost;
+  } else {
+    ++stats_.failed;
+  }
+}
+
+std::size_t ServerCore::fail_all_queued(std::vector<std::uint32_t>& out) {
+  const std::size_t base = out.size();
+  const std::size_t n = batcher_.clear(out);
+  for (std::size_t i = base; i < out.size(); ++i) {
+    Slot& slot = slots_[out[i]];
+    assert(slot.state == SlotState::kQueued);
+    slot.state = SlotState::kFailed;
+    slot.worker_lost = true;
+  }
+  stats_.worker_lost += n;
+  return n;
+}
+
+bool ServerCore::failed_by_worker_loss(std::uint32_t ticket) const {
+  const Slot& slot = slots_[ticket];
+  return slot.state == SlotState::kFailed && slot.worker_lost;
+}
+
 const float* ServerCore::slot_input(std::uint32_t ticket) const {
   return slots_[ticket].input;
 }
@@ -240,8 +324,26 @@ ManualServer::StepOutcome ManualServer::step() {
   if (core_.ready(now)) {
     core_.close_batch(now, outcome.batch);
     if (!outcome.batch.empty()) {
-      runner_(outcome.batch, core_);
-      core_.complete(outcome.batch);
+      try {
+        runner_(outcome.batch, core_);
+        core_.complete(outcome.batch);
+      } catch (...) {
+        // The batch attempt threw: contain it. Retry every member alone so a
+        // single poisoned request cannot sink its batchmates; only members
+        // whose individual retry also throws end kFailed.
+        core_.note_batch_failure();
+        for (const std::uint32_t t : outcome.batch) {
+          const std::uint32_t single[1] = {t};
+          core_.note_retry();
+          try {
+            runner_(std::span<const std::uint32_t>(single, 1), core_);
+            core_.complete_one(t);
+          } catch (...) {
+            core_.fail(t);
+            outcome.failed.push_back(t);
+          }
+        }
+      }
     }
   }
   return outcome;
@@ -270,8 +372,21 @@ BatcherOptions resolve_batcher_options(const ServerOptions& o) {
                    ? o.queue_capacity
                    : std::max<std::size_t>(o.num_workers, 1) * o.max_batch * 4;
   b.capacity = std::max(b.capacity, b.max_batch);
+  b.shed_high = o.shed_high_watermark;
+  b.shed_low = o.shed_low_watermark;
   return b;
 }
+
+/// Worker supervision tuning: a worker whose batches keep failing wholesale
+/// (every member's individual retry threw too — the session itself, not a
+/// poisoned input, is the suspect) rebuilds its session after this many
+/// consecutive all-failed batches ...
+constexpr std::size_t kRebuildThreshold = 3;
+/// ... trying this many compiles ...
+constexpr int kRebuildAttempts = 3;
+/// ... with doubling backoff between attempts, capped.
+constexpr Nanos kRebuildBackoffBaseNs = 250'000;   // 250 us
+constexpr Nanos kRebuildBackoffCapNs = 5'000'000;  // 5 ms
 
 /// Replicates the calibration input's images cyclically into a max_batch
 /// tensor. Replication changes no per-channel value distribution, so KL
@@ -299,33 +414,43 @@ VirtualClock& BatchingServer::clock() const {
 
 BatchingServer::BatchingServer(SequentialModel& model, const Tensor<float>& calib_input,
                                const ServerOptions& options)
-    : options_(options), core_(resolve_batcher_options(options)) {
+    : options_(options), model_(&model), core_(resolve_batcher_options(options)) {
   if (options_.num_workers < 1) {
     throw std::invalid_argument("BatchingServer: num_workers must be >= 1");
   }
-  const Tensor<float> calib = replicate_calibration(calib_input, options_.max_batch);
-  input_elems_ = calib.size() / options_.max_batch;
+  calib_ = replicate_calibration(calib_input, options_.max_batch);
+  input_elems_ = calib_.size() / options_.max_batch;
 
   workers_ = std::vector<Worker>(options_.num_workers);
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     workers_[w].pool = std::make_unique<ThreadPool>(options_.threads_per_worker);
   }
   // Worker 0 plans (shoot-out / wisdom / forced engine per the caller's
-  // options); every other worker replays the resulting immutable plan, so
-  // the fleet serves identical engine choices without re-measuring.
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
+  // options) and must succeed — a server that cannot build even one session
+  // is a construction error, not a degraded fleet. Every other worker
+  // replays the resulting immutable plan (identical engine choices, no
+  // re-measuring) best-effort: one that fails to build degrades out and is
+  // retried at the next start().
+  {
+    Worker& w0 = workers_.front();
+    maybe_inject_fault(FaultSite::kWorkerStart);
     PlanOptions plan = options_.plan;
-    plan.pool = workers_[w].pool.get();
-    if (w > 0) plan.reuse = &plan_;
-    workers_[w].session.emplace(InferenceSession::compile(model, calib, plan));
-    if (w == 0) plan_ = workers_[w].session->plan();
+    plan.pool = w0.pool.get();
+    w0.session.emplace(InferenceSession::compile(model, calib_, plan));
+    plan_ = w0.session->plan();
+    // Pre-warm against the worker's own gather/scatter tensors: the first
+    // run shapes `out`, and afterwards the hot path never allocates.
+    w0.in.reshape(calib_.shape());
+    std::fill(w0.in.data(), w0.in.data() + w0.in.size(), 0.0f);
+    w0.session->run(w0.in, w0.out);
   }
-  // Pre-warm each worker against its own gather/scatter tensors: the first
-  // run shapes `out`, and afterwards the hot path never allocates.
-  for (Worker& w : workers_) {
-    w.in.reshape(calib.shape());
-    std::fill(w.in.data(), w.in.data() + w.in.size(), 0.0f);
-    w.session->run(w.in, w.out);
+  for (std::size_t w = 1; w < workers_.size(); ++w) {
+    try {
+      build_worker_session(workers_[w]);
+    } catch (...) {
+      workers_[w].lost = true;
+      ++workers_lost_;
+    }
   }
   output_elems_ = workers_.front().out.size() / options_.max_batch;
 
@@ -340,29 +465,62 @@ void BatchingServer::start() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (accepting_) return;
+    // Resurrect workers degraded out of a previous run (best effort — a
+    // rebuild that fails here just leaves the worker lost for another try).
+    for (Worker& w : workers_) {
+      if (!w.lost) continue;
+      try {
+        build_worker_session(w);
+        ++worker_restarts_;
+      } catch (...) {
+      }
+    }
+    std::size_t live = 0;
+    for (const Worker& w : workers_) {
+      if (!w.lost) ++live;
+    }
+    if (live == 0) {
+      throw std::runtime_error("BatchingServer::start: no worker could build a session");
+    }
+    // An abandoned worker's loop returned without a stop() to join it; its
+    // dead handle must be joined before a new thread is assigned over it.
+    for (Worker& w : workers_) {
+      if (w.thread.joinable()) w.thread.join();
+    }
     stopping_ = false;
     core_.end_drain();
     accepting_ = true;
+    workers_live_ = live;
   }
   for (Worker& w : workers_) {
-    w.thread = std::thread([this, &w] { worker_loop(w); });
+    if (!w.lost) w.thread = std::thread([this, &w] { worker_loop(w); });
   }
 }
 
 void BatchingServer::stop() {
+  // Move the joinable handles out under the lock so a concurrent stop() (or
+  // a serve()/stop() race) never touches a std::thread from two threads.
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (!accepting_ && !stopping_) {
-      if (workers_.empty() || !workers_.front().thread.joinable()) return;
-    }
     accepting_ = false;
-    stopping_ = true;
-    core_.begin_drain();
-    work_cv_.notify_all();
+    if (!stopping_) {
+      bool any = false;
+      for (const Worker& w : workers_) {
+        if (w.thread.joinable()) any = true;
+      }
+      if (any) {
+        stopping_ = true;
+        core_.begin_drain();
+        work_cv_.notify_all();
+      }
+    }
+    to_join.reserve(workers_.size());
+    for (Worker& w : workers_) {
+      if (w.thread.joinable()) to_join.push_back(std::move(w.thread));
+    }
   }
-  for (Worker& w : workers_) {
-    if (w.thread.joinable()) w.thread.join();
-  }
+  for (std::thread& t : to_join) t.join();
 }
 
 bool BatchingServer::running() const {
@@ -393,18 +551,46 @@ ServeResult BatchingServer::serve(std::span<const float> image, std::span<float>
   SlotSync& sync = slot_sync_[ticket];
   sync.cv.wait(lk, [&] {
     const SlotState s = core_.state(ticket);
-    return s == SlotState::kDone || s == SlotState::kExpired;
+    return s == SlotState::kDone || s == SlotState::kExpired || s == SlotState::kFailed;
   });
-  const ServeResult result = core_.state(ticket) == SlotState::kDone
-                                 ? ServeResult::kOk
-                                 : ServeResult::kExpired;
+  ServeResult result;
+  switch (core_.state(ticket)) {
+    case SlotState::kDone:
+      result = ServeResult::kOk;
+      break;
+    case SlotState::kExpired:
+      result = ServeResult::kExpired;
+      break;
+    default:
+      result = core_.failed_by_worker_loss(ticket) ? ServeResult::kWorkerLost
+                                                   : ServeResult::kFailed;
+      break;
+  }
   core_.release(ticket);
   return result;
+}
+
+ServerHealth BatchingServer::health() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerHealth h;
+  h.workers = workers_.size();
+  h.workers_live = workers_live_;
+  h.workers_lost = workers_lost_;
+  h.restarts = worker_restarts_;
+  h.accepting = accepting_;
+  h.shedding = core_.shedding();
+  return h;
 }
 
 void BatchingServer::worker_loop(Worker& worker) {
   std::vector<std::uint32_t> batch;
   batch.reserve(options_.max_batch);
+  std::vector<std::uint8_t> ok;
+  ok.reserve(options_.max_batch);
+  // Consecutive batches in which *every* member failed even on its
+  // individual retry. Partial failures reset it: when retries succeed the
+  // session is healthy and the failure was input-bound, not worker-bound.
+  std::size_t consecutive_failures = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     // Wait for a closeable batch, expiring overdue SLOs as deadlines pass.
@@ -414,7 +600,10 @@ void BatchingServer::worker_loop(Worker& worker) {
       core_.expire(now, expired_scratch_);
       for (const std::uint32_t t : expired_scratch_) slot_sync_[t].cv.notify_one();
       if (core_.ready(now)) break;
-      if (stopping_ && core_.pending() == 0) return;
+      if (stopping_ && core_.pending() == 0) {
+        if (workers_live_ > 0) --workers_live_;
+        return;
+      }
       const Nanos event = core_.next_event();
       if (event == kNoDeadline) {
         work_cv_.wait(lk);
@@ -430,10 +619,36 @@ void BatchingServer::worker_loop(Worker& worker) {
     // batch): hand it to another idle worker before going busy.
     if (core_.pending() > 0) work_cv_.notify_one();
     lk.unlock();
-    run_batch(worker, batch);
+    ok.assign(batch.size(), 0);
+    std::size_t retries = 0;
+    const bool batch_ok = run_batch_contained(worker, batch, ok, retries);
     lk.lock();
-    core_.complete(batch);
+    if (batch_ok) {
+      core_.complete(batch);
+      consecutive_failures = 0;
+    } else {
+      core_.note_batch_failure();
+      for (std::size_t r = 0; r < retries; ++r) core_.note_retry();
+      bool all_failed = true;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (ok[i]) {
+          core_.complete_one(batch[i]);
+          all_failed = false;
+        } else {
+          core_.fail(batch[i]);
+        }
+      }
+      consecutive_failures = all_failed ? consecutive_failures + 1 : 0;
+    }
     for (const std::uint32_t t : batch) slot_sync_[t].cv.notify_one();
+    if (consecutive_failures >= kRebuildThreshold) {
+      if (supervise_rebuild(worker, lk)) {
+        consecutive_failures = 0;
+      } else {
+        abandon_worker(worker);
+        return;  // lk unlocks on scope exit
+      }
+    }
   }
 }
 
@@ -452,6 +667,97 @@ void BatchingServer::run_batch(Worker& worker, std::span<const std::uint32_t> ba
   for (std::size_t i = 0; i < batch.size(); ++i) {
     std::memcpy(core_.slot_output(batch[i]), scatter + i * output_elems_,
                 output_elems_ * sizeof(float));
+  }
+}
+
+void BatchingServer::run_single(Worker& worker, std::uint32_t ticket) {
+  // The isolation retry: one request in lane 0 of the batch tensor. The
+  // remaining lanes keep whatever the aborted batch left behind —
+  // per-image independence makes them harmless, and lane 0's result is
+  // bit-identical to the same image in any batch.
+  std::memcpy(worker.in.data(), core_.slot_input(ticket), input_elems_ * sizeof(float));
+  worker.session->run(worker.in, worker.out);
+  std::memcpy(core_.slot_output(ticket), worker.out.data(),
+              output_elems_ * sizeof(float));
+}
+
+bool BatchingServer::run_batch_contained(Worker& worker,
+                                         std::span<const std::uint32_t> batch,
+                                         std::vector<std::uint8_t>& ok,
+                                         std::size_t& retries) {
+  try {
+    run_batch(worker, batch);
+    std::fill(ok.begin(), ok.end(), 1);
+    return true;
+  } catch (...) {
+    // Fall through to the member-by-member isolation pass.
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ++retries;
+    try {
+      run_single(worker, batch[i]);
+      ok[i] = 1;
+    } catch (...) {
+      ok[i] = 0;
+    }
+  }
+  return false;
+}
+
+void BatchingServer::build_worker_session(Worker& worker) {
+  maybe_inject_fault(FaultSite::kWorkerStart);
+  PlanOptions plan = options_.plan;
+  plan.pool = worker.pool.get();
+  plan.reuse = &plan_;
+  // Replays never touch a shared WisdomStore: concurrent rebuilding workers
+  // would race on it, and a replayed plan has nothing new to record anyway.
+  plan.wisdom = nullptr;
+  InferenceSession session = InferenceSession::compile(*model_, calib_, plan);
+  // Pre-warm before installing, so a throw anywhere above (including
+  // injected session-run faults) retains the worker's previous session.
+  worker.in.reshape(calib_.shape());
+  std::fill(worker.in.data(), worker.in.data() + worker.in.size(), 0.0f);
+  session.run(worker.in, worker.out);
+  worker.session.emplace(std::move(session));
+  worker.lost = false;
+}
+
+bool BatchingServer::supervise_rebuild(Worker& worker, std::unique_lock<std::mutex>& lk) {
+  // Compile outside the lock — rebuilds are slow and the surviving workers
+  // must keep serving. The worker's own tensors/session are safe to touch
+  // unlocked: only this thread ever uses them.
+  lk.unlock();
+  bool ok = false;
+  Nanos backoff = kRebuildBackoffBaseNs;
+  for (int attempt = 0; attempt < kRebuildAttempts && !ok; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      backoff = std::min<Nanos>(backoff * 2, kRebuildBackoffCapNs);
+    }
+    try {
+      build_worker_session(worker);
+      ok = true;
+    } catch (...) {
+    }
+  }
+  lk.lock();
+  if (ok) ++worker_restarts_;
+  return ok;
+}
+
+void BatchingServer::abandon_worker(Worker& worker) {
+  worker.lost = true;
+  worker.session.reset();
+  ++workers_lost_;
+  if (workers_live_ > 0) --workers_live_;
+  if (workers_live_ == 0) {
+    // Fleet loss: nothing is left to ever run the queue. Fail everything
+    // still queued as worker-lost and stop admitting, so no client hangs on
+    // an empty fleet.
+    accepting_ = false;
+    expired_scratch_.clear();
+    core_.fail_all_queued(expired_scratch_);
+    for (const std::uint32_t t : expired_scratch_) slot_sync_[t].cv.notify_one();
   }
 }
 

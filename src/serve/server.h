@@ -34,6 +34,25 @@
 //     allocations in steady state (asserted under the operator-new counter
 //     in tests/test_server_stress.cc).
 //
+// Fault tolerance (the layer this file adds on top of the batching design):
+//
+//   * Exception containment — a throw anywhere inside batch execution
+//     (engine failure, allocation failure, injected fault) is caught at the
+//     batch boundary and fails only the affected requests (ServeResult::
+//     kFailed); the server lives on. A failed batch's members are retried
+//     individually first, so one poisoned request cannot sink its
+//     batchmates.
+//   * Worker supervision — a worker whose session keeps failing rebuilds it
+//     from the shared SessionPlan with capped backoff; a worker whose
+//     rebuild fails degrades out of the fleet (clients of a fully-lost
+//     fleet get kWorkerLost, never a hang) and health() reports it.
+//   * Overload shedding — watermark-based early rejection in the Batcher
+//     (see BatcherOptions::shed_high) bounces requests at the door when the
+//     queue is hopeless instead of letting them expire inside it.
+//
+// All of it is deterministic and unit-testable through ManualServer plus the
+// seeded fault-injection harness (common/fault.h, LOWINO_FAULT).
+//
 // Clock injection: the threaded server reads its VirtualClock only for
 // timestamps (admission, deadlines). Timed condition-variable waits convert
 // clock deltas to real waits, so a FakeClock paired with the *threaded*
@@ -95,9 +114,14 @@ class FakeClock final : public VirtualClock {
 /// Outcome of one serve() call.
 enum class ServeResult {
   kOk,         ///< output span holds the request's result
-  kQueueFull,  ///< admission queue at capacity; request never enqueued
+  kQueueFull,  ///< admission queue at capacity (or shedding); never enqueued
   kExpired,    ///< SLO deadline passed while the request was still queued
   kShutdown,   ///< server not running (or stopping); request never enqueued
+  kFailed,     ///< this request's execution failed; the failure was contained
+               ///< (batchmates unaffected, server still serving, output span
+               ///< untouched)
+  kWorkerLost, ///< abandoned: the serving worker (or the whole fleet) died
+               ///< and could not be rebuilt; output span untouched
 };
 const char* serve_result_name(ServeResult r);
 
@@ -105,6 +129,14 @@ struct BatcherOptions {
   std::size_t max_batch = 4;   ///< close a batch at this many requests
   Nanos linger_ns = 1000000;   ///< max wait of the oldest queued request
   std::size_t capacity = 64;   ///< admission queue bound (>= max_batch)
+  /// Overload shedding with hysteresis: once the queue depth reaches
+  /// shed_high, new admissions are rejected (Admit::kShed — the request is
+  /// bounced *early* instead of expiring pointlessly in a hopeless queue)
+  /// until the depth drains back to shed_low. 0 disables shedding;
+  /// shed_low == 0 derives shed_high / 2. Requires shed_low < shed_high <=
+  /// capacity when enabled.
+  std::size_t shed_high = 0;
+  std::size_t shed_low = 0;
 };
 
 /// Cumulative serving counters (ServerCore fills them; the threaded server
@@ -114,6 +146,11 @@ struct ServeStats {
   std::uint64_t served = 0;            ///< completed with a result
   std::uint64_t rejected_full = 0;     ///< bounced: queue at capacity
   std::uint64_t rejected_expired = 0;  ///< bounced: SLO passed while queued
+  std::uint64_t rejected_shed = 0;     ///< bounced early: overload shedding
+  std::uint64_t failed = 0;            ///< failed by a contained execution error
+  std::uint64_t worker_lost = 0;       ///< abandoned by a dying worker/fleet
+  std::uint64_t batch_failures = 0;    ///< batch executions that threw
+  std::uint64_t retries = 0;           ///< individual re-runs after a batch failure
   std::uint64_t batches = 0;           ///< batches closed
   std::uint64_t batched_requests = 0;  ///< sum of closed batch sizes
   std::uint64_t closed_full = 0;       ///< batches closed because full
@@ -129,12 +166,17 @@ struct ServeStats {
 /// methods are O(pending) worst case and never allocate after construction.
 class Batcher {
  public:
+  /// Admission decision. kShed is an *early* overload rejection: the queue
+  /// had room, but the shed watermark said the request would only wait to
+  /// die (see BatcherOptions::shed_high).
+  enum class Admit { kAdmitted, kFull, kShed };
+
   explicit Batcher(const BatcherOptions& options);
 
   /// Enqueues a ticket observed at `now` with an absolute deadline (queued
   /// requests whose deadline passes are expired, never batched). Returns
-  /// false when the queue is at capacity.
-  bool admit(std::uint32_t ticket, Nanos now, Nanos deadline = kNoDeadline);
+  /// kFull at capacity, kShed while overload shedding is engaged.
+  Admit admit(std::uint32_t ticket, Nanos now, Nanos deadline = kNoDeadline);
 
   /// Removes every queued ticket whose deadline is <= now, appending them to
   /// `expired` in FIFO order. Returns the number removed.
@@ -154,8 +196,13 @@ class Batcher {
   /// deadline. kNoDeadline when the queue is empty or nothing is pending.
   Nanos next_event() const;
 
+  /// Removes every queued ticket (FIFO order appended to `out`) regardless
+  /// of batch size — the fleet-loss drain, where nothing is left to run them.
+  std::size_t clear(std::vector<std::uint32_t>& out);
+
   std::size_t pending() const { return queue_.size(); }
   Nanos oldest_enqueue() const;  ///< kNoDeadline when empty
+  bool shedding() const { return shedding_; }  ///< shed state engaged
   const BatcherOptions& options() const { return options_; }
 
  private:
@@ -164,14 +211,22 @@ class Batcher {
     Nanos enqueue_ns = 0;
     Nanos deadline_ns = kNoDeadline;
   };
+  void update_shed_after_removal();
+
   BatcherOptions options_;
+  std::size_t shed_low_ = 0;    ///< resolved disengage watermark
+  bool shedding_ = false;       ///< hysteresis state
   std::vector<Pending> queue_;  ///< FIFO; reserved to capacity, never grows
 };
 
 /// Request slot states. Transitions (all driven by ServerCore):
 /// Free -submit-> Queued -close_batch-> Running -complete-> Done -release->
-/// Free, with Queued -expire-> Expired -release-> Free.
-enum class SlotState : std::uint8_t { kFree, kQueued, kRunning, kDone, kExpired };
+/// Free, with Queued -expire-> Expired -release-> Free and the failure
+/// edges Running -fail-> Failed -release-> Free (contained execution error
+/// or worker loss) plus Queued -fail_all_queued-> Failed (fleet loss).
+enum class SlotState : std::uint8_t {
+  kFree, kQueued, kRunning, kDone, kExpired, kFailed
+};
 
 /// Ticket-to-request binding + lifecycle + stats over a Batcher. Explicitly
 /// clocked and lock-free by design (synchronization belongs to the caller);
@@ -206,6 +261,23 @@ class ServerCore {
   std::size_t close_batch(Nanos now, std::vector<std::uint32_t>& batch);
   /// Marks a closed batch's slots kDone (clients may collect + release).
   void complete(std::span<const std::uint32_t> batch);
+  /// Marks one kRunning slot kDone (the per-member path after a batch-level
+  /// failure was isolated by individual retries).
+  void complete_one(std::uint32_t ticket);
+  /// Marks one kRunning slot kFailed. `lost` distinguishes a worker/fleet
+  /// loss (client sees kWorkerLost) from a contained execution error
+  /// (kFailed); stats count the two separately.
+  void fail(std::uint32_t ticket, bool lost = false);
+  /// Fails every still-queued request as worker-lost (the fleet-loss drain:
+  /// no worker remains to ever run them). Tickets append to `out` so the
+  /// caller can wake the blocked clients. Returns the number failed.
+  std::size_t fail_all_queued(std::vector<std::uint32_t>& out);
+  /// True when a kFailed slot was failed by worker loss (not a contained
+  /// execution error).
+  bool failed_by_worker_loss(std::uint32_t ticket) const;
+  /// Failure-containment bookkeeping (see ServeStats).
+  void note_batch_failure() { ++stats_.batch_failures; }
+  void note_retry() { ++stats_.retries; }
 
   const float* slot_input(std::uint32_t ticket) const;
   float* slot_output(std::uint32_t ticket) const;
@@ -219,6 +291,7 @@ class ServerCore {
   bool idle() const { return batcher_.pending() == 0 && running_ == 0; }
 
   std::size_t pending() const { return batcher_.pending(); }
+  bool shedding() const { return batcher_.shedding(); }
   std::size_t running() const { return running_; }
   std::size_t capacity() const { return slots_.size(); }
   const ServeStats& stats() const { return stats_; }
@@ -230,6 +303,7 @@ class ServerCore {
     float* output = nullptr;
     Nanos enqueue_ns = 0;
     SlotState state = SlotState::kFree;
+    bool worker_lost = false;  ///< kFailed flavor: abandoned vs contained
   };
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  ///< free-list (stack), reserved
@@ -257,9 +331,17 @@ class ManualServer {
   struct StepOutcome {
     std::vector<std::uint32_t> expired;  ///< tickets SLO-expired this step
     std::vector<std::uint32_t> batch;    ///< batch run this step (maybe empty)
+    std::vector<std::uint32_t> failed;   ///< batch members failed this step
   };
   /// One worker iteration at clock->now(): expire, then close + run at most
   /// one batch (during a drain, partial batches close immediately).
+  ///
+  /// Exception containment: a runner that throws fails the *batch attempt*,
+  /// not its members — each member is then retried individually through the
+  /// runner, so one poisoned request cannot sink its batchmates. Members
+  /// whose individual retry also throws end kFailed (outcome.failed); the
+  /// rest end kDone with their retry's output. step() itself never throws
+  /// on a runner exception.
   StepOutcome step();
 
   /// Runs steps until the core is idle (shutdown drain). Returns steps run.
@@ -287,12 +369,29 @@ struct ServerOptions {
   std::size_t threads_per_worker = 1;
   /// Admission queue bound; 0 derives num_workers * max_batch * 4.
   std::size_t queue_capacity = 0;
+  /// Overload shed watermarks (queue depth; see BatcherOptions::shed_high).
+  /// 0 disables shedding; shed_low_watermark == 0 derives high / 2.
+  std::size_t shed_high_watermark = 0;
+  std::size_t shed_low_watermark = 0;
   /// Timestamp source; null uses RealClock::instance(). See the file comment
   /// for the FakeClock caveat with the threaded server.
   VirtualClock* clock = nullptr;
   /// Planning options for worker 0's compile (pool is overridden per worker;
   /// workers 1..N-1 replay worker 0's plan via PlanOptions::reuse).
   PlanOptions plan;
+};
+
+/// Point-in-time fleet health, snapshotted by BatchingServer::health().
+/// A degraded server keeps serving on its surviving workers and says so
+/// here instead of dying.
+struct ServerHealth {
+  std::size_t workers = 0;        ///< configured fleet size
+  std::size_t workers_live = 0;   ///< worker loops currently serving
+  std::uint64_t workers_lost = 0; ///< degraded out (session rebuild failed)
+  std::uint64_t restarts = 0;     ///< successful worker session rebuilds
+  bool accepting = false;         ///< serve() currently admits
+  bool shedding = false;          ///< overload shed engaged right now
+  bool degraded() const { return workers_lost > 0; }
 };
 
 /// The threaded dynamic-batching server. See the file comment.
@@ -322,14 +421,17 @@ class BatchingServer {
   ServeResult serve(std::span<const float> image, std::span<float> output,
                     Nanos slo_ns = kUseDefaultSlo);
 
-  /// Restarts worker threads after stop(). No-op when running.
+  /// Restarts worker threads after stop(). No-op when running. Workers whose
+  /// session was lost to a failed rebuild are re-built here (best effort);
+  /// throws std::runtime_error when not a single worker can start.
   void start();
   /// Drains (queued and in-flight requests complete; new serve() calls get
   /// kShutdown) and joins the workers. No-op when stopped.
   void stop();
   bool running() const;
 
-  ServeStats stats() const;  ///< snapshot
+  ServeStats stats() const;    ///< snapshot
+  ServerHealth health() const; ///< snapshot (supervision + shed state)
   const SessionPlan& plan() const { return plan_; }
   std::size_t input_elems() const { return input_elems_; }
   std::size_t output_elems() const { return output_elems_; }
@@ -343,19 +445,42 @@ class BatchingServer {
     Tensor<float> in;   ///< gather target, shape (max_batch, C, H, W)
     Tensor<float> out;  ///< scatter source, shape (max_batch, ...)
     std::thread thread;
+    bool lost = false;  ///< degraded out (guarded by mu_)
   };
   struct SlotSync {
-    std::condition_variable cv;  ///< client waits for kDone/kExpired
+    std::condition_variable cv;  ///< client waits for kDone/kExpired/kFailed
   };
 
   VirtualClock& clock() const;
   void worker_loop(Worker& worker);
   /// Gather -> session.run -> scatter, called without the lock held (slot
-  /// bindings of a kRunning batch are immutable until complete()).
+  /// bindings of a kRunning batch are immutable until complete()/fail()).
   void run_batch(Worker& worker, std::span<const std::uint32_t> batch);
+  /// Gather one request into lane 0 -> run -> scatter lane 0 (the isolation
+  /// retry; per-image independence makes stale lanes harmless).
+  void run_single(Worker& worker, std::uint32_t ticket);
+  /// Exception-contained batch execution: a throwing batch attempt is
+  /// retried member by member. ok[i] reports each member's outcome; returns
+  /// false when the batch attempt threw. Never throws. `retries` counts the
+  /// individual re-runs performed.
+  bool run_batch_contained(Worker& worker, std::span<const std::uint32_t> batch,
+                           std::vector<std::uint8_t>& ok, std::size_t& retries);
+  /// (Re)builds `worker`'s session by replaying the shared plan (worker-start
+  /// fault point inside). Strong guarantee: on throw the previous session, if
+  /// any, is retained.
+  void build_worker_session(Worker& worker);
+  /// Rebuild with capped backoff, called with `lk` held (unlocks around the
+  /// compile attempts). True on success.
+  bool supervise_rebuild(Worker& worker, std::unique_lock<std::mutex>& lk);
+  /// Degrades `worker` out of the fleet under the lock; when it was the last
+  /// live worker, fails all queued requests as worker-lost and stops
+  /// accepting so no client ever hangs on an empty fleet.
+  void abandon_worker(Worker& worker);
 
   ServerOptions options_;
   SessionPlan plan_;
+  SequentialModel* model_ = nullptr;  ///< for worker session rebuilds
+  Tensor<float> calib_;               ///< replicated calibration input
   std::size_t input_elems_ = 0;
   std::size_t output_elems_ = 0;
   std::vector<Worker> workers_;
@@ -367,6 +492,9 @@ class BatchingServer {
   std::vector<std::uint32_t> expired_scratch_;  ///< guarded by mu_, reserved
   bool accepting_ = false;  ///< serve() admits only when true
   bool stopping_ = false;   ///< workers exit once the queue drains
+  std::size_t workers_live_ = 0;      ///< worker loops running (guarded by mu_)
+  std::uint64_t workers_lost_ = 0;    ///< degraded out, cumulative
+  std::uint64_t worker_restarts_ = 0; ///< successful session rebuilds
 };
 
 }  // namespace lowino

@@ -1,10 +1,12 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "direct/direct_f32.h"
 #include "gemm/fp32_gemm.h"
@@ -249,13 +251,34 @@ std::optional<SessionPlan> SessionPlan::deserialize(const std::string& text) {
 }
 
 bool SessionPlan::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << serialize();
-  return static_cast<bool>(out);
+  // Crash-safe: write the whole plan to a sibling temp file, then rename it
+  // over the target. A failure (or injected fault) mid-save leaves any
+  // previous file untouched — a reader never observes a torn plan.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << serialize();
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  try {
+    maybe_inject_fault(FaultSite::kPlanLoad);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::optional<SessionPlan> SessionPlan::load(const std::string& path) {
+  maybe_inject_fault(FaultSite::kPlanLoad);
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream buf;
@@ -912,6 +935,7 @@ void* InferenceSession::value_out(std::size_t v, Tensor<float>& output) {
 }
 
 void InferenceSession::run(const Tensor<float>& input, Tensor<float>& output) {
+  maybe_inject_fault(FaultSite::kSessionRun);
   if (input.shape() != values_[0].shape) {
     throw std::invalid_argument("InferenceSession::run: input shape does not match the plan");
   }
@@ -937,6 +961,10 @@ void InferenceSession::execute_op(Op& op, const void* in0, const void* in1, void
   const Value& vo = values_[op.out];
   switch (op.kind) {
     case Op::Kind::kConvEngine: {
+      // Injected *before* the engine touches its state: a faulted op leaves
+      // the engine and every arena value exactly as a never-started op would,
+      // so a run aborted here is safely retryable from the top.
+      maybe_inject_fault(FaultSite::kEngineExecute);
       PostOps post;
       post.relu = op.fuse_relu;
       if (op.fuse_sum) {

@@ -1,10 +1,13 @@
 #include "tuning/wisdom.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string_view>
+
+#include "common/fault.h"
 
 namespace lowino {
 
@@ -179,13 +182,34 @@ WisdomStore WisdomStore::deserialize(const std::string& text) {
 }
 
 bool WisdomStore::save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << serialize();
-  return static_cast<bool>(out);
+  // Crash-safe: temp-file write + rename (the SessionPlan::save discipline).
+  // A failure or injected fault between the two leaves the previous wisdom
+  // file byte-identical on disk.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << serialize();
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  try {
+    maybe_inject_fault(FaultSite::kPlanLoad);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::optional<WisdomStore> WisdomStore::load(const std::string& path) {
+  maybe_inject_fault(FaultSite::kPlanLoad);
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::ostringstream buf;

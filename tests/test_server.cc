@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "nn/model_zoo.h"
 #include "parallel/thread_pool.h"
@@ -44,13 +45,15 @@ BatcherOptions batcher_options(std::size_t max_batch, Nanos linger_ns,
   return o;
 }
 
+bool admitted(Batcher::Admit a) { return a == Batcher::Admit::kAdmitted; }
+
 // --- Batcher: the pure policy ----------------------------------------------
 
 TEST(Batcher, FullBatchClosesImmediately) {
   Batcher b(batcher_options(4, 10 * kMs, 16));
-  for (std::uint32_t t = 0; t < 3; ++t) EXPECT_TRUE(b.admit(t, /*now=*/100));
+  for (std::uint32_t t = 0; t < 3; ++t) EXPECT_TRUE(admitted(b.admit(t, /*now=*/100)));
   EXPECT_FALSE(b.ready(100)) << "3 of 4 queued, linger not expired";
-  EXPECT_TRUE(b.admit(3, 100));
+  EXPECT_TRUE(admitted(b.admit(3, 100)));
   EXPECT_TRUE(b.ready(100)) << "a full batch closes regardless of linger";
   std::vector<std::uint32_t> batch;
   EXPECT_EQ(b.pop(batch), 4u);
@@ -60,7 +63,7 @@ TEST(Batcher, FullBatchClosesImmediately) {
 
 TEST(Batcher, LingerDeadlineClosesPartialBatch) {
   Batcher b(batcher_options(4, 5 * kMs, 16));
-  ASSERT_TRUE(b.admit(7, /*now=*/1000));
+  ASSERT_TRUE(admitted(b.admit(7, /*now=*/1000)));
   EXPECT_FALSE(b.ready(1000));
   EXPECT_FALSE(b.ready(1000 + 5 * kMs - 1));
   EXPECT_TRUE(b.ready(1000 + 5 * kMs)) << "oldest request lingered out";
@@ -71,8 +74,8 @@ TEST(Batcher, LingerDeadlineClosesPartialBatch) {
 
 TEST(Batcher, LingerTracksOldestRequest) {
   Batcher b(batcher_options(4, 5 * kMs, 16));
-  ASSERT_TRUE(b.admit(0, 0));
-  ASSERT_TRUE(b.admit(1, 4 * kMs));
+  ASSERT_TRUE(admitted(b.admit(0, 0)));
+  ASSERT_TRUE(admitted(b.admit(1, 4 * kMs)));
   // The *oldest* admission drives the close, not the newest.
   EXPECT_TRUE(b.ready(5 * kMs));
   EXPECT_EQ(b.next_event(), 5 * kMs);
@@ -80,9 +83,9 @@ TEST(Batcher, LingerTracksOldestRequest) {
 
 TEST(Batcher, SloDeadlineExpiresQueuedRequests) {
   Batcher b(batcher_options(4, 100 * kMs, 16));
-  ASSERT_TRUE(b.admit(0, 0, /*deadline=*/10 * kMs));
-  ASSERT_TRUE(b.admit(1, 0, /*deadline=*/kNoDeadline));
-  ASSERT_TRUE(b.admit(2, 0, /*deadline=*/3 * kMs));
+  ASSERT_TRUE(admitted(b.admit(0, 0, /*deadline=*/10 * kMs)));
+  ASSERT_TRUE(admitted(b.admit(1, 0, /*deadline=*/kNoDeadline)));
+  ASSERT_TRUE(admitted(b.admit(2, 0, /*deadline=*/3 * kMs)));
   EXPECT_EQ(b.next_event(), 3 * kMs) << "earliest deadline wins over linger";
   std::vector<std::uint32_t> expired;
   EXPECT_EQ(b.expire(3 * kMs - 1, expired), 0u);
@@ -95,18 +98,18 @@ TEST(Batcher, SloDeadlineExpiresQueuedRequests) {
 
 TEST(Batcher, CapacityBoundsAdmissions) {
   Batcher b(batcher_options(2, kMs, 3));
-  EXPECT_TRUE(b.admit(0, 0));
-  EXPECT_TRUE(b.admit(1, 0));
-  EXPECT_TRUE(b.admit(2, 0));
-  EXPECT_FALSE(b.admit(3, 0)) << "queue at capacity";
+  EXPECT_TRUE(admitted(b.admit(0, 0)));
+  EXPECT_TRUE(admitted(b.admit(1, 0)));
+  EXPECT_TRUE(admitted(b.admit(2, 0)));
+  EXPECT_FALSE(admitted(b.admit(3, 0))) << "queue at capacity";
   std::vector<std::uint32_t> batch;
   EXPECT_EQ(b.pop(batch), 2u) << "pop is bounded by max_batch, not capacity";
-  EXPECT_TRUE(b.admit(3, 0)) << "capacity freed by the pop";
+  EXPECT_TRUE(admitted(b.admit(3, 0))) << "capacity freed by the pop";
 }
 
 TEST(Batcher, FifoAcrossMultipleBatches) {
   Batcher b(batcher_options(3, kMs, 16));
-  for (std::uint32_t t = 0; t < 8; ++t) ASSERT_TRUE(b.admit(t, t));
+  for (std::uint32_t t = 0; t < 8; ++t) ASSERT_TRUE(admitted(b.admit(t, t)));
   std::vector<std::uint32_t> batch;
   b.pop(batch);
   EXPECT_EQ(batch, (std::vector<std::uint32_t>{0, 1, 2}));
@@ -504,6 +507,209 @@ TEST(BatchingServer, ServeValidatesSpanSizes) {
   EXPECT_THROW(server.serve(in2, out2), std::invalid_argument);
 }
 
+// --- Overload shedding -------------------------------------------------------
+
+TEST(Batcher, ShedWatermarksEngageAndDisengageWithHysteresis) {
+  BatcherOptions o = batcher_options(2, kMs, 8);
+  o.shed_high = 4;
+  o.shed_low = 2;
+  Batcher b(o);
+  for (std::uint32_t t = 0; t < 4; ++t) ASSERT_TRUE(admitted(b.admit(t, 0)));
+  EXPECT_FALSE(b.shedding()) << "watermark reached, but not checked until an admit";
+  EXPECT_EQ(b.admit(4, 0), Batcher::Admit::kShed) << "depth 4 >= shed_high engages";
+  EXPECT_TRUE(b.shedding());
+  EXPECT_EQ(b.admit(5, 0), Batcher::Admit::kShed) << "stays engaged above shed_low";
+
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(b.pop(batch), 2u);  // depth 4 -> 2 == shed_low: disengage
+  EXPECT_FALSE(b.shedding());
+  EXPECT_TRUE(admitted(b.admit(6, 0))) << "hysteresis reopened the door";
+}
+
+TEST(Batcher, ShedLowDefaultsToHalfOfShedHigh) {
+  BatcherOptions o = batcher_options(1, kMs, 8);
+  o.shed_high = 4;  // shed_low derives 2
+  Batcher b(o);
+  for (std::uint32_t t = 0; t < 4; ++t) ASSERT_TRUE(admitted(b.admit(t, 0)));
+  EXPECT_EQ(b.admit(9, 0), Batcher::Admit::kShed);
+  std::vector<std::uint32_t> batch;
+  b.pop(batch);  // depth 3 > derived shed_low
+  EXPECT_TRUE(b.shedding());
+  batch.clear();
+  b.pop(batch);  // depth 2 == derived shed_low
+  EXPECT_FALSE(b.shedding());
+}
+
+TEST(Batcher, RejectsDegenerateShedWatermarks) {
+  BatcherOptions high = batcher_options(2, kMs, 8);
+  high.shed_high = 9;  // > capacity
+  EXPECT_THROW(Batcher{high}, std::invalid_argument);
+  BatcherOptions inverted = batcher_options(2, kMs, 8);
+  inverted.shed_high = 3;
+  inverted.shed_low = 3;  // must be < shed_high
+  EXPECT_THROW(Batcher{inverted}, std::invalid_argument);
+}
+
+TEST(ServerCore, ShedRejectionsAreCountedSeparately) {
+  BatcherOptions o = batcher_options(2, kMs, 8);
+  o.shed_high = 4;
+  o.shed_low = 2;
+  ServerCore core(o);
+  float in[1], out[1];
+  for (int i = 0; i < 4; ++i) ASSERT_NE(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_EQ(core.submit(in, out, 0), ServerCore::kNoTicket);
+  EXPECT_TRUE(core.shedding());
+  EXPECT_EQ(core.stats().rejected_shed, 1u);
+  EXPECT_EQ(core.stats().rejected_full, 0u) << "shed and full are distinct causes";
+  std::vector<std::uint32_t> batch;
+  core.close_batch(0, batch);  // depth 4 -> 2: disengages
+  EXPECT_FALSE(core.shedding());
+  EXPECT_NE(core.submit(in, out, 0), ServerCore::kNoTicket);
+}
+
+// --- Failure containment: slot transitions ----------------------------------
+
+TEST(ServerCore, FailedSlotsCountAndRecycle) {
+  ServerCore core(batcher_options(2, kMs, 4));
+  float in[1] = {1}, out[1] = {0};
+  const std::uint32_t t0 = core.submit(in, out, 0);
+  const std::uint32_t t1 = core.submit(in, out, 0);
+  std::vector<std::uint32_t> batch;
+  ASSERT_EQ(core.close_batch(0, batch), 2u);
+
+  core.fail(t0);
+  core.complete_one(t1);
+  EXPECT_EQ(core.state(t0), SlotState::kFailed);
+  EXPECT_FALSE(core.failed_by_worker_loss(t0)) << "contained error, not abandonment";
+  EXPECT_EQ(core.state(t1), SlotState::kDone);
+  EXPECT_TRUE(core.idle());
+  EXPECT_EQ(core.stats().failed, 1u);
+  EXPECT_EQ(core.stats().served, 1u);
+
+  core.release(t0);
+  core.release(t1);
+  EXPECT_NE(core.submit(in, out, 0), ServerCore::kNoTicket)
+      << "a failed slot recycles like any other";
+}
+
+TEST(ServerCore, FleetLossFailsEveryQueuedRequest) {
+  ServerCore core(batcher_options(4, 100 * kMs, 8));
+  float in[1], out[1];
+  std::uint32_t tickets[3];
+  for (int i = 0; i < 3; ++i) {
+    tickets[i] = core.submit(in, out, 0);
+    ASSERT_NE(tickets[i], ServerCore::kNoTicket);
+  }
+  std::vector<std::uint32_t> failed;
+  EXPECT_EQ(core.fail_all_queued(failed), 3u);
+  EXPECT_EQ(failed, (std::vector<std::uint32_t>(tickets, tickets + 3))) << "FIFO";
+  for (const std::uint32_t t : tickets) {
+    EXPECT_EQ(core.state(t), SlotState::kFailed);
+    EXPECT_TRUE(core.failed_by_worker_loss(t)) << "fleet loss, not a contained error";
+    core.release(t);
+  }
+  EXPECT_EQ(core.stats().worker_lost, 3u);
+  EXPECT_EQ(core.stats().failed, 0u);
+  EXPECT_TRUE(core.idle());
+}
+
+// --- Failure containment: ManualServer retry isolation ----------------------
+
+constexpr float kPoison = -666.0f;
+
+/// Runner that throws whenever any request in the span carries the poison
+/// marker; healthy requests serve input + 100 (RecordingRunner's contract).
+ManualServer::BatchRunner poison_runner() {
+  return [](std::span<const std::uint32_t> tickets, ServerCore& core) {
+    for (const std::uint32_t t : tickets) {
+      if (core.slot_input(t)[0] == kPoison) throw std::runtime_error("poisoned input");
+    }
+    for (const std::uint32_t t : tickets) {
+      core.slot_output(t)[0] = core.slot_input(t)[0] + 100.0f;
+    }
+  };
+}
+
+TEST(ManualServer, PoisonedRequestIsIsolatedFromItsBatchmates) {
+  FakeClock clock;
+  ManualServer server(batcher_options(3, 10 * kMs, 8), &clock, poison_runner());
+  float in[3] = {1.0f, kPoison, 3.0f}, out[3] = {-1, -1, -1};
+  std::uint32_t tickets[3];
+  for (int i = 0; i < 3; ++i) tickets[i] = server.submit({&in[i], 1}, {&out[i], 1});
+
+  const ManualServer::StepOutcome o = server.step();
+  ASSERT_EQ(o.batch.size(), 3u);
+  EXPECT_EQ(o.failed, (std::vector<std::uint32_t>{tickets[1]}));
+  EXPECT_EQ(server.state(tickets[0]), SlotState::kDone);
+  EXPECT_EQ(server.state(tickets[1]), SlotState::kFailed);
+  EXPECT_EQ(server.state(tickets[2]), SlotState::kDone);
+  EXPECT_EQ(out[0], 101.0f);
+  EXPECT_EQ(out[1], -1.0f) << "a failed request's output is never written";
+  EXPECT_EQ(out[2], 103.0f);
+
+  const ServeStats& stats = server.core().stats();
+  EXPECT_EQ(stats.batch_failures, 1u);
+  EXPECT_EQ(stats.retries, 3u) << "every member re-ran individually";
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.served, 2u);
+}
+
+TEST(ManualServer, TransientBatchFailureRecoversEveryMember) {
+  FakeClock clock;
+  int calls = 0;
+  // Throws only on the very first invocation — a transient fault, gone by
+  // retry time.
+  ManualServer::BatchRunner runner = [&calls](std::span<const std::uint32_t> tickets,
+                                              ServerCore& core) {
+    if (calls++ == 0) throw std::runtime_error("transient");
+    for (const std::uint32_t t : tickets) {
+      core.slot_output(t)[0] = core.slot_input(t)[0] + 100.0f;
+    }
+  };
+  ManualServer server(batcher_options(2, 10 * kMs, 8), &clock, std::move(runner));
+  float in[2] = {1, 2}, out[2] = {-1, -1};
+  std::uint32_t tickets[2];
+  for (int i = 0; i < 2; ++i) tickets[i] = server.submit({&in[i], 1}, {&out[i], 1});
+
+  const ManualServer::StepOutcome o = server.step();
+  EXPECT_TRUE(o.failed.empty()) << "both retries succeeded";
+  EXPECT_EQ(out[0], 101.0f);
+  EXPECT_EQ(out[1], 102.0f);
+  EXPECT_EQ(server.core().stats().batch_failures, 1u);
+  EXPECT_EQ(server.core().stats().retries, 2u);
+  EXPECT_EQ(server.core().stats().served, 2u);
+  EXPECT_EQ(server.core().stats().failed, 0u);
+}
+
+// --- Deadline arithmetic at the epoch end (overflow regression) -------------
+
+TEST(Batcher, LingerArithmeticSaturatesAtTheEpochEnd) {
+  Batcher b(batcher_options(4, 10 * kMs, 8));
+  const Nanos late = std::numeric_limits<Nanos>::max() - 1;
+  ASSERT_TRUE(admitted(b.admit(0, late)));
+  EXPECT_EQ(b.next_event(), kNoDeadline) << "linger expiry saturates, never wraps";
+  EXPECT_FALSE(b.ready(late));
+  std::vector<std::uint32_t> expired;
+  EXPECT_EQ(b.expire(late, expired), 0u);
+}
+
+TEST(ManualServer, HugeSloSaturatesInsteadOfOverflowing) {
+  // A clock near the epoch end plus a finite SLO must saturate to
+  // kNoDeadline — a wrapped negative deadline would expire the request on
+  // the spot.
+  FakeClock clock(std::numeric_limits<Nanos>::max() - 2);
+  RecordingRunner runner;
+  ManualServer server(batcher_options(1, 10 * kMs, 4), &clock, runner.fn());
+  float in[1] = {1.0f}, out[1] = {-1.0f};
+  const std::uint32_t t = server.submit({in, 1}, {out, 1}, /*slo_ns=*/5 * kMs);
+  ASSERT_NE(t, ServerCore::kNoTicket);
+  const ManualServer::StepOutcome o = server.step();
+  EXPECT_TRUE(o.expired.empty());
+  ASSERT_EQ(o.batch.size(), 1u);
+  EXPECT_EQ(server.state(t), SlotState::kDone);
+  EXPECT_EQ(out[0], 101.0f);
+}
+
 TEST(BatchingServer, PlanIsSharedAcrossWorkers) {
   SequentialModel model = make_minivgg();
   const Tensor<float> calib = random_input(1, 16, 13);
@@ -517,6 +723,217 @@ TEST(BatchingServer, PlanIsSharedAcrossWorkers) {
     EXPECT_EQ(c.engine, EngineKind::kLoWinoF2);
   }
   EXPECT_EQ(server.num_workers(), 2u);
+}
+
+// --- Fault injection end to end ---------------------------------------------
+//
+// The acceptance scenario: a seeded engine-execute fault is steered into one
+// request of a full batch. That request — and only that request — must come
+// back kFailed; its batchmates must receive bit-identical serial results from
+// their isolation retries; the server must keep serving afterward; and the
+// stats must count exactly one failure. Deterministic: ManualServer +
+// ScopedFaultPlan::fail_calls, no threads, no clocks.
+
+TEST(ServerFault, InjectedEngineFaultFailsOneRequestBatchmatesExact) {
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  ThreadPool& pool = ThreadPool::global();
+  constexpr std::size_t kMaxBatch = 4, kHw = 16;
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib1 = random_input(1, kHw, 31);
+  Tensor<float> calibB({kMaxBatch, 1, kHw, kHw});
+  for (std::size_t b = 0; b < kMaxBatch; ++b) {
+    std::memcpy(calibB.data() + b * calib1.size(), calib1.data(),
+                calib1.size() * sizeof(float));
+  }
+
+  PlanOptions options;
+  options.forced_engine = EngineKind::kLoWinoF4;
+  options.pool = &pool;
+  InferenceSession serial = InferenceSession::compile(model, calib1, options);
+  InferenceSession batched = InferenceSession::compile(model, calibB, options);
+
+  SessionRunner runner(batched, kMaxBatch, calib1.size());
+  FakeClock clock;
+  ManualServer server(batcher_options(kMaxBatch, 10 * kMs, 16), &clock, runner.fn());
+
+  // Serial reference bits + submissions, all with injection disabled.
+  std::vector<Tensor<float>> inputs;
+  std::vector<std::vector<float>> refs;
+  std::vector<std::vector<float>> outputs(kMaxBatch);
+  std::uint32_t tickets[kMaxBatch];
+  Tensor<float> ref;
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    inputs.push_back(random_input(1, kHw, 500 + i));
+    serial.run(inputs[i], ref);
+    refs.emplace_back(ref.data(), ref.data() + ref.size());
+    outputs[i].assign(ref.size(), -1.0f);
+    tickets[i] = server.submit(inputs[i].span(), outputs[i]);
+    ASSERT_NE(tickets[i], ServerCore::kNoTicket);
+  }
+
+  ScopedFaultPlan plan;
+  serial.run(inputs[0], ref);  // probe: engine-execute checks per session run
+  const std::uint64_t k = fault_checked_count(FaultSite::kEngineExecute);
+  ASSERT_GT(k, 0u);
+  // step() crosses engine-execute in order: batch attempt, then one
+  // isolation retry per member. Failing check 0 sinks the batch attempt at
+  // its first conv (consuming exactly one check — the aborted run never
+  // reaches the rest). Member 0's retry then completes, consuming checks
+  // 1..k; check k+1 is the first conv of member 1's retry. Failing it steers
+  // the fault into request 1 and nothing else.
+  plan.fail_calls(FaultSite::kEngineExecute, {0, k + 1});
+
+  const ManualServer::StepOutcome o = server.step();
+  ASSERT_EQ(o.batch.size(), kMaxBatch);
+  EXPECT_EQ(o.failed, (std::vector<std::uint32_t>{tickets[1]}));
+  EXPECT_EQ(server.state(tickets[1]), SlotState::kFailed);
+  EXPECT_FALSE(server.core().failed_by_worker_loss(tickets[1]));
+  for (const std::size_t i : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    EXPECT_EQ(server.state(tickets[i]), SlotState::kDone);
+    EXPECT_EQ(0, std::memcmp(outputs[i].data(), refs[i].data(),
+                             refs[i].size() * sizeof(float)))
+        << "batchmate " << i << " must get the exact serial bits from its retry";
+  }
+  for (const float v : outputs[1]) ASSERT_EQ(v, -1.0f) << "failed output untouched";
+
+  const ServeStats& stats = server.core().stats();
+  EXPECT_EQ(stats.failed, 1u) << "exactly one failure";
+  EXPECT_EQ(stats.worker_lost, 0u);
+  EXPECT_EQ(stats.batch_failures, 1u);
+  EXPECT_EQ(stats.retries, kMaxBatch);
+  EXPECT_EQ(stats.served, kMaxBatch - 1);
+  for (std::size_t i = 0; i < kMaxBatch; ++i) server.release(tickets[i]);
+
+  // The server keeps serving: with the armed calls spent, a fresh request
+  // returns the exact serial bits.
+  std::vector<float> after(refs[0].size(), -1.0f);
+  const std::uint32_t t = server.submit(inputs[0].span(), after);
+  ASSERT_NE(t, ServerCore::kNoTicket);
+  clock.advance(10 * kMs);
+  server.step();
+  EXPECT_EQ(server.state(t), SlotState::kDone);
+  EXPECT_EQ(0, std::memcmp(after.data(), refs[0].data(), refs[0].size() * sizeof(float)));
+}
+
+// --- Worker supervision (threaded, deterministic via budgeted fault plans) --
+
+TEST(ServerFault, WorkerRebuildsItsSessionAfterRepeatedFailures) {
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 21);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.linger_ns = 0;
+  options.num_workers = 1;
+  options.plan.forced_engine = EngineKind::kInt8Direct;
+  BatchingServer server(model, calib, options);
+  std::vector<float> in(server.input_elems(), 0.25f);
+  std::vector<float> ref(server.output_elems(), -1.0f);
+  std::vector<float> out(server.output_elems(), -1.0f);
+  ASSERT_EQ(server.serve(in, ref), ServeResult::kOk) << "healthy baseline";
+
+  // Every aborted run consumes exactly one engine-execute check (the first
+  // conv throws, the rest never execute). A batch-of-1 serve burns two: the
+  // batch attempt and the lone member's retry. Budget 6 = three wholesale
+  // failures — exactly the supervisor's rebuild threshold — after which the
+  // budget is spent and the rebuild's pre-warm run succeeds.
+  ScopedFaultPlan plan;
+  plan.fail_next(FaultSite::kEngineExecute, 6);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.serve(in, out), ServeResult::kFailed) << "serve " << i;
+  }
+
+  EXPECT_EQ(server.serve(in, out), ServeResult::kOk) << "rebuilt worker serves again";
+  EXPECT_EQ(0, std::memcmp(out.data(), ref.data(), ref.size() * sizeof(float)))
+      << "the rebuilt session must produce the same bits as the original";
+  const ServerHealth h = server.health();
+  EXPECT_EQ(h.restarts, 1u);
+  EXPECT_EQ(h.workers_live, 1u);
+  EXPECT_FALSE(h.degraded());
+  EXPECT_TRUE(h.accepting);
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.batch_failures, 3u);
+  EXPECT_EQ(stats.retries, 3u);
+}
+
+TEST(ServerFault, FleetLossDegradesCleanlyAndNeverHangs) {
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 22);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.linger_ns = 0;
+  options.num_workers = 1;
+  options.plan.forced_engine = EngineKind::kInt8Direct;
+  BatchingServer server(model, calib, options);
+  std::vector<float> in(server.input_elems(), 0.25f), out(server.output_elems());
+
+  // Unlimited engine faults kill every run; unlimited worker-start faults
+  // kill every rebuild attempt. Three failed serves trip the supervisor,
+  // the rebuild exhausts its attempts, and the lone worker abandons —
+  // taking the fleet with it.
+  ScopedFaultPlan plan;
+  plan.fail_rate(FaultSite::kEngineExecute, 1.0, /*seed=*/0);
+  plan.fail_rate(FaultSite::kWorkerStart, 1.0, /*seed=*/0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.serve(in, out), ServeResult::kFailed) << "serve " << i;
+  }
+  // Post-loss serves must resolve cleanly — kWorkerLost while the
+  // abandonment races the submission, kShutdown once it lands — and the
+  // degraded state must become visible. Bounded loop, no hang either way.
+  ServeResult r = ServeResult::kOk;
+  for (int i = 0; i < 1000 && r != ServeResult::kShutdown; ++i) {
+    r = server.serve(in, out);
+    ASSERT_TRUE(r == ServeResult::kWorkerLost || r == ServeResult::kShutdown)
+        << serve_result_name(r);
+  }
+  EXPECT_EQ(r, ServeResult::kShutdown) << "a lost fleet stops accepting";
+
+  const ServerHealth h = server.health();
+  EXPECT_EQ(h.workers, 1u);
+  EXPECT_EQ(h.workers_live, 0u);
+  EXPECT_EQ(h.workers_lost, 1u);
+  EXPECT_EQ(h.restarts, 0u);
+  EXPECT_FALSE(h.accepting);
+  EXPECT_TRUE(h.degraded());
+
+  // start() retries the lost worker's session build: still sabotaged ->
+  // throws; healed (plan destroyed below restores no-faults) -> serves.
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+TEST(ServerFault, StartResurrectsLostWorkersOnceFaultsClear) {
+  ScopedRuntimeOverride calib_stride("LOWINO_CALIB_STRIDE", "1");
+  SequentialModel model = make_minivgg();
+  const Tensor<float> calib = random_input(1, 16, 23);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.linger_ns = 0;
+  options.num_workers = 1;
+  options.plan.forced_engine = EngineKind::kInt8Direct;
+  BatchingServer server(model, calib, options);
+  std::vector<float> in(server.input_elems(), 0.25f);
+  std::vector<float> ref(server.output_elems(), -1.0f);
+  std::vector<float> out(server.output_elems(), -2.0f);
+  ASSERT_EQ(server.serve(in, ref), ServeResult::kOk);
+
+  {
+    ScopedFaultPlan plan;
+    plan.fail_rate(FaultSite::kEngineExecute, 1.0, 0);
+    plan.fail_rate(FaultSite::kWorkerStart, 1.0, 0);
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(server.serve(in, out), ServeResult::kFailed);
+    while (server.health().workers_live != 0) std::this_thread::yield();
+  }
+  // Faults cleared: start() rebuilds the lost worker and serving resumes
+  // with the original bits.
+  server.start();
+  const ServerHealth h = server.health();
+  EXPECT_EQ(h.workers_live, 1u);
+  EXPECT_EQ(h.restarts, 1u);
+  EXPECT_TRUE(h.accepting);
+  EXPECT_EQ(server.serve(in, out), ServeResult::kOk);
+  EXPECT_EQ(0, std::memcmp(out.data(), ref.data(), ref.size() * sizeof(float)));
 }
 
 }  // namespace
