@@ -37,8 +37,9 @@ int bench_main() {
   const Tensor<float> calib = random_input(batch, hw, 42);
   const Tensor<float> input = random_input(batch, hw, 43);
 
-  const EngineKind candidates[] = {EngineKind::kInt8Direct, EngineKind::kLoWinoF2,
-                                   EngineKind::kLoWinoF4, EngineKind::kLoWinoF6};
+  const EngineKind candidates[] = {EngineKind::kInt8Direct,  EngineKind::kLoWinoF2,
+                                   EngineKind::kLoWinoF4,    EngineKind::kLoWinoF6,
+                                   EngineKind::kInt8Conv1x1, EngineKind::kInt8Depthwise};
 
   std::printf("InferenceSession vs forward_engine: batch=%zu hw=%zu, %zu thread(s)\n\n",
               batch, hw, pool.num_threads());
@@ -47,7 +48,9 @@ int bench_main() {
     const char* name;
     SequentialModel model;
   };
-  ModelSpec models[] = {{"MiniVGG", make_minivgg(hw)}, {"MiniResNet", make_miniresnet(hw)}};
+  ModelSpec models[] = {{"MiniVGG", make_minivgg(hw)},
+                        {"MiniResNet", make_miniresnet(hw)},
+                        {"MiniMobileNet", make_minimobilenet(hw)}};
 
   for (auto& spec : models) {
     std::printf("=== %s ===\n", spec.name);

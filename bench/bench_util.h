@@ -43,7 +43,7 @@ inline LayerData make_layer_data(const ConvDesc& desc, std::uint64_t seed) {
   LayerData d;
   Rng rng(seed);
   d.input.resize(desc.batch * desc.in_channels * desc.height * desc.width);
-  d.weights.resize(desc.out_channels * desc.in_channels * desc.kernel * desc.kernel);
+  d.weights.resize(desc.out_channels * desc.group_in_channels() * desc.kernel * desc.kernel);
   d.bias.resize(desc.out_channels);
   for (auto& v : d.input) v = rng.uniform(-1.0f, 1.0f);
   for (auto& v : d.weights) v = rng.normal() * 0.08f;

@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
   ThreadPool& pool = ThreadPool::global();
   std::vector<float> output(reference.size());
   for (EngineKind kind : kinds) {
+    if (!engine_caps(kind, desc).supports) {
+      std::printf("%-38s %25s\n", engine_name(kind), "(shape not supported)");
+      continue;
+    }
     auto engine = make_conv_engine(kind, desc);
     engine->calibrate(input);
     engine->finalize_calibration();

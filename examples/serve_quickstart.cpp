@@ -1,9 +1,11 @@
 // Serving quick-start: the full plan-once / serve-many workflow.
 //
-//   build/examples/serve_quickstart [plan-path] [requests]
+//   build/examples/serve_quickstart [plan-path] [requests] [model]
 //
-//   1. compile an InferenceSession for MiniResNet (per-layer engine
-//      shoot-out, liveness-planned activation arena);
+//   model: miniresnet (default) | minivgg | minimobilenet
+//
+//   1. compile an InferenceSession for the chosen zoo model (per-layer
+//      engine shoot-out, liveness-planned activation arena);
 //   2. save the resulting plan to disk;
 //   3. reload the plan into a *fresh* session via PlanOptions::reuse —
 //      the deployment path, where plan time already happened elsewhere;
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   using namespace lowino;
   const std::string plan_path = argc > 1 ? argv[1] : "serve_plan.txt";
   const int requests = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::string model_name = argc > 3 ? argv[3] : "miniresnet";
 
   const std::size_t batch = 4, hw = 16;
   Rng rng(7);
@@ -35,7 +38,15 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < calib.size(); ++i)
     calib.data()[i] = rng.uniform(-1.0f, 1.0f);
 
-  SequentialModel model = make_miniresnet(hw);
+  SequentialModel model = [&] {
+    if (model_name == "miniresnet") return make_miniresnet(hw);
+    if (model_name == "minivgg") return make_minivgg(hw);
+    if (model_name == "minimobilenet") return make_minimobilenet(hw);
+    std::fprintf(stderr, "unknown model '%s' (miniresnet|minivgg|minimobilenet)\n",
+                 model_name.c_str());
+    std::exit(1);
+  }();
+  std::printf("model: %s\n", model_name.c_str());
 
   // --- Plan time -----------------------------------------------------------
   PlanOptions options;

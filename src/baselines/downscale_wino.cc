@@ -32,8 +32,10 @@ DownscaleWinoConv::DownscaleWinoConv(const ConvDesc& desc, std::size_t m,
                                      const Int8GemmBlocking& blocking)
     : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("DownscaleWinoConv");
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
+  if (desc.kernel < 2) throw std::invalid_argument("Winograd needs r >= 2");
   geo_ = WinogradGeometry(desc_, m);
   if (m == 2 && desc.kernel == 3) {
     tm_ = &canonical_f23();

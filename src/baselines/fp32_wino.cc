@@ -14,8 +14,10 @@ namespace lowino {
 
 Fp32WinoConv::Fp32WinoConv(const ConvDesc& desc, std::size_t m) : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("Fp32WinoConv");
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
+  if (desc.kernel < 2) throw std::invalid_argument("Winograd needs r >= 2");
   geo_ = WinogradGeometry(desc_, m);
   tm_ = (m == 2 && desc.kernel == 3)   ? &canonical_f23()
         : (m == 4 && desc.kernel == 3) ? &canonical_f43()

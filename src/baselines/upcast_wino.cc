@@ -48,6 +48,7 @@ void transform_filter_int16(const TransformMatrices& tm, const std::int8_t* g,
 
 UpcastWinoConv::UpcastWinoConv(const ConvDesc& desc) : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("UpcastWinoConv");
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
   if (desc.kernel != 3) throw std::invalid_argument("UpcastWinoConv: r = 3 only");

@@ -22,6 +22,7 @@ namespace lowino {
 VendorWinoF23::VendorWinoF23(const ConvDesc& desc, std::size_t cache_budget_bytes)
     : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("VendorWinoF23");
   if (desc.stride != 1) throw std::invalid_argument("unit stride only");
   if (!desc.symmetric_padding()) throw std::invalid_argument("symmetric padding only");
   if (desc.kernel != 3) throw std::invalid_argument("VendorWinoF23: r = 3 only");

@@ -1,0 +1,208 @@
+#include "direct/direct_1x1.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/saturate.h"
+#include "parallel/thread_pool.h"
+#include "quant/calibration.h"
+
+namespace lowino {
+namespace {
+
+/// Builds the (OH*OW) x c_pad A matrix for one image: quantize(+128) and
+/// transpose the C x H x W plane. Channel-major walk keeps the input reads
+/// sequential; the strided writes stay in cache (one row per spatial pixel).
+/// pad = 0 is guaranteed for r = 1, so there is no out-of-bounds branch.
+void gather_quantized(const ConvDesc& desc, const float* input, std::size_t b,
+                      float scale, std::size_t c_pad, std::uint8_t* a) {
+  const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width(), s = desc.stride;
+  for (std::size_t c = 0; c < C; ++c) {
+    const float* plane = input + ((b * C + c) * H) * W;
+    std::uint8_t* dst = a + c;
+    for (std::size_t oh = 0; oh < OH; ++oh) {
+      const float* src = plane + (oh * s) * W;
+      for (std::size_t ow = 0; ow < OW; ++ow) {
+        const std::int32_t q = round_nearest_even(src[ow * s] * scale) + 128;
+        dst[(oh * OW + ow) * c_pad] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+      }
+    }
+  }
+  // Padding channels: quantized zero, annihilated by the zero filter rows.
+  std::uint8_t* tail = a;
+  for (std::size_t p = 0; p < OH * OW; ++p, tail += c_pad) {
+    for (std::size_t c = C; c < c_pad; ++c) tail[c] = 128;
+  }
+}
+
+/// u8 hand-off gather: the bytes already carry the adopted quantization, so
+/// this is a pure (strided) transpose.
+void gather_u8(const ConvDesc& desc, const std::uint8_t* input, std::size_t b,
+               std::size_t c_pad, std::uint8_t* a) {
+  const std::size_t C = desc.in_channels, H = desc.height, W = desc.width;
+  const std::size_t OH = desc.out_height(), OW = desc.out_width(), s = desc.stride;
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::uint8_t* plane = input + ((b * C + c) * H) * W;
+    std::uint8_t* dst = a + c;
+    for (std::size_t oh = 0; oh < OH; ++oh) {
+      const std::uint8_t* src = plane + (oh * s) * W;
+      for (std::size_t ow = 0; ow < OW; ++ow) {
+        dst[(oh * OW + ow) * c_pad] = src[ow * s];
+      }
+    }
+  }
+  std::uint8_t* tail = a;
+  for (std::size_t p = 0; p < OH * OW; ++p, tail += c_pad) {
+    for (std::size_t c = C; c < c_pad; ++c) tail[c] = 128;
+  }
+}
+
+}  // namespace
+
+Int8Conv1x1Conv::Int8Conv1x1Conv(const ConvDesc& desc) : desc_(desc) {
+  desc.validate();
+  desc.require_ungrouped("Int8Conv1x1Conv");
+  if (desc.kernel != 1) {
+    throw std::invalid_argument("Int8Conv1x1Conv: kernel must be 1 [" + desc.to_string() +
+                                "]");
+  }
+  c_pad_ = round_up(desc_.in_channels, 4);
+  k_pad_ = round_up(desc_.out_channels, 16);
+}
+
+void Int8Conv1x1Conv::calibrate(std::span<const float> input_nchw) {
+  input_hist_.collect(input_nchw);
+}
+
+void Int8Conv1x1Conv::finalize_calibration() {
+  input_params_ = calibrate_params(input_hist_);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8Conv1x1Conv::set_input_threshold(float tau) {
+  input_params_ = QuantParams::from_threshold(tau);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8Conv1x1Conv::set_filters(std::span<const float> weights,
+                                  std::span<const float> bias) {
+  const std::size_t C = desc_.in_channels, K = desc_.out_channels;
+  assert(weights.size() >= K * C);
+  weights_fp32_.reset(K * C);
+  std::memcpy(weights_fp32_.data(), weights.data(), K * C * sizeof(float));
+  bias_.reset(K);
+  bias_.fill_zero();
+  if (!bias.empty()) std::memcpy(bias_.data(), bias.data(), K * sizeof(float));
+  filters_set_ = true;
+  if (input_scales_set_) pack_weights();
+}
+
+void Int8Conv1x1Conv::pack_weights() {
+  const std::size_t C = desc_.in_channels, K = desc_.out_channels;
+  // Per-channel exact weight scales (patch = C for r = 1).
+  std::vector<float> w_scale(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    float amax = 0.0f;
+    for (std::size_t c = 0; c < C; ++c) {
+      amax = std::max(amax, std::abs(weights_fp32_[k * C + c]));
+    }
+    w_scale[k] = QuantParams::from_threshold(amax).scale;
+  }
+  std::vector<std::int8_t> w_q(c_pad_ * k_pad_, 0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t c = 0; c < C; ++c) {
+      w_q[c * k_pad_ + k] = saturate_cast_i8(weights_fp32_[k * C + c] * w_scale[k]);
+    }
+  }
+  w_packed_.reset((c_pad_ / 4) * k_pad_ * 4);
+  pack_b_vpdpbusd(w_q.data(), c_pad_, k_pad_, w_packed_.data());
+  comp_.reset(k_pad_);
+  compute_compensation(w_q.data(), c_pad_, k_pad_, comp_.data());
+  w_dequant_.reset(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    w_dequant_[k] = 1.0f / (input_params_.scale * w_scale[k]);
+  }
+}
+
+void Int8Conv1x1Conv::set_input_u8(const QuantParams& qp) {
+  input_params_ = qp;
+  input_scales_set_ = true;
+  in_u8_ = true;
+  if (filters_set_) pack_weights();  // w_dequant_ depends on the input scale
+}
+
+void Int8Conv1x1Conv::set_output_u8(const QuantParams& qp) {
+  out_u8_ = true;
+  out_u8_qp_ = qp;
+}
+
+void Int8Conv1x1Conv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                   ThreadPool* pool, const PostOps& post) {
+  // The span API is FP32-by-contract regardless of u8 hand-off configuration.
+  execute_impl(input.data(), output.data(), false, false, pool, post);
+}
+
+void Int8Conv1x1Conv::execute_typed(const void* input, void* output, ThreadPool* pool,
+                                    const PostOps& post) {
+  execute_impl(input, output, in_u8_, out_u8_, pool, post);
+}
+
+void Int8Conv1x1Conv::execute_impl(const void* input, void* output, bool in_u8,
+                                   bool out_u8, ThreadPool* pool, const PostOps& post) {
+  assert(filters_set_ && input_scales_set_);
+  const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
+  const std::size_t rows = OH * OW;
+  const std::size_t K = desc_.out_channels;
+  a_.ensure(rows * c_pad_);
+  acc_.ensure(rows * k_pad_);
+  const float requant = out_u8_qp_.scale;
+  for (std::size_t b = 0; b < desc_.batch; ++b) {
+    if (in_u8) {
+      gather_u8(desc_, static_cast<const std::uint8_t*>(input), b, c_pad_, a_.data());
+    } else {
+      gather_quantized(desc_, static_cast<const float*>(input), b, input_params_.scale,
+                       c_pad_, a_.data());
+    }
+    int8_gemm_packed(a_.data(), c_pad_, w_packed_.data(), comp_.data(), acc_.data(),
+                     k_pad_, rows, c_pad_, k_pad_, blocking_, pool);
+    for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t plane = (b * K + k) * rows;
+      const float* res = post.sum != nullptr ? post.sum + plane : nullptr;
+      const std::uint8_t* res8 = post.sum_u8 != nullptr ? post.sum_u8 + plane : nullptr;
+      const float res8_inv = post.sum_u8_inv_scale;
+      const float dq = w_dequant_[k];
+      const float bk = bias_[k];
+      if (out_u8) {
+        std::uint8_t* dst = static_cast<std::uint8_t*>(output) + plane;
+        for (std::size_t p = 0; p < rows; ++p) {
+          float v = static_cast<float>(acc_[p * k_pad_ + k]) * dq + bk;
+          if (res != nullptr) v += res[p];
+          if (res8 != nullptr) {
+            v += static_cast<float>(static_cast<std::int32_t>(res8[p]) - 128) * res8_inv;
+          }
+          if (post.relu) v = std::max(0.0f, v);
+          // Requant stage: same rounding contract as quantize_u8_shift128.
+          const std::int32_t q = round_nearest_even(v * requant) + 128;
+          dst[p] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+        }
+      } else {
+        float* dst = static_cast<float*>(output) + plane;
+        for (std::size_t p = 0; p < rows; ++p) {
+          float v = static_cast<float>(acc_[p * k_pad_ + k]) * dq + bk;
+          if (res != nullptr) v += res[p];
+          if (res8 != nullptr) {
+            v += static_cast<float>(static_cast<std::int32_t>(res8[p]) - 128) * res8_inv;
+          }
+          dst[p] = post.relu ? std::max(0.0f, v) : v;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lowino

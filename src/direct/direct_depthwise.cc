@@ -1,0 +1,230 @@
+#include "direct/direct_depthwise.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/saturate.h"
+#include "parallel/thread_pool.h"
+#include "quant/calibration.h"
+
+namespace lowino {
+
+Int8DepthwiseConv::Int8DepthwiseConv(const ConvDesc& desc) : desc_(desc) {
+  desc.validate();
+  if (!desc.is_depthwise()) {
+    throw std::invalid_argument("Int8DepthwiseConv: depthwise only (groups == C > 1) [" +
+                                desc.to_string() + "]");
+  }
+  taps_ = desc_.kernel * desc_.kernel;
+}
+
+void Int8DepthwiseConv::calibrate(std::span<const float> input_nchw) {
+  input_hist_.collect(input_nchw);
+}
+
+void Int8DepthwiseConv::finalize_calibration() {
+  input_params_ = calibrate_params(input_hist_);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8DepthwiseConv::set_input_threshold(float tau) {
+  input_params_ = QuantParams::from_threshold(tau);
+  input_scales_set_ = true;
+  if (filters_set_) pack_weights();
+}
+
+void Int8DepthwiseConv::set_filters(std::span<const float> weights,
+                                    std::span<const float> bias) {
+  const std::size_t K = desc_.out_channels;
+  assert(weights.size() >= K * taps_);
+  weights_fp32_.reset(K * taps_);
+  std::memcpy(weights_fp32_.data(), weights.data(), K * taps_ * sizeof(float));
+  bias_.reset(K);
+  bias_.fill_zero();
+  if (!bias.empty()) std::memcpy(bias_.data(), bias.data(), K * sizeof(float));
+  filters_set_ = true;
+  if (input_scales_set_) pack_weights();
+}
+
+void Int8DepthwiseConv::pack_weights() {
+  const std::size_t K = desc_.out_channels;
+  w_q_.reset(K * taps_);
+  w_dequant_.reset(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    float amax = 0.0f;
+    for (std::size_t t = 0; t < taps_; ++t) {
+      amax = std::max(amax, std::abs(weights_fp32_[k * taps_ + t]));
+    }
+    const float w_scale = QuantParams::from_threshold(amax).scale;
+    for (std::size_t t = 0; t < taps_; ++t) {
+      w_q_[k * taps_ + t] = saturate_cast_i8(weights_fp32_[k * taps_ + t] * w_scale);
+    }
+    w_dequant_[k] = 1.0f / (input_params_.scale * w_scale);
+  }
+}
+
+void Int8DepthwiseConv::set_input_u8(const QuantParams& qp) {
+  input_params_ = qp;
+  input_scales_set_ = true;
+  in_u8_ = true;
+  if (filters_set_) pack_weights();  // w_dequant_ depends on the input scale
+}
+
+void Int8DepthwiseConv::set_output_u8(const QuantParams& qp) {
+  out_u8_ = true;
+  out_u8_qp_ = qp;
+}
+
+void Int8DepthwiseConv::execute_nchw(std::span<const float> input, std::span<float> output,
+                                     ThreadPool* pool, const PostOps& post) {
+  // The span API is FP32-by-contract regardless of u8 hand-off configuration.
+  execute_impl(input.data(), output.data(), false, false, pool, post);
+}
+
+void Int8DepthwiseConv::execute_typed(const void* input, void* output, ThreadPool* pool,
+                                      const PostOps& post) {
+  execute_impl(input, output, in_u8_, out_u8_, pool, post);
+}
+
+void Int8DepthwiseConv::execute_impl(const void* input, void* output, bool in_u8,
+                                     bool out_u8, ThreadPool* pool, const PostOps& post) {
+  assert(filters_set_ && input_scales_set_);
+  const std::size_t C = desc_.in_channels, H = desc_.height, W = desc_.width;
+  const std::size_t K = desc_.out_channels, r = desc_.kernel, s = desc_.stride;
+  const std::size_t pad = desc_.height_pad(), pad_w = desc_.width_pad();
+  const std::size_t OH = desc_.out_height(), OW = desc_.out_width();
+  const std::size_t rows = OH * OW;
+  const std::size_t mult = K / C;  ///< channel multiplier
+  const float scale = input_params_.scale;
+  const float requant = out_u8_qp_.scale;
+
+  const std::uint8_t* q_in = static_cast<const std::uint8_t*>(input);
+  if (!in_u8) {
+    // Quantize the whole activation tensor once (each plane is read `mult`
+    // times by the filter loop; quantizing up front keeps that loop integer).
+    const float* f_in = static_cast<const float*>(input);
+    const std::size_t elems = desc_.batch * C * H * W;
+    in_q_.ensure(elems);
+    auto quantize_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::int32_t q = round_nearest_even(f_in[i] * scale) + 128;
+        in_q_[i] = static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(elems, quantize_range);
+    } else {
+      quantize_range(0, elems);
+    }
+    q_in = in_q_.data();
+  }
+
+  // One (batch, output-channel) plane per work item: direct int32
+  // accumulation of (q - 128) * w_q over the in-bounds taps; out-of-bounds
+  // taps are quantized zero and contribute nothing.
+  auto plane_body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t bk = begin; bk < end; ++bk) {
+      const std::size_t b = bk / K, k = bk % K;
+      const std::size_t c = k / mult;  // the group's single input channel
+      const std::uint8_t* src = q_in + ((b * C + c) * H) * W;
+      const std::int8_t* w = w_q_.data() + k * taps_;
+      const std::size_t plane = (b * K + k) * rows;
+      const float* res = post.sum != nullptr ? post.sum + plane : nullptr;
+      const std::uint8_t* res8 = post.sum_u8 != nullptr ? post.sum_u8 + plane : nullptr;
+      const float res8_inv = post.sum_u8_inv_scale;
+      const float dq = w_dequant_[k];
+      const float bk_bias = bias_[k];
+      // Dequant / +sum / ReLU / requant epilogue for one finished pixel.
+      const auto store = [&](std::size_t p, std::int32_t acc) {
+        float v = static_cast<float>(acc) * dq + bk_bias;
+        if (res != nullptr) v += res[p];
+        if (res8 != nullptr) {
+          v += static_cast<float>(static_cast<std::int32_t>(res8[p]) - 128) * res8_inv;
+        }
+        if (post.relu) v = std::max(0.0f, v);
+        if (out_u8) {
+          // Requant stage: same rounding contract as quantize_u8_shift128.
+          const std::int32_t q = round_nearest_even(v * requant) + 128;
+          static_cast<std::uint8_t*>(output)[plane + p] =
+              static_cast<std::uint8_t>(std::clamp(q, 0, 255));
+        } else {
+          static_cast<float*>(output)[plane + p] = v;
+        }
+      };
+      // Fully-bounded accumulation for the border pixels.
+      const auto edge_pixel = [&](std::size_t oh, std::size_t ow, std::ptrdiff_t ih0,
+                                  std::size_t i_lo, std::size_t i_hi) {
+        const std::ptrdiff_t iw0 = static_cast<std::ptrdiff_t>(ow * s) -
+                                   static_cast<std::ptrdiff_t>(pad_w);
+        const std::size_t j_lo = iw0 < 0 ? static_cast<std::size_t>(-iw0) : 0;
+        const std::size_t j_hi =
+            std::min(r, static_cast<std::size_t>(static_cast<std::ptrdiff_t>(W) - iw0));
+        std::int32_t acc = 0;
+        for (std::size_t i = i_lo; i < i_hi; ++i) {
+          const std::uint8_t* in_row = src + (ih0 + static_cast<std::ptrdiff_t>(i)) * W;
+          const std::int8_t* w_row = w + i * r;
+          for (std::size_t j = j_lo; j < j_hi; ++j) {
+            acc += (static_cast<std::int32_t>(in_row[iw0 + static_cast<std::ptrdiff_t>(j)]) -
+                    128) *
+                   static_cast<std::int32_t>(w_row[j]);
+          }
+        }
+        store(oh * OW + ow, acc);
+      };
+      // Width range whose full r-tap window is in-bounds: iw0 >= 0 and
+      // iw0 + r <= W. Everything outside runs through edge_pixel.
+      const std::size_t ow_lo = std::min(OW, (pad_w + s - 1) / s);
+      const std::size_t ow_hi =
+          W + pad_w >= r ? std::min(OW, (W + pad_w - r) / s + 1) : 0;
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        // In-bounds tap window along the height (out-of-bounds rows are
+        // quantized zero and contribute nothing, so skipping them is exact).
+        const std::ptrdiff_t ih0 = static_cast<std::ptrdiff_t>(oh * s) -
+                                   static_cast<std::ptrdiff_t>(pad);
+        const std::size_t i_lo = ih0 < 0 ? static_cast<std::size_t>(-ih0) : 0;
+        const std::size_t i_hi =
+            std::min(r, static_cast<std::size_t>(static_cast<std::ptrdiff_t>(H) - ih0));
+        for (std::size_t ow = 0; ow < std::min(ow_lo, OW); ++ow) {
+          edge_pixel(oh, ow, ih0, i_lo, i_hi);
+        }
+        // Interior: tap-major accumulation over a chunk of output pixels —
+        // fixed trip counts and contiguous (or s-strided) input rows, which
+        // the compiler vectorizes; the scalar bounded path above cannot be.
+        constexpr std::size_t kChunk = 64;
+        std::int32_t accs[kChunk];
+        for (std::size_t ow0 = ow_lo; ow0 < ow_hi; ow0 += kChunk) {
+          const std::size_t n = std::min(kChunk, ow_hi - ow0);
+          for (std::size_t t = 0; t < n; ++t) accs[t] = 0;
+          for (std::size_t i = i_lo; i < i_hi; ++i) {
+            const std::uint8_t* in_row = src + (ih0 + static_cast<std::ptrdiff_t>(i)) * W +
+                                         (static_cast<std::ptrdiff_t>(ow0 * s) -
+                                          static_cast<std::ptrdiff_t>(pad_w));
+            const std::int8_t* w_row = w + i * r;
+            for (std::size_t j = 0; j < r; ++j) {
+              const std::int32_t wv = w_row[j];
+              const std::uint8_t* p = in_row + j;
+              for (std::size_t t = 0; t < n; ++t) {
+                accs[t] += (static_cast<std::int32_t>(p[t * s]) - 128) * wv;
+              }
+            }
+          }
+          for (std::size_t t = 0; t < n; ++t) store(oh * OW + ow0 + t, accs[t]);
+        }
+        for (std::size_t ow = std::max(ow_hi, ow_lo); ow < OW; ++ow) {
+          edge_pixel(oh, ow, ih0, i_lo, i_hi);
+        }
+      }
+    }
+  };
+  const std::size_t work = desc_.batch * K;
+  if (pool != nullptr) {
+    pool->parallel_for(work, plane_body);
+  } else {
+    plane_body(0, work);
+  }
+}
+
+}  // namespace lowino

@@ -1,0 +1,87 @@
+// INT8 depthwise convolution: per-channel direct accumulation for grouped
+// layers with groups == C (one input channel per filter, channel multiplier
+// K/C >= 1). Opens the MobileNet family, which no GEMM-shaped engine covers —
+// a depthwise layer has no channel reduction to feed a GEMM, so the implicit
+// im2col formulation degenerates to a patch of r*r values per output channel.
+//
+// Quantization scheme matches the spatial-domain engines: one KL-calibrated
+// per-tensor input scale (+128 uint8 shift), exact per-output-channel weight
+// scales, and the shared dequant/PostOps/requant tail, so the envelope math
+// of testing/envelope.h applies with patch = (C/groups) * r * r = r * r.
+// Accumulation is int32 over (q - 128) * w_q with out-of-bounds taps skipped
+// (padding is quantized zero, contributing nothing).
+//
+// Mirrors the Euler `elx_conv_direct_depthwise_lp` specialization
+// (SNIPPETS.md). Supports any kernel, stride and asymmetric padding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/aligned_buffer.h"
+#include "quant/histogram.h"
+#include "quant/quantize.h"
+#include "tensor/conv_desc.h"
+#include "tensor/post_ops.h"
+
+namespace lowino {
+
+class ThreadPool;
+
+/// Same public surface as Int8DirectConv (the conformance fuzzer drives both
+/// uniformly). The constructor throws std::invalid_argument — before any
+/// workspace allocation — unless desc.is_depthwise() (groups == C > 1,
+/// K a multiple of C).
+class Int8DepthwiseConv {
+ public:
+  explicit Int8DepthwiseConv(const ConvDesc& desc);
+
+  void calibrate(std::span<const float> input_nchw);
+  void finalize_calibration();
+  /// Bypass: set the spatial-domain threshold directly.
+  void set_input_threshold(float tau);
+
+  /// Weights in the grouped layout: K x (C/groups = 1) x r x r.
+  void set_filters(std::span<const float> weights, std::span<const float> bias = {});
+
+  void execute_nchw(std::span<const float> input, std::span<float> output,
+                    ThreadPool* pool = nullptr, const PostOps& post = {});
+
+  /// Serving u8 hand-off — identical contract to Int8DirectConv.
+  void set_input_u8(const QuantParams& qp);
+  void set_output_u8(const QuantParams& qp);
+  bool input_is_u8() const { return in_u8_; }
+  bool output_is_u8() const { return out_u8_; }
+
+  void execute_typed(const void* input, void* output, ThreadPool* pool = nullptr,
+                     const PostOps& post = {});
+
+  const ConvDesc& desc() const { return desc_; }
+  float input_scale() const { return input_params_.scale; }
+
+ private:
+  ConvDesc desc_;
+  std::size_t taps_ = 0;  ///< r * r, the per-channel patch
+
+  Histogram input_hist_;
+  QuantParams input_params_;
+  bool input_scales_set_ = false;
+
+  AlignedBuffer<std::int8_t> w_q_;    ///< [K][r*r] quantized filters
+  AlignedBuffer<float> w_dequant_;    ///< per-channel 1/(scale_in*scale_w)
+  AlignedBuffer<float> bias_;
+  bool filters_set_ = false;
+  AlignedBuffer<float> weights_fp32_;  ///< kept until scales are known
+
+  AlignedBuffer<std::uint8_t> in_q_;  ///< one image's quantized activations
+
+  bool in_u8_ = false;
+  bool out_u8_ = false;
+  QuantParams out_u8_qp_;
+
+  void pack_weights();
+  void execute_impl(const void* input, void* output, bool in_u8, bool out_u8,
+                    ThreadPool* pool, const PostOps& post);
+};
+
+}  // namespace lowino

@@ -83,6 +83,7 @@ void im2col_f32(const ConvDesc& desc, std::span<const float> input, std::size_t 
 
 Im2colConvF32::Im2colConvF32(const ConvDesc& desc) : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("Im2colConvF32");
   patch_ = desc_.in_channels * desc_.kernel * desc_.kernel;
   k_pad_ = round_up(desc_.out_channels, 16);
 }

@@ -82,6 +82,7 @@ void im2col_u8(const ConvDesc& desc, const std::uint8_t* input, std::size_t b,
 
 Int8DirectConv::Int8DirectConv(const ConvDesc& desc) : desc_(desc) {
   desc.validate();
+  desc.require_ungrouped("Int8DirectConv");
   patch_ = desc_.in_channels * desc_.kernel * desc_.kernel;
   patch_pad_ = round_up(patch_, 4);
   k_pad_ = round_up(desc_.out_channels, 16);

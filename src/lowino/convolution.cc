@@ -48,6 +48,7 @@ Int8GemmBlocking adapt_blocking(Int8GemmBlocking b, std::size_t padded_c,
 LoWinoConvolution::LoWinoConvolution(const ConvDesc& desc, const LoWinoConfig& config)
     : desc_(desc), config_(config) {
   desc.validate();
+  desc.require_ungrouped("LoWinoConvolution");
   if (desc.stride != 1) {
     throw std::invalid_argument("LoWino supports unit stride only");
   }

@@ -1,8 +1,8 @@
 #include "nn/engines.h"
 
-#include <array>
 #include <cctype>
 #include <stdexcept>
+#include <vector>
 
 #include "baselines/downscale_wino.h"
 #include "baselines/fp32_wino.h"
@@ -12,17 +12,11 @@
 #include "direct/direct_f32.h"
 #include "direct/direct_int8.h"
 #include "lowino/lowino.h"
+#include "nn/engine_registry.h"
 
 namespace lowino {
 
 namespace {
-
-constexpr std::array<EngineKind, 11> kAllEngineKinds = {
-    EngineKind::kFp32Direct, EngineKind::kFp32WinoF2, EngineKind::kFp32WinoF4,
-    EngineKind::kInt8Direct, EngineKind::kLoWinoF2,   EngineKind::kLoWinoF4,
-    EngineKind::kLoWinoF6,   EngineKind::kDownscaleF2, EngineKind::kDownscaleF4,
-    EngineKind::kUpcastF2,   EngineKind::kVendorF2,
-};
 
 /// Token comparison: ASCII case-insensitive with '-' == '_'.
 bool token_matches(std::string_view a, std::string_view b) {
@@ -41,50 +35,37 @@ bool token_matches(std::string_view a, std::string_view b) {
 
 }  // namespace
 
-const char* engine_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kFp32Direct: return "FP32 direct (im2col GEMM)";
-    case EngineKind::kFp32WinoF2: return "FP32 Winograd F(2x2,3x3)";
-    case EngineKind::kFp32WinoF4: return "FP32 Winograd F(4x4,3x3)";
-    case EngineKind::kInt8Direct: return "INT8 direct";
-    case EngineKind::kLoWinoF2: return "LoWino F(2x2,3x3)";
-    case EngineKind::kLoWinoF4: return "LoWino F(4x4,3x3)";
-    case EngineKind::kLoWinoF6: return "LoWino F(6x6,3x3)";
-    case EngineKind::kDownscaleF2: return "Down-scaling F(2x2,3x3)";
-    case EngineKind::kDownscaleF4: return "Down-scaling F(4x4,3x3)";
-    case EngineKind::kUpcastF2: return "Up-casting INT16 F(2x2,3x3)";
-    case EngineKind::kVendorF2: return "Vendor-style fused INT8 F(2x2,3x3)";
-  }
-  return "?";
-}
+const char* engine_name(EngineKind kind) { return engine_registration(kind).name; }
 
-const char* engine_token(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kFp32Direct: return "fp32_direct";
-    case EngineKind::kFp32WinoF2: return "fp32_wino_f2";
-    case EngineKind::kFp32WinoF4: return "fp32_wino_f4";
-    case EngineKind::kInt8Direct: return "int8_direct";
-    case EngineKind::kLoWinoF2: return "lowino_f2";
-    case EngineKind::kLoWinoF4: return "lowino_f4";
-    case EngineKind::kLoWinoF6: return "lowino_f6";
-    case EngineKind::kDownscaleF2: return "downscale_f2";
-    case EngineKind::kDownscaleF4: return "downscale_f4";
-    case EngineKind::kUpcastF2: return "upcast_f2";
-    case EngineKind::kVendorF2: return "vendor_f2";
-  }
-  return "?";
-}
+const char* engine_token(EngineKind kind) { return engine_registration(kind).token; }
 
 std::optional<EngineKind> engine_kind_from_string(std::string_view name) {
-  for (const EngineKind kind : kAllEngineKinds) {
-    if (token_matches(name, engine_token(kind)) || name == engine_name(kind)) {
-      return kind;
+  for (const EngineRegistration& reg : engine_registry()) {
+    if (token_matches(name, reg.token) || name == reg.name) {
+      return reg.kind;
     }
   }
   return std::nullopt;
 }
 
-std::span<const EngineKind> all_engine_kinds() { return kAllEngineKinds; }
+std::span<const EngineKind> all_engine_kinds() {
+  static const std::vector<EngineKind> kinds = [] {
+    std::vector<EngineKind> k;
+    for (const EngineRegistration& reg : engine_registry()) k.push_back(reg.kind);
+    return k;
+  }();
+  return kinds;
+}
+
+EngineCaps engine_caps(EngineKind kind, const ConvDesc& desc) {
+  const EngineRegistration& reg = engine_registration(kind);
+  EngineCaps caps;
+  caps.quantized = reg.quantized;
+  caps.post_ops = reg.post_ops;
+  caps.u8_handoff = reg.u8_handoff;
+  caps.supports = desc.is_valid() && reg.supports(desc);
+  return caps;
+}
 
 std::size_t lowino_calibration_stride(std::size_t total_tiles) {
   const long forced = config_long("LOWINO_CALIB_STRIDE", 0);
@@ -92,45 +73,29 @@ std::size_t lowino_calibration_stride(std::size_t total_tiles) {
   return total_tiles < kCalibDenseTileLimit ? 1 : 2;
 }
 
-bool engine_is_quantized(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kFp32Direct:
-    case EngineKind::kFp32WinoF2:
-    case EngineKind::kFp32WinoF4:
-      return false;
-    default:
-      return true;
-  }
-}
+// Deprecated shims (see engines.h): the kind-invariant EngineCaps bits,
+// answered straight from the registry.
+bool engine_is_quantized(EngineKind kind) { return engine_registration(kind).quantized; }
 
 bool engine_supports_post_ops(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kFp32Direct:
-    case EngineKind::kInt8Direct:
-    case EngineKind::kLoWinoF2:
-    case EngineKind::kLoWinoF4:
-    case EngineKind::kLoWinoF6:
-      return true;
-    default:
-      return false;
-  }
+  return engine_registration(kind).post_ops;
 }
 
 bool post_op_fusion_enabled() { return config_flag("LOWINO_FUSE_POSTOPS", true); }
 
 bool engine_supports_u8_handoff(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kInt8Direct:
-    case EngineKind::kLoWinoF2:
-    case EngineKind::kLoWinoF4:
-    case EngineKind::kLoWinoF6:
-      return true;
-    default:
-      return false;
-  }
+  return engine_registration(kind).u8_handoff;
 }
 
 bool u8_handoff_enabled() { return config_flag("LOWINO_U8_HANDOFF", true); }
+
+bool ConvEngine::supports_post_ops() const {
+  return engine_registration(kind()).post_ops;
+}
+
+bool ConvEngine::supports_u8_handoff() const {
+  return engine_registration(kind()).u8_handoff;
+}
 
 // ---------------------------------------------------------------------------
 // Lifecycle state machine (the non-virtual public API).
@@ -152,7 +117,7 @@ void ConvEngine::finalize_calibration() {
   if (state_ != Lifecycle::kCalibrating) {
     misuse("finalize_calibration() called twice");
   }
-  if (!saw_calibration_ && engine_is_quantized(kind())) {
+  if (!saw_calibration_ && engine_registration(kind()).quantized) {
     misuse("finalize_calibration() without any calibrate() sample — a "
            "quantized engine has no statistics to derive input scales from");
   }
@@ -162,7 +127,7 @@ void ConvEngine::finalize_calibration() {
 
 void ConvEngine::set_filters(std::span<const float> weights, std::span<const float> bias) {
   if (state_ == Lifecycle::kCalibrating) {
-    if (engine_is_quantized(kind())) {
+    if (engine_registration(kind()).quantized) {
       misuse(saw_calibration_
                  ? "set_filters() before finalize_calibration() — finalize the "
                    "input scales first"
@@ -448,35 +413,82 @@ class VendorEngine final : public ConvEngine {
   VendorWinoF23 conv_;
 };
 
+/// Shape gates mirroring the wrapped constructors' acceptance sets exactly
+/// (the fuzzer cross-checks supports == false against a thrown
+/// std::invalid_argument). Callers guarantee desc.is_valid().
+bool supports_any_ungrouped(const ConvDesc& desc) { return desc.groups == 1; }
+
+bool supports_winograd(const ConvDesc& desc) {
+  return desc.groups == 1 && desc.stride == 1 && desc.symmetric_padding() &&
+         desc.kernel >= 2;
+}
+
+bool supports_winograd_r3(const ConvDesc& desc) {
+  return supports_winograd(desc) && desc.kernel == 3;
+}
+
 }  // namespace
+
+void register_core_engines(EngineRegistrations& regs) {
+  regs.push_back({EngineKind::kFp32Direct, "FP32 direct (im2col GEMM)", "fp32_direct",
+                  /*quantized=*/false, /*post_ops=*/true, /*u8_handoff=*/false,
+                  supports_any_ungrouped, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(new Fp32DirectEngine(d));
+                  }});
+  regs.push_back({EngineKind::kFp32WinoF2, "FP32 Winograd F(2x2,3x3)", "fp32_wino_f2",
+                  false, false, false, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new Fp32WinoEngine(d, 2, EngineKind::kFp32WinoF2));
+                  }});
+  regs.push_back({EngineKind::kFp32WinoF4, "FP32 Winograd F(4x4,3x3)", "fp32_wino_f4",
+                  false, false, false, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new Fp32WinoEngine(d, 4, EngineKind::kFp32WinoF4));
+                  }});
+  regs.push_back({EngineKind::kInt8Direct, "INT8 direct", "int8_direct",
+                  /*quantized=*/true, /*post_ops=*/true, /*u8_handoff=*/true,
+                  supports_any_ungrouped, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(new Int8DirectEngine(d));
+                  }});
+  regs.push_back({EngineKind::kLoWinoF2, "LoWino F(2x2,3x3)", "lowino_f2",
+                  true, true, true, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new LoWinoEngine(d, 2, EngineKind::kLoWinoF2));
+                  }});
+  regs.push_back({EngineKind::kLoWinoF4, "LoWino F(4x4,3x3)", "lowino_f4",
+                  true, true, true, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new LoWinoEngine(d, 4, EngineKind::kLoWinoF4));
+                  }});
+  regs.push_back({EngineKind::kLoWinoF6, "LoWino F(6x6,3x3)", "lowino_f6",
+                  true, true, true, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new LoWinoEngine(d, 6, EngineKind::kLoWinoF6));
+                  }});
+  regs.push_back({EngineKind::kDownscaleF2, "Down-scaling F(2x2,3x3)", "downscale_f2",
+                  true, false, false, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new DownscaleEngine(d, 2, EngineKind::kDownscaleF2));
+                  }});
+  regs.push_back({EngineKind::kDownscaleF4, "Down-scaling F(4x4,3x3)", "downscale_f4",
+                  true, false, false, supports_winograd, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(
+                        new DownscaleEngine(d, 4, EngineKind::kDownscaleF4));
+                  }});
+  regs.push_back({EngineKind::kUpcastF2, "Up-casting INT16 F(2x2,3x3)", "upcast_f2",
+                  true, false, false, supports_winograd_r3, [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(new UpcastEngine(d));
+                  }});
+  regs.push_back({EngineKind::kVendorF2, "Vendor-style fused INT8 F(2x2,3x3)",
+                  "vendor_f2", true, false, false, supports_winograd_r3,
+                  [](const ConvDesc& d) {
+                    return std::unique_ptr<ConvEngine>(new VendorEngine(d));
+                  }});
+}
 
 std::unique_ptr<ConvEngine> make_conv_engine(EngineKind kind, const ConvDesc& desc) {
   desc.validate();
-  switch (kind) {
-    case EngineKind::kFp32Direct:
-      return std::make_unique<Fp32DirectEngine>(desc);
-    case EngineKind::kFp32WinoF2:
-      return std::make_unique<Fp32WinoEngine>(desc, 2, kind);
-    case EngineKind::kFp32WinoF4:
-      return std::make_unique<Fp32WinoEngine>(desc, 4, kind);
-    case EngineKind::kInt8Direct:
-      return std::make_unique<Int8DirectEngine>(desc);
-    case EngineKind::kLoWinoF2:
-      return std::make_unique<LoWinoEngine>(desc, 2, kind);
-    case EngineKind::kLoWinoF4:
-      return std::make_unique<LoWinoEngine>(desc, 4, kind);
-    case EngineKind::kLoWinoF6:
-      return std::make_unique<LoWinoEngine>(desc, 6, kind);
-    case EngineKind::kDownscaleF2:
-      return std::make_unique<DownscaleEngine>(desc, 2, kind);
-    case EngineKind::kDownscaleF4:
-      return std::make_unique<DownscaleEngine>(desc, 4, kind);
-    case EngineKind::kUpcastF2:
-      return std::make_unique<UpcastEngine>(desc);
-    case EngineKind::kVendorF2:
-      return std::make_unique<VendorEngine>(desc);
-  }
-  throw std::invalid_argument("unknown engine kind");
+  return engine_registration(kind).factory(desc);
 }
 
 }  // namespace lowino

@@ -30,6 +30,8 @@ enum class EngineKind {
   kDownscaleF4,   ///< oneDNN-style down-scaling F(4x4,3x3)
   kUpcastF2,      ///< ncnn-style up-casting (INT16) F(2x2,3x3)
   kVendorF2,      ///< fused vendor-style INT8 F(2x2,3x3)
+  kInt8Conv1x1,   ///< INT8 1x1 (pure blocked VNNI GEMM, no im2col)
+  kInt8Depthwise, ///< INT8 depthwise direct (groups == C)
 };
 
 /// Human-readable display name ("LoWino F(4x4,3x3)").
@@ -46,17 +48,36 @@ const char* engine_token(EngineKind kind);
 std::optional<EngineKind> engine_kind_from_string(std::string_view name);
 
 /// Every EngineKind, in declaration order (for benches/examples that sweep
-/// the whole engine set).
+/// the whole engine set). Derived from the engine registry
+/// (nn/engine_registry.h), as are all the per-kind queries above.
 std::span<const EngineKind> all_engine_kinds();
 
+/// The capability descriptor of one (engine kind, problem) pair — what the
+/// session compiler, tuner shoot-out, fuzzer gating and bench filters consult
+/// before constructing anything. The first three bits are per-kind invariants;
+/// `supports` is the per-shape gate: true exactly when make_conv_engine(kind,
+/// desc) would succeed (false also for a structurally invalid desc).
+struct EngineCaps {
+  bool quantized = false;   ///< runs quantized arithmetic (needs calibration)
+  bool post_ops = false;    ///< executes a fused PostOps epilogue (bias/+sum/ReLU)
+  bool u8_handoff = false;  ///< takes part in the u8 activation hand-off
+  bool supports = false;    ///< accepts this ConvDesc (shape-capability gate)
+};
+
+/// The one capability query. Replaces the deprecated engine_is_quantized /
+/// engine_supports_post_ops / engine_supports_u8_handoff predicates, which
+/// could not express shape-dependent capability (1x1-only, depthwise-only
+/// engines).
+EngineCaps engine_caps(EngineKind kind, const ConvDesc& desc);
+
+/// Deprecated shims over engine_caps() — one-PR migration aids. They answer
+/// the kind-invariant bits only and cannot see shape capability; new code
+/// must call engine_caps(kind, desc).
+[[deprecated("use engine_caps(kind, desc).quantized")]]
 bool engine_is_quantized(EngineKind kind);
 
-/// True when `kind` executes a fused PostOps epilogue (residual +sum, ReLU)
-/// inside its single output pass: the FP32/INT8 direct engines and every
-/// LoWino variant. The baseline engines (FP32 Winograd, down-scaling,
-/// up-casting, vendor) decline — the compiler falls back to unfused
-/// element-wise ops for them. Static companion of
-/// ConvEngine::supports_post_ops() so planners can ask before construction.
+/// See EngineCaps::post_ops.
+[[deprecated("use engine_caps(kind, desc).post_ops")]]
 bool engine_supports_post_ops(EngineKind kind);
 
 /// The LOWINO_FUSE_POSTOPS kill-switch (env or RuntimeConfig override,
@@ -65,12 +86,8 @@ bool engine_supports_post_ops(EngineKind kind);
 /// the fusion win.
 bool post_op_fusion_enabled();
 
-/// True when `kind` can take part in the serving u8 activation hand-off:
-/// accept pre-quantized u8 input (set_input_u8), emit requantized u8 output
-/// (set_output_u8), and read a u8 fused residual. The INT8 direct engine and
-/// the LoWino family qualify; everything else (including the FP32 engines,
-/// whose arithmetic has no quantized form) declines. Static companion of
-/// ConvEngine::supports_u8_handoff() so planners can ask before construction.
+/// See EngineCaps::u8_handoff.
+[[deprecated("use engine_caps(kind, desc).u8_handoff")]]
 bool engine_supports_u8_handoff(EngineKind kind);
 
 /// The LOWINO_U8_HANDOFF kill-switch (env or RuntimeConfig override, default
@@ -133,11 +150,11 @@ class ConvEngine {
   void run(std::span<const float> input, std::span<float> output, ThreadPool* pool,
            const PostOps& post);
 
-  /// See engine_supports_post_ops().
-  bool supports_post_ops() const { return engine_supports_post_ops(kind()); }
+  /// See EngineCaps::post_ops (kind-invariant, hence no desc parameter).
+  bool supports_post_ops() const;
 
-  /// See engine_supports_u8_handoff().
-  bool supports_u8_handoff() const { return engine_supports_u8_handoff(kind()); }
+  /// See EngineCaps::u8_handoff (kind-invariant, hence no desc parameter).
+  bool supports_u8_handoff() const;
 
   /// Configures the u8 activation hand-off (tensor/dtype.h). set_input_u8
   /// declares that run_typed() will receive pre-quantized u8 input bytes

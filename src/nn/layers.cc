@@ -55,22 +55,29 @@ void col2im_add(const ConvDesc& desc, const float* col, float* grad_in) {
 // ---------------------------------------------------------------------------
 // ConvLayer
 ConvLayer::ConvLayer(std::size_t in_channels, std::size_t out_channels, std::size_t hw,
-                     std::size_t kernel, std::size_t pad, Rng& rng)
-    : c_(in_channels), k_(out_channels), hw_(hw), r_(kernel), pad_(pad) {
-  const std::size_t n = k_ * c_ * r_ * r_;
+                     std::size_t kernel, std::size_t pad, Rng& rng, std::size_t groups)
+    : c_(in_channels), k_(out_channels), hw_(hw), r_(kernel), pad_(pad), groups_(groups) {
+  if (groups_ < 1 || c_ % groups_ != 0 || k_ % groups_ != 0) {
+    throw std::invalid_argument("ConvLayer: channels must be divisible by groups");
+  }
+  const std::size_t cg = c_ / groups_;  // input channels per filter
+  const std::size_t n = k_ * cg * r_ * r_;
   weights_.resize(n);
   bias_.assign(k_, 0.0f);
   grad_w_.assign(n, 0.0f);
   grad_b_.assign(k_, 0.0f);
   mom_w_.assign(n, 0.0f);
   mom_b_.assign(k_, 0.0f);
-  const float stddev = std::sqrt(2.0f / static_cast<float>(c_ * r_ * r_));  // He init
+  const float stddev = std::sqrt(2.0f / static_cast<float>(cg * r_ * r_));  // He init
   for (auto& w : weights_) w = rng.normal() * stddev;
 }
 
 std::string ConvLayer::name() const {
-  return "conv" + std::to_string(r_) + "x" + std::to_string(r_) + "(" + std::to_string(c_) +
-         "->" + std::to_string(k_) + ")";
+  const std::string base = "conv" + std::to_string(r_) + "x" + std::to_string(r_) + "(" +
+                           std::to_string(c_) + "->" + std::to_string(k_);
+  if (groups_ == 1) return base + ")";
+  if (groups_ == c_) return "dw" + base + ")";
+  return base + ",g=" + std::to_string(groups_) + ")";
 }
 
 ConvDesc ConvLayer::desc_for_batch(std::size_t batch) const {
@@ -81,6 +88,7 @@ ConvDesc ConvLayer::desc_for_batch(std::size_t batch) const {
   d.height = d.width = hw_;
   d.kernel = r_;
   d.pad = pad_;
+  d.groups = groups_;
   return d;
 }
 
@@ -96,6 +104,40 @@ void ConvLayer::forward_fp32(std::span<const float> in, std::span<float> out,
                              std::size_t batch) {
   const ConvDesc d = desc_for_batch(batch);
   const std::size_t rows = d.out_height() * d.out_width();
+  if (groups_ != 1) {
+    // Grouped layers skip the im2col-GEMM formulation (the per-filter patch
+    // is tiny — r*r for depthwise) and run direct loops instead.
+    const std::size_t cg = c_ / groups_, kg = k_ / groups_;
+    const std::size_t patch_g = cg * r_ * r_;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t k = 0; k < k_; ++k) {
+        const std::size_t c0 = (k / kg) * cg;  // the group's first input channel
+        float* dst = out.data() + (b * k_ + k) * rows;
+        for (std::size_t oh = 0; oh < d.out_height(); ++oh) {
+          for (std::size_t ow = 0; ow < d.out_width(); ++ow) {
+            float acc = bias_[k];
+            for (std::size_t ci = 0; ci < cg; ++ci) {
+              const float* src = in.data() + ((b * c_ + c0 + ci) * hw_) * hw_;
+              const float* w = weights_.data() + k * patch_g + ci * r_ * r_;
+              for (std::size_t i = 0; i < r_; ++i) {
+                const std::ptrdiff_t ih =
+                    static_cast<std::ptrdiff_t>(oh + i) - static_cast<std::ptrdiff_t>(pad_);
+                if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(hw_)) continue;
+                for (std::size_t j = 0; j < r_; ++j) {
+                  const std::ptrdiff_t iw =
+                      static_cast<std::ptrdiff_t>(ow + j) - static_cast<std::ptrdiff_t>(pad_);
+                  if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(hw_)) continue;
+                  acc += src[ih * static_cast<std::ptrdiff_t>(hw_) + iw] * w[i * r_ + j];
+                }
+              }
+            }
+            dst[oh * d.out_width() + ow] = acc;
+          }
+        }
+      }
+    }
+    return;
+  }
   const std::size_t patch = c_ * r_ * r_;
 
   // col_ keeps the whole batch's im2col: backward() consumes it after a
@@ -125,9 +167,46 @@ void ConvLayer::backward(const Tensor<float>& grad_out, Tensor<float>& grad_in) 
   const std::size_t batch = grad_out.dim(0);
   const ConvDesc d = desc_for_batch(batch);
   const std::size_t rows = d.out_height() * d.out_width();
-  const std::size_t patch = c_ * r_ * r_;
   grad_in.reshape(cached_in_.shape());
   grad_in.zero();
+  if (groups_ != 1) {
+    // Direct-loop gradients, mirroring the grouped forward (no im2col cache).
+    const std::size_t cg = c_ / groups_, kg = k_ / groups_;
+    const std::size_t patch_g = cg * r_ * r_;
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t k = 0; k < k_; ++k) {
+        const std::size_t c0 = (k / kg) * cg;
+        const float* g_plane = grad_out.data() + (b * k_ + k) * rows;
+        for (std::size_t oh = 0; oh < d.out_height(); ++oh) {
+          for (std::size_t ow = 0; ow < d.out_width(); ++ow) {
+            const float g = g_plane[oh * d.out_width() + ow];
+            grad_b_[k] += g;
+            for (std::size_t ci = 0; ci < cg; ++ci) {
+              const float* src = cached_in_.data() + ((b * c_ + c0 + ci) * hw_) * hw_;
+              float* gin = grad_in.data() + ((b * c_ + c0 + ci) * hw_) * hw_;
+              float* gw = grad_w_.data() + k * patch_g + ci * r_ * r_;
+              const float* w = weights_.data() + k * patch_g + ci * r_ * r_;
+              for (std::size_t i = 0; i < r_; ++i) {
+                const std::ptrdiff_t ih =
+                    static_cast<std::ptrdiff_t>(oh + i) - static_cast<std::ptrdiff_t>(pad_);
+                if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(hw_)) continue;
+                for (std::size_t j = 0; j < r_; ++j) {
+                  const std::ptrdiff_t iw =
+                      static_cast<std::ptrdiff_t>(ow + j) - static_cast<std::ptrdiff_t>(pad_);
+                  if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(hw_)) continue;
+                  const std::size_t at = ih * hw_ + iw;
+                  gw[i * r_ + j] += g * src[at];
+                  gin[at] += g * w[i * r_ + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+  const std::size_t patch = c_ * r_ * r_;
 
   std::vector<float> tmp_w(k_ * patch);
   std::vector<float> g_rows(rows * k_);
@@ -171,12 +250,15 @@ ConvEngine& ConvLayer::engine_for(EngineKind kind, std::size_t batch) {
 }
 
 void ConvLayer::calibrate_with(const Tensor<float>& in, EngineKind kind) {
-  if (!engine_is_quantized(kind) || !quantizable_) return;
+  const EngineCaps caps = engine_caps(kind, desc_for_batch(in.dim(0)));
+  // Layers whose shape `kind` cannot handle stay FP32 under a forced-engine
+  // sweep (see forward_engine_fused) — no calibration needed.
+  if (!caps.quantized || !caps.supports || !quantizable_) return;
   engine_for(kind, in.dim(0)).calibrate(in.span());
 }
 
 void ConvLayer::finalize_calibration(EngineKind kind) {
-  if (!engine_is_quantized(kind)) return;
+  if (!engine_caps(kind, desc_for_batch(1)).quantized) return;
   for (auto& [key, slot] : engines_) {
     if (key.first == kind && slot.engine != nullptr && !slot.calibrated) {
       slot.engine->finalize_calibration();
@@ -192,16 +274,20 @@ void ConvLayer::forward_engine(const Tensor<float>& in, Tensor<float>& out, Engi
 
 void ConvLayer::forward_engine_fused(const Tensor<float>& in, Tensor<float>& out,
                                      EngineKind kind, ThreadPool* pool, const PostOps& post) {
-  const bool fuse = !post.none() && quantizable_ && engine_supports_post_ops(kind);
-  if (!quantizable_) {
+  const std::size_t batch = in.dim(0);
+  const ConvDesc d = desc_for_batch(batch);
+  const EngineCaps caps = engine_caps(kind, d);
+  const bool fuse = !post.none() && quantizable_ && caps.post_ops && caps.supports;
+  if (!quantizable_ || !caps.supports) {
+    // Not quantizable, or the forced kind cannot handle this layer's shape
+    // (e.g. a depthwise layer under an int8_direct sweep): stay FP32, exactly
+    // like a non-quantizable stem.
     forward(in, out, /*train=*/false);
   } else {
-    const std::size_t batch = in.dim(0);
-    const ConvDesc d = desc_for_batch(batch);
     out.reshape({batch, k_, d.out_height(), d.out_width()});
     EngineSlot& slot = engines_[{kind, batch}];
     if (slot.engine == nullptr) {
-      if (engine_is_quantized(kind)) {
+      if (caps.quantized) {
         throw std::logic_error(name() + ": engine not calibrated for this batch size (" +
                                std::to_string(batch) + ") — run the calibration pass first");
       }

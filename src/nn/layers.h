@@ -44,11 +44,13 @@ class Layer {
   virtual std::size_t parameter_count() const { return 0; }
 };
 
-/// 3x3 (or r x r) convolution, stride 1, symmetric padding.
+/// 3x3 (or r x r) convolution, stride 1, symmetric padding, optionally
+/// grouped (`groups` == in_channels is depthwise, the MobileNet building
+/// block). Grouped layers hold weights in the K x (C/groups) x r x r layout.
 class ConvLayer : public Layer {
  public:
   ConvLayer(std::size_t in_channels, std::size_t out_channels, std::size_t hw,
-            std::size_t kernel, std::size_t pad, Rng& rng);
+            std::size_t kernel, std::size_t pad, Rng& rng, std::size_t groups = 1);
 
   std::string name() const override;
   void forward(const Tensor<float>& in, Tensor<float>& out, bool train) override;
@@ -81,6 +83,7 @@ class ConvLayer : public Layer {
   std::size_t in_channels() const { return c_; }
   std::size_t out_channels() const { return k_; }
   std::size_t spatial() const { return hw_; }
+  std::size_t groups() const { return groups_; }
   /// The ConvDesc this layer presents for a given batch size (what the
   /// serving planner feeds make_conv_engine / the tuner).
   ConvDesc conv_desc(std::size_t batch) const { return desc_for_batch(batch); }
@@ -95,7 +98,7 @@ class ConvLayer : public Layer {
   ConvDesc desc_for_batch(std::size_t batch) const;
   ConvEngine& engine_for(EngineKind kind, std::size_t batch);
 
-  std::size_t c_, k_, hw_, r_, pad_;
+  std::size_t c_, k_, hw_, r_, pad_, groups_;
   std::vector<float> weights_, bias_;
   std::vector<float> grad_w_, grad_b_;
   std::vector<float> mom_w_, mom_b_;

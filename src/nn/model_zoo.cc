@@ -39,6 +39,29 @@ SequentialModel make_miniresnet(std::size_t hw, std::size_t classes, std::uint64
   return m;
 }
 
+SequentialModel make_minimobilenet(std::size_t hw, std::size_t classes, std::uint64_t seed) {
+  Rng rng(seed);
+  SequentialModel m;
+  auto stem = std::make_unique<ConvLayer>(1, 32, hw, 3, 1, rng);  // FP32 stem (see above)
+  stem->set_quantizable(false);
+  m.add(std::move(stem));
+  m.add(std::make_unique<ReluLayer>());
+  // Depthwise-separable block 1: dw 3x3 (groups = 32) + pw 1x1 (32 -> 64).
+  m.add(std::make_unique<ConvLayer>(32, 32, hw, 3, 1, rng, /*groups=*/32));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<ConvLayer>(32, 64, hw, 1, 0, rng));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<MaxPoolLayer>(64, hw));
+  // Depthwise-separable block 2: dw 3x3 (groups = 64) + pw 1x1 (64 -> 128).
+  m.add(std::make_unique<ConvLayer>(64, 64, hw / 2, 3, 1, rng, /*groups=*/64));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<ConvLayer>(64, 128, hw / 2, 1, 0, rng));
+  m.add(std::make_unique<ReluLayer>());
+  m.add(std::make_unique<MaxPoolLayer>(128, hw / 2));
+  m.add(std::make_unique<DenseLayer>(128 * (hw / 4) * (hw / 4), classes, rng));
+  return m;
+}
+
 std::vector<PaperLayer> paper_layers_table2(std::size_t batch_override) {
   struct Row {
     const char* name;

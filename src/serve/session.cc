@@ -28,6 +28,8 @@ constexpr EngineKind kDefaultCandidates[] = {
     EngineKind::kLoWinoF2,
     EngineKind::kLoWinoF4,
     EngineKind::kLoWinoF6,
+    EngineKind::kInt8Conv1x1,
+    EngineKind::kInt8Depthwise,
 };
 
 /// Plan-file / wisdom token for a fused epilogue ("none" never serializes —
@@ -423,22 +425,28 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
   // exactly one consumer and it is the immediately following element-wise op,
   // and (c) the engine that will execute the conv can carry the epilogue —
   // kConvFp32 runs session-owned code (always can); kConvEngine consults
-  // engine_supports_post_ops for the forced/replayed kind or requires at
-  // least one supporting shoot-out candidate (the selection loop then skips
-  // declining candidates for fused ops — the graceful fallback). Fusion
+  // engine_caps(kind, desc) for the forced/replayed kind or requires at
+  // least one shoot-out candidate that both supports the shape and the
+  // epilogue (the selection loop then skips declining candidates for fused
+  // ops — the graceful fallback). Fusion
   // deletes the element-wise pass *and* orphans its input value, shortening
   // live ranges so the arena planner's peak drops (asserted in test_serve).
   if (post_op_fusion_enabled()) {
     const std::span<const EngineKind> cands =
         options.candidates.empty() ? std::span<const EngineKind>(kDefaultCandidates)
                                    : std::span<const EngineKind>(options.candidates);
-    const auto engine_conv_can_fuse = [&](std::size_t conv_ordinal) {
-      if (options.forced_engine) return engine_supports_post_ops(*options.forced_engine);
+    const auto engine_conv_can_fuse = [&](const Op& op, std::size_t conv_ordinal) {
+      const ConvDesc desc = op.conv->conv_desc(batch);
+      const auto can = [&](EngineKind kind) {
+        const EngineCaps caps = engine_caps(kind, desc);
+        return caps.post_ops && caps.supports;
+      };
+      if (options.forced_engine) return can(*options.forced_engine);
       if (options.reuse != nullptr) {
         return conv_ordinal < options.reuse->convs.size() &&
-               engine_supports_post_ops(options.reuse->convs[conv_ordinal].engine);
+               can(options.reuse->convs[conv_ordinal].engine);
       }
-      return std::any_of(cands.begin(), cands.end(), engine_supports_post_ops);
+      return std::any_of(cands.begin(), cands.end(), can);
     };
 
     std::vector<std::size_t> uses(s.values_.size(), 0);
@@ -455,7 +463,8 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
       const bool is_conv =
           op.kind == Op::Kind::kConvEngine || op.kind == Op::Kind::kConvFp32;
       const bool can_fuse =
-          is_conv && (op.kind == Op::Kind::kConvFp32 || engine_conv_can_fuse(conv_ordinal));
+          is_conv &&
+          (op.kind == Op::Kind::kConvFp32 || engine_conv_can_fuse(op, conv_ordinal));
       if (op.kind == Op::Kind::kConvEngine) ++conv_ordinal;
       if (can_fuse && i + 1 < s.ops_.size() && uses[op.out] == 1) {
         const Op& next = s.ops_[i + 1];
@@ -554,7 +563,7 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
       } catch (const std::invalid_argument&) {
         return nullptr;
       }
-      if (engine_is_quantized(kind)) {
+      if (engine_caps(kind, desc).quantized) {
         e->calibrate(plan_in.span());
         e->finalize_calibration();
       }
@@ -597,9 +606,12 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
           hint = engine_kind_from_string(*token);
         }
       }
-      // A hinted engine that cannot carry this op's fused epilogue is as
-      // unusable as an unbuildable one: fall through to the shoot-out.
-      if (hint && !post.none() && !engine_supports_post_ops(*hint)) hint.reset();
+      // A hinted engine that cannot carry this op's shape or fused epilogue
+      // is as unusable as an unbuildable one: fall through to the shoot-out.
+      if (hint) {
+        const EngineCaps hint_caps = engine_caps(*hint, desc);
+        if (!hint_caps.supports || (!post.none() && !hint_caps.post_ops)) hint.reset();
+      }
       if (hint) {
         op.engine = build(*hint);  // unbuildable hint falls through to shoot-out
         if (op.engine != nullptr) choice.engine = *hint;
@@ -615,9 +627,13 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
         fallback.snr_db = -1e300;
         bool any_pass = false;
         for (const EngineKind kind : cands) {
-          // Fused ops restrict the shoot-out to post-op-capable engines (the
-          // fusion pass guaranteed at least one candidate qualifies).
-          if (!post.none() && !engine_supports_post_ops(kind)) continue;
+          // Capability gate before construction: skip candidates that cannot
+          // handle this shape, and for fused ops restrict the shoot-out to
+          // post-op-capable engines (the fusion pass guaranteed at least one
+          // candidate qualifies).
+          const EngineCaps caps = engine_caps(kind, desc);
+          if (!caps.supports) continue;
+          if (!post.none() && !caps.post_ops) continue;
           auto e = build(kind);
           if (e == nullptr) continue;
           e->run(plan_in.span(), actual.span(), s.pool_, post);
@@ -628,7 +644,7 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
                       /*warmup=*/1, /*min_iters=*/2, /*max_iters=*/50,
                       options.seconds_per_candidate)
                   .median;
-          const bool meets = !engine_is_quantized(kind) || snr >= options.min_snr_db;
+          const bool meets = !caps.quantized || snr >= options.min_snr_db;
           if (meets && (!any_pass || sec < best.seconds)) {
             any_pass = true;
             best.engine = kind;
@@ -667,7 +683,7 @@ InferenceSession InferenceSession::compile(SequentialModel& model,
       op.engine->run(plan_in.span(), actual.span(), s.pool_, post);
       choice.snr_db =
           clamp_snr(quantization_error(ref_out.span(), actual.span()).signal_to_noise_db);
-      choice.met_envelope = !engine_is_quantized(choice.engine) ||
+      choice.met_envelope = !engine_caps(choice.engine, desc).quantized ||
                             choice.snr_db >= options.min_snr_db;
     }
     choice.fuse_relu = op.fuse_relu;

@@ -17,9 +17,10 @@ inline constexpr std::size_t kPhi = 4;
 inline constexpr std::size_t kChanBlock = kPhi * kSigma;
 
 /// Describes one 2D convolution layer: B x C x H x W input, K filters of
-/// r x r, zero padding (optionally different along width), arbitrary stride.
-/// The Winograd engines only accept unit stride and symmetric padding; the
-/// direct engines accept the full space.
+/// r x r, zero padding (optionally different along width), arbitrary stride,
+/// optionally grouped (groups = C = depthwise). The Winograd engines only
+/// accept unit stride, symmetric padding and groups = 1; the direct engines
+/// accept the full ungrouped space; the depthwise engine owns groups = C.
 struct ConvDesc {
   /// Sentinel for pad_w: width padding follows the height padding.
   static constexpr std::size_t kPadLikeHeight = static_cast<std::size_t>(-1);
@@ -33,6 +34,7 @@ struct ConvDesc {
   std::size_t pad = 1;          ///< zero padding along height (both sides)
   std::size_t pad_w = kPadLikeHeight;  ///< zero padding along width; sentinel = pad
   std::size_t stride = 1;       ///< only 1 is Winograd-compatible
+  std::size_t groups = 1;       ///< grouped conv; groups == C == K is depthwise
 
   std::size_t height_pad() const { return pad; }
   std::size_t width_pad() const { return pad_w == kPadLikeHeight ? pad : pad_w; }
@@ -46,11 +48,19 @@ struct ConvDesc {
   std::size_t out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
   std::size_t out_width() const { return (width + 2 * width_pad() - kernel) / stride + 1; }
 
+  /// True for the depthwise family: every group owns exactly one input
+  /// channel (groups == C), K a multiple of C (channel multiplier K/C).
+  bool is_depthwise() const { return groups == in_channels && groups > 1; }
+
+  /// Input channels seen by one filter: C / groups.
+  std::size_t group_in_channels() const { return in_channels / groups; }
+
   /// Nothrow structural check; the conditions validate() enforces.
   bool is_valid() const {
     return kernel >= 1 && stride >= 1 && batch >= 1 && in_channels >= 1 &&
            out_channels >= 1 && pad < kernel && width_pad() < kernel &&
-           kernel <= height + 2 * pad && kernel <= width + 2 * width_pad();
+           kernel <= height + 2 * pad && kernel <= width + 2 * width_pad() &&
+           groups >= 1 && in_channels % groups == 0 && out_channels % groups == 0;
   }
 
   /// Rejects degenerate shapes before any size arithmetic can wrap. Called
@@ -68,29 +78,45 @@ struct ConvDesc {
     if (width_pad() >= kernel) fail("width pad must be < kernel");
     if (kernel > height + 2 * pad) fail("kernel exceeds padded height");
     if (kernel > width + 2 * width_pad()) fail("kernel exceeds padded width");
+    if (groups < 1) fail("groups must be >= 1");
+    if (in_channels % groups != 0) fail("in_channels must be divisible by groups");
+    if (out_channels % groups != 0) fail("out_channels must be divisible by groups");
+  }
+
+  /// Engines without grouped-convolution support call this right after
+  /// validate(); throws std::invalid_argument naming the engine so the
+  /// capability-gating contract (reject before any allocation) holds.
+  void require_ungrouped(const char* engine) const {
+    if (groups != 1) {
+      throw std::invalid_argument(std::string(engine) +
+                                  " does not support grouped convolution [" +
+                                  to_string() + "]");
+    }
   }
 
   /// Channels rounded up to the 64-channel block of the blocked layouts.
   std::size_t padded_in_channels() const { return round_up(in_channels, kChanBlock); }
   std::size_t padded_out_channels() const { return round_up(out_channels, kChanBlock); }
 
-  /// MAC count of the direct algorithm (for GOPS reporting).
+  /// MAC count of the direct algorithm (for GOPS reporting). Each output
+  /// channel only sees its group's C/groups input channels.
   double direct_macs() const {
     return static_cast<double>(batch) * static_cast<double>(out_channels) *
-           static_cast<double>(in_channels) * static_cast<double>(out_height()) *
+           static_cast<double>(in_channels / groups) * static_cast<double>(out_height()) *
            static_cast<double>(out_width()) * static_cast<double>(kernel * kernel);
   }
 
-  /// Stride and width-pad tokens are appended only when they differ from the
-  /// historical defaults (unit stride, symmetric pad): this string doubles as
-  /// a tuner/wisdom cache key and a plan-file field, and the classic shapes
-  /// must keep their exact pre-existing spelling.
+  /// Stride, width-pad and groups tokens are appended only when they differ
+  /// from the historical defaults (unit stride, symmetric pad, ungrouped):
+  /// this string doubles as a tuner/wisdom cache key and a plan-file field,
+  /// and the classic shapes must keep their exact pre-existing spelling.
   std::string to_string() const {
     std::string s = "B" + std::to_string(batch) + " C" + std::to_string(in_channels) +
                     " K" + std::to_string(out_channels) + " H" + std::to_string(height) +
                     " W" + std::to_string(width) + " r" + std::to_string(kernel);
     if (!symmetric_padding()) s += " pw" + std::to_string(width_pad());
     if (stride != 1) s += " s" + std::to_string(stride);
+    if (groups != 1) s += " g" + std::to_string(groups);
     return s;
   }
 };

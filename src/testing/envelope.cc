@@ -16,7 +16,8 @@ double half_step(double tau) { return 0.5 * tau / 127.0; }
 /// an engineering margin, validated by the fuzz corpus, always far below the
 /// quantization terms it accompanies.
 double float_slack_rel(const ConvDesc& desc) {
-  const double macs = static_cast<double>(desc.in_channels) *
+  // Each output only accumulates its group's C/groups input channels.
+  const double macs = static_cast<double>(desc.group_in_channels()) *
                       static_cast<double>(desc.kernel * desc.kernel);
   return 8.0 * macs * 1.2e-7;
 }
@@ -168,7 +169,7 @@ std::vector<double> downscale_budget(const ConvDesc& desc, const TransformMatric
 std::vector<double> spatial_int8_budget(const ConvDesc& desc, double tau_d, double dmax,
                                         const SpatialFilterStats& wstats) {
   const std::size_t K = wstats.k;
-  const double patch = static_cast<double>(desc.in_channels) *
+  const double patch = static_cast<double>(desc.group_in_channels()) *
                        static_cast<double>(desc.kernel * desc.kernel);
   const double slack = float_slack_rel(desc);
   const double ed = half_step(tau_d);
@@ -192,7 +193,7 @@ std::vector<double> fp32_budget(const ConvDesc& desc, double dmax,
                                 const SpatialFilterStats& wstats,
                                 std::span<const float> bias, double amplification) {
   const std::size_t K = wstats.k;
-  const double macs = static_cast<double>(desc.in_channels) *
+  const double macs = static_cast<double>(desc.group_in_channels()) *
                       static_cast<double>(desc.kernel * desc.kernel);
   // gamma_n-style dot-product bound with headroom for the blocked/vectorized
   // summation orders, scaled by the Winograd intermediate growth.

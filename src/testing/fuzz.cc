@@ -16,9 +16,12 @@
 #include "baselines/vendor_wino.h"
 #include "common/aligned_buffer.h"
 #include "common/rng.h"
+#include "direct/direct_1x1.h"
+#include "direct/direct_depthwise.h"
 #include "direct/direct_f32.h"
 #include "direct/direct_int8.h"
 #include "lowino/convolution.h"
+#include "nn/engines.h"
 #include "parallel/thread_pool.h"
 #include "quant/quantize.h"
 #include "tensor/post_ops.h"
@@ -44,7 +47,8 @@ CaseData make_data(const FuzzCase& fc) {
   CaseData data;
   data.input.resize(d.batch * d.in_channels * d.height * d.width);
   for (float& v : data.input) v = rng.uniform(-1.5f, 1.5f);
-  data.weights.resize(d.out_channels * d.in_channels * d.kernel * d.kernel);
+  // Grouped filters only span their group's C/groups input channels.
+  data.weights.resize(d.out_channels * d.group_in_channels() * d.kernel * d.kernel);
   for (float& v : data.weights) v = rng.uniform(-1.0f, 1.0f);
   if (fc.with_bias) {
     data.bias.resize(d.out_channels);
@@ -116,6 +120,8 @@ CaseResult run_degenerate_case(const FuzzCase& fc) {
   expect_reject("downscale-winograd", [&] { [[maybe_unused]] DownscaleWinoConv c(d, 2); });
   expect_reject("upcast-winograd", [&] { [[maybe_unused]] UpcastWinoConv c(d); });
   expect_reject("vendor-winograd", [&] { [[maybe_unused]] VendorWinoF23 c(d); });
+  expect_reject("int8-1x1", [&] { [[maybe_unused]] Int8Conv1x1Conv c(d); });
+  expect_reject("int8-depthwise", [&] { [[maybe_unused]] Int8DepthwiseConv c(d); });
   if (result.ok && aligned_buffer_alloc_count() != allocs_before) {
     result.ok = false;
     result.failure = "degenerate rejection allocated workspace memory";
@@ -131,8 +137,9 @@ FuzzCase generate_case(std::uint64_t seed) {
   fc.seed = rng.next_u64();
 
   ConvDesc& d = fc.desc;
-  d.kernel = rng.next_below(10) == 0 ? 5 : 3;
-  d.pad = rng.next_below(d.kernel == 3 ? 2 : 3);
+  const std::uint64_t kernel_roll = rng.next_below(10);
+  d.kernel = kernel_roll == 0 ? 5 : (kernel_roll <= 2 ? 1 : 3);  // ~10% 5x5, ~20% 1x1
+  d.pad = d.kernel == 1 ? 0 : rng.next_below(d.kernel == 3 ? 2 : 3);
   d.batch = 1 + rng.next_below(2);
   d.in_channels = 1 + rng.next_below(48);
   d.out_channels = 1 + rng.next_below(48);
@@ -147,8 +154,9 @@ FuzzCase generate_case(std::uint64_t seed) {
     (rng.next_below(2) == 0 ? d.height : d.width) += 16 + rng.next_below(17);
   }
   if (rng.next_below(6) == 0) d.stride = 2;
-  if (rng.next_below(6) == 0) {
-    // Any width pad < kernel that differs from the height pad.
+  if (d.kernel > 1 && rng.next_below(6) == 0) {
+    // Any width pad < kernel that differs from the height pad. A 1x1 kernel
+    // admits no such pad (the only valid pad is 0), so skip the draw there.
     d.pad_w = (d.pad + 1 + rng.next_below(d.kernel - 1)) % d.kernel;
   }
   while (d.direct_macs() > 2.0e7) {
@@ -161,6 +169,18 @@ FuzzCase generate_case(std::uint64_t seed) {
       d.height = std::max(d.kernel, d.height / 2);
       d.width = std::max(d.kernel, d.width / 2);
     }
+  }
+  // Grouped corners (drawn after the cost clamp so the halving above cannot
+  // break divisibility): ~1/5 depthwise — the int8_dw workload, channel
+  // multiplier 1 or 2 — and ~1/10 a general grouped shape no engine claims.
+  const std::uint64_t group_roll = rng.next_below(10);
+  if (group_roll < 2 && d.in_channels > 1) {
+    d.groups = d.in_channels;
+    d.out_channels = d.in_channels * (1 + rng.next_below(2));
+  } else if (group_roll == 2) {
+    d.in_channels = std::max<std::size_t>(4, d.in_channels + d.in_channels % 2);
+    d.out_channels = std::max<std::size_t>(4, d.out_channels + d.out_channels % 2);
+    d.groups = 2;
   }
 
   const std::size_t ms[] = {2, 4, 6};
@@ -186,13 +206,15 @@ FuzzCase generate_case(std::uint64_t seed) {
   // Mutate last — the cost clamp above calls direct_macs(), which itself
   // evaluates out_height() and would wrap on a degenerate shape.
   if (rng.next_below(12) == 0) {
-    switch (rng.next_below(6)) {
+    switch (rng.next_below(8)) {
       case 0: d.pad = 0; d.height = d.kernel - 1; break;  // kernel > h + 2p
       case 1: d.pad = 0; d.pad_w = 0; d.width = d.kernel - 1; break;  // kernel > w + 2p
       case 2: d.pad = d.kernel + rng.next_below(2); break;  // pad >= kernel
       case 3: (rng.next_below(2) == 0 ? d.in_channels : d.out_channels) = 0; break;
       case 4: d.stride = 0; break;  // division by zero in out_height()
       case 5: d.pad_w = d.kernel + rng.next_below(2); break;  // width pad >= kernel
+      case 6: d.groups = d.in_channels + 1; break;  // never divides in_channels
+      case 7: d.kernel = 1; d.pad = 1; break;  // padded 1x1: pad >= kernel
     }
   }
   return fc;
@@ -229,6 +251,33 @@ CaseResult run_case(const FuzzCase& fc) {
   if (!fc.desc.is_valid()) return run_degenerate_case(fc);
   CaseResult result;
   const ConvDesc& d = fc.desc;
+
+  // --- Capability cross-check (the PR 6 gating contract, per registry) -----
+  // For every registered kind, engine_caps(kind, d).supports must predict the
+  // factory exactly: a supported shape constructs, an unsupported one throws
+  // std::invalid_argument. This is what lets the session compiler skip
+  // candidates without a try/catch probe.
+  for (const EngineKind kind : all_engine_kinds()) {
+    ++result.engines_checked;
+    if (!result.ok) break;
+    const EngineCaps caps = engine_caps(kind, d);
+    try {
+      const auto e = make_conv_engine(kind, d);
+      if (!caps.supports) {
+        result.ok = false;
+        result.failure = std::string(engine_token(kind)) +
+                         ": constructed a shape engine_caps reports unsupported";
+      }
+    } catch (const std::invalid_argument&) {
+      if (caps.supports) {
+        result.ok = false;
+        result.failure = std::string(engine_token(kind)) +
+                         ": rejected a shape engine_caps reports supported";
+      }
+    }
+  }
+  if (!result.ok) return result;
+
   const CaseData data = make_data(fc);
   const std::span<const float> bias(data.bias);
 
@@ -380,66 +429,122 @@ CaseResult run_case(const FuzzCase& fc) {
     }
   };
 
-  // The Winograd family only claims unit stride and symmetric padding; for
-  // the widened shapes the direct engines are checked numerically and the
-  // Winograd constructors must reject the descriptor cleanly.
-  const bool winograd_ok = d.stride == 1 && d.symmetric_padding();
+  // The Winograd family only claims ungrouped unit-stride symmetric-padding
+  // r >= 2 shapes; for anything else the eligible direct engines are checked
+  // numerically and the Winograd constructors must reject cleanly (asserted
+  // engine-by-engine below and via the caps cross-check above).
+  const bool winograd_ok =
+      d.groups == 1 && d.stride == 1 && d.symmetric_padding() && d.kernel >= 2;
+
+  // One spatial-INT8 typed run (u8 hand-off edges) for an Int8DirectConv-like
+  // engine: same surface, same envelope. Shared by int8-direct, int8-1x1 and
+  // int8-depthwise.
+  const auto run_spatial_typed = [&](const char* name, auto& conv) {
+    conv.set_input_threshold(static_cast<float>(tau_d));
+    conv.set_filters(data.weights, bias);
+    // set_input_u8 adopts the same 127/tau_d scale the threshold implies,
+    // so the spatial INT8 envelope carries over unchanged.
+    if (fc.in_u8) conv.set_input_u8(in_qp);
+    std::vector<double> bound = spatial_int8_budget(d, tau_d, dmax_typed, sstats);
+    typed_sum_slack(bound);
+    const void* in_ptr = fc.in_u8 ? static_cast<const void*>(in_bytes.data())
+                                  : static_cast<const void*>(data.input.data());
+    if (fc.out_u8) {
+      const QuantParams out_qp = typed_requant(bound);
+      conv.set_output_u8(out_qp);
+      std::vector<std::uint8_t> o8(out.size());
+      conv.execute_typed(in_ptr, o8.data(), &pool, typed_post);
+      dequantize_u8_shift128(o8, out_qp.inv_scale, out);
+    } else {
+      conv.execute_typed(in_ptr, out.data(), &pool, typed_post);
+    }
+    check(name, ref_typed, bound);
+  };
 
   try {
-    // --- Direct engines (full stride/padding support) ----------------------
-    const std::vector<double> fp32_direct_bound =
-        fp32_budget(d, dmax, sstats, bias, /*amplification=*/1.0);
-    direct_conv_f32_reference(d, data.input, data.weights, bias, out, fc.relu, &pool);
-    check("fp32-reference", ref_nosum, fp32_direct_bound);
+    if (d.groups == 1) {
+      // --- Direct engines (full stride/padding support) --------------------
+      const std::vector<double> fp32_direct_bound =
+          fp32_budget(d, dmax, sstats, bias, /*amplification=*/1.0);
+      direct_conv_f32_reference(d, data.input, data.weights, bias, out, fc.relu, &pool);
+      check("fp32-reference", ref_nosum, fp32_direct_bound);
 
-    {
-      Im2colConvF32 conv(d);
-      conv.set_filters(data.weights, bias);
-      conv.execute_nchw(data.input, out, &pool, post);
-      check("fp32-im2col", ref_post, with_sum_slack(fp32_direct_bound));
-      if (!post.none()) {
-        std::vector<float> plain(out.size());
-        conv.execute_nchw(data.input, plain, &pool);
-        check_fused_bits("fp32-im2col", out, plain);
+      {
+        Im2colConvF32 conv(d);
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, out, &pool, post);
+        check("fp32-im2col", ref_post, with_sum_slack(fp32_direct_bound));
+        if (!post.none()) {
+          std::vector<float> plain(out.size());
+          conv.execute_nchw(data.input, plain, &pool);
+          check_fused_bits("fp32-im2col", out, plain);
+        }
+      }
+
+      {
+        Int8DirectConv conv(d);
+        conv.set_input_threshold(static_cast<float>(tau_d));
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, out, &pool, post);
+        check("int8-direct", ref_post,
+              with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
+        if (!post.none()) {
+          std::vector<float> plain(out.size());
+          conv.execute_nchw(data.input, plain, &pool);
+          check_fused_bits("int8-direct", out, plain);
+        }
+      }
+
+      // --- INT8 direct, typed (u8 hand-off edges) --------------------------
+      if (typed) {
+        Int8DirectConv conv(d);
+        run_spatial_typed("int8-direct-typed", conv);
+      }
+
+      // --- Dedicated INT8 1x1 engine: pointwise shapes, any stride ---------
+      if (d.kernel == 1) {
+        {
+          Int8Conv1x1Conv conv(d);
+          conv.set_input_threshold(static_cast<float>(tau_d));
+          conv.set_filters(data.weights, bias);
+          conv.execute_nchw(data.input, out, &pool, post);
+          check("int8-1x1", ref_post,
+                with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
+          if (!post.none()) {
+            std::vector<float> plain(out.size());
+            conv.execute_nchw(data.input, plain, &pool);
+            check_fused_bits("int8-1x1", out, plain);
+          }
+        }
+        if (typed) {
+          Int8Conv1x1Conv conv(d);
+          run_spatial_typed("int8-1x1-typed", conv);
+        }
+      }
+    } else if (d.is_depthwise()) {
+      // --- Dedicated INT8 depthwise engine ---------------------------------
+      {
+        Int8DepthwiseConv conv(d);
+        conv.set_input_threshold(static_cast<float>(tau_d));
+        conv.set_filters(data.weights, bias);
+        conv.execute_nchw(data.input, out, &pool, post);
+        check("int8-depthwise", ref_post,
+              with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
+        if (!post.none()) {
+          std::vector<float> plain(out.size());
+          conv.execute_nchw(data.input, plain, &pool);
+          check_fused_bits("int8-depthwise", out, plain);
+        }
+      }
+      if (typed) {
+        Int8DepthwiseConv conv(d);
+        run_spatial_typed("int8-depthwise-typed", conv);
       }
     }
-
-    {
-      Int8DirectConv conv(d);
-      conv.set_input_threshold(static_cast<float>(tau_d));
-      conv.set_filters(data.weights, bias);
-      conv.execute_nchw(data.input, out, &pool, post);
-      check("int8-direct", ref_post,
-            with_sum_slack(spatial_int8_budget(d, tau_d, dmax, sstats)));
-      if (!post.none()) {
-        std::vector<float> plain(out.size());
-        conv.execute_nchw(data.input, plain, &pool);
-        check_fused_bits("int8-direct", out, plain);
-      }
-    }
-
-    // --- INT8 direct, typed (u8 hand-off edges) ----------------------------
-    if (typed) {
-      Int8DirectConv conv(d);
-      conv.set_input_threshold(static_cast<float>(tau_d));
-      conv.set_filters(data.weights, bias);
-      // set_input_u8 adopts the same 127/tau_d scale the threshold implies,
-      // so the spatial INT8 envelope carries over unchanged.
-      if (fc.in_u8) conv.set_input_u8(in_qp);
-      std::vector<double> bound = spatial_int8_budget(d, tau_d, dmax_typed, sstats);
-      typed_sum_slack(bound);
-      const void* in_ptr = fc.in_u8 ? static_cast<const void*>(in_bytes.data())
-                                    : static_cast<const void*>(data.input.data());
-      if (fc.out_u8) {
-        const QuantParams out_qp = typed_requant(bound);
-        conv.set_output_u8(out_qp);
-        std::vector<std::uint8_t> o8(out.size());
-        conv.execute_typed(in_ptr, o8.data(), &pool, typed_post);
-        dequantize_u8_shift128(o8, out_qp.inv_scale, out);
-      } else {
-        conv.execute_typed(in_ptr, out.data(), &pool, typed_post);
-      }
-      check("int8-direct-typed", ref_typed, bound);
+    if (d.groups != 1) {
+      // The caps cross-check already asserted that every other registered
+      // kind rejects grouped shapes; nothing further runs numerically.
+      return result;
     }
 
     if (!winograd_ok) {
@@ -685,6 +790,7 @@ FuzzCase shrink_case(FuzzCase fc, std::size_t max_attempts) {
       },
       [](FuzzCase& c) { return std::exchange(c.desc.pad, 0) != 0; },
       [](FuzzCase& c) { return std::exchange(c.desc.stride, 1) != 1; },
+      [](FuzzCase& c) { return std::exchange(c.desc.groups, 1) != 1; },
       [](FuzzCase& c) {
         if (c.desc.symmetric_padding()) return false;
         c.desc.pad_w = ConvDesc::kPadLikeHeight;

@@ -43,13 +43,16 @@ struct FuzzCase {
 };
 
 /// Draws a case from `seed`: N/C/K/H/W, pads, ReLU/bias on-off, F(2/4/6)
-/// (r = 5 occasionally), staged/fused/auto, 1..4 threads — plus the widened
-/// dimensions: strongly non-square inputs (~1/6), stride 2 (~1/6) and
-/// asymmetric width padding (~1/6). The shape is cost-clamped so a full
-/// engine sweep stays in the low tens of milliseconds. Roughly 1 in 12 cases
-/// is deliberately degenerate (kernel larger than the padded input,
-/// pad >= kernel on either axis, zero channels, stride 0); run_case() then
-/// asserts clean rejection instead of numeric conformance.
+/// (r = 5 occasionally, r = 1 pointwise ~1/5), staged/fused/auto, 1..4
+/// threads — plus the widened dimensions: strongly non-square inputs (~1/6),
+/// stride 2 (~1/6), asymmetric width padding (~1/6), depthwise groups with
+/// channel multiplier 1 or 2 (~1/5) and a general grouped shape no engine
+/// claims (~1/10). The shape is cost-clamped so a full engine sweep stays in
+/// the low tens of milliseconds. Roughly 1 in 12 cases is deliberately
+/// degenerate (kernel larger than the padded input, pad >= kernel on either
+/// axis — including a padded 1x1 —, zero channels, stride 0, groups that do
+/// not divide the channels); run_case() then asserts clean rejection instead
+/// of numeric conformance.
 FuzzCase generate_case(std::uint64_t seed);
 
 /// Human-readable one-line description ("B1 C17 K5 H9 W12 r3 p1 m4 fused t2
@@ -75,12 +78,17 @@ struct CaseResult {
 /// quantizes the drawn edges to u8 itself, re-derives the oracle reference
 /// from the dequantized values (so edge quantization error cancels exactly)
 /// and checks the per-scheme envelope on the result, with LoWino staged and
-/// fused typed runs required bit-identical. Cases with stride != 1 or asymmetric padding run
-/// the direct engines numerically and assert every Winograd engine rejects
-/// the descriptor with std::invalid_argument (they claim no support). Never
-/// throws for a conforming stack; engine exceptions are reported as failures.
-/// Degenerate cases instead assert that every engine constructor throws
-/// std::invalid_argument without allocating workspace memory.
+/// fused typed runs required bit-identical. Every valid case first
+/// cross-checks engine_caps(kind, desc).supports against make_conv_engine for
+/// every registered kind: supported shapes must construct, unsupported ones
+/// must throw std::invalid_argument. Cases with stride != 1, asymmetric
+/// padding or r == 1 run the eligible direct engines numerically and assert
+/// every Winograd engine rejects the descriptor (they claim no support);
+/// depthwise cases run int8-depthwise numerically and other grouped cases
+/// only exercise the rejection contract. Never throws for a conforming
+/// stack; engine exceptions are reported as failures. Degenerate cases
+/// instead assert that every engine constructor throws std::invalid_argument
+/// without allocating workspace memory.
 CaseResult run_case(const FuzzCase& fc);
 
 /// Greedily shrinks a failing case (smaller shape, fewer features) while it

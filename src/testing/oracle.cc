@@ -13,15 +13,18 @@ std::vector<double> direct_conv_f64(const ConvDesc& desc, std::span<const float>
   const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
   const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
   const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  const std::size_t CG = C / desc.groups, KG = K / desc.groups;  // per-group channels
   assert(input.size() >= B * C * H * W);
-  assert(weights.size() >= K * C * r * r);
+  assert(weights.size() >= K * CG * r * r);
   std::vector<double> out(B * K * OH * OW, 0.0);
   for (std::size_t b = 0; b < B; ++b) {
     for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t c0 = (k / KG) * CG;  // first input channel of k's group
       for (std::size_t oh = 0; oh < OH; ++oh) {
         for (std::size_t ow = 0; ow < OW; ++ow) {
           double acc = bias.empty() ? 0.0 : static_cast<double>(bias[k]);
-          for (std::size_t c = 0; c < C; ++c) {
+          for (std::size_t ci = 0; ci < CG; ++ci) {
+            const std::size_t c = c0 + ci;
             for (std::size_t i = 0; i < r; ++i) {
               const std::ptrdiff_t ih =
                   static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
@@ -35,7 +38,7 @@ std::vector<double> direct_conv_f64(const ConvDesc& desc, std::span<const float>
                 acc += static_cast<double>(
                            input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
                                  static_cast<std::size_t>(iw)]) *
-                       static_cast<double>(weights[((k * C + c) * r + i) * r + j]);
+                       static_cast<double>(weights[((k * CG + ci) * r + i) * r + j]);
               }
             }
           }
@@ -54,15 +57,18 @@ std::vector<std::int64_t> direct_conv_i64(const ConvDesc& desc,
   const std::size_t B = desc.batch, C = desc.in_channels, K = desc.out_channels;
   const std::size_t H = desc.height, W = desc.width, r = desc.kernel;
   const std::size_t OH = desc.out_height(), OW = desc.out_width();
+  const std::size_t CG = C / desc.groups, KG = K / desc.groups;
   assert(input.size() >= B * C * H * W);
-  assert(weights.size() >= K * C * r * r);
+  assert(weights.size() >= K * CG * r * r);
   std::vector<std::int64_t> out(B * K * OH * OW, 0);
   for (std::size_t b = 0; b < B; ++b) {
     for (std::size_t k = 0; k < K; ++k) {
+      const std::size_t c0 = (k / KG) * CG;
       for (std::size_t oh = 0; oh < OH; ++oh) {
         for (std::size_t ow = 0; ow < OW; ++ow) {
           std::int64_t acc = 0;
-          for (std::size_t c = 0; c < C; ++c) {
+          for (std::size_t ci = 0; ci < CG; ++ci) {
+            const std::size_t c = c0 + ci;
             for (std::size_t i = 0; i < r; ++i) {
               const std::ptrdiff_t ih =
                   static_cast<std::ptrdiff_t>(oh * desc.stride + i) -
@@ -76,7 +82,7 @@ std::vector<std::int64_t> direct_conv_i64(const ConvDesc& desc,
                 acc += static_cast<std::int64_t>(
                            input[((b * C + c) * H + static_cast<std::size_t>(ih)) * W +
                                  static_cast<std::size_t>(iw)]) *
-                       static_cast<std::int64_t>(weights[((k * C + c) * r + i) * r + j]);
+                       static_cast<std::int64_t>(weights[((k * CG + ci) * r + i) * r + j]);
               }
             }
           }
@@ -210,14 +216,16 @@ TransformedFilterStats transformed_filter_stats(const ConvDesc& desc, std::size_
 
 SpatialFilterStats spatial_filter_stats(const ConvDesc& desc,
                                         std::span<const float> weights) {
-  const std::size_t K = desc.out_channels, C = desc.in_channels, r = desc.kernel;
+  const std::size_t K = desc.out_channels, r = desc.kernel;
+  // Grouped filters only span their group's C/groups input channels.
+  const std::size_t patch = desc.group_in_channels() * r * r;
   SpatialFilterStats stats;
   stats.k = K;
   stats.abs_max.assign(K, 0.0);
   stats.abs_sum.assign(K, 0.0);
   for (std::size_t k = 0; k < K; ++k) {
-    for (std::size_t i = 0; i < C * r * r; ++i) {
-      const double a = std::abs(static_cast<double>(weights[k * C * r * r + i]));
+    for (std::size_t i = 0; i < patch; ++i) {
+      const double a = std::abs(static_cast<double>(weights[k * patch + i]));
       stats.abs_max[k] = std::max(stats.abs_max[k], a);
       stats.abs_sum[k] += a;
     }

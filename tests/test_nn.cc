@@ -222,6 +222,106 @@ TEST(ConvLayerGrad, WeightGradientMatchesFiniteDifference) {
   }
 }
 
+// --- Grouped / depthwise convolution layers ----------------------------------
+TEST(ConvLayerGrad, DepthwiseInputGradientMatchesFiniteDifference) {
+  check_input_gradient(
+      [] {
+        Rng wrng(14);
+        return std::make_unique<ConvLayer>(4, 4, 4, 3, 1, wrng, /*groups=*/4);
+      },
+      {2, 4, 4, 4}, 26);
+}
+
+TEST(ConvLayerGrad, GroupedInputGradientMatchesFiniteDifference) {
+  check_input_gradient(
+      [] {
+        Rng wrng(15);
+        return std::make_unique<ConvLayer>(4, 6, 4, 3, 1, wrng, /*groups=*/2);
+      },
+      {2, 4, 4, 4}, 27);
+}
+
+TEST(ConvLayerGrouped, ForwardEqualsBlockDiagonalUngrouped) {
+  // A grouped conv is an ungrouped conv whose weight tensor is block-diagonal
+  // across channel groups; embed the grouped weights and compare outputs.
+  Rng rng(41);
+  const std::size_t c = 6, k = 9, hw = 5, r = 3, g = 3;
+  ConvLayer grouped(c, k, hw, r, 1, rng, g);
+  Rng rng2(42);
+  ConvLayer dense(c, k, hw, r, 1, rng2);
+  const std::size_t cg = c / g, kg = k / g;
+  auto dw = dense.mutable_weights();
+  std::fill(dw.begin(), dw.end(), 0.0f);
+  const auto gw = grouped.weights();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const std::size_t c0 = (kk / kg) * cg;
+    for (std::size_t ci = 0; ci < cg; ++ci) {
+      for (std::size_t t = 0; t < r * r; ++t) {
+        dw[(kk * c + c0 + ci) * r * r + t] = gw[(kk * cg + ci) * r * r + t];
+      }
+    }
+  }
+  Tensor<float> in({2, c, hw, hw});
+  for (auto& v : in.span()) v = rng.uniform(-1.0f, 1.0f);
+  Tensor<float> out_g, out_d;
+  grouped.forward(in, out_g, false);
+  dense.forward(in, out_d, false);
+  ASSERT_EQ(out_g.shape(), out_d.shape());
+  // Biases differ between the two layers; compare after removing them.
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t p = 0; p < hw * hw; ++p) {
+        const float vg = out_g.data()[(b * k + kk) * hw * hw + p] - grouped.bias()[kk];
+        const float vd = out_d.data()[(b * k + kk) * hw * hw + p] - dense.bias()[kk];
+        ASSERT_NEAR(vg, vd, 1e-4f) << "b=" << b << " k=" << kk << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(ConvLayerGrouped, NameTokensAndValidation) {
+  Rng rng(1);
+  ConvLayer plain(8, 16, 8, 3, 1, rng);
+  ConvLayer dw(8, 8, 8, 3, 1, rng, /*groups=*/8);
+  ConvLayer grouped(8, 16, 8, 3, 1, rng, /*groups=*/2);
+  EXPECT_EQ(plain.name(), "conv3x3(8->16)");
+  EXPECT_EQ(dw.name(), "dwconv3x3(8->8)");
+  EXPECT_EQ(grouped.name(), "conv3x3(8->16,g=2)");
+  EXPECT_EQ(plain.groups(), 1u);
+  EXPECT_EQ(dw.groups(), 8u);
+  EXPECT_THROW(ConvLayer(8, 9, 8, 3, 1, rng, /*groups=*/2), std::invalid_argument);
+}
+
+TEST(ConvDescGroups, TokenStabilityAndValidation) {
+  ConvDesc d;
+  d.batch = 2;
+  d.in_channels = 6;
+  d.out_channels = 6;
+  d.height = d.width = 8;
+  d.kernel = 3;
+  d.pad = 1;
+  // groups == 1 must serialize byte-identically to the pre-groups format:
+  // existing wisdom keys and plan files keep resolving.
+  EXPECT_EQ(d.to_string(), "B2 C6 K6 H8 W8 r3");
+  d.groups = 3;
+  EXPECT_EQ(d.to_string(), "B2 C6 K6 H8 W8 r3 g3");
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_TRUE(ConvDesc{d}.is_depthwise() == false);
+  d.groups = 6;
+  EXPECT_TRUE(d.is_depthwise());
+  EXPECT_EQ(d.group_in_channels(), 1u);
+  d.groups = 0;
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.groups = 4;  // 6 % 4 != 0
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.groups = 3;
+  d.out_channels = 7;  // out_channels not divisible
+  EXPECT_FALSE(d.is_valid());
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
 // --- Training ----------------------------------------------------------------
 TEST(Training, SmallModelLearnsTheDataset) {
   const Dataset train_set = make_shape_dataset(600, 100);
@@ -313,29 +413,128 @@ TEST(EngineForward, ThrowsWithoutCalibration) {
 }
 
 TEST(EngineNames, AllDistinct) {
-  const EngineKind kinds[] = {
-      EngineKind::kFp32Direct, EngineKind::kFp32WinoF2, EngineKind::kFp32WinoF4,
-      EngineKind::kInt8Direct, EngineKind::kLoWinoF2,   EngineKind::kLoWinoF4,
-      EngineKind::kLoWinoF6,   EngineKind::kDownscaleF2, EngineKind::kDownscaleF4,
-      EngineKind::kUpcastF2,   EngineKind::kVendorF2};
-  for (std::size_t i = 0; i < std::size(kinds); ++i) {
-    for (std::size_t j = i + 1; j < std::size(kinds); ++j) {
+  const auto kinds = all_engine_kinds();
+  EXPECT_EQ(kinds.size(), 13u);  // 11 core + int8_1x1 + int8_dw
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    for (std::size_t j = i + 1; j < kinds.size(); ++j) {
       EXPECT_STRNE(engine_name(kinds[i]), engine_name(kinds[j]));
+      EXPECT_STRNE(engine_token(kinds[i]), engine_token(kinds[j]));
     }
   }
-  EXPECT_FALSE(engine_is_quantized(EngineKind::kFp32Direct));
-  EXPECT_TRUE(engine_is_quantized(EngineKind::kLoWinoF4));
+  ConvDesc d;
+  d.batch = 1;
+  d.in_channels = d.out_channels = 4;
+  d.height = d.width = 8;
+  d.kernel = 3;
+  d.pad = 1;
+  EXPECT_FALSE(engine_caps(EngineKind::kFp32Direct, d).quantized);
+  EXPECT_TRUE(engine_caps(EngineKind::kLoWinoF4, d).quantized);
+}
+
+// --- EngineCaps: per-shape support gating ------------------------------------
+TEST(EngineCapsQuery, ShapeGatingMatchesEngineAcceptance) {
+  const auto desc = [](std::size_t c, std::size_t k, std::size_t r, std::size_t pad,
+                       std::size_t groups, std::size_t stride = 1) {
+    ConvDesc d;
+    d.batch = 1;
+    d.in_channels = c;
+    d.out_channels = k;
+    d.height = d.width = 8;
+    d.kernel = r;
+    d.pad = pad;
+    d.groups = groups;
+    d.stride = stride;
+    return d;
+  };
+  const ConvDesc plain3x3 = desc(8, 8, 3, 1, 1);
+  const ConvDesc pw1x1 = desc(8, 16, 1, 0, 1);
+  const ConvDesc pw1x1s2 = desc(8, 16, 1, 0, 1, 2);
+  const ConvDesc dw3x3 = desc(8, 8, 3, 1, 8);
+  const ConvDesc grouped = desc(8, 8, 3, 1, 2);  // grouped but not depthwise
+
+  // supports() must predict exactly what make_conv_engine accepts: a kind
+  // that reports supports == false throws std::invalid_argument, a kind that
+  // reports true constructs (the fuzzer cross-checks this on random shapes).
+  for (const ConvDesc& d : {plain3x3, pw1x1, pw1x1s2, dw3x3, grouped}) {
+    for (const EngineKind kind : all_engine_kinds()) {
+      const EngineCaps caps = engine_caps(kind, d);
+      if (caps.supports) {
+        EXPECT_NO_THROW(make_conv_engine(kind, d))
+            << engine_token(kind) << " on " << d.to_string();
+      } else {
+        EXPECT_THROW(make_conv_engine(kind, d), std::invalid_argument)
+            << engine_token(kind) << " on " << d.to_string();
+      }
+    }
+  }
+
+  // Spot-check the table: who owns which shape.
+  EXPECT_TRUE(engine_caps(EngineKind::kInt8Direct, plain3x3).supports);
+  EXPECT_TRUE(engine_caps(EngineKind::kLoWinoF4, plain3x3).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kInt8Conv1x1, plain3x3).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kInt8Depthwise, plain3x3).supports);
+
+  EXPECT_TRUE(engine_caps(EngineKind::kInt8Conv1x1, pw1x1).supports);
+  EXPECT_TRUE(engine_caps(EngineKind::kInt8Conv1x1, pw1x1s2).supports);
+  EXPECT_TRUE(engine_caps(EngineKind::kInt8Direct, pw1x1).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kLoWinoF2, pw1x1).supports);  // r < 2
+  EXPECT_FALSE(engine_caps(EngineKind::kVendorF2, pw1x1).supports);  // r != 3
+
+  EXPECT_TRUE(engine_caps(EngineKind::kInt8Depthwise, dw3x3).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kInt8Direct, dw3x3).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kLoWinoF4, dw3x3).supports);
+  EXPECT_FALSE(engine_caps(EngineKind::kFp32Direct, dw3x3).supports);
+
+  // General grouped conv has no dedicated engine: nothing claims it.
+  for (const EngineKind kind : all_engine_kinds()) {
+    EXPECT_FALSE(engine_caps(kind, grouped).supports) << engine_token(kind);
+  }
+
+  // An invalid descriptor is supported by nothing, without throwing.
+  ConvDesc bad = plain3x3;
+  bad.kernel = 0;
+  for (const EngineKind kind : all_engine_kinds()) {
+    EXPECT_FALSE(engine_caps(kind, bad).supports) << engine_token(kind);
+  }
 }
 
 TEST(ModelZoo, ShapesAndParameterCounts) {
   SequentialModel vgg = make_minivgg();
   SequentialModel res = make_miniresnet();
+  SequentialModel mob = make_minimobilenet();
   EXPECT_GT(vgg.parameter_count(), 100000u);
   EXPECT_GT(res.parameter_count(), 100000u);
+  EXPECT_GT(mob.parameter_count(), 10000u);
+  // Depthwise separability: far fewer parameters than the dense-conv nets.
+  EXPECT_LT(mob.parameter_count(), vgg.parameter_count());
   Tensor<float> x({2, 1, 16, 16});
   x.zero();
   EXPECT_EQ(vgg.forward(x).shape(), (std::vector<std::size_t>{2, 10}));
   EXPECT_EQ(res.forward(x).shape(), (std::vector<std::size_t>{2, 10}));
+  EXPECT_EQ(mob.forward(x).shape(), (std::vector<std::size_t>{2, 10}));
+}
+
+TEST(EngineAgreement, MiniMobileNetDedicatedEnginesTrackFp32) {
+  // End-to-end on the depthwise net: forcing int8_dw quantizes the depthwise
+  // layers (the pointwise/stem layers fall back to FP32 — their shapes are
+  // outside the engine's capability set), and int8_1x1 does the converse.
+  const Dataset train_set = make_shape_dataset(320, 130);
+  const Dataset calib_set = make_shape_dataset(128, 131);
+  const Dataset test_set = make_shape_dataset(96, 132);
+  SequentialModel model = make_minimobilenet(16, 10, 11);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch = 32;
+  train_model(model, train_set, cfg);
+
+  const EvalResult fp32 = evaluate_fp32(model, test_set, 32);
+  for (const EngineKind kind : {EngineKind::kInt8Depthwise, EngineKind::kInt8Conv1x1}) {
+    calibrate_model(model, calib_set, kind, 128, 32);
+    const EvalResult quant = evaluate_engine(model, test_set, kind, 32);
+    EXPECT_EQ(quant.samples, 96u);
+    EXPECT_GT(quant.accuracy, fp32.accuracy - 0.08)
+        << engine_name(kind) << ": " << quant.accuracy << " vs fp32 " << fp32.accuracy;
+  }
 }
 
 TEST(PaperLayers, Table2Complete) {
@@ -577,7 +776,7 @@ TEST(EngineStrings, RejectsUnknownIdentifiers) {
 
 TEST(EngineStrings, AllKindsListedExactlyOnce) {
   const auto kinds = all_engine_kinds();
-  EXPECT_EQ(kinds.size(), 11u);
+  EXPECT_EQ(kinds.size(), 13u);
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     for (std::size_t j = i + 1; j < kinds.size(); ++j) {
       EXPECT_NE(kinds[i], kinds[j]);

@@ -24,16 +24,11 @@ struct PostOpsFixture {
   ConvDesc desc;
   std::vector<float> input, weights, bias, residual;
 
-  PostOpsFixture() {
-    desc.batch = 2;
-    desc.in_channels = 7;   // padding lanes in every 16-lane group
-    desc.out_channels = 19; // K not a multiple of 16 either
-    desc.height = desc.width = 12;
-    desc.kernel = 3;
-    desc.pad = 1;
+  explicit PostOpsFixture(const ConvDesc& d) : desc(d) {
     Rng rng(20260808);
     input.resize(desc.batch * desc.in_channels * desc.height * desc.width);
-    weights.resize(desc.out_channels * desc.in_channels * 9);
+    weights.resize(desc.out_channels * (desc.in_channels / desc.groups) * desc.kernel *
+                   desc.kernel);
     bias.resize(desc.out_channels);
     residual.resize(desc.batch * desc.out_channels * desc.out_height() * desc.out_width());
     for (float& v : input) v = rng.uniform(-1.0f, 1.0f);
@@ -42,9 +37,22 @@ struct PostOpsFixture {
     for (float& v : residual) v = rng.uniform(-1.0f, 1.0f);
   }
 
+  PostOpsFixture() : PostOpsFixture(default_desc()) {}
+
+  static ConvDesc default_desc() {
+    ConvDesc d;
+    d.batch = 2;
+    d.in_channels = 7;   // padding lanes in every 16-lane group
+    d.out_channels = 19; // K not a multiple of 16 either
+    d.height = d.width = 12;
+    d.kernel = 3;
+    d.pad = 1;
+    return d;
+  }
+
   std::unique_ptr<ConvEngine> ready_engine(EngineKind kind) const {
     auto e = make_conv_engine(kind, desc);
-    if (engine_is_quantized(kind)) {
+    if (engine_caps(kind, desc).quantized) {
       e->calibrate(input);
       e->finalize_calibration();
     }
@@ -73,20 +81,27 @@ struct PostOpsFixture {
 TEST(PostOps, CapabilityTableMatchesWrapper) {
   const PostOpsFixture f;
   for (const EngineKind kind : all_engine_kinds()) {
+    const EngineCaps caps = engine_caps(kind, f.desc);
+    if (!caps.supports) continue;  // int8_1x1 / int8_dw decline a 3x3 ungrouped shape
     auto e = f.ready_engine(kind);
-    EXPECT_EQ(e->supports_post_ops(), engine_supports_post_ops(kind))
-        << engine_token(kind);
+    EXPECT_EQ(e->supports_post_ops(), caps.post_ops) << engine_token(kind);
   }
-  // The capable set is exactly: both direct engines and the LoWino family.
-  EXPECT_TRUE(engine_supports_post_ops(EngineKind::kFp32Direct));
-  EXPECT_TRUE(engine_supports_post_ops(EngineKind::kInt8Direct));
-  EXPECT_TRUE(engine_supports_post_ops(EngineKind::kLoWinoF2));
-  EXPECT_TRUE(engine_supports_post_ops(EngineKind::kLoWinoF4));
-  EXPECT_TRUE(engine_supports_post_ops(EngineKind::kLoWinoF6));
-  EXPECT_FALSE(engine_supports_post_ops(EngineKind::kFp32WinoF2));
-  EXPECT_FALSE(engine_supports_post_ops(EngineKind::kDownscaleF2));
-  EXPECT_FALSE(engine_supports_post_ops(EngineKind::kUpcastF2));
-  EXPECT_FALSE(engine_supports_post_ops(EngineKind::kVendorF2));
+  // The capable set is exactly: the direct engines (including the dedicated
+  // 1x1 and depthwise ones) and the LoWino family.
+  const auto post_ops_of = [&f](EngineKind kind) {
+    return engine_caps(kind, f.desc).post_ops;
+  };
+  EXPECT_TRUE(post_ops_of(EngineKind::kFp32Direct));
+  EXPECT_TRUE(post_ops_of(EngineKind::kInt8Direct));
+  EXPECT_TRUE(post_ops_of(EngineKind::kInt8Conv1x1));
+  EXPECT_TRUE(post_ops_of(EngineKind::kInt8Depthwise));
+  EXPECT_TRUE(post_ops_of(EngineKind::kLoWinoF2));
+  EXPECT_TRUE(post_ops_of(EngineKind::kLoWinoF4));
+  EXPECT_TRUE(post_ops_of(EngineKind::kLoWinoF6));
+  EXPECT_FALSE(post_ops_of(EngineKind::kFp32WinoF2));
+  EXPECT_FALSE(post_ops_of(EngineKind::kDownscaleF2));
+  EXPECT_FALSE(post_ops_of(EngineKind::kUpcastF2));
+  EXPECT_FALSE(post_ops_of(EngineKind::kVendorF2));
 }
 
 TEST(PostOps, FusedBitIdenticalToUnfusedAcrossCapableEngines) {
@@ -97,7 +112,8 @@ TEST(PostOps, FusedBitIdenticalToUnfusedAcrossCapableEngines) {
       {.relu = true, .sum = f.residual.data()},
   };
   for (const EngineKind kind : all_engine_kinds()) {
-    if (!engine_supports_post_ops(kind)) continue;
+    const EngineCaps caps = engine_caps(kind, f.desc);
+    if (!caps.supports || !caps.post_ops) continue;
     auto e = f.ready_engine(kind);
     for (const PostOps& post : combos) {
       const std::vector<float> ref = f.reference(*e, post);
@@ -153,6 +169,38 @@ TEST(PostOps, InPlaceResidualSumMatchesOutOfPlace) {
     EXPECT_EQ(0, std::memcmp(in_place.data(), separate.data(),
                              separate.size() * sizeof(float)))
         << engine_token(kind);
+  }
+}
+
+TEST(PostOps, DedicatedEnginesFusedBitIdenticalOnNativeShapes) {
+  // The 1x1 and depthwise engines decline the shared 3x3 fixture shape, so
+  // they get the same fused-vs-unfused contract on shapes they own.
+  ConvDesc pw = PostOpsFixture::default_desc();
+  pw.kernel = 1;
+  pw.pad = 0;
+  ConvDesc dw = PostOpsFixture::default_desc();
+  dw.in_channels = dw.out_channels = dw.groups = 12;
+  const struct {
+    EngineKind kind;
+    const ConvDesc& desc;
+  } cases[] = {{EngineKind::kInt8Conv1x1, pw}, {EngineKind::kInt8Depthwise, dw}};
+  for (const auto& c : cases) {
+    ASSERT_TRUE(engine_caps(c.kind, c.desc).supports) << engine_token(c.kind);
+    const PostOpsFixture f(c.desc);
+    auto e = f.ready_engine(c.kind);
+    const PostOps combos[] = {
+        {.relu = true, .sum = nullptr},
+        {.relu = false, .sum = f.residual.data()},
+        {.relu = true, .sum = f.residual.data()},
+    };
+    for (const PostOps& post : combos) {
+      const std::vector<float> ref = f.reference(*e, post);
+      std::vector<float> fused(f.out_elems());
+      e->run(f.input, fused, nullptr, post);
+      EXPECT_EQ(0, std::memcmp(fused.data(), ref.data(), ref.size() * sizeof(float)))
+          << engine_token(c.kind) << " relu=" << post.relu
+          << " sum=" << (post.sum != nullptr);
+    }
   }
 }
 

@@ -347,6 +347,61 @@ TEST(InferenceSession, PlanReplayServesIdentically) {
   EXPECT_EQ(0, std::memcmp(out_a.data(), out_b.data(), out_a.size() * sizeof(float)));
 }
 
+TEST(InferenceSession, MiniMobileNetPlanRoundTripsDepthwiseLines) {
+  const Tensor<float> calib = random_input(2, 16, 444);
+  const Tensor<float> input = random_input(2, 16, 555);
+  PlanOptions options;
+  options.pool = &ThreadPool::global();
+  options.seconds_per_candidate = 0.005;
+
+  SequentialModel model_a = make_minimobilenet();
+  InferenceSession first = InferenceSession::compile(model_a, calib, options);
+
+  // The depthwise layers admit exactly one quantized candidate — the
+  // dedicated int8_dw engine — and their plan lines must carry the grouped
+  // descriptor token. The pointwise layers must land on a 1x1-capable direct
+  // engine (the Winograd kinds all reject r = 1).
+  std::size_t depthwise = 0, pointwise = 0;
+  for (const SessionPlan::ConvChoice& c : first.plan().convs) {
+    if (c.desc.find(" g") != std::string::npos) {
+      ++depthwise;
+      EXPECT_EQ(c.engine, EngineKind::kInt8Depthwise) << c.layer << " " << c.desc;
+    } else if (c.desc.find(" r1") != std::string::npos) {
+      ++pointwise;
+      EXPECT_TRUE(c.engine == EngineKind::kInt8Conv1x1 ||
+                  c.engine == EngineKind::kInt8Direct)
+          << c.layer << " chose " << engine_token(c.engine);
+    }
+  }
+  EXPECT_EQ(depthwise, 2u);
+  EXPECT_EQ(pointwise, 2u);
+
+  // Text round-trip: the serialized plan (with its " g#" descriptor tokens
+  // and int8_dw engine tokens) must reload verbatim and replay bit-identical
+  // on a fresh same-seed model.
+  const std::string path = ::testing::TempDir() + "lowino_mobilenet_plan_test.txt";
+  ASSERT_TRUE(first.plan().save(path));
+  const auto loaded = SessionPlan::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded->serialize(), first.plan().serialize());
+
+  SequentialModel model_b = make_minimobilenet();
+  PlanOptions replay;
+  replay.pool = options.pool;
+  replay.reuse = &*loaded;
+  InferenceSession second = InferenceSession::compile(model_b, calib, replay);
+  ASSERT_EQ(second.plan().convs.size(), first.plan().convs.size());
+  for (std::size_t i = 0; i < first.plan().convs.size(); ++i) {
+    EXPECT_EQ(second.plan().convs[i].engine, first.plan().convs[i].engine);
+  }
+  Tensor<float> out_a, out_b;
+  first.run(input, out_a);
+  second.run(input, out_b);
+  ASSERT_EQ(out_a.shape(), out_b.shape());
+  EXPECT_EQ(0, std::memcmp(out_a.data(), out_b.data(), out_a.size() * sizeof(float)));
+}
+
 TEST(InferenceSession, PlanReplayRejectsMismatchedModel) {
   const Tensor<float> calib = random_input(2, 16, 333);
   SequentialModel vgg = make_minivgg();
